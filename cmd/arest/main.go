@@ -1,0 +1,184 @@
+// Command arest runs the AReST detection methodology over a stored trace
+// collection (JSON Lines, as produced by cmd/tntsim) and reports detected
+// SR-MPLS segments, per-flag statistics, and interworking tunnels.
+//
+// Usage:
+//
+//	arest -i traces.jsonl [-fingerprints fp.txt] [-v]
+//
+// The optional fingerprint file maps interface addresses to vendors, one
+// "addr vendor [snmp|ttl]" per line.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"strings"
+
+	"arest/internal/core"
+	"arest/internal/eval"
+	"arest/internal/fingerprint"
+	"arest/internal/mpls"
+	"arest/internal/tracestore"
+)
+
+func main() {
+	in := flag.String("i", "", "input trace file (JSON lines; default stdin)")
+	fpFile := flag.String("fingerprints", "", "vendor fingerprint file (addr vendor [snmp|ttl])")
+	verbose := flag.Bool("v", false, "print every detected segment")
+	jsonOut := flag.Bool("json", false, "emit one JSON report per trace instead of tables")
+	noSuffix := flag.Bool("no-suffix", false, "disable suffix-based label matching")
+	flag.Parse()
+
+	r := os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatalf("open %s: %v", *in, err)
+		}
+		defer f.Close()
+		r = f
+	}
+	meta, traces, err := tracestore.Read(r)
+	if err != nil {
+		fatalf("read traces: %v", err)
+	}
+	if len(traces) == 0 {
+		fatalf("no traces in input")
+	}
+
+	ann := fingerprint.NewAnnotator(nil, nil)
+	if *fpFile != "" {
+		snmp, ttl, err := loadFingerprints(*fpFile)
+		if err != nil {
+			fatalf("fingerprints: %v", err)
+		}
+		ann = fingerprint.NewAnnotator(snmp, ttl)
+	}
+
+	det := core.NewDetector()
+	det.SuffixMatching = !*noSuffix
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		for _, tr := range traces {
+			res := det.Analyze(core.BuildPath(tr, ann, nil))
+			if err := enc.Encode(core.NewReport(res)); err != nil {
+				fatalf("encode report: %v", err)
+			}
+		}
+		return
+	}
+
+	flagCounts := map[core.Flag]int{}
+	patterns := map[core.Pattern]int{}
+	tracesWithSR := 0
+	for _, tr := range traces {
+		p := core.BuildPath(tr, ann, nil)
+		res := det.Analyze(p)
+		if res.HasSR() {
+			tracesWithSR++
+		}
+		for _, s := range res.Segments {
+			flagCounts[s.Flag]++
+			if *verbose {
+				fmt.Printf("%s -> %s  %-4s stars=%d label=%d hops=%d", tr.VP, tr.Dst,
+					s.Flag, s.Flag.Stars(), s.Label, s.Len())
+				if s.SuffixMatch {
+					fmt.Print(" (suffix)")
+				}
+				fmt.Println()
+				for k := s.Start; k <= s.End; k++ {
+					fmt.Printf("    %-15s %s\n", p.Hops[k].Addr, p.Hops[k].Stack)
+				}
+			}
+		}
+		for _, tun := range res.Tunnels() {
+			patterns[tun.Pattern]++
+		}
+	}
+
+	if meta.Name != "" {
+		fmt.Printf("campaign: %s (AS%d), %d traces\n\n", meta.Name, meta.ASN, len(traces))
+	} else {
+		fmt.Printf("%d traces\n\n", len(traces))
+	}
+	t := eval.Table{Title: "AReST detection summary", Headers: []string{"Flag", "Stars", "Segments"}}
+	total := 0
+	for _, f := range core.AllFlags {
+		t.AddRow(f.String(), strings.Repeat("*", f.Stars()), flagCounts[f])
+		total += flagCounts[f]
+	}
+	fmt.Print(t.Render())
+	fmt.Printf("total segments: %d; traces with strong SR evidence: %d/%d\n\n",
+		total, tracesWithSR, len(traces))
+
+	pt := eval.Table{Title: "Tunnel structure", Headers: []string{"Pattern", "Tunnels"}}
+	for _, p := range []core.Pattern{core.PatternFullSR, core.PatternFullLDP, core.PatternSRLDP,
+		core.PatternLDPSR, core.PatternLDPSRLDP, core.PatternSRLDPSR, core.PatternOther} {
+		if patterns[p] > 0 {
+			pt.AddRow(string(p), patterns[p])
+		}
+	}
+	fmt.Print(pt.Render())
+}
+
+// loadFingerprints parses "addr vendor [snmp|ttl]" lines.
+func loadFingerprints(path string) (snmp, ttl map[netip.Addr]mpls.Vendor, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	snmp = map[netip.Addr]mpls.Vendor{}
+	ttl = map[netip.Addr]mpls.Vendor{}
+	vendors := map[string]mpls.Vendor{
+		"cisco": mpls.VendorCisco, "juniper": mpls.VendorJuniper,
+		"huawei": mpls.VendorHuawei, "nokia": mpls.VendorNokia,
+		"arista": mpls.VendorArista, "linux": mpls.VendorLinux,
+		"mikrotik": mpls.VendorMikroTik, "cisco/huawei": mpls.VendorCiscoHuawei,
+		"ciscohuawei": mpls.VendorCiscoHuawei,
+	}
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(strings.TrimSpace(sc.Text()))
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		if len(fields) < 2 {
+			return nil, nil, fmt.Errorf("line %d: want 'addr vendor [snmp|ttl]'", line)
+		}
+		addr, err := netip.ParseAddr(fields[0])
+		if err != nil {
+			return nil, nil, fmt.Errorf("line %d: %v", line, err)
+		}
+		v, ok := vendors[strings.ToLower(fields[1])]
+		if !ok {
+			return nil, nil, fmt.Errorf("line %d: unknown vendor %q", line, fields[1])
+		}
+		src := "snmp"
+		if len(fields) >= 3 {
+			src = strings.ToLower(fields[2])
+		}
+		switch src {
+		case "snmp", "snmpv3":
+			snmp[addr] = v
+		case "ttl":
+			ttl[addr] = v
+		default:
+			return nil, nil, fmt.Errorf("line %d: unknown source %q", line, fields[2])
+		}
+	}
+	return snmp, ttl, sc.Err()
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "arest: "+format+"\n", args...)
+	os.Exit(1)
+}

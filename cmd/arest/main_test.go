@@ -1,0 +1,67 @@
+package main
+
+import (
+	"net/netip"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"arest/internal/mpls"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "fp.txt")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLoadFingerprints(t *testing.T) {
+	p := writeTemp(t, `
+# comment line
+10.0.0.1 cisco snmp
+10.0.0.2 juniper ttl
+10.0.0.3 cisco/huawei ttl
+10.0.0.4 nokia
+`)
+	snmp, ttl, err := loadFingerprints(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snmp[netip.MustParseAddr("10.0.0.1")] != mpls.VendorCisco {
+		t.Errorf("snmp = %v", snmp)
+	}
+	// Default source is snmp.
+	if snmp[netip.MustParseAddr("10.0.0.4")] != mpls.VendorNokia {
+		t.Errorf("default source: %v", snmp)
+	}
+	if ttl[netip.MustParseAddr("10.0.0.2")] != mpls.VendorJuniper {
+		t.Errorf("ttl = %v", ttl)
+	}
+	if ttl[netip.MustParseAddr("10.0.0.3")] != mpls.VendorCiscoHuawei {
+		t.Errorf("ambiguity class: %v", ttl)
+	}
+}
+
+func TestLoadFingerprintsErrors(t *testing.T) {
+	cases := []struct {
+		name, body string
+	}{
+		{"missing-vendor", "10.0.0.1\n"},
+		{"bad-addr", "nonsense cisco\n"},
+		{"bad-vendor", "10.0.0.1 cisco9000\n"},
+		{"bad-source", "10.0.0.1 cisco carrier-pigeon\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, _, err := loadFingerprints(writeTemp(t, c.body)); err == nil {
+				t.Errorf("accepted %q", c.body)
+			}
+		})
+	}
+	if _, _, err := loadFingerprints("/nonexistent/fp.txt"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,131 @@
+// Command asgen instantiates one synthetic AS world from the Table 5
+// catalogue and prints its topology, deployment ground truth, and
+// (optionally) a Graphviz DOT rendering.
+//
+// Usage:
+//
+//	asgen -as 15 -seed 1 [-dot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"arest/internal/asgen"
+	"arest/internal/eval"
+	"arest/internal/mpls"
+)
+
+func main() {
+	asID := flag.Int("as", 15, "paper AS identifier (1-60)")
+	seed := flag.Int64("seed", 20250405, "world seed")
+	vps := flag.Int("vps", 3, "number of vantage points")
+	routers := flag.Int("routers", 0, "override router count (0 = derived)")
+	dot := flag.Bool("dot", false, "emit Graphviz DOT instead of the summary")
+	configs := flag.Bool("configs", false, "emit vendor-style lab configs instead of the summary")
+	flag.Parse()
+
+	rec, ok := asgen.ByID(*asID)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "asgen: unknown AS identifier %d\n", *asID)
+		os.Exit(1)
+	}
+	dep := asgen.DeploymentFor(rec, *seed)
+	if *routers > 0 {
+		dep.Routers = *routers
+	}
+	w := asgen.Build(rec, dep, *vps, *seed)
+
+	if *dot {
+		emitDOT(w)
+		return
+	}
+	if *configs {
+		fmt.Print(asgen.WorldConfigs(w))
+		if problems := asgen.ValidateWorld(w); len(problems) > 0 {
+			fmt.Fprintf(os.Stderr, "asgen: world inconsistent: %s\n", strings.Join(problems, "; "))
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("AS#%d %s (AS%d, %s) — seed %d\n", rec.ID, rec.Name, rec.ASN, rec.Category, *seed)
+	fmt.Printf("deployment: mpls=%v srFrac=%.2f interworking=%v mappingServer=%v\n",
+		dep.MPLS, dep.SRFrac, dep.Interworking, dep.MappingServer)
+	fmt.Printf("            propagate=%.2f rfc4950=%.2f snmp=%.2f echo=%.2f te=%.2f svc=%.2f classicStack=%.2f\n",
+		dep.PropagateProb, dep.RFC4950Prob, dep.SNMPOpenProb, dep.EchoProb,
+		dep.TEProb, dep.ServiceProb, dep.ClassicStackProb)
+	if dep.CustomSRGB.Size() > 0 {
+		fmt.Printf("            custom SRGB %s\n", dep.CustomSRGB)
+	}
+	fmt.Printf("routers: %d (%d PEs), targets: %d, VPs: %d\n\n",
+		len(w.Routers), len(w.Edges), len(w.Targets), len(w.VPs))
+
+	t := eval.Table{Title: "Routers (ground truth)",
+		Headers: []string{"Name", "Loopback", "Vendor", "SR", "LDP", "Mode", "SRGB", "propagate", "rfc4950"}}
+	for _, r := range w.Routers {
+		srgb := "-"
+		if r.SREnabled {
+			srgb = r.SRGB.String()
+		}
+		t.AddRow(r.Name, r.Loopback.String(), r.Vendor.String(),
+			r.SREnabled, r.LDPEnabled, r.Mode.String(), srgb,
+			r.Profile.TTLPropagate, r.Profile.RFC4950)
+	}
+	fmt.Print(t.Render())
+
+	vendors := map[mpls.Vendor]int{}
+	srCount := 0
+	for _, r := range w.Routers {
+		vendors[r.Vendor]++
+		if w.SRRouter[r.ID] {
+			srCount++
+		}
+	}
+	var vparts []string
+	for v, n := range vendors {
+		vparts = append(vparts, fmt.Sprintf("%s:%d", v, n))
+	}
+	fmt.Printf("\nSR-enabled routers: %d/%d; vendor mix: %s\n",
+		srCount, len(w.Routers), strings.Join(vparts, " "))
+}
+
+func emitDOT(w *asgen.World) {
+	fmt.Println("graph as {")
+	fmt.Println("  overlap=false;")
+	for _, r := range w.Routers {
+		shape := "ellipse"
+		color := "gray80"
+		if w.SRRouter[r.ID] {
+			color = "palegreen"
+		} else if r.LDPEnabled {
+			color = "lightsalmon"
+		}
+		if len(w.Net.Neighbors(r.ID)) <= 1 {
+			shape = "box"
+		}
+		fmt.Printf("  %q [shape=%s style=filled fillcolor=%s label=\"%s\\n%s\"];\n",
+			r.Name, shape, color, r.Name, r.Vendor)
+	}
+	seen := map[[2]int]bool{}
+	for _, r := range w.Routers {
+		for _, nb := range w.Net.Neighbors(r.ID) {
+			key := [2]int{int(r.ID), int(nb)}
+			if key[0] > key[1] {
+				key[0], key[1] = key[1], key[0]
+			}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			other := w.Net.Router(nb)
+			if other.ASN != r.ASN {
+				continue // VP gateways omitted from the drawing
+			}
+			fmt.Printf("  %q -- %q;\n", r.Name, other.Name)
+		}
+	}
+	fmt.Println("}")
+}

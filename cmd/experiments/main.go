@@ -1,0 +1,109 @@
+// Command experiments regenerates the paper's tables and figures by
+// running the full campaign pipeline over the Table 5 catalogue (or a
+// subset) and rendering each experiment's output.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -exp fig8,table3 -vps 6
+//	experiments                       # everything, full analyzed catalogue
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"arest/internal/asgen"
+	"arest/internal/exp"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	expIDs := flag.String("exp", "", "comma-separated experiment ids (default: all)")
+	asIDs := flag.String("as", "", "comma-separated AS identifiers (default: all analyzed)")
+	vps := flag.Int("vps", 16, "vantage points per AS")
+	targets := flag.Int("targets", 32, "max targets per AS")
+	maxRouters := flag.Int("max-routers", 60, "per-AS topology cap")
+	seed := flag.Int64("seed", 20250405, "campaign seed")
+	outDir := flag.String("o", "", "write each experiment to <dir>/<id>.txt instead of stdout")
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All {
+			fmt.Printf("%-9s %s\n          paper: %s\n", e.ID, e.Title, e.Paper)
+		}
+		return
+	}
+
+	var selected []exp.Experiment
+	if *expIDs == "" {
+		selected = exp.All
+	} else {
+		for _, id := range strings.Split(*expIDs, ",") {
+			e, ok := exp.ByID(strings.TrimSpace(id))
+			if !ok {
+				fatalf("unknown experiment %q (use -list)", id)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	records := asgen.Analyzed()
+	if *asIDs != "" {
+		records = nil
+		for _, s := range strings.Split(*asIDs, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fatalf("bad AS id %q", s)
+			}
+			rec, ok := asgen.ByID(id)
+			if !ok {
+				fatalf("unknown AS id %d", id)
+			}
+			records = append(records, rec)
+		}
+	}
+
+	cfg := exp.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.NumVPs = *vps
+	cfg.MaxTargets = *targets
+	cfg.MaxRouters = *maxRouters
+
+	fmt.Fprintf(os.Stderr, "running campaign over %d ASes (%d VPs, <=%d targets each)...\n",
+		len(records), cfg.NumVPs, cfg.MaxTargets)
+	start := time.Now()
+	c, err := exp.Run(records, cfg)
+	if err != nil {
+		fatalf("campaign: %v", err)
+	}
+	total := 0
+	for _, r := range c.ASes {
+		total += r.TracesSent
+	}
+	fmt.Fprintf(os.Stderr, "campaign done: %d ASes, %d traces in %v\n\n",
+		len(c.ASes), total, time.Since(start).Round(time.Millisecond))
+
+	for _, e := range selected {
+		body := fmt.Sprintf("=== %s — %s ===\npaper: %s\n\n%s\n", e.ID, e.Title, e.Paper, e.Run(c))
+		if *outDir == "" {
+			fmt.Print(body)
+			continue
+		}
+		path := filepath.Join(*outDir, e.ID+".txt")
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			fatalf("write %s: %v", path, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+	os.Exit(1)
+}

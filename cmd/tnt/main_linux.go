@@ -1,0 +1,115 @@
+//go:build linux
+
+// Command tnt is a real-Internet TNT-style traceroute built on the same
+// probing engine the simulator exercises: Paris-stable UDP probes over raw
+// sockets, MPLS label-stack extraction from RFC 4950 ICMP extensions,
+// tunnel classification, and optional MDA-style multipath discovery.
+//
+// Requires CAP_NET_RAW (or root):
+//
+//	sudo tnt -t 192.0.2.1 [-maxttl 32] [-timeout 2s] [-mda] [-reveal]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/netip"
+	"os"
+	"time"
+
+	"arest/internal/core"
+	"arest/internal/fingerprint"
+	"arest/internal/probe"
+)
+
+func main() {
+	target := flag.String("t", "", "target IPv4 address")
+	maxTTL := flag.Int("maxttl", 32, "maximum TTL")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-probe timeout")
+	flow := flag.Int("flow", 0, "Paris flow identifier")
+	mda := flag.Bool("mda", false, "run MDA-style multipath discovery instead of one trace")
+	maxFlows := flag.Int("mda-flows", 32, "flow budget for -mda")
+	reveal := flag.Bool("reveal", false, "enable TNT revelation (extra probing)")
+	arest := flag.Bool("arest", true, "run AReST detection on the trace")
+	flag.Parse()
+
+	if *target == "" {
+		fatalf("usage: tnt -t <ipv4> (see -h)")
+	}
+	dst, err := netip.ParseAddr(*target)
+	if err != nil || !dst.Is4() {
+		fatalf("bad target %q: need an IPv4 address", *target)
+	}
+	src, err := localAddr(dst)
+	if err != nil {
+		fatalf("resolve local address: %v", err)
+	}
+
+	tracer, conn, err := probe.NewRawTracer(src, *timeout)
+	if err != nil {
+		fatalf("%v (raw sockets need CAP_NET_RAW)", err)
+	}
+	defer conn.Close()
+	tracer.MaxTTL = *maxTTL
+	tracer.Reveal = *reveal
+
+	if *mda {
+		m, err := tracer.DiscoverMultipath(dst, *maxFlows)
+		if err != nil {
+			fatalf("multipath: %v", err)
+		}
+		fmt.Printf("multipath to %s (%d flows):\n", dst, m.Flows)
+		for ttl := 1; ttl <= len(m.Hops); ttl++ {
+			fmt.Printf("%3d ", ttl)
+			for _, a := range m.Hops[ttl-1] {
+				fmt.Printf(" %s", a)
+			}
+			fmt.Println()
+		}
+		fmt.Printf("max width: %d\n", m.MaxWidth())
+		return
+	}
+
+	tr, err := tracer.Trace(dst, uint16(*flow))
+	if err != nil {
+		fatalf("trace: %v", err)
+	}
+	fmt.Print(tr)
+	for _, tun := range probe.ClassifyTunnels(tr) {
+		fmt.Printf("tunnel: %s at hops %d..%d (hidden %d)\n",
+			tun.Type, tun.Start+1, tun.End+1, tun.HiddenLen)
+	}
+	if *arest {
+		ttl := fingerprint.CollectTTL([]*probe.Trace{tr}, tracer)
+		ann := fingerprint.NewAnnotator(nil, ttl)
+		res := core.NewDetector().Analyze(core.BuildPath(tr, ann, nil))
+		for _, s := range res.Segments {
+			fmt.Printf("AReST: %s (%d stars) label=%d over %d hops\n",
+				s.Flag, s.Flag.Stars(), s.Label, s.Len())
+		}
+		if len(res.Segments) == 0 {
+			fmt.Println("AReST: no SR-MPLS signals")
+		}
+	}
+}
+
+// localAddr discovers the local source address the kernel would use to
+// reach dst (no packets are sent: UDP connect only resolves the route).
+func localAddr(dst netip.Addr) (netip.Addr, error) {
+	c, err := net.Dial("udp4", net.JoinHostPort(dst.String(), "33434"))
+	if err != nil {
+		return netip.Addr{}, err
+	}
+	defer c.Close()
+	ap, err := netip.ParseAddrPort(c.LocalAddr().String())
+	if err != nil {
+		return netip.Addr{}, err
+	}
+	return ap.Addr(), nil
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "tnt: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,15 @@
+//go:build !linux
+
+// Command tnt requires Linux raw sockets; on other platforms it only
+// explains itself.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	fmt.Fprintln(os.Stderr, "tnt: the raw-socket prober is only implemented for Linux")
+	os.Exit(1)
+}

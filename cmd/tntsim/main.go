@@ -1,0 +1,77 @@
+// Command tntsim runs the simulated TNT measurement campaign against one
+// synthetic AS from the paper's Table 5 catalogue and writes the collected
+// traces as JSON Lines, ready for cmd/arest.
+//
+// Usage:
+//
+//	tntsim -as 46 -vps 6 -targets 24 -seed 1 -o esnet.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"arest/internal/asgen"
+	"arest/internal/exp"
+	"arest/internal/tracestore"
+)
+
+func main() {
+	asID := flag.Int("as", 46, "paper AS identifier (1-60, see Table 5)")
+	vps := flag.Int("vps", 6, "number of vantage points")
+	targets := flag.Int("targets", 24, "max targets per Anaximander plan")
+	flows := flag.Int("flows", 1, "Paris flows per target")
+	seed := flag.Int64("seed", 20250405, "campaign seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	list := flag.Bool("list", false, "list the AS catalogue and exit")
+	flag.Parse()
+
+	if *list {
+		for _, r := range asgen.Catalogue {
+			excl := ""
+			if asgen.ExcludedIDs[r.ID] {
+				excl = " (excluded: insufficient coverage)"
+			}
+			fmt.Printf("#%-3d AS%-7d %-18s %-8s cisco=%-5v survey=%-5v%s\n",
+				r.ID, r.ASN, r.Name, r.Category, r.CiscoConfirmed, r.SurveyConfirm, excl)
+		}
+		return
+	}
+
+	rec, ok := asgen.ByID(*asID)
+	if !ok {
+		fatalf("unknown AS identifier %d (1-60)", *asID)
+	}
+	cfg := exp.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.NumVPs = *vps
+	cfg.MaxTargets = *targets
+	cfg.FlowsPerTarget = *flows
+
+	res, err := exp.RunAS(rec, cfg)
+	if err != nil {
+		fatalf("campaign failed: %v", err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("create %s: %v", *out, err)
+		}
+		defer f.Close()
+		w = f
+	}
+	meta := tracestore.Meta{ASN: rec.ASN, Name: rec.Name, Seed: *seed, VPs: *vps}
+	if err := tracestore.Write(w, meta, res.Traces()); err != nil {
+		fatalf("write traces: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "AS#%d %s: %d traces from %d VPs (%d distinct IPs observed)\n",
+		rec.ID, rec.Name, res.TracesSent, *vps, res.DistinctIPs())
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "tntsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+// Interworking: an AS where Segment Routing is deployed incrementally — an
+// SR core interconnecting a legacy LDP island, joined by a dual-plane
+// border router and a mapping server (RFC 8661). Traces through the domain
+// show the SR→LDP label handover, and AReST classifies the hybrid tunnel.
+package main
+
+import (
+	"fmt"
+	"net/netip"
+
+	"arest/internal/core"
+	"arest/internal/fingerprint"
+	"arest/internal/mpls"
+	"arest/internal/netsim"
+	"arest/internal/probe"
+)
+
+func main() {
+	for _, srms := range []bool{true, false} {
+		fmt.Printf("==== mapping server enabled: %v ====\n\n", srms)
+		run(srms)
+	}
+}
+
+func run(mappingServer bool) {
+	n := netsim.New(7)
+	n.MappingServer = mappingServer
+	prof := netsim.DefaultProfile(mpls.VendorCisco)
+	prof.SNMPOpen = true
+
+	gw := n.AddRouter(netsim.RouterConfig{Name: "gw", ASN: 64999,
+		Vendor: mpls.VendorLinux, Profile: netsim.DefaultProfile(mpls.VendorLinux)})
+	sr := func(name string) *netsim.Router {
+		return n.AddRouter(netsim.RouterConfig{Name: name, ASN: 65020,
+			Vendor: mpls.VendorCisco, Profile: prof, SREnabled: true, Mode: netsim.ModeSR})
+	}
+	ldp := func(name string) *netsim.Router {
+		return n.AddRouter(netsim.RouterConfig{Name: name, ASN: 65020,
+			Vendor: mpls.VendorCisco, Profile: prof, LDPEnabled: true, Mode: netsim.ModeLDP})
+	}
+	pe1 := sr("pe1")
+	s1 := sr("s1")
+	s2 := sr("s2")
+	border := n.AddRouter(netsim.RouterConfig{Name: "border", ASN: 65020,
+		Vendor: mpls.VendorCisco, Profile: prof,
+		SREnabled: true, LDPEnabled: true, Mode: netsim.ModeSR})
+	l1 := ldp("l1")
+	l2 := ldp("l2")
+	pe2 := ldp("pe2")
+
+	n.Connect(gw.ID, pe1.ID, 10)
+	n.Connect(pe1.ID, s1.ID, 10)
+	n.Connect(s1.ID, s2.ID, 10)
+	n.Connect(s2.ID, border.ID, 10)
+	n.Connect(border.ID, l1.ID, 10)
+	n.Connect(l1.ID, l2.ID, 10)
+	n.Connect(l2.ID, pe2.ID, 10)
+
+	vp := netip.MustParseAddr("172.16.1.10")
+	target := netip.MustParseAddr("100.64.1.20") // behind the LDP island
+	n.AddHost(vp, gw.ID)
+	n.AddHost(target, pe2.ID)
+	n.Compute()
+
+	tracer := probe.NewTracer(probe.NetsimConn{Net: n}, vp)
+	trace, err := tracer.Trace(target, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(trace)
+
+	ann := fingerprint.NewAnnotator(fingerprint.SNMPDataset(n), nil)
+	res := core.NewDetector().Analyze(core.BuildPath(trace, ann, nil))
+	for _, tun := range res.Tunnels() {
+		fmt.Printf("tunnel pattern: %-10s clouds:", tun.Pattern)
+		for _, cl := range tun.Clouds {
+			fmt.Printf(" %s×%d", cl.Kind, cl.Len)
+		}
+		fmt.Println()
+	}
+	for _, seg := range res.Segments {
+		fmt.Printf("segment %-4s label=%d hops=%d\n", seg.Flag, seg.Label, seg.Len())
+	}
+	if mappingServer {
+		fmt.Printf("\nWith the SRMS, the SR region labels traffic toward the LDP-only\n"+
+			"egress %s: the border swaps the SR label for %s's LDP binding\n"+
+			"(RFC 8661 SR→LDP interworking).\n\n", pe2.Name, l1.Name)
+	} else {
+		fmt.Printf("\nWithout a mapping server the LDP-only egress has no prefix SID, so\n" +
+			"the SR region falls back to plain IP and only the LDP island labels\n" +
+			"its part of the path.\n\n")
+	}
+}

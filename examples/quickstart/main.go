@@ -1,0 +1,78 @@
+// Quickstart: build a small SR-MPLS network (the shape of Fig. 6's green
+// path), traceroute through it with the TNT-style prober, fingerprint the
+// hops, and run AReST to reveal the Segment Routing tunnel.
+package main
+
+import (
+	"fmt"
+	"net/netip"
+
+	"arest/internal/core"
+	"arest/internal/fingerprint"
+	"arest/internal/mpls"
+	"arest/internal/netsim"
+	"arest/internal/probe"
+)
+
+func main() {
+	// 1. Network: vp -- gw -- PE1 -- P1 -- P2 -- P3 -- PE2 -- target.
+	//    The PE1..PE2 region is a Cisco SR-MPLS domain in AS 65010 with
+	//    ttl-propagate and RFC 4950 enabled => explicit tunnels.
+	n := netsim.New(1)
+	prof := netsim.DefaultProfile(mpls.VendorCisco)
+	prof.SNMPOpen = true
+
+	gw := n.AddRouter(netsim.RouterConfig{Name: "gw", ASN: 64999,
+		Vendor: mpls.VendorLinux, Profile: netsim.DefaultProfile(mpls.VendorLinux)})
+	mk := func(name string) *netsim.Router {
+		return n.AddRouter(netsim.RouterConfig{Name: name, ASN: 65010,
+			Vendor: mpls.VendorCisco, Profile: prof,
+			SREnabled: true, Mode: netsim.ModeSR})
+	}
+	pe1, p1, p2, p3, pe2 := mk("pe1"), mk("p1"), mk("p2"), mk("p3"), mk("pe2")
+	n.Connect(gw.ID, pe1.ID, 10)
+	n.Connect(pe1.ID, p1.ID, 10)
+	n.Connect(p1.ID, p2.ID, 10)
+	n.Connect(p2.ID, p3.ID, 10)
+	n.Connect(p3.ID, pe2.ID, 10)
+
+	vp := netip.MustParseAddr("172.16.0.10")
+	target := netip.MustParseAddr("100.64.0.20")
+	n.AddHost(vp, gw.ID)
+	n.AddHost(target, pe2.ID)
+	n.Compute()
+
+	// 2. Probe: Paris traceroute with TNT revelation, over real
+	//    IPv4/UDP/ICMP bytes.
+	tracer := probe.NewTracer(probe.NetsimConn{Net: n}, vp)
+	trace, err := tracer.Trace(target, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(trace)
+
+	// 3. Fingerprint the hops (TTL signatures + the SNMPv3 dataset).
+	ttl := fingerprint.CollectTTL([]*probe.Trace{trace}, tracer)
+	ann := fingerprint.NewAnnotator(fingerprint.SNMPDataset(n), ttl)
+
+	// 4. AReST: detect SR-MPLS segments.
+	path := core.BuildPath(trace, ann, nil)
+	result := core.NewDetector().Analyze(path)
+
+	fmt.Println("AReST segments:")
+	for _, seg := range result.Segments {
+		fmt.Printf("  %-4s (%d stars) label=%d over %d hops:", seg.Flag, seg.Flag.Stars(), seg.Label, seg.Len())
+		for k := seg.Start; k <= seg.End; k++ {
+			fmt.Printf(" %s", path.Hops[k].Addr)
+		}
+		fmt.Println()
+	}
+	for _, tun := range result.Tunnels() {
+		fmt.Printf("tunnel pattern: %s (clouds %v)\n", tun.Pattern, tun.Clouds)
+	}
+
+	// The expected outcome: one five-star CVR segment across P1..P3 and
+	// PE2, all carrying PE2's node-SID label from the Cisco SRGB.
+	label := pe1.SRGB.Lo + uint32(pe2.NodeIndex())
+	fmt.Printf("\nexpected node-SID label for pe2: %d (in Cisco SRGB %s)\n", label, mpls.CiscoSRGB)
+}

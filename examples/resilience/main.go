@@ -1,0 +1,75 @@
+// Resilience: the survey's top SR-MPLS motivation (Fig. 5b) in action —
+// a link fails, IGP reconvergence finds the detour, and an SR protection
+// policy (TI-LFA style explicit segment list) steers traffic around the
+// failure. The traces show what a measurement campaign would observe in
+// each phase, including the deeper label stacks protection policies leave
+// behind.
+package main
+
+import (
+	"fmt"
+	"net/netip"
+
+	"arest/internal/mpls"
+	"arest/internal/netsim"
+	"arest/internal/probe"
+)
+
+func main() {
+	// gw - s - a - d - target, with a protection triangle a - b - d.
+	n := netsim.New(5)
+	prof := netsim.DefaultProfile(mpls.VendorCisco)
+	gw := n.AddRouter(netsim.RouterConfig{Name: "gw", ASN: 64999,
+		Vendor: mpls.VendorLinux, Profile: netsim.DefaultProfile(mpls.VendorLinux)})
+	mk := func(name string) *netsim.Router {
+		return n.AddRouter(netsim.RouterConfig{Name: name, ASN: 65060,
+			Vendor: mpls.VendorCisco, Profile: prof, SREnabled: true, Mode: netsim.ModeSR})
+	}
+	s, a, b, d := mk("s"), mk("a"), mk("b"), mk("d")
+	n.Connect(gw.ID, s.ID, 10)
+	n.Connect(s.ID, a.ID, 10)
+	n.Connect(a.ID, d.ID, 10)
+	n.Connect(a.ID, b.ID, 10)
+	n.Connect(b.ID, d.ID, 10)
+
+	vp := netip.MustParseAddr("172.16.3.10")
+	target := netip.MustParseAddr("100.64.3.20")
+	n.AddHost(vp, gw.ID)
+	n.AddHost(target, d.ID)
+	n.Compute()
+
+	tracer := probe.NewTracer(probe.NetsimConn{Net: n}, vp)
+	show := func(phase string) {
+		tr, err := tracer.Trace(target, 0)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("--- %s ---\n%s\n", phase, tr)
+	}
+
+	show("steady state: shortest path s→a→d")
+
+	// Phase 2: the a-d link fails; the IGP reconverges around it.
+	n.SetLinkState(a.ID, d.ID, false)
+	n.Compute()
+	show("a–d failed, IGP reconverged: s→a→b→d")
+
+	// Phase 3: instead of waiting for convergence, the ingress installs a
+	// TI-LFA-style protection policy: an explicit segment list through b
+	// using b's node SID and then d's. The stack is one label deeper —
+	// exactly the kind of post-failure stack growth a measurement study
+	// would pick up.
+	n.SRPolicy = func(ing *netsim.Router, egress netsim.RouterID, dst netip.Addr, flow uint64) netsim.SegmentList {
+		if egress == d.ID {
+			return netsim.SegmentList{{Node: b.ID}, {Node: d.ID}}
+		}
+		return nil
+	}
+	show("explicit protection policy [sid(b), sid(d)]")
+
+	// Phase 4: repair.
+	n.SetLinkState(a.ID, d.ID, true)
+	n.SRPolicy = nil
+	n.Compute()
+	show("link repaired, policy withdrawn")
+}

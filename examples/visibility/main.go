@@ -1,0 +1,82 @@
+// Visibility: the four MPLS tunnel classes of Donnet et al. — explicit,
+// implicit, opaque, invisible — produced by the same topology under the
+// four combinations of ttl-propagate and RFC 4950, and what TNT manages to
+// reveal in each case. This is the substrate fact that makes AReST's
+// coverage a lower bound (Sec. 6.2 / Appendix C).
+package main
+
+import (
+	"fmt"
+	"net/netip"
+
+	"arest/internal/mpls"
+	"arest/internal/netsim"
+	"arest/internal/probe"
+)
+
+func main() {
+	cases := []struct {
+		name                  string
+		ttlPropagate, rfc4950 bool
+	}{
+		{"explicit (ttl-propagate + RFC4950)", true, true},
+		{"implicit (ttl-propagate, no RFC4950)", true, false},
+		{"opaque (no ttl-propagate, RFC4950)", false, true},
+		{"invisible (no ttl-propagate, no RFC4950)", false, false},
+	}
+	for _, c := range cases {
+		fmt.Printf("==== %s ====\n\n", c.name)
+		run(c.ttlPropagate, c.rfc4950)
+	}
+}
+
+func run(propagate, rfc4950 bool) {
+	n := netsim.New(3)
+	prof := netsim.DefaultProfile(mpls.VendorCisco)
+	prof.TTLPropagate = propagate
+	prof.RFC4950 = rfc4950
+
+	gw := n.AddRouter(netsim.RouterConfig{Name: "gw", ASN: 64999,
+		Vendor: mpls.VendorLinux, Profile: netsim.DefaultProfile(mpls.VendorLinux)})
+	mk := func(name string) *netsim.Router {
+		return n.AddRouter(netsim.RouterConfig{Name: name, ASN: 65030,
+			Vendor: mpls.VendorCisco, Profile: prof, SREnabled: true, Mode: netsim.ModeSR})
+	}
+	pe1, p1, p2, p3, pe2 := mk("pe1"), mk("p1"), mk("p2"), mk("p3"), mk("pe2")
+	n.Connect(gw.ID, pe1.ID, 10)
+	n.Connect(pe1.ID, p1.ID, 10)
+	n.Connect(p1.ID, p2.ID, 10)
+	n.Connect(p2.ID, p3.ID, 10)
+	n.Connect(p3.ID, pe2.ID, 10)
+
+	vp := netip.MustParseAddr("172.16.2.10")
+	target := netip.MustParseAddr("100.64.2.20")
+	n.AddHost(vp, gw.ID)
+	n.AddHost(target, pe2.ID)
+	n.Compute()
+
+	// First without TNT revelation: what plain (MPLS-aware) traceroute sees.
+	plain := probe.NewTracer(probe.NetsimConn{Net: n}, vp)
+	plain.Reveal = false
+	tr, err := plain.Trace(target, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("plain traceroute:")
+	fmt.Println(tr)
+
+	// Then with TNT revelation (DPR toward trigger interfaces).
+	tnt := probe.NewTracer(probe.NetsimConn{Net: n}, vp)
+	tr2, err := tnt.Trace(target, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("TNT (with revelation):")
+	fmt.Println(tr2)
+
+	for _, tun := range probe.ClassifyTunnels(tr2) {
+		fmt.Printf("classified: %s tunnel, hops %d..%d, hidden=%d\n",
+			tun.Type, tun.Start+1, tun.End+1, tun.HiddenLen)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,3 @@
+module arest
+
+go 1.22

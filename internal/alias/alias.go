@@ -1,0 +1,132 @@
+// Package alias resolves router aliases — which interface addresses belong
+// to the same physical router — with the two techniques the paper combines:
+// a MIDAR-style IP-ID monotonic bounds test over the router's shared IP-ID
+// counter, pruned by an APPLE-style path-length estimation filter.
+package alias
+
+import (
+	"net/netip"
+	"sort"
+
+	"arest/internal/probe"
+)
+
+// Prober samples IP-IDs from candidate interfaces; probe.Tracer implements it.
+type Prober interface {
+	SampleIPID(dst netip.Addr) (probe.IPIDSample, bool, error)
+}
+
+// Config tunes the resolution pipeline.
+type Config struct {
+	// Rounds is the number of interleaved samples per pair test.
+	Rounds int
+	// MaxStep is the largest credible IP-ID advance between consecutive
+	// samples of a shared counter (MIDAR's velocity bound).
+	MaxStep uint16
+	// PathLenSlack is the APPLE pruning tolerance on estimated return
+	// path lengths.
+	PathLenSlack int
+}
+
+// DefaultConfig mirrors conservative MIDAR settings.
+func DefaultConfig() Config {
+	return Config{Rounds: 4, MaxStep: 2048, PathLenSlack: 1}
+}
+
+type candidate struct {
+	addr    netip.Addr
+	pathLen int
+}
+
+// Resolve returns alias sets (routers) among the candidate addresses. Only
+// sets with two or more members are reported.
+func Resolve(addrs []netip.Addr, p Prober, cfg Config) [][]netip.Addr {
+	if cfg.Rounds == 0 {
+		cfg = DefaultConfig()
+	}
+	// Estimation stage: keep responsive candidates and record their
+	// APPLE path-length estimate.
+	var cands []candidate
+	for _, a := range addrs {
+		s, ok, err := p.SampleIPID(a)
+		if err != nil || !ok {
+			continue
+		}
+		cands = append(cands, candidate{addr: a,
+			pathLen: int(probe.InferInitialTTL(s.ReplyTTL)) - int(s.ReplyTTL)})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].addr.Less(cands[j].addr) })
+
+	// Union-find over candidates.
+	parent := make([]int, len(cands))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	for i := 0; i < len(cands); i++ {
+		for j := i + 1; j < len(cands); j++ {
+			if find(i) == find(j) {
+				continue // already aliased transitively
+			}
+			// APPLE pruning: interfaces of one router sit at (nearly) the
+			// same return distance.
+			d := cands[i].pathLen - cands[j].pathLen
+			if d < 0 {
+				d = -d
+			}
+			if d > cfg.PathLenSlack {
+				continue
+			}
+			if sharedCounter(cands[i].addr, cands[j].addr, p, cfg) {
+				union(i, j)
+			}
+		}
+	}
+	groups := make(map[int][]netip.Addr)
+	for i, c := range cands {
+		r := find(i)
+		groups[r] = append(groups[r], c.addr)
+	}
+	var out [][]netip.Addr
+	for _, g := range groups {
+		if len(g) >= 2 {
+			sort.Slice(g, func(i, j int) bool { return g[i].Less(g[j]) })
+			out = append(out, g)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0].Less(out[j][0]) })
+	return out
+}
+
+// sharedCounter runs the monotonic bounds test: interleave samples of the
+// two addresses; a shared counter yields a strictly increasing sequence
+// with small steps, while independent counters almost surely violate the
+// bound at some step.
+func sharedCounter(a, b netip.Addr, p Prober, cfg Config) bool {
+	var seq []uint16
+	for r := 0; r < cfg.Rounds; r++ {
+		for _, addr := range []netip.Addr{a, b} {
+			s, ok, err := p.SampleIPID(addr)
+			if err != nil || !ok {
+				return false
+			}
+			seq = append(seq, s.ID)
+		}
+	}
+	for i := 1; i < len(seq); i++ {
+		step := seq[i] - seq[i-1] // uint16 arithmetic handles wraparound
+		if step == 0 || step > cfg.MaxStep {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,161 @@
+package alias
+
+import (
+	"net/netip"
+	"testing"
+
+	"arest/internal/mpls"
+	"arest/internal/netsim"
+	"arest/internal/probe"
+)
+
+func a(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+// meshNet builds a small AS whose routers each have several interfaces, so
+// alias resolution has real work to do.
+func meshNet(t *testing.T) (*netsim.Network, *probe.Tracer, []*netsim.Router) {
+	t.Helper()
+	n := netsim.New(17)
+	prof := netsim.DefaultProfile(mpls.VendorCisco)
+	gw := n.AddRouter(netsim.RouterConfig{Name: "gw", ASN: 65000, Vendor: mpls.VendorLinux,
+		Profile: netsim.DefaultProfile(mpls.VendorLinux), Mode: netsim.ModeIP})
+	var rs []*netsim.Router
+	for i := 0; i < 4; i++ {
+		rs = append(rs, n.AddRouter(netsim.RouterConfig{ASN: 100, Vendor: mpls.VendorCisco,
+			Profile: prof, Mode: netsim.ModeIP}))
+	}
+	// Full mesh among the four, plus the gateway on r0.
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			n.Connect(rs[i].ID, rs[j].ID, 10)
+		}
+	}
+	n.Connect(gw.ID, rs[0].ID, 10)
+	vp := a("172.16.0.2")
+	n.AddHost(vp, gw.ID)
+	n.Compute()
+	return n, probe.NewTracer(probe.NetsimConn{Net: n}, vp), rs
+}
+
+func TestResolveFindsTrueAliases(t *testing.T) {
+	n, tc, rs := meshNet(t)
+	var cands []netip.Addr
+	truth := map[netip.Addr]netsim.RouterID{}
+	for _, r := range rs {
+		for _, ifaceAddr := range r.Interfaces() {
+			cands = append(cands, ifaceAddr)
+			truth[ifaceAddr] = r.ID
+		}
+	}
+	sets := Resolve(cands, tc, DefaultConfig())
+	if len(sets) == 0 {
+		t.Fatal("no alias sets found")
+	}
+	// Soundness: no set mixes interfaces of two routers.
+	for _, set := range sets {
+		owner := truth[set[0]]
+		for _, addr := range set[1:] {
+			if truth[addr] != owner {
+				t.Errorf("set %v mixes routers %d and %d", set, owner, truth[addr])
+			}
+		}
+	}
+	// Completeness: each router's interfaces end up together. Count how
+	// many of the 4 routers got a full set.
+	full := 0
+	for _, set := range sets {
+		owner := truth[set[0]]
+		r := n.Router(owner)
+		if len(set) == len(r.Interfaces()) {
+			full++
+		}
+	}
+	if full < 3 {
+		t.Errorf("only %d/4 routers fully aliased: %v", full, sets)
+	}
+}
+
+func TestResolveRejectsNonAliases(t *testing.T) {
+	_, tc, rs := meshNet(t)
+	// One interface per router: nothing should be aliased.
+	var cands []netip.Addr
+	for _, r := range rs {
+		cands = append(cands, r.Loopback)
+	}
+	sets := Resolve(cands, tc, DefaultConfig())
+	if len(sets) != 0 {
+		t.Errorf("false aliases: %v", sets)
+	}
+}
+
+func TestResolveSkipsUnresponsive(t *testing.T) {
+	_, tc, rs := meshNet(t)
+	cands := []netip.Addr{rs[0].Loopback, a("203.0.113.99")}
+	sets := Resolve(cands, tc, DefaultConfig())
+	if len(sets) != 0 {
+		t.Errorf("sets = %v", sets)
+	}
+}
+
+// fakeProber serves scripted IP-ID sequences.
+type fakeProber struct {
+	ids  map[netip.Addr]*uint16
+	step map[netip.Addr]uint16
+	ttl  map[netip.Addr]uint8
+}
+
+func (f *fakeProber) SampleIPID(dst netip.Addr) (probe.IPIDSample, bool, error) {
+	p, ok := f.ids[dst]
+	if !ok {
+		return probe.IPIDSample{}, false, nil
+	}
+	*p += f.step[dst]
+	ttl := f.ttl[dst]
+	if ttl == 0 {
+		ttl = 250
+	}
+	return probe.IPIDSample{ID: *p, ReplyTTL: ttl}, true, nil
+}
+
+func TestSharedCounterWraparound(t *testing.T) {
+	// Two addresses sharing a counter that wraps around 0xffff must still
+	// be detected as aliases.
+	ctr := uint16(0xfff0)
+	f := &fakeProber{
+		ids:  map[netip.Addr]*uint16{a("10.0.0.1"): &ctr, a("10.0.0.2"): &ctr},
+		step: map[netip.Addr]uint16{a("10.0.0.1"): 5, a("10.0.0.2"): 5},
+		ttl:  map[netip.Addr]uint8{},
+	}
+	sets := Resolve([]netip.Addr{a("10.0.0.1"), a("10.0.0.2")}, f, DefaultConfig())
+	if len(sets) != 1 || len(sets[0]) != 2 {
+		t.Errorf("wraparound aliases missed: %v", sets)
+	}
+}
+
+func TestAPPLEPruning(t *testing.T) {
+	// Same shared counter but wildly different path lengths: APPLE prunes
+	// the pair before the IP-ID test can (wrongly or rightly) fire.
+	ctr := uint16(100)
+	f := &fakeProber{
+		ids:  map[netip.Addr]*uint16{a("10.0.0.1"): &ctr, a("10.0.0.2"): &ctr},
+		step: map[netip.Addr]uint16{a("10.0.0.1"): 5, a("10.0.0.2"): 5},
+		ttl:  map[netip.Addr]uint8{a("10.0.0.1"): 250, a("10.0.0.2"): 200},
+	}
+	sets := Resolve([]netip.Addr{a("10.0.0.1"), a("10.0.0.2")}, f, DefaultConfig())
+	if len(sets) != 0 {
+		t.Errorf("APPLE pruning failed: %v", sets)
+	}
+}
+
+func TestVelocityBoundRejectsFastCounter(t *testing.T) {
+	ctr1, ctr2 := uint16(0), uint16(30000)
+	f := &fakeProber{
+		ids:  map[netip.Addr]*uint16{a("10.0.0.1"): &ctr1, a("10.0.0.2"): &ctr2},
+		step: map[netip.Addr]uint16{a("10.0.0.1"): 3, a("10.0.0.2"): 3},
+		ttl:  map[netip.Addr]uint8{},
+	}
+	sets := Resolve([]netip.Addr{a("10.0.0.1"), a("10.0.0.2")}, f, DefaultConfig())
+	if len(sets) != 0 {
+		t.Errorf("independent counters aliased: %v", sets)
+	}
+}

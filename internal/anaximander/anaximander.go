@@ -1,0 +1,153 @@
+// Package anaximander reproduces the target-selection pipeline of the
+// Anaximander AS-mapping framework as used by the paper: collect BGP RIBs,
+// build an initial pool of targets expected to transit the AS of interest,
+// prune it to reduce probing load, and schedule the survivors into an
+// ordered probing list.
+package anaximander
+
+import (
+	"net/netip"
+	"sort"
+
+	"arest/internal/asgen"
+)
+
+// RIB is a synthetic BGP routing information base: originated prefixes with
+// their origin ASN, as a route collector would expose them.
+type RIB struct {
+	Origin map[netip.Prefix]int
+}
+
+// NewRIB returns an empty RIB.
+func NewRIB() *RIB { return &RIB{Origin: make(map[netip.Prefix]int)} }
+
+// Add records one originated prefix.
+func (r *RIB) Add(p netip.Prefix, asn int) { r.Origin[p] = asn }
+
+// OriginOf returns the origin ASN of the longest prefix covering a.
+func (r *RIB) OriginOf(a netip.Addr) (int, bool) {
+	best := -1
+	asn := 0
+	for p, o := range r.Origin {
+		if p.Contains(a) && p.Bits() > best {
+			best = p.Bits()
+			asn = o
+		}
+	}
+	return asn, best >= 0
+}
+
+// CollectRIB simulates pulling RIBs from route collectors for a synthetic
+// world: the target AS originates its customer /24s and an infrastructure
+// aggregate covering its router address space.
+func CollectRIB(w *asgen.World) *RIB {
+	rib := NewRIB()
+	// Customer prefixes (one /24 per PE, as asgen advertises them).
+	for k := range w.Edges {
+		p := netip.PrefixFrom(netip.AddrFrom4([4]byte{100, byte(w.Record.ID % 250), byte(k), 0}), 24)
+		rib.Add(p, w.Record.ASN)
+	}
+	// Infrastructure aggregate: derive the 10.x.0.0/16 block from any
+	// router loopback.
+	if len(w.Routers) > 0 {
+		lb := w.Routers[0].Loopback.As4()
+		rib.Add(netip.PrefixFrom(netip.AddrFrom4([4]byte{lb[0], lb[1], 0, 0}), 16), w.Record.ASN)
+	}
+	// Vantage-point gateway ASes originate their own blocks.
+	for _, r := range w.Net.Routers() {
+		if r.ASN == w.Record.ASN {
+			continue
+		}
+		lb := r.Loopback.As4()
+		rib.Add(netip.PrefixFrom(netip.AddrFrom4([4]byte{lb[0], lb[1], 0, 0}), 16), r.ASN)
+	}
+	return rib
+}
+
+// Plan is an ordered probing list for one AS of interest.
+type Plan struct {
+	ASN     int
+	Targets []netip.Addr
+}
+
+// Options tunes target selection.
+type Options struct {
+	// MaxTargets caps the plan size (0 = unlimited).
+	MaxTargets int
+	// PerPrefix is how many addresses to draw per originated prefix
+	// (Anaximander's pruning keeps this small; default 1).
+	PerPrefix int
+}
+
+// BuildPlan selects and schedules targets for the AS of interest from the
+// RIB: one pool entry per originated prefix (skipping sub-prefixes already
+// covered by a selected super-prefix — the pruning step), ordered by
+// prefix for a deterministic schedule.
+func BuildPlan(rib *RIB, asn int, opts Options) *Plan {
+	perPrefix := opts.PerPrefix
+	if perPrefix <= 0 {
+		perPrefix = 1
+	}
+	var prefixes []netip.Prefix
+	for p, o := range rib.Origin {
+		if o == asn {
+			prefixes = append(prefixes, p)
+		}
+	}
+	// Deterministic order: shorter prefixes (aggregates) first, then by
+	// address.
+	sort.Slice(prefixes, func(i, j int) bool {
+		if prefixes[i].Bits() != prefixes[j].Bits() {
+			return prefixes[i].Bits() < prefixes[j].Bits()
+		}
+		return prefixes[i].Addr().Less(prefixes[j].Addr())
+	})
+	// Pruning: drop prefixes covered by an already-selected one.
+	var kept []netip.Prefix
+	for _, p := range prefixes {
+		covered := false
+		for _, k := range kept {
+			if k.Bits() < p.Bits() && k.Contains(p.Addr()) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			kept = append(kept, p)
+		}
+	}
+	plan := &Plan{ASN: asn}
+	for _, p := range kept {
+		a := p.Addr()
+		for i := 0; i < perPrefix; i++ {
+			a = a.Next() // .1, .2, ... — avoid the network address
+			plan.Targets = append(plan.Targets, a)
+			if opts.MaxTargets > 0 && len(plan.Targets) >= opts.MaxTargets {
+				return plan
+			}
+		}
+	}
+	return plan
+}
+
+// Shuffled returns a copy of the target list in an order derived from the
+// given VP index, so each vantage point probes the same targets in a
+// different order (the paper shuffles per VP to avoid appearing as an
+// attack).
+func (p *Plan) Shuffled(vpIndex int) []netip.Addr {
+	out := make([]netip.Addr, len(p.Targets))
+	copy(out, p.Targets)
+	// Deterministic Fisher-Yates keyed on the VP index.
+	state := uint64(vpIndex)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	next := func(n int) int {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return int(state % uint64(n))
+	}
+	for i := len(out) - 1; i > 0; i-- {
+		j := next(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}

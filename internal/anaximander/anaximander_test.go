@@ -1,0 +1,120 @@
+package anaximander
+
+import (
+	"net/netip"
+	"testing"
+
+	"arest/internal/asgen"
+)
+
+func pfx(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+
+func TestRIBOriginLongestMatch(t *testing.T) {
+	rib := NewRIB()
+	rib.Add(pfx("100.28.0.0/16"), 100)
+	rib.Add(pfx("100.28.3.0/24"), 200)
+	if asn, ok := rib.OriginOf(netip.MustParseAddr("100.28.3.7")); !ok || asn != 200 {
+		t.Errorf("got %d,%v want 200", asn, ok)
+	}
+	if asn, ok := rib.OriginOf(netip.MustParseAddr("100.28.9.7")); !ok || asn != 100 {
+		t.Errorf("got %d,%v want 100", asn, ok)
+	}
+	if _, ok := rib.OriginOf(netip.MustParseAddr("9.9.9.9")); ok {
+		t.Error("uncovered address resolved")
+	}
+}
+
+func TestBuildPlanPruningAndOrder(t *testing.T) {
+	rib := NewRIB()
+	rib.Add(pfx("100.28.0.0/16"), 100)
+	rib.Add(pfx("100.28.3.0/24"), 100) // covered by the /16: pruned
+	rib.Add(pfx("100.29.0.0/24"), 100)
+	rib.Add(pfx("100.30.0.0/24"), 999) // other AS: excluded
+	plan := BuildPlan(rib, 100, Options{})
+	if len(plan.Targets) != 2 {
+		t.Fatalf("targets = %v", plan.Targets)
+	}
+	// Aggregates first, then by address.
+	if plan.Targets[0] != netip.MustParseAddr("100.28.0.1") {
+		t.Errorf("first target = %s", plan.Targets[0])
+	}
+	if plan.Targets[1] != netip.MustParseAddr("100.29.0.1") {
+		t.Errorf("second target = %s", plan.Targets[1])
+	}
+}
+
+func TestBuildPlanPerPrefixAndCap(t *testing.T) {
+	rib := NewRIB()
+	rib.Add(pfx("100.1.0.0/24"), 7)
+	rib.Add(pfx("100.2.0.0/24"), 7)
+	plan := BuildPlan(rib, 7, Options{PerPrefix: 3})
+	if len(plan.Targets) != 6 {
+		t.Fatalf("targets = %d, want 6", len(plan.Targets))
+	}
+	plan = BuildPlan(rib, 7, Options{PerPrefix: 3, MaxTargets: 4})
+	if len(plan.Targets) != 4 {
+		t.Fatalf("capped targets = %d, want 4", len(plan.Targets))
+	}
+}
+
+func TestShuffledDeterministicPerVP(t *testing.T) {
+	rib := NewRIB()
+	for i := 0; i < 20; i++ {
+		rib.Add(netip.PrefixFrom(netip.AddrFrom4([4]byte{100, byte(i), 0, 0}), 24), 5)
+	}
+	plan := BuildPlan(rib, 5, Options{})
+	s1 := plan.Shuffled(3)
+	s2 := plan.Shuffled(3)
+	s3 := plan.Shuffled(4)
+	if len(s1) != len(plan.Targets) {
+		t.Fatal("shuffle changed length")
+	}
+	same13 := true
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatal("same VP shuffle not deterministic")
+		}
+		if s1[i] != s3[i] {
+			same13 = false
+		}
+	}
+	if same13 {
+		t.Error("different VPs got identical orders")
+	}
+	// Same multiset.
+	seen := map[netip.Addr]int{}
+	for _, a := range s1 {
+		seen[a]++
+	}
+	for _, a := range plan.Targets {
+		seen[a]--
+	}
+	for a, n := range seen {
+		if n != 0 {
+			t.Errorf("shuffle altered contents at %s", a)
+		}
+	}
+}
+
+func TestCollectRIBFromWorld(t *testing.T) {
+	rec, _ := asgen.ByID(28)
+	dep := asgen.DeploymentFor(rec, 5)
+	dep.Routers = 15
+	w := asgen.Build(rec, dep, 2, 5)
+	rib := CollectRIB(w)
+	// Every target host of the world resolves to the target ASN.
+	for _, tgt := range w.Targets[:len(w.Edges)] {
+		if asn, ok := rib.OriginOf(tgt); !ok || asn != rec.ASN {
+			t.Errorf("target %s origin = %d,%v", tgt, asn, ok)
+		}
+	}
+	// Router infrastructure resolves to the target ASN.
+	if asn, ok := rib.OriginOf(w.Routers[3].Loopback); !ok || asn != rec.ASN {
+		t.Errorf("loopback origin = %d,%v", asn, ok)
+	}
+	// A plan against the RIB yields a nonempty, reachable target list.
+	plan := BuildPlan(rib, rec.ASN, Options{})
+	if len(plan.Targets) < len(w.Edges) {
+		t.Errorf("plan targets = %d, want >= %d", len(plan.Targets), len(w.Edges))
+	}
+}

@@ -1,0 +1,142 @@
+// Package asgen generates the synthetic Internet the measurement campaign
+// runs against: the 60 target ASes of the paper's Table 5, each
+// instantiated as a netsim topology whose SR/LDP deployment, vendor mix,
+// and tunnel-visibility behaviour follow the AS's category and confirmation
+// status — with exact ground truth retained for evaluation.
+package asgen
+
+// Category is the CAIDA AS-rank role of a target AS.
+type Category int
+
+const (
+	Stub Category = iota
+	Content
+	Transit
+	Tier1
+)
+
+func (c Category) String() string {
+	switch c {
+	case Stub:
+		return "stub"
+	case Content:
+		return "content"
+	case Transit:
+		return "transit"
+	case Tier1:
+		return "tier1"
+	default:
+		return "?"
+	}
+}
+
+// Record is one row of Table 5: a targeted AS with its campaign statistics
+// and SR-MPLS confirmation sources.
+type Record struct {
+	ID             int // paper identifier AS#1..AS#60
+	ASN            int
+	Name           string
+	Category       Category
+	TracesSent     int
+	IPsDiscovered  int
+	CiscoConfirmed bool
+	SurveyConfirm  bool
+}
+
+// Claimed reports whether the AS claims SR-MPLS deployment via either
+// confirmation channel.
+func (r Record) Claimed() bool { return r.CiscoConfirmed || r.SurveyConfirm }
+
+// Catalogue is Table 5 of the paper: the 60 targeted ASes. IDs #1-12 are
+// Stub, #13-25 Content, #26-52 Transit, #53-60 Tier-1.
+var Catalogue = []Record{
+	{1, 46467, "Dish Network", Stub, 2, 1, true, false},
+	{2, 29447, "Iliad Italy", Stub, 5888, 166, true, false},
+	{3, 9605, "NTT Docomo", Stub, 10034, 245, true, false},
+	{4, 63802, "Flets", Stub, 512, 4, true, false},
+	{5, 2506, "NTT West", Stub, 837, 18, true, false},
+	{6, 654, "OVH", Stub, 0, 0, false, false},
+	{7, 5432, "Proximus", Stub, 15392, 677, false, false},
+	{8, 400843, "Audacy", Stub, 1, 0, false, false},
+	{9, 400322, "NGtTel", Stub, 15, 0, false, false},
+	{10, 399827, "2pifi", Stub, 12, 4, false, false},
+	{11, 398872, "Big WiFi", Stub, 6, 2, false, false},
+	{12, 8835, "Binkbroadband", Stub, 0, 0, false, true},
+	{13, 45102, "Alibaba", Content, 14520, 1813, true, false},
+	{14, 15169, "Google", Content, 35262, 19427, true, false},
+	{15, 8075, "Microsoft", Content, 256419, 6365, true, false},
+	{16, 138384, "Rakuten", Content, 1659, 154, true, false},
+	{17, 17676, "Softbank", Content, 147605, 21873, true, false},
+	{18, 30149, "Goldman Sachs", Content, 19, 10, false, false},
+	{19, 16509, "Amazon", Content, 635599, 25520, false, false},
+	{20, 14061, "Digital Ocean", Content, 11743, 3579, false, false},
+	{21, 5667, "Meta", Content, 0, 0, false, false},
+	{22, 43515, "YouTube", Content, 120, 65, false, false},
+	{23, 138699, "Tiktok", Content, 14, 28, false, false},
+	{24, 32787, "Akamai", Content, 4274, 6988, false, false},
+	{25, 13335, "Cloudflare", Content, 10494, 32735, false, false},
+	{26, 12322, "Free", Transit, 42964, 2024, true, false},
+	{27, 5410, "Bouygues", Transit, 27771, 1048, true, false},
+	{28, 577, "Bell Canada", Transit, 29832, 3748, true, false},
+	{29, 23764, "China Telecom", Transit, 11115, 3374, true, false},
+	{30, 8220, "Colt", Transit, 243811, 7282, true, false},
+	{31, 2516, "KDDI", Transit, 89365, 12994, true, false},
+	{32, 38631, "Line", Transit, 423, 12, true, false},
+	{33, 64049, "Reliance Jio", Transit, 7014, 2905, true, false},
+	{34, 132203, "Tencent", Transit, 7943, 2922, true, false},
+	{35, 7018, "AT&T", Transit, 649359, 44929, false, false},
+	{36, 3257, "GTT Comm.", Transit, 489738, 234639, true, false},
+	{37, 6453, "Tata Comm.", Transit, 275874, 92854, false, false},
+	{38, 6762, "Telecom Italia", Transit, 290678, 32313, false, false},
+	{39, 7473, "Singtel", Transit, 9549, 5206, false, false},
+	{40, 6939, "Hurricane El.", Transit, 652399, 192324, false, false},
+	{41, 9002, "RETN", Transit, 526697, 27270, false, false},
+	{42, 2828, "Verizon", Transit, 26030, 570, false, false},
+	{43, 7922, "Comcast", Transit, 272360, 40382, false, false},
+	{44, 11232, "Midco-Net", Transit, 3153, 1071, false, true},
+	{45, 13855, "CFU-NET", Transit, 143, 72, false, true},
+	{46, 293, "ESnet", Transit, 277155, 307, false, true},
+	{47, 31034, "Aruba", Transit, 1186, 346, false, true},
+	{48, 31631, "Elevate", Transit, 73, 64, false, true},
+	{49, 32440, "Loni", Transit, 401, 70, false, true},
+	{50, 33362, "Wiktel", Transit, 117, 39, false, true},
+	{51, 44092, "Halservice", Transit, 140, 86, false, true},
+	{52, 7794, "Execulink", Transit, 599, 141, false, true},
+	{53, 3320, "Deutsche Telekom", Tier1, 370152, 65995, true, false},
+	{54, 2914, "NTT Comm.", Tier1, 504001, 209589, true, false},
+	{55, 5511, "Orange", Tier1, 51979, 21376, true, false},
+	{56, 4637, "Telstra", Tier1, 62075, 18010, true, false},
+	{57, 1273, "Vodafone", Tier1, 24308, 8248, true, false},
+	{58, 1299, "Arelion", Tier1, 615851, 339007, false, false},
+	{59, 174, "Cogent", Tier1, 539127, 217700, false, false},
+	{60, 3356, "Level3", Tier1, 468812, 174373, false, false},
+}
+
+// ExcludedIDs are the 19 ASes the paper filtered out for insufficient
+// coverage (< 100 distinct IPv4 addresses across the 50 VPs).
+var ExcludedIDs = map[int]bool{
+	1: true, 4: true, 5: true, 6: true, 8: true, 9: true, 10: true, 11: true,
+	12: true, 18: true, 21: true, 22: true, 23: true, 32: true, 45: true,
+	48: true, 49: true, 50: true, 51: true,
+}
+
+// ByID returns the catalogue record with the given paper identifier.
+func ByID(id int) (Record, bool) {
+	for _, r := range Catalogue {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Record{}, false
+}
+
+// Analyzed returns the 41 ASes retained after the coverage filter.
+func Analyzed() []Record {
+	var out []Record
+	for _, r := range Catalogue {
+		if !ExcludedIDs[r.ID] {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package asgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"arest/internal/mpls"
+	"arest/internal/netsim"
+)
+
+// RouterConfigText renders one router of a world as a vendor-flavoured
+// configuration snippet — the lab-config export used to rebuild a synthetic
+// AS inside an emulation testbed (GNS3/containerlab style), mirroring the
+// controlled environment the paper's authors used to validate AReST.
+//
+// The dialect follows the router's vendor loosely: IOS-XR-ish for Cisco and
+// the ambiguous class, Junos-ish for Juniper, a generic dialect otherwise.
+// These snippets document intent; they are not guaranteed to load on real
+// devices.
+func RouterConfigText(w *World, r *netsim.Router) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "! %s (%s) — AS%d\n", r.Name, r.Vendor, r.ASN)
+	fmt.Fprintf(&b, "hostname %s\n", r.Name)
+	fmt.Fprintf(&b, "interface Loopback0\n ipv4 address %s/32\n", r.Loopback)
+
+	nbrs := w.Net.Neighbors(r.ID)
+	sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+	for i, nb := range nbrs {
+		addr, _ := r.InterfaceTo(nb)
+		other := w.Net.Router(nb)
+		fmt.Fprintf(&b, "interface GigabitEthernet0/0/0/%d\n description to %s\n ipv4 address %s/31\n",
+			i, other.Name, addr)
+	}
+
+	fmt.Fprintf(&b, "router isis core\n net 49.0001.%04d.00\n", int(r.ID))
+	if !r.Profile.TTLPropagate {
+		b.WriteString("mpls ip-ttl-propagate disable\n")
+	}
+	if r.LDPEnabled {
+		b.WriteString("mpls ldp\n router-id Loopback0\n")
+		if r.Profile.ExplicitNull {
+			b.WriteString(" label advertise explicit-null\n")
+		}
+	}
+	if r.SREnabled {
+		b.WriteString("segment-routing\n")
+		fmt.Fprintf(&b, " global-block %d %d\n", r.SRGB.Lo, r.SRGB.Hi)
+		if r.SRLB.Size() > 0 {
+			fmt.Fprintf(&b, " local-block %d %d\n", r.SRLB.Lo, r.SRLB.Hi)
+		}
+		if idx := r.NodeIndex(); idx >= 0 {
+			fmt.Fprintf(&b, " prefix-sid index %d  ! loopback %s\n", idx, r.Loopback)
+		}
+	}
+	if !r.Profile.RFC4950 {
+		b.WriteString("! note: RFC4950 ICMP extensions disabled on this platform image\n")
+	}
+	if !r.Profile.RespondsEcho {
+		b.WriteString("control-plane\n icmp echo disable\n")
+	}
+	return b.String()
+}
+
+// WorldConfigs renders the whole target AS as one concatenated lab bundle,
+// router by router in ID order.
+func WorldConfigs(w *World) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "!! lab bundle for AS#%d %s (AS%d) — %d routers\n",
+		w.Record.ID, w.Record.Name, w.Record.ASN, len(w.Routers))
+	if w.Dep.Interworking {
+		b.WriteString("!! SR-LDP interworking domain")
+		if w.Dep.MappingServer {
+			b.WriteString(" with mapping server (RFC 8661)")
+		}
+		b.WriteByte('\n')
+	}
+	for _, r := range w.Routers {
+		b.WriteString("\n")
+		b.WriteString(RouterConfigText(w, r))
+	}
+	return b.String()
+}
+
+// ValidateWorld cross-checks a world's internal consistency: every SR
+// router holds a usable SRGB and node SID, every LDP router has bindings
+// for its same-AS FECs, and region labels match the netsim state. It
+// returns the list of violations (empty when consistent) — the generator's
+// own test oracle.
+func ValidateWorld(w *World) []string {
+	var problems []string
+	for _, r := range w.Routers {
+		if w.SRRouter[r.ID] != r.SREnabled {
+			problems = append(problems, fmt.Sprintf("%s: ground truth and router state disagree", r.Name))
+		}
+		if r.SREnabled {
+			if r.SRGB.Size() == 0 {
+				problems = append(problems, fmt.Sprintf("%s: SR enabled without an SRGB", r.Name))
+			}
+			if r.NodeIndex() < 0 {
+				problems = append(problems, fmt.Sprintf("%s: SR enabled without a node SID", r.Name))
+			}
+			if r.SRGB.Size() > 0 && r.NodeIndex() >= 0 &&
+				r.SRGB.Lo+uint32(r.NodeIndex()) > r.SRGB.Hi {
+				problems = append(problems, fmt.Sprintf("%s: node index %d overflows SRGB %s",
+					r.Name, r.NodeIndex(), r.SRGB))
+			}
+		}
+		if r.LDPEnabled {
+			for _, o := range w.Routers {
+				if o.ID == r.ID {
+					continue
+				}
+				if _, ok := r.LDPLabel(o.ID); !ok && w.Net.Dist(r.ID, o.ID) >= 0 {
+					problems = append(problems, fmt.Sprintf("%s: no LDP binding for %s", r.Name, o.Name))
+				}
+			}
+		}
+		if len(w.Net.Neighbors(r.ID)) == 0 {
+			problems = append(problems, fmt.Sprintf("%s: isolated router", r.Name))
+		}
+	}
+	// Every target must be owned by some target-AS router.
+	for _, tgt := range w.Targets {
+		if w.ASNOf(tgt) == 0 {
+			if r, ok := w.Net.RouterByAddr(tgt); ok && r.ASN != w.Record.ASN {
+				problems = append(problems, fmt.Sprintf("target %s owned by foreign AS%d", tgt, r.ASN))
+			}
+		}
+	}
+	_ = mpls.MaxLabel
+	return problems
+}

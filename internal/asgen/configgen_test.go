@@ -1,0 +1,95 @@
+package asgen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWorldConfigsRenderEveryRouter(t *testing.T) {
+	rec, _ := ByID(28)
+	dep := DeploymentFor(rec, 5)
+	dep.Routers = 15
+	w := Build(rec, dep, 2, 5)
+	bundle := WorldConfigs(w)
+	for _, r := range w.Routers {
+		if !strings.Contains(bundle, "hostname "+r.Name+"\n") {
+			t.Errorf("router %s missing from the bundle", r.Name)
+		}
+		if !strings.Contains(bundle, r.Loopback.String()) {
+			t.Errorf("loopback of %s missing", r.Name)
+		}
+	}
+	if !strings.Contains(bundle, "lab bundle for AS#28") {
+		t.Error("bundle header missing")
+	}
+}
+
+func TestRouterConfigTextReflectsState(t *testing.T) {
+	rec, _ := ByID(15) // Microsoft: full SR, default ranges
+	dep := DeploymentFor(rec, 7)
+	dep.Routers = 12
+	w := Build(rec, dep, 1, 7)
+	wantSRGB := "global-block 16000 23999"
+	if dep.CustomSRGB.Size() > 0 {
+		wantSRGB = strings.ReplaceAll(
+			strings.TrimSuffix(strings.TrimPrefix(dep.CustomSRGB.String(), "["), "]"), ",", " ")
+		wantSRGB = "global-block " + wantSRGB
+	}
+	for _, r := range w.Routers {
+		cfg := RouterConfigText(w, r)
+		if r.SREnabled {
+			if !strings.Contains(cfg, "segment-routing") {
+				t.Fatalf("%s: SR stanza missing\n%s", r.Name, cfg)
+			}
+			if !strings.Contains(cfg, wantSRGB) {
+				t.Errorf("%s: SRGB stanza wrong, want %q\n%s", r.Name, wantSRGB, cfg)
+			}
+			if !strings.Contains(cfg, "prefix-sid index") {
+				t.Errorf("%s: prefix SID missing", r.Name)
+			}
+		} else if strings.Contains(cfg, "segment-routing") {
+			t.Errorf("%s: SR stanza on a non-SR router", r.Name)
+		}
+		if !r.Profile.TTLPropagate && !strings.Contains(cfg, "ip-ttl-propagate disable") {
+			t.Errorf("%s: propagate knob not rendered", r.Name)
+		}
+	}
+}
+
+func TestRouterConfigTextLDP(t *testing.T) {
+	rec, _ := ByID(7) // Proximus: classic LDP
+	dep := DeploymentFor(rec, 21)
+	dep.Routers = 10
+	dep.ExplicitNullProb = 1
+	w := Build(rec, dep, 1, 21)
+	found := false
+	for _, r := range w.Routers {
+		cfg := RouterConfigText(w, r)
+		if r.LDPEnabled {
+			if !strings.Contains(cfg, "mpls ldp") {
+				t.Errorf("%s: LDP stanza missing", r.Name)
+			}
+			if strings.Contains(cfg, "label advertise explicit-null") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("explicit-null advertisement never rendered despite prob 1")
+	}
+}
+
+func TestValidateWorldCatalogue(t *testing.T) {
+	// Every analyzed catalogue world must be internally consistent.
+	for _, rec := range Analyzed()[:12] { // a fast representative slice
+		dep := DeploymentFor(rec, 3)
+		if dep.Routers > 25 {
+			dep.Routers = 25
+		}
+		w := Build(rec, dep, 2, 3)
+		if problems := ValidateWorld(w); len(problems) != 0 {
+			t.Errorf("AS#%d %s inconsistent:\n  %s", rec.ID, rec.Name,
+				strings.Join(problems, "\n  "))
+		}
+	}
+}

@@ -1,0 +1,284 @@
+package asgen
+
+import (
+	"testing"
+
+	"arest/internal/mpls"
+	"arest/internal/netsim"
+	"arest/internal/probe"
+)
+
+func TestCatalogueShape(t *testing.T) {
+	if len(Catalogue) != 60 {
+		t.Fatalf("catalogue has %d rows, want 60", len(Catalogue))
+	}
+	counts := map[Category]int{}
+	cisco, survey := 0, 0
+	for i, r := range Catalogue {
+		if r.ID != i+1 {
+			t.Errorf("row %d has ID %d", i, r.ID)
+		}
+		counts[r.Category]++
+		if r.CiscoConfirmed {
+			cisco++
+		}
+		if r.SurveyConfirm {
+			survey++
+		}
+		// ID ranges per category (paper Sec. 5).
+		switch {
+		case r.ID <= 12 && r.Category != Stub:
+			t.Errorf("AS#%d should be Stub", r.ID)
+		case r.ID > 12 && r.ID <= 25 && r.Category != Content:
+			t.Errorf("AS#%d should be Content", r.ID)
+		case r.ID > 25 && r.ID <= 52 && r.Category != Transit:
+			t.Errorf("AS#%d should be Transit", r.ID)
+		case r.ID > 52 && r.Category != Tier1:
+			t.Errorf("AS#%d should be Tier1", r.ID)
+		}
+	}
+	if counts[Stub] != 12 || counts[Content] != 13 || counts[Transit] != 27 || counts[Tier1] != 8 {
+		t.Errorf("category counts = %v", counts)
+	}
+	// 25 Cisco-confirmed + 10 survey-confirmed = 35 validation cases.
+	if cisco != 25 {
+		t.Errorf("Cisco-confirmed = %d, want 25", cisco)
+	}
+	if survey != 10 {
+		t.Errorf("survey-confirmed = %d, want 10", survey)
+	}
+	if len(ExcludedIDs) != 19 {
+		t.Errorf("excluded = %d, want 19", len(ExcludedIDs))
+	}
+	if got := len(Analyzed()); got != 41 {
+		t.Errorf("analyzed = %d, want 41", got)
+	}
+}
+
+func TestByID(t *testing.T) {
+	r, ok := ByID(46)
+	if !ok || r.Name != "ESnet" || r.ASN != 293 || !r.SurveyConfirm {
+		t.Errorf("ByID(46) = %+v, %v", r, ok)
+	}
+	if _, ok := ByID(0); ok {
+		t.Error("ByID(0) found something")
+	}
+	if !r.Claimed() {
+		t.Error("ESnet should be claimed")
+	}
+}
+
+func TestDeploymentForDeterminism(t *testing.T) {
+	for _, rec := range []int{7, 15, 46, 40} {
+		r, _ := ByID(rec)
+		d1 := DeploymentFor(r, 99)
+		d2 := DeploymentFor(r, 99)
+		if d1.SRFrac != d2.SRFrac || d1.Routers != d2.Routers || d1.Interworking != d2.Interworking {
+			t.Errorf("AS#%d deployment not deterministic", rec)
+		}
+	}
+}
+
+func TestDeploymentOverrides(t *testing.T) {
+	esnet, _ := ByID(46)
+	d := DeploymentFor(esnet, 1)
+	if d.SRFrac != 1 || d.SNMPOpenProb != 0 || d.EchoProb != 0 || d.ServiceProb == 0 {
+		t.Errorf("ESnet deployment = %+v", d)
+	}
+	msft, _ := ByID(15)
+	d = DeploymentFor(msft, 1)
+	if d.SRFrac != 1 || d.PropagateProb != 1 {
+		t.Errorf("Microsoft deployment = %+v", d)
+	}
+	prox, _ := ByID(7)
+	d = DeploymentFor(prox, 1)
+	if d.SRFrac != 0 || d.ClassicStackProb < 0.5 {
+		t.Errorf("Proximus deployment = %+v", d)
+	}
+	iliad, _ := ByID(2)
+	d = DeploymentFor(iliad, 1)
+	if d.PropagateProb != 0 {
+		t.Errorf("Iliad should have no explicit tunnels: %+v", d)
+	}
+}
+
+func TestBuildWorldBasics(t *testing.T) {
+	rec, _ := ByID(28) // Bell Canada, claimed transit
+	dep := DeploymentFor(rec, 5)
+	w := Build(rec, dep, 4, 5)
+	if len(w.Routers) != dep.Routers {
+		t.Fatalf("routers = %d, want %d", len(w.Routers), dep.Routers)
+	}
+	if len(w.VPs) != 4 {
+		t.Fatalf("VPs = %d", len(w.VPs))
+	}
+	if len(w.Edges) < 2 || len(w.Targets) <= len(w.Routers) {
+		t.Fatalf("edges = %d targets = %d", len(w.Edges), len(w.Targets))
+	}
+	// Topology is connected: every router reachable from the first.
+	for _, r := range w.Routers[1:] {
+		if w.Net.Dist(w.Routers[0].ID, r.ID) < 0 {
+			t.Fatalf("router %s disconnected", r.Name)
+		}
+	}
+	// Ground truth is populated and consistent with netsim state.
+	srCount := 0
+	for _, r := range w.Routers {
+		if w.SRRouter[r.ID] {
+			srCount++
+			if !r.SREnabled {
+				t.Errorf("ground truth says SR but router %s is not", r.Name)
+			}
+		} else if r.SREnabled {
+			t.Errorf("router %s SR-enabled but ground truth says no", r.Name)
+		}
+	}
+	if dep.SRFrac > 0.4 && srCount == 0 {
+		t.Error("claimed AS built with zero SR routers")
+	}
+	// ASN annotation oracle.
+	if w.ASNOf(w.Routers[0].Loopback) != rec.ASN {
+		t.Error("ASNOf wrong for target-AS router")
+	}
+}
+
+func TestBuildWorldTraceable(t *testing.T) {
+	rec, _ := ByID(15) // Microsoft: full SR, explicit
+	dep := DeploymentFor(rec, 7)
+	dep.Routers = 25 // keep the test fast
+	w := Build(rec, dep, 2, 7)
+	tc := probe.NewTracer(probe.NetsimConn{Net: w.Net}, w.VPs[0])
+	reached, labeled := 0, 0
+	for _, tgt := range w.Targets[:10] {
+		tr, err := tc.Trace(tgt, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Reached() {
+			reached++
+		}
+		for _, h := range tr.Hops {
+			if h.HasStack() {
+				labeled++
+			}
+		}
+	}
+	if reached < 8 {
+		t.Errorf("only %d/10 targets reached", reached)
+	}
+	if labeled == 0 {
+		t.Error("no labeled hops in a full-SR explicit AS")
+	}
+}
+
+func TestBuildWorldDeterministic(t *testing.T) {
+	rec, _ := ByID(27)
+	dep := DeploymentFor(rec, 3)
+	dep.Routers = 20
+	w1 := Build(rec, dep, 2, 3)
+	w2 := Build(rec, dep, 2, 3)
+	tc1 := probe.NewTracer(probe.NetsimConn{Net: w1.Net}, w1.VPs[0])
+	tc2 := probe.NewTracer(probe.NetsimConn{Net: w2.Net}, w2.VPs[0])
+	tr1, err := tc1.Trace(w1.Targets[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := tc2.Trace(w2.Targets[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr1.String() != tr2.String() {
+		t.Errorf("same seed, different traces:\n%s\nvs\n%s", tr1, tr2)
+	}
+}
+
+func TestBuildESnetWorldBehaviour(t *testing.T) {
+	rec, _ := ByID(46)
+	dep := DeploymentFor(rec, 9)
+	dep.Routers = 20
+	w := Build(rec, dep, 2, 9)
+	// Every target-AS router is SR-enabled.
+	for _, r := range w.Routers {
+		if !w.SRRouter[r.ID] {
+			t.Fatalf("ESnet router %s not SR", r.Name)
+		}
+	}
+	// Nothing answers pings, so TTL fingerprinting must come up empty.
+	tc := probe.NewTracer(probe.NetsimConn{Net: w.Net}, w.VPs[0])
+	tr, err := tc.Trace(w.Targets[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range tr.Hops {
+		if !h.Responded() {
+			continue
+		}
+		if r, ok := w.Net.RouterByAddr(h.Addr); ok && r.ASN == rec.ASN {
+			if _, ok, _ := tc.Ping(h.Addr, 5); ok {
+				t.Errorf("ESnet hop %s answered a ping", h.Addr)
+			}
+		}
+	}
+}
+
+func TestClassicStackPolicyProducesDepth2(t *testing.T) {
+	rec, _ := ByID(7) // Proximus: LSO-heavy classic MPLS
+	dep := DeploymentFor(rec, 21)
+	dep.Routers = 20
+	w := Build(rec, dep, 2, 21)
+	tc := probe.NewTracer(probe.NetsimConn{Net: w.Net}, w.VPs[0])
+	deep := 0
+	for _, tgt := range w.Targets {
+		tr, err := tc.Trace(tgt, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range tr.Hops {
+			if h.Stack.Depth() >= 2 {
+				deep++
+				// Classic stacks: the top label must NOT sit in a vendor
+				// SR range (it comes from the dynamic pool).
+				if mpls.CiscoSRGB.Contains(h.Stack[0].Label) {
+					t.Errorf("classic stack top %d inside Cisco SRGB", h.Stack[0].Label)
+				}
+			}
+		}
+	}
+	if deep == 0 {
+		t.Error("no depth-2 stacks in an LSO-heavy AS")
+	}
+}
+
+func TestVendorDraw(t *testing.T) {
+	rec, _ := ByID(40)
+	dep := DeploymentFor(rec, 2)
+	w := Build(rec, dep, 1, 2)
+	seen := map[mpls.Vendor]int{}
+	for _, r := range w.Routers {
+		seen[r.Vendor]++
+	}
+	if len(seen) < 3 {
+		t.Errorf("vendor diversity too low: %v", seen)
+	}
+}
+
+func TestInterworkingWorldRegionsContiguous(t *testing.T) {
+	rec, _ := ByID(28)
+	dep := DeploymentFor(rec, 5)
+	dep.Interworking = true
+	dep.MappingServer = true
+	dep.SRFrac = 0.5
+	dep.Routers = 20
+	w := Build(rec, dep, 1, 5)
+	// There must be at least one dual-plane border router.
+	border := 0
+	for _, r := range w.Routers {
+		if r.SREnabled && r.LDPEnabled {
+			border++
+		}
+	}
+	if border == 0 {
+		t.Error("interworking world has no border router")
+	}
+	_ = netsim.ModeSR // keep import
+}

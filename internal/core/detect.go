@@ -1,0 +1,240 @@
+package core
+
+import (
+	"arest/internal/mpls"
+)
+
+// Segment is a contiguous sequence of hops — excluding the SR source — that
+// raised one of the detection flags.
+type Segment struct {
+	// Start and End are inclusive hop indexes into the analyzed Path.
+	Start, End int
+	Flag       Flag
+	// Label is the shared active label for sequence flags (CVR/CO), or the
+	// active label for the single-hop flags.
+	Label uint32
+	// SuffixMatch marks CVR/CO sequences detected through suffix-based
+	// matching across differing SRGB ranges rather than strict equality.
+	SuffixMatch bool
+	// StackDepths records the LSE stack depth at each hop of the segment.
+	StackDepths []int
+}
+
+// Len returns the number of hops in the segment.
+func (s *Segment) Len() int { return s.End - s.Start + 1 }
+
+// Detector runs the AReST flag analysis.
+type Detector struct {
+	// SuffixMatching enables cross-SRGB suffix matching for the sequence
+	// flags (footnote 4 of the paper). Enabled by default.
+	SuffixMatching bool
+	// MinRun is the minimum number of consecutive same-label hops for the
+	// sequence flags; the paper uses 2.
+	MinRun int
+}
+
+// NewDetector returns a detector with the paper's settings.
+func NewDetector() *Detector {
+	return &Detector{SuffixMatching: true, MinRun: 2}
+}
+
+// Result is the per-path AReST output.
+type Result struct {
+	Path     *Path
+	Segments []Segment
+	// Areas classifies every hop of the path (parallel slice).
+	Areas []Area
+}
+
+// Area is the routing mechanism a hop is attributed to.
+type Area int
+
+const (
+	AreaIP Area = iota
+	AreaMPLS
+	AreaSR
+)
+
+func (a Area) String() string {
+	switch a {
+	case AreaSR:
+		return "sr"
+	case AreaMPLS:
+		return "mpls"
+	default:
+		return "ip"
+	}
+}
+
+// suffixMatch reports whether two different labels plausibly encode the
+// same SID index under different SRGB bases: equal low-order digits with a
+// base difference that is a whole multiple of 1,000 (e.g. 16,005 → 13,005).
+func suffixMatch(a, b uint32) bool {
+	if a == b {
+		return false
+	}
+	if a%1000 != b%1000 {
+		return false
+	}
+	return true
+}
+
+// sameSegmentLabel reports whether consecutive hops carry the same active
+// segment, by strict equality or (optionally) suffix matching.
+func (d *Detector) sameSegmentLabel(a, b uint32) (match, suffix bool) {
+	if a == b {
+		return true, false
+	}
+	if d.SuffixMatching && suffixMatch(a, b) {
+		return true, true
+	}
+	return false, false
+}
+
+// sequenceEligible reports whether a hop can participate in flag
+// detection: it must be a labeled transit observation whose active label is
+// not a reserved value — explicit-null (0) and other special-purpose labels
+// are plain MPLS plumbing, never Segment Routing evidence.
+func sequenceEligible(h *Hop) bool {
+	return h.HasStack() && !h.Terminal && !h.Stack.Top().Reserved()
+}
+
+// vendorRangeHit reports whether the hop is fingerprinted to a vendor whose
+// recognized SR ranges contain the hop's active label.
+func vendorRangeHit(h *Hop) bool {
+	if !h.Fingerprinted() || !h.HasStack() {
+		return false
+	}
+	return mpls.InVendorSRRange(h.Vendor, h.Stack.Top().Label)
+}
+
+// Analyze runs the flag detection over one annotated path.
+//
+// Sequence flags (CVR/CO) are matched first on maximal runs of consecutive
+// stacked hops sharing the active label; remaining stacked hops receive the
+// stack-based flags (LSVR/LVR/LSO). Hops with a single LSE and no vendor
+// range evidence stay unflagged (classic MPLS).
+func (d *Detector) Analyze(p *Path) *Result {
+	res := &Result{Path: p, Areas: make([]Area, len(p.Hops))}
+	minRun := d.MinRun
+	if minRun < 2 {
+		minRun = 2
+	}
+	inSeq := make([]bool, len(p.Hops))
+
+	// Pass 1: CVR / CO maximal runs over transit hops (terminal replies
+	// are the destination re-quoting what the previous hop already showed).
+	for i := 0; i < len(p.Hops); i++ {
+		if !sequenceEligible(&p.Hops[i]) {
+			continue
+		}
+		j := i
+		anySuffix := false
+		for j+1 < len(p.Hops) && sequenceEligible(&p.Hops[j+1]) {
+			m, sfx := d.sameSegmentLabel(p.Hops[j].Stack.Top().Label, p.Hops[j+1].Stack.Top().Label)
+			if !m {
+				break
+			}
+			anySuffix = anySuffix || sfx
+			j++
+		}
+		if j-i+1 >= minRun {
+			seg := Segment{Start: i, End: j, Flag: FlagCO,
+				Label: p.Hops[i].Stack.Top().Label, SuffixMatch: anySuffix}
+			for k := i; k <= j; k++ {
+				inSeq[k] = true
+				seg.StackDepths = append(seg.StackDepths, p.Hops[k].Stack.Depth())
+				if vendorRangeHit(&p.Hops[k]) {
+					seg.Flag = FlagCVR
+				}
+			}
+			res.Segments = append(res.Segments, seg)
+			i = j
+		}
+	}
+
+	// Pass 2: stack-based flags on the remaining stacked transit hops.
+	for i := 0; i < len(p.Hops); i++ {
+		h := &p.Hops[i]
+		if inSeq[i] || !sequenceEligible(h) {
+			continue
+		}
+		var flag Flag
+		switch {
+		case h.Stack.Depth() >= 2 && vendorRangeHit(h):
+			flag = FlagLSVR
+		case h.Stack.Depth() >= 2:
+			flag = FlagLSO
+		case vendorRangeHit(h):
+			flag = FlagLVR
+		default:
+			continue // single label, no evidence: classic MPLS
+		}
+		res.Segments = append(res.Segments, Segment{
+			Start: i, End: i, Flag: flag,
+			Label:       h.Stack.Top().Label,
+			StackDepths: []int{h.Stack.Depth()},
+		})
+	}
+	sortSegments(res.Segments)
+
+	// Area partition: strong-flag hops are SR; other hops with MPLS
+	// evidence (any LSE, revelation, or the implicit-tunnel qTTL
+	// signature) are MPLS; the rest are IP. This is the conservative
+	// partition of Sec. 7.1 (LSO counts as MPLS, not SR).
+	for _, seg := range res.Segments {
+		if !seg.Flag.Strong() {
+			continue
+		}
+		for k := seg.Start; k <= seg.End; k++ {
+			res.Areas[k] = AreaSR
+		}
+	}
+	for i := range p.Hops {
+		if res.Areas[i] == AreaSR {
+			continue
+		}
+		h := &p.Hops[i]
+		if h.HasStack() || h.Revealed || h.QTTL > 1 {
+			res.Areas[i] = AreaMPLS
+		}
+	}
+	return res
+}
+
+func sortSegments(segs []Segment) {
+	for i := 1; i < len(segs); i++ {
+		for j := i; j > 0 && segs[j].Start < segs[j-1].Start; j-- {
+			segs[j], segs[j-1] = segs[j-1], segs[j]
+		}
+	}
+}
+
+// SegmentsByFlag groups a result's segments per flag.
+func (r *Result) SegmentsByFlag() map[Flag][]Segment {
+	out := make(map[Flag][]Segment)
+	for _, s := range r.Segments {
+		out[s.Flag] = append(out[s.Flag], s)
+	}
+	return out
+}
+
+// HasSR reports whether the path shows strong SR evidence.
+func (r *Result) HasSR() bool {
+	for _, s := range r.Segments {
+		if s.Flag.Strong() {
+			return true
+		}
+	}
+	return false
+}
+
+// HitsArea reports whether any hop of the path falls in the given area.
+func (r *Result) HitsArea(a Area) bool {
+	for _, got := range r.Areas {
+		if got == a {
+			return true
+		}
+	}
+	return false
+}

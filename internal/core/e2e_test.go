@@ -1,0 +1,197 @@
+package core
+
+import (
+	"net/netip"
+	"testing"
+
+	"arest/internal/fingerprint"
+	"arest/internal/mpls"
+	"arest/internal/netsim"
+	"arest/internal/probe"
+)
+
+// TestEndToEndSRDetection drives the full pipeline: simulate an SR-MPLS AS,
+// probe it over the wire-format boundary, fingerprint the hops, annotate,
+// and verify AReST raises CVR on the tunnel.
+func TestEndToEndSRDetection(t *testing.T) {
+	n := netsim.New(77)
+	prof := netsim.DefaultProfile(mpls.VendorCisco)
+	prof.SNMPOpen = true
+	gw := n.AddRouter(netsim.RouterConfig{Name: "gw", ASN: 65000, Vendor: mpls.VendorLinux,
+		Profile: netsim.DefaultProfile(mpls.VendorLinux), Mode: netsim.ModeIP})
+	mk := func(name string) *netsim.Router {
+		return n.AddRouter(netsim.RouterConfig{Name: name, ASN: 100, Vendor: mpls.VendorCisco,
+			Profile: prof, SREnabled: true, Mode: netsim.ModeSR})
+	}
+	pe1 := mk("pe1")
+	p1 := mk("p1")
+	p2 := mk("p2")
+	pe2 := mk("pe2")
+	n.Connect(gw.ID, pe1.ID, 10)
+	n.Connect(pe1.ID, p1.ID, 10)
+	n.Connect(p1.ID, p2.ID, 10)
+	n.Connect(p2.ID, pe2.ID, 10)
+	vp := netip.MustParseAddr("172.16.0.5")
+	tgt := netip.MustParseAddr("100.1.0.9")
+	n.AddHost(vp, gw.ID)
+	n.AddHost(tgt, pe2.ID)
+	n.Compute()
+
+	tc := probe.NewTracer(probe.NetsimConn{Net: n}, vp)
+	tr, err := tc.Trace(tgt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Reached() {
+		t.Fatalf("trace did not reach: %s", tr)
+	}
+
+	ttl := fingerprint.CollectTTL([]*probe.Trace{tr}, tc)
+	snmp := fingerprint.SNMPDataset(n)
+	ann := fingerprint.NewAnnotator(snmp, ttl)
+
+	asOf := func(a netip.Addr) int {
+		if r, ok := n.RouterByAddr(a); ok {
+			return r.ASN
+		}
+		return 0
+	}
+	path := BuildPath(tr, ann, asOf)
+	res := NewDetector().Analyze(path)
+
+	byFlag := res.SegmentsByFlag()
+	if len(byFlag[FlagCVR]) != 1 {
+		t.Fatalf("CVR segments = %+v (all %+v)", byFlag[FlagCVR], res.Segments)
+	}
+	seg := byFlag[FlagCVR][0]
+	if seg.Len() != 3 { // p1, p2, pe2 carry pe2's node SID
+		t.Errorf("CVR segment length = %d, want 3", seg.Len())
+	}
+	if !mpls.CiscoSRGB.Contains(seg.Label) {
+		t.Errorf("CVR label %d outside Cisco SRGB", seg.Label)
+	}
+	// SNMP must have produced the exact vendor for at least one hop.
+	exact := false
+	for _, h := range path.Hops {
+		if h.Vendor == mpls.VendorCisco && h.Source == fingerprint.SourceSNMP {
+			exact = true
+		}
+	}
+	if !exact {
+		t.Error("no exact SNMP vendor annotation on the path")
+	}
+	// AS restriction keeps exactly the AS-100 hops.
+	sub := path.RestrictToAS(100)
+	if len(sub.Hops) != 4 { // pe1, p1, p2, pe2
+		t.Errorf("restricted hops = %d, want 4", len(sub.Hops))
+	}
+	// Tunnel classification: one full-SR tunnel.
+	tuns := res.Tunnels()
+	if len(tuns) != 1 || tuns[0].Pattern != PatternFullSR {
+		t.Errorf("tunnels = %+v", tuns)
+	}
+}
+
+// TestEndToEndESnetScenario reproduces the AS#46 ground-truth conditions:
+// SR everywhere, no SNMP, no pings answered => fingerprinting is blind, so
+// detection must rely on CO (and LSO for deep stacks), never CVR/LSVR/LVR.
+func TestEndToEndESnetScenario(t *testing.T) {
+	n := netsim.New(46)
+	prof := netsim.DefaultProfile(mpls.VendorCisco)
+	prof.SNMPOpen = false
+	prof.RespondsEcho = false
+	gw := n.AddRouter(netsim.RouterConfig{Name: "gw", ASN: 65000, Vendor: mpls.VendorLinux,
+		Profile: netsim.DefaultProfile(mpls.VendorLinux), Mode: netsim.ModeIP})
+	mk := func(name string) *netsim.Router {
+		return n.AddRouter(netsim.RouterConfig{Name: name, ASN: 293, Vendor: mpls.VendorCisco,
+			Profile: prof, SREnabled: true, Mode: netsim.ModeSR})
+	}
+	pe1, p1, p2, pe2 := mk("pe1"), mk("p1"), mk("p2"), mk("pe2")
+	n.Connect(gw.ID, pe1.ID, 10)
+	n.Connect(pe1.ID, p1.ID, 10)
+	n.Connect(p1.ID, p2.ID, 10)
+	n.Connect(p2.ID, pe2.ID, 10)
+	vp := netip.MustParseAddr("172.16.0.6")
+	tgt := netip.MustParseAddr("100.1.0.10")
+	n.AddHost(vp, gw.ID)
+	n.AddHost(tgt, pe2.ID)
+	n.Compute()
+
+	tc := probe.NewTracer(probe.NetsimConn{Net: n}, vp)
+	tr, err := tc.Trace(tgt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ttl := fingerprint.CollectTTL([]*probe.Trace{tr}, tc)
+	if len(ttl) != 0 {
+		t.Fatalf("TTL fingerprints despite no echo replies: %v", ttl)
+	}
+	ann := fingerprint.NewAnnotator(fingerprint.SNMPDataset(n), ttl)
+	res := NewDetector().Analyze(BuildPath(tr, ann, nil))
+	byFlag := res.SegmentsByFlag()
+	if len(byFlag[FlagCO]) != 1 {
+		t.Fatalf("CO segments = %+v", res.Segments)
+	}
+	for _, f := range []Flag{FlagCVR, FlagLSVR, FlagLVR} {
+		if len(byFlag[f]) != 0 {
+			t.Errorf("vendor-range flag %v raised with blind fingerprinting", f)
+		}
+	}
+}
+
+// TestEndToEndInterworkingDetection drives an SR→LDP interworking AS and
+// checks the hybrid tunnel is classified with the right clouds.
+func TestEndToEndInterworkingDetection(t *testing.T) {
+	n := netsim.New(13)
+	n.MappingServer = true
+	prof := netsim.DefaultProfile(mpls.VendorCisco)
+	prof.SNMPOpen = true
+	gw := n.AddRouter(netsim.RouterConfig{Name: "gw", ASN: 65000, Vendor: mpls.VendorLinux,
+		Profile: netsim.DefaultProfile(mpls.VendorLinux), Mode: netsim.ModeIP})
+	sr := func(name string, ldp bool) *netsim.Router {
+		return n.AddRouter(netsim.RouterConfig{Name: name, ASN: 100, Vendor: mpls.VendorCisco,
+			Profile: prof, SREnabled: true, LDPEnabled: ldp, Mode: netsim.ModeSR})
+	}
+	ldp := func(name string) *netsim.Router {
+		return n.AddRouter(netsim.RouterConfig{Name: name, ASN: 100, Vendor: mpls.VendorCisco,
+			Profile: prof, LDPEnabled: true, Mode: netsim.ModeLDP})
+	}
+	pe1 := sr("pe1", false)
+	s1 := sr("s1", false)
+	s2 := sr("s2", false)
+	b := sr("b", true)
+	l1 := ldp("l1")
+	l2 := ldp("l2")
+	pe2 := ldp("pe2")
+	n.Connect(gw.ID, pe1.ID, 10)
+	n.Connect(pe1.ID, s1.ID, 10)
+	n.Connect(s1.ID, s2.ID, 10)
+	n.Connect(s2.ID, b.ID, 10)
+	n.Connect(b.ID, l1.ID, 10)
+	n.Connect(l1.ID, l2.ID, 10)
+	n.Connect(l2.ID, pe2.ID, 10)
+	vp := netip.MustParseAddr("172.16.0.7")
+	tgt := netip.MustParseAddr("100.1.0.11")
+	n.AddHost(vp, gw.ID)
+	n.AddHost(tgt, pe2.ID)
+	n.Compute()
+
+	tc := probe.NewTracer(probe.NetsimConn{Net: n}, vp)
+	tr, err := tc.Trace(tgt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann := fingerprint.NewAnnotator(fingerprint.SNMPDataset(n), nil)
+	res := NewDetector().Analyze(BuildPath(tr, ann, nil))
+	tuns := res.Tunnels()
+	if len(tuns) != 1 {
+		t.Fatalf("tunnels = %+v\n%s", tuns, tr)
+	}
+	if tuns[0].Pattern != PatternSRLDP {
+		t.Fatalf("pattern = %v, clouds %+v", tuns[0].Pattern, tuns[0].Clouds)
+	}
+	// SR cloud: s1, s2, b (3 hops); LDP cloud: l1, l2 (pe2 is PHP-popped).
+	if tuns[0].Clouds[0].Len != 3 || tuns[0].Clouds[1].Len != 2 {
+		t.Errorf("cloud sizes = %+v, want 3 and 2", tuns[0].Clouds)
+	}
+}

@@ -1,0 +1,76 @@
+// Package core implements AReST — Advanced Revelation of Segment Routing
+// Tunnels — the paper's primary contribution. It post-processes traceroute
+// paths augmented with MPLS label-stack entries (TNT output) and
+// router-vendor fingerprints, and highlights contiguous path portions
+// ("segments") exhibiting SR-MPLS signals.
+//
+// Five detection flags are defined, in decreasing signal strength:
+//
+//	CVR  ★★★★★  consecutive identical labels + a vendor SR-range match
+//	CO   ★★★★   consecutive identical labels only
+//	LSVR ★★★★   stack depth ≥2 with the active label in the vendor SR range
+//	LVR  ★★★    single LSE whose label is in the vendor SR range
+//	LSO  ★      stack depth ≥2 with no other evidence
+//
+// Beyond flags, the package partitions paths into SR / classic-MPLS / IP
+// areas, classifies tunnels as full-SR or SR↔LDP interworking, and measures
+// the SR and LDP cloud sizes inside hybrid tunnels.
+package core
+
+// Flag is an AReST detection flag.
+type Flag int
+
+const (
+	FlagNone Flag = iota
+	// FlagCVR: Consecutive & Vendor Range (Sec. 4.1).
+	FlagCVR
+	// FlagCO: Consecutive Only (Sec. 4.2).
+	FlagCO
+	// FlagLSVR: Label Stack & Vendor Range (Sec. 4.3).
+	FlagLSVR
+	// FlagLVR: Label & Vendor Range (Sec. 4.4).
+	FlagLVR
+	// FlagLSO: Label Stack Only (Sec. 4.5).
+	FlagLSO
+)
+
+var flagNames = map[Flag]string{
+	FlagNone: "none",
+	FlagCVR:  "CVR",
+	FlagCO:   "CO",
+	FlagLSVR: "LSVR",
+	FlagLVR:  "LVR",
+	FlagLSO:  "LSO",
+}
+
+func (f Flag) String() string {
+	if s, ok := flagNames[f]; ok {
+		return s
+	}
+	return "?"
+}
+
+// Stars returns the flag's signal strength as assigned in Sec. 4.
+func (f Flag) Stars() int {
+	switch f {
+	case FlagCVR:
+		return 5
+	case FlagCO, FlagLSVR:
+		return 4
+	case FlagLVR:
+		return 3
+	case FlagLSO:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Strong reports whether the flag is one of the strong indicators used for
+// the conservative deployment quantification (Sec. 6.3 excludes LSO).
+func (f Flag) Strong() bool {
+	return f == FlagCVR || f == FlagCO || f == FlagLSVR || f == FlagLVR
+}
+
+// AllFlags lists the flags in decreasing signal strength.
+var AllFlags = []Flag{FlagCVR, FlagCO, FlagLSVR, FlagLVR, FlagLSO}

@@ -1,0 +1,124 @@
+package core
+
+// CloudKind tags a region inside a labeled tunnel.
+type CloudKind int
+
+const (
+	CloudSR CloudKind = iota
+	CloudLDP
+)
+
+func (k CloudKind) String() string {
+	if k == CloudSR {
+		return "sr"
+	}
+	return "ldp"
+}
+
+// Cloud is one homogeneous region of a tunnel.
+type Cloud struct {
+	Kind CloudKind
+	Len  int // hops
+}
+
+// Pattern is the chaining of SR and LDP clouds inside one tunnel.
+type Pattern string
+
+const (
+	PatternFullSR   Pattern = "full-sr"
+	PatternFullLDP  Pattern = "full-ldp"
+	PatternSRLDP    Pattern = "sr-ldp"
+	PatternLDPSR    Pattern = "ldp-sr"
+	PatternLDPSRLDP Pattern = "ldp-sr-ldp"
+	PatternSRLDPSR  Pattern = "sr-ldp-sr"
+	PatternOther    Pattern = "other"
+)
+
+// TunnelAnalysis describes one labeled tunnel found on a path.
+type TunnelAnalysis struct {
+	Start, End int
+	Clouds     []Cloud
+	Pattern    Pattern
+}
+
+// Interworking reports whether the tunnel mixes SR and LDP clouds.
+func (t *TunnelAnalysis) Interworking() bool {
+	return t.Pattern != PatternFullSR && t.Pattern != PatternFullLDP
+}
+
+// Tunnels segments the path into maximal runs of LSE-carrying hops and
+// classifies each run's SR/LDP structure. A hop belongs to the SR cloud
+// when a strong flag covers it, and to the LDP cloud otherwise — single
+// labels outside vendor SR ranges are exactly what classic LDP exposes.
+func (r *Result) Tunnels() []TunnelAnalysis {
+	strong := make([]bool, len(r.Path.Hops))
+	for _, s := range r.Segments {
+		if !s.Flag.Strong() {
+			continue
+		}
+		for k := s.Start; k <= s.End; k++ {
+			strong[k] = true
+		}
+	}
+	var out []TunnelAnalysis
+	for i := 0; i < len(r.Path.Hops); i++ {
+		if !r.Path.Hops[i].HasStack() || r.Path.Hops[i].Terminal {
+			continue
+		}
+		j := i
+		for j+1 < len(r.Path.Hops) && r.Path.Hops[j+1].HasStack() && !r.Path.Hops[j+1].Terminal {
+			j++
+		}
+		ta := TunnelAnalysis{Start: i, End: j}
+		for k := i; k <= j; k++ {
+			kind := CloudLDP
+			if strong[k] {
+				kind = CloudSR
+			}
+			if n := len(ta.Clouds); n > 0 && ta.Clouds[n-1].Kind == kind {
+				ta.Clouds[n-1].Len++
+			} else {
+				ta.Clouds = append(ta.Clouds, Cloud{Kind: kind, Len: 1})
+			}
+		}
+		ta.Pattern = classifyPattern(ta.Clouds)
+		out = append(out, ta)
+		i = j
+	}
+	return out
+}
+
+func classifyPattern(clouds []Cloud) Pattern {
+	kinds := make([]CloudKind, len(clouds))
+	for i, c := range clouds {
+		kinds[i] = c.Kind
+	}
+	switch {
+	case matchKinds(kinds, CloudSR):
+		return PatternFullSR
+	case matchKinds(kinds, CloudLDP):
+		return PatternFullLDP
+	case matchKinds(kinds, CloudSR, CloudLDP):
+		return PatternSRLDP
+	case matchKinds(kinds, CloudLDP, CloudSR):
+		return PatternLDPSR
+	case matchKinds(kinds, CloudLDP, CloudSR, CloudLDP):
+		return PatternLDPSRLDP
+	case matchKinds(kinds, CloudSR, CloudLDP, CloudSR):
+		return PatternSRLDPSR
+	default:
+		return PatternOther
+	}
+}
+
+func matchKinds(got []CloudKind, want ...CloudKind) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,78 @@
+package core
+
+import "net/netip"
+
+// Report is the JSON-serializable outcome of analyzing one path, the
+// stable output format of cmd/arest -json.
+type Report struct {
+	VP       netip.Addr      `json:"vp"`
+	Dst      netip.Addr      `json:"dst"`
+	Segments []SegmentReport `json:"segments,omitempty"`
+	Areas    []string        `json:"areas"`
+	Tunnels  []TunnelReport  `json:"tunnels,omitempty"`
+	HasSR    bool            `json:"has_sr"`
+}
+
+// SegmentReport is one detected segment with its hops spelled out.
+type SegmentReport struct {
+	Flag        string       `json:"flag"`
+	Stars       int          `json:"stars"`
+	Label       uint32       `json:"label"`
+	SuffixMatch bool         `json:"suffix_match,omitempty"`
+	Hops        []netip.Addr `json:"hops"`
+	StackDepths []int        `json:"stack_depths"`
+}
+
+// TunnelReport describes one labeled tunnel's cloud structure.
+type TunnelReport struct {
+	Pattern      string       `json:"pattern"`
+	Interworking bool         `json:"interworking"`
+	Clouds       []CloudStat  `json:"clouds"`
+	Hops         []netip.Addr `json:"hops"`
+}
+
+// CloudStat is one homogeneous region of a tunnel.
+type CloudStat struct {
+	Kind string `json:"kind"`
+	Len  int    `json:"len"`
+}
+
+// NewReport converts an analysis result into its serializable form.
+func NewReport(res *Result) *Report {
+	rep := &Report{
+		VP:    res.Path.VP,
+		Dst:   res.Path.Dst,
+		HasSR: res.HasSR(),
+		Areas: make([]string, len(res.Areas)),
+	}
+	for i, a := range res.Areas {
+		rep.Areas[i] = a.String()
+	}
+	for _, s := range res.Segments {
+		sr := SegmentReport{
+			Flag:        s.Flag.String(),
+			Stars:       s.Flag.Stars(),
+			Label:       s.Label,
+			SuffixMatch: s.SuffixMatch,
+			StackDepths: s.StackDepths,
+		}
+		for k := s.Start; k <= s.End; k++ {
+			sr.Hops = append(sr.Hops, res.Path.Hops[k].Addr)
+		}
+		rep.Segments = append(rep.Segments, sr)
+	}
+	for _, t := range res.Tunnels() {
+		tr := TunnelReport{
+			Pattern:      string(t.Pattern),
+			Interworking: t.Interworking(),
+		}
+		for _, cl := range t.Clouds {
+			tr.Clouds = append(tr.Clouds, CloudStat{Kind: cl.Kind.String(), Len: cl.Len})
+		}
+		for k := t.Start; k <= t.End; k++ {
+			tr.Hops = append(tr.Hops, res.Path.Hops[k].Addr)
+		}
+		rep.Tunnels = append(rep.Tunnels, tr)
+	}
+	return rep
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"arest/internal/mpls"
+)
+
+func TestNewReport(t *testing.T) {
+	p := pathOf(
+		ipHop(),
+		mkHop(mpls.VendorCisco, 16005),
+		mkHop(mpls.VendorUnknown, 16005),
+		mkHop(mpls.VendorUnknown, 888999),
+	)
+	res := analyze(p)
+	rep := NewReport(res)
+	if rep.VP != p.VP || rep.Dst != p.Dst {
+		t.Errorf("endpoints lost: %+v", rep)
+	}
+	if !rep.HasSR {
+		t.Error("HasSR false")
+	}
+	if len(rep.Segments) != 1 || rep.Segments[0].Flag != "CVR" || rep.Segments[0].Stars != 5 {
+		t.Fatalf("segments = %+v", rep.Segments)
+	}
+	if len(rep.Segments[0].Hops) != 2 {
+		t.Errorf("segment hops = %v", rep.Segments[0].Hops)
+	}
+	if len(rep.Areas) != 4 || rep.Areas[0] != "ip" || rep.Areas[1] != "sr" || rep.Areas[3] != "mpls" {
+		t.Errorf("areas = %v", rep.Areas)
+	}
+	if len(rep.Tunnels) != 1 || rep.Tunnels[0].Pattern != "sr-ldp" || !rep.Tunnels[0].Interworking {
+		t.Errorf("tunnels = %+v", rep.Tunnels)
+	}
+
+	// The report must serialize and round-trip through JSON.
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Segments[0].Label != 16005 || back.Tunnels[0].Clouds[0].Kind != "sr" {
+		t.Errorf("round trip: %+v", back)
+	}
+}
+
+func TestNewReportEmptyPath(t *testing.T) {
+	rep := NewReport(analyze(pathOf()))
+	if rep.HasSR || len(rep.Segments) != 0 || len(rep.Tunnels) != 0 {
+		t.Errorf("empty path report: %+v", rep)
+	}
+}

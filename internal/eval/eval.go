@@ -1,0 +1,142 @@
+// Package eval provides the evaluation primitives the experiments share:
+// confusion matrices (Table 3's TP/FP/FN metrics) and plain-text table
+// rendering for the harness output.
+package eval
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Confusion is a binary confusion matrix.
+type Confusion struct {
+	TP, TN, FP, FN int
+}
+
+// Add merges another matrix into this one.
+func (c *Confusion) Add(o Confusion) {
+	c.TP += o.TP
+	c.TN += o.TN
+	c.FP += o.FP
+	c.FN += o.FN
+}
+
+// Record tallies one prediction against ground truth.
+func (c *Confusion) Record(predicted, actual bool) {
+	switch {
+	case predicted && actual:
+		c.TP++
+	case predicted && !actual:
+		c.FP++
+	case !predicted && actual:
+		c.FN++
+	default:
+		c.TN++
+	}
+}
+
+// Precision returns TP/(TP+FP), or 1 when nothing was predicted positive.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), or 1 when nothing is actually positive.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 is the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// FPRate returns FP/(TP+FP): the fraction of positive inferences that are
+// wrong — the "FP" metric of Table 3.
+func (c Confusion) FPRate() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.FP) / float64(c.TP+c.FP)
+}
+
+// FNRate returns FN/(TP+FN).
+func (c Confusion) FNRate() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.FN) / float64(c.TP+c.FN)
+}
+
+func (c Confusion) String() string {
+	return fmt.Sprintf("TP=%d TN=%d FP=%d FN=%d precision=%.3f recall=%.3f",
+		c.TP, c.TN, c.FP, c.FN, c.Precision(), c.Recall())
+}
+
+// Table renders aligned plain-text tables for the experiment harness.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; values are stringified with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render produces the aligned table text.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "## %s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,102 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionRecord(t *testing.T) {
+	var c Confusion
+	c.Record(true, true)   // TP
+	c.Record(true, false)  // FP
+	c.Record(false, true)  // FN
+	c.Record(false, false) // TN
+	if c.TP != 1 || c.FP != 1 || c.FN != 1 || c.TN != 1 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if c.Precision() != 0.5 || c.Recall() != 0.5 || c.F1() != 0.5 {
+		t.Errorf("p=%f r=%f f1=%f", c.Precision(), c.Recall(), c.F1())
+	}
+	if c.FPRate() != 0.5 || c.FNRate() != 0.5 {
+		t.Errorf("fpr=%f fnr=%f", c.FPRate(), c.FNRate())
+	}
+}
+
+func TestConfusionPerfect(t *testing.T) {
+	c := Confusion{TP: 100}
+	if c.Precision() != 1 || c.Recall() != 1 || c.FPRate() != 0 || c.FNRate() != 0 {
+		t.Errorf("perfect matrix: %s", c)
+	}
+}
+
+func TestConfusionEmptyEdgeCases(t *testing.T) {
+	var c Confusion
+	if c.Precision() != 1 || c.Recall() != 1 {
+		t.Error("empty matrix should be vacuously perfect")
+	}
+	if c.FPRate() != 0 || c.FNRate() != 0 {
+		t.Error("empty matrix rates should be 0")
+	}
+	zero := Confusion{FN: 3, FP: 2}
+	if zero.F1() != 0 {
+		t.Errorf("F1 of all-wrong = %f", zero.F1())
+	}
+}
+
+func TestConfusionAdd(t *testing.T) {
+	a := Confusion{TP: 1, TN: 2, FP: 3, FN: 4}
+	a.Add(Confusion{TP: 10, TN: 20, FP: 30, FN: 40})
+	if a != (Confusion{TP: 11, TN: 22, FP: 33, FN: 44}) {
+		t.Errorf("Add = %+v", a)
+	}
+}
+
+func TestConfusionInvariants(t *testing.T) {
+	f := func(tp, tn, fp, fn uint8) bool {
+		c := Confusion{TP: int(tp), TN: int(tn), FP: int(fp), FN: int(fn)}
+		p, r := c.Precision(), c.Recall()
+		if p < 0 || p > 1 || r < 0 || r > 1 {
+			return false
+		}
+		if c.FPRate() < 0 || c.FPRate() > 1 || c.FNRate() < 0 || c.FNRate() > 1 {
+			return false
+		}
+		// FPRate = 1 - precision when any positives were predicted.
+		if int(tp)+int(fp) > 0 && absF(c.FPRate()-(1-p)) > 1e-12 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func absF(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestTableRender(t *testing.T) {
+	tab := Table{Title: "Flags", Headers: []string{"Flag", "Count", "Share"}}
+	tab.AddRow("CVR", 12, 0.25)
+	tab.AddRow("CO", 100, 0.75)
+	out := tab.Render()
+	if !strings.Contains(out, "## Flags") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "CVR") || !strings.Contains(out, "0.250") {
+		t.Errorf("rows missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+	// Columns aligned: header and separator have the same width.
+	if len(lines[1]) != len(lines[2]) {
+		t.Errorf("misaligned header/separator:\n%s", out)
+	}
+}

@@ -1,0 +1,357 @@
+package exp
+
+import (
+	"net/netip"
+	"sort"
+
+	"arest/internal/core"
+	"arest/internal/eval"
+	"arest/internal/fingerprint"
+	"arest/internal/mpls"
+	"arest/internal/probe"
+)
+
+// FlagCounts tallies detected segments per flag (Fig. 8's numerator).
+func (r *ASResult) FlagCounts() map[core.Flag]int {
+	out := map[core.Flag]int{}
+	for _, res := range r.Results {
+		for _, s := range res.Segments {
+			out[s.Flag]++
+		}
+	}
+	return out
+}
+
+// FlagShares normalizes FlagCounts to proportions (Fig. 8).
+func (r *ASResult) FlagShares() map[core.Flag]float64 {
+	counts := r.FlagCounts()
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	out := map[core.Flag]float64{}
+	if total == 0 {
+		return out
+	}
+	for f, n := range counts {
+		out[f] = float64(n) / float64(total)
+	}
+	return out
+}
+
+// HasStrongSR reports whether the AS shows any strong SR evidence.
+func (r *ASResult) HasStrongSR() bool {
+	for _, res := range r.Results {
+		if res.HasSR() {
+			return true
+		}
+	}
+	return false
+}
+
+// HasAnySR reports whether any flag (including LSO) fired.
+func (r *ASResult) HasAnySR() bool {
+	for _, res := range r.Results {
+		if len(res.Segments) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// AreaTraceShares returns the fraction of the AS's paths touching each
+// area (Fig. 10a). A path can contribute to several areas.
+func (r *ASResult) AreaTraceShares() map[core.Area]float64 {
+	counts := map[core.Area]int{}
+	for _, res := range r.Results {
+		for _, a := range []core.Area{core.AreaSR, core.AreaMPLS, core.AreaIP} {
+			if res.HitsArea(a) {
+				counts[a]++
+			}
+		}
+	}
+	out := map[core.Area]float64{}
+	if len(r.Results) == 0 {
+		return out
+	}
+	for a, n := range counts {
+		out[a] = float64(n) / float64(len(r.Results))
+	}
+	return out
+}
+
+// AreaInterfaceCounts returns the number of distinct interfaces attributed
+// to each area (Fig. 10b); an interface seen in several areas counts in
+// the strongest one (SR > MPLS > IP).
+func (r *ASResult) AreaInterfaceCounts() map[core.Area]int {
+	best := map[netip.Addr]core.Area{}
+	for _, res := range r.Results {
+		for i, h := range res.Path.Hops {
+			a := res.Areas[i]
+			if cur, ok := best[h.Addr]; !ok || a > cur {
+				best[h.Addr] = a
+			}
+		}
+	}
+	out := map[core.Area]int{}
+	for _, a := range best {
+		out[a]++
+	}
+	return out
+}
+
+// DistinctIPs counts distinct interfaces observed inside the AS.
+func (r *ASResult) DistinctIPs() int {
+	seen := map[netip.Addr]bool{}
+	for _, p := range r.Paths {
+		for i := range p.Hops {
+			seen[p.Hops[i].Addr] = true
+		}
+	}
+	return len(seen)
+}
+
+// TunnelPatterns tallies interworking chaining patterns (Fig. 11) across
+// the AS's labeled tunnels.
+func (r *ASResult) TunnelPatterns() map[core.Pattern]int {
+	out := map[core.Pattern]int{}
+	for _, res := range r.Results {
+		for _, t := range res.Tunnels() {
+			out[t.Pattern]++
+		}
+	}
+	return out
+}
+
+// CloudSizes returns the LDP and SR cloud sizes inside interworking
+// tunnels (Fig. 12).
+func (r *ASResult) CloudSizes() (ldp, sr []int) {
+	for _, res := range r.Results {
+		for _, t := range res.Tunnels() {
+			if !t.Interworking() {
+				continue
+			}
+			for _, cl := range t.Clouds {
+				if cl.Kind == core.CloudSR {
+					sr = append(sr, cl.Len)
+				} else {
+					ldp = append(ldp, cl.Len)
+				}
+			}
+		}
+	}
+	return ldp, sr
+}
+
+// StackDepthDist returns the distribution of LSE stack depths over hops in
+// strong-flag segments (strong=true) or over classic-MPLS/LSO hops
+// (strong=false) — Fig. 9a and 9b.
+func (r *ASResult) StackDepthDist(strong bool) map[int]int {
+	out := map[int]int{}
+	for _, res := range r.Results {
+		inStrong := make([]bool, len(res.Path.Hops))
+		for _, s := range res.Segments {
+			if s.Flag.Strong() {
+				for k := s.Start; k <= s.End; k++ {
+					inStrong[k] = true
+				}
+			}
+		}
+		for i := range res.Path.Hops {
+			h := &res.Path.Hops[i]
+			if !h.HasStack() {
+				continue
+			}
+			if inStrong[i] == strong {
+				out[h.Stack.Depth()]++
+			}
+		}
+	}
+	return out
+}
+
+// TunnelTypeCounts classifies every tunnel observed in the AS's raw traces
+// by visibility class (Fig. 13a).
+func (r *ASResult) TunnelTypeCounts() map[probe.TunnelType]int {
+	out := map[probe.TunnelType]int{}
+	for _, v := range r.PerVP {
+		for _, tr := range v.Traces {
+			for _, t := range probe.ClassifyTunnels(tr) {
+				out[t.Type]++
+			}
+		}
+	}
+	return out
+}
+
+// ExplicitPathShare is the fraction of paths showing at least one explicit
+// tunnel (Fig. 13b).
+func (r *ASResult) ExplicitPathShare() float64 {
+	total, with := 0, 0
+	for _, v := range r.PerVP {
+		for _, tr := range v.Traces {
+			total++
+			if probe.HasExplicitTunnel(tr) {
+				with++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(with) / float64(total)
+}
+
+// FingerprintSourceCounts returns how many of the AS's observed interfaces
+// were identified per technique (Fig. 14).
+func (r *ASResult) FingerprintSourceCounts() map[fingerprint.Source]int {
+	out := map[fingerprint.Source]int{}
+	seen := map[netip.Addr]bool{}
+	for _, p := range r.Paths {
+		for i := range p.Hops {
+			h := &p.Hops[i]
+			if seen[h.Addr] {
+				continue
+			}
+			seen[h.Addr] = true
+			out[h.Source]++
+		}
+	}
+	return out
+}
+
+// VendorCounts returns per-vendor device counts identified through SNMPv3
+// (Fig. 15's heatmap row for this AS).
+func (r *ASResult) VendorCounts() map[mpls.Vendor]int {
+	out := map[mpls.Vendor]int{}
+	seen := map[netip.Addr]bool{}
+	for _, p := range r.Paths {
+		for i := range p.Hops {
+			h := &p.Hops[i]
+			if seen[h.Addr] || h.Source != fingerprint.SourceSNMP {
+				continue
+			}
+			seen[h.Addr] = true
+			out[h.Vendor]++
+		}
+	}
+	return out
+}
+
+// LabelBuckets are the Fig. 16 label-range rows.
+var LabelBuckets = []struct {
+	Name string
+	R    mpls.LabelRange
+}{
+	{"0-15999", mpls.LabelRange{Lo: 0, Hi: 15999}},
+	{"16000-23999", mpls.LabelRange{Lo: 16000, Hi: 23999}},
+	{"24000-47999", mpls.LabelRange{Lo: 24000, Hi: 47999}},
+	{"48000-99999", mpls.LabelRange{Lo: 48000, Hi: 99999}},
+	{"100000-299999", mpls.LabelRange{Lo: 100000, Hi: 299999}},
+	{"300000-899999", mpls.LabelRange{Lo: 300000, Hi: 899999}},
+	{"900000-1048575", mpls.LabelRange{Lo: 900000, Hi: 1048575}},
+}
+
+// LabelRangeHist counts observed 20-bit labels per bucket (Fig. 16).
+func (r *ASResult) LabelRangeHist() map[string]int {
+	out := map[string]int{}
+	for _, p := range r.Paths {
+		for i := range p.Hops {
+			for _, e := range p.Hops[i].Stack {
+				for _, b := range LabelBuckets {
+					if b.R.Contains(e.Label) {
+						out[b.Name]++
+						break
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// VPAccumulation returns the cumulative count of unique hop addresses as
+// vantage points are added in order (Fig. 17).
+func (r *ASResult) VPAccumulation() []int {
+	seen := map[netip.Addr]bool{}
+	var out []int
+	for _, v := range r.PerVP {
+		for _, tr := range v.Traces {
+			for i := range tr.Hops {
+				if tr.Hops[i].Responded() {
+					seen[tr.Hops[i].Addr] = true
+				}
+			}
+		}
+		out = append(out, len(seen))
+	}
+	return out
+}
+
+// GroundTruth scores AReST's per-flag segment inferences against the
+// simulator's ground truth (Table 3): a segment is a true positive when
+// every hop belongs to an SR-enabled router, a false positive otherwise.
+// False negatives count SR interfaces that were observed with labels but
+// never covered by any flag.
+func (r *ASResult) GroundTruth() map[core.Flag]eval.Confusion {
+	out := map[core.Flag]eval.Confusion{}
+	flaggedAddrs := map[netip.Addr]bool{}
+	for _, res := range r.Results {
+		for _, s := range res.Segments {
+			c := out[s.Flag]
+			allSR := true
+			for k := s.Start; k <= s.End; k++ {
+				h := &res.Path.Hops[k]
+				flaggedAddrs[h.Addr] = true
+				if !r.World.SREnabledAddr(h.Addr) {
+					allSR = false
+				}
+			}
+			if allSR {
+				c.TP++
+			} else {
+				c.FP++
+			}
+			out[s.Flag] = c
+		}
+	}
+	// FN accounting: labeled SR interfaces never flagged, attributed to
+	// the catch-all CO row (the flag that should have caught sequences).
+	fn := 0
+	seen := map[netip.Addr]bool{}
+	for _, p := range r.Paths {
+		for i := range p.Hops {
+			h := &p.Hops[i]
+			// Terminal hops are the destination's own reply, not classified
+			// transit observations; they cannot be false negatives.
+			if seen[h.Addr] || !h.HasStack() || h.Terminal {
+				continue
+			}
+			seen[h.Addr] = true
+			if r.World.SREnabledAddr(h.Addr) && !flaggedAddrs[h.Addr] {
+				fn++
+			}
+		}
+	}
+	c := out[core.FlagCO]
+	c.FN += fn
+	out[core.FlagCO] = c
+	return out
+}
+
+// SortedFlagKeys lists the flags present in a count map, strongest first.
+func SortedFlagKeys(m map[core.Flag]int) []core.Flag {
+	var keys []core.Flag
+	for f := range m {
+		keys = append(keys, f)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Verdict applies the Sec. 6.3 interpretive framework to the AS: strong
+// flags, LSO corroboration, and external confirmation combine into one
+// deployment verdict.
+func (r *ASResult) Verdict() core.Verdict {
+	return core.Judge(r.Results, r.Record.Claimed())
+}

@@ -1,0 +1,228 @@
+// Package exp reproduces the paper's evaluation: it runs the full
+// measurement campaign (synthetic worlds → Anaximander target lists → TNT
+// probing from many vantage points → fingerprinting, alias resolution and
+// bdrmap annotation → AReST), and regenerates every table and figure of
+// the paper from the result.
+package exp
+
+import (
+	"fmt"
+	"net/netip"
+	"runtime"
+	"sync"
+
+	"arest/internal/alias"
+	"arest/internal/anaximander"
+	"arest/internal/asgen"
+	"arest/internal/bdrmap"
+	"arest/internal/core"
+	"arest/internal/fingerprint"
+	"arest/internal/probe"
+)
+
+// Config scales the campaign. The paper used 50 VPs and hundreds of
+// thousands of traces; the defaults here reproduce the same pipeline at
+// laptop scale.
+type Config struct {
+	Seed int64
+	// NumVPs is the number of vantage points per AS (paper: 50).
+	NumVPs int
+	// MaxTargets caps each AS's Anaximander plan.
+	MaxTargets int
+	// FlowsPerTarget probes each target under several Paris flow IDs.
+	FlowsPerTarget int
+	// AliasCandidateCap bounds the MIDAR candidate set per AS (quadratic
+	// pair testing); 0 disables alias resolution.
+	AliasCandidateCap int
+	// MaxRouters, when non-zero, clamps the per-AS topology size.
+	MaxRouters int
+}
+
+// DefaultConfig returns a laptop-scale campaign configuration.
+func DefaultConfig() Config {
+	return Config{
+		Seed:              20250405,
+		NumVPs:            16,
+		MaxTargets:        32,
+		FlowsPerTarget:    1,
+		AliasCandidateCap: 120,
+		MaxRouters:        60,
+	}
+}
+
+// VPTraces groups one vantage point's traces.
+type VPTraces struct {
+	VP     netip.Addr
+	Traces []*probe.Trace
+}
+
+// ASResult is the full pipeline output for one targeted AS.
+type ASResult struct {
+	Record     asgen.Record
+	World      *asgen.World
+	PerVP      []VPTraces
+	Annotator  *fingerprint.Annotator
+	Annotation bdrmap.Annotation
+	// Paths are the annotated traces restricted to the target AS
+	// (bdrmapIT delimitation), with their AReST results in parallel.
+	Paths   []*core.Path
+	Results []*core.Result
+	// TracesSent counts probes-carrying traces issued for this AS.
+	TracesSent int
+}
+
+// Traces flattens all vantage points' traces.
+func (r *ASResult) Traces() []*probe.Trace {
+	var out []*probe.Trace
+	for _, v := range r.PerVP {
+		out = append(out, v.Traces...)
+	}
+	return out
+}
+
+// RunAS executes the pipeline for one catalogue record with its derived
+// deployment.
+func RunAS(rec asgen.Record, cfg Config) (*ASResult, error) {
+	dep := asgen.DeploymentFor(rec, cfg.Seed)
+	if cfg.MaxRouters > 0 && dep.Routers > cfg.MaxRouters {
+		dep.Routers = cfg.MaxRouters
+	}
+	return runASWithDeployment(rec, dep, cfg)
+}
+
+// runASWithDeployment executes the pipeline against an explicit deployment
+// (used by the longitudinal extension to sweep SRFrac).
+func runASWithDeployment(rec asgen.Record, dep asgen.Deployment, cfg Config) (*ASResult, error) {
+	w := asgen.Build(rec, dep, cfg.NumVPs, cfg.Seed)
+	rib := anaximander.CollectRIB(w)
+	plan := anaximander.BuildPlan(rib, rec.ASN, anaximander.Options{MaxTargets: cfg.MaxTargets})
+
+	res := &ASResult{Record: rec, World: w}
+	for vpIdx, vp := range w.VPs {
+		tc := probe.NewTracer(probe.NetsimConn{Net: w.Net}, vp)
+		vt := VPTraces{VP: vp}
+		for _, tgt := range plan.Shuffled(vpIdx) {
+			for flow := 0; flow < max(1, cfg.FlowsPerTarget); flow++ {
+				tr, err := tc.Trace(tgt, uint16(flow))
+				if err != nil {
+					return nil, fmt.Errorf("trace %s from %s: %w", tgt, vp, err)
+				}
+				vt.Traces = append(vt.Traces, tr)
+				res.TracesSent++
+			}
+		}
+		res.PerVP = append(res.PerVP, vt)
+	}
+	traces := res.Traces()
+
+	// Fingerprinting: TTL signatures need echo probes; the SNMPv3 dataset
+	// is the (simulated) public one.
+	pinger := probe.NewTracer(probe.NetsimConn{Net: w.Net}, w.VPs[0])
+	ttl := fingerprint.CollectTTL(traces, pinger)
+	res.Annotator = fingerprint.NewAnnotator(fingerprint.SNMPDataset(w.Net), ttl)
+
+	// Alias resolution feeds bdrmap.
+	var aliasSets [][]netip.Addr
+	if cfg.AliasCandidateCap > 0 {
+		seen := map[netip.Addr]bool{}
+		var cands []netip.Addr
+		for _, tr := range traces {
+			for i := range tr.Hops {
+				h := &tr.Hops[i]
+				if h.Responded() && !seen[h.Addr] {
+					seen[h.Addr] = true
+					cands = append(cands, h.Addr)
+				}
+			}
+		}
+		if len(cands) > cfg.AliasCandidateCap {
+			cands = cands[:cfg.AliasCandidateCap]
+		}
+		aliasSets = alias.Resolve(cands, pinger, alias.DefaultConfig())
+	}
+	res.Annotation = bdrmap.Annotate(traces, rib, aliasSets)
+
+	det := core.NewDetector()
+	for _, tr := range traces {
+		p := core.BuildPath(tr, res.Annotator, res.Annotation.AsFunc())
+		sub := p.RestrictToAS(rec.ASN)
+		if len(sub.Hops) == 0 {
+			continue
+		}
+		res.Paths = append(res.Paths, sub)
+		res.Results = append(res.Results, det.Analyze(sub))
+	}
+	return res, nil
+}
+
+// Campaign is a full multi-AS run.
+type Campaign struct {
+	Cfg  Config
+	ASes []*ASResult
+}
+
+// Run executes the campaign over the given catalogue records. Records with
+// too little coverage in the paper (ExcludedIDs) are skipped, mirroring
+// the coverage filter of Sec. 5. Per-AS pipelines are independent (each AS
+// is its own world), so they run concurrently; results keep catalogue
+// order and the output is bit-identical to a sequential run.
+func Run(records []asgen.Record, cfg Config) (*Campaign, error) {
+	var kept []asgen.Record
+	for _, rec := range records {
+		if !asgen.ExcludedIDs[rec.ID] {
+			kept = append(kept, rec)
+		}
+	}
+	results := make([]*ASResult, len(kept))
+	errs := make([]error, len(kept))
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(kept) {
+		workers = len(kept)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	idxCh := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				results[i], errs[i] = RunAS(kept[i], cfg)
+			}
+		}()
+	}
+	for i := range kept {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+
+	c := &Campaign{Cfg: cfg}
+	for i, rec := range kept {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("AS#%d %s: %w", rec.ID, rec.Name, errs[i])
+		}
+		c.ASes = append(c.ASes, results[i])
+	}
+	return c, nil
+}
+
+// ByID returns the AS result with the given paper identifier.
+func (c *Campaign) ByID(id int) (*ASResult, bool) {
+	for _, r := range c.ASes {
+		if r.Record.ID == id {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

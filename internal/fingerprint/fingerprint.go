@@ -1,0 +1,169 @@
+// Package fingerprint assigns hardware vendors to router interfaces using
+// the two techniques of the paper: TTL-based signatures (Vanaubel et al.)
+// inferred from reply TTLs, and an SNMPv3-style dataset (Albakour et al.).
+//
+// TTL signatures are the pair <initial TTL of time-exceeded, initial TTL of
+// echo-reply>. Cisco and Huawei share <255,255> and are indistinguishable:
+// the TTL technique therefore yields the VendorCiscoHuawei ambiguity class,
+// whose SR label matching is restricted to the intersection of the two
+// vendors' SRGBs. SNMPv3 identification is exact and takes precedence.
+package fingerprint
+
+import (
+	"net/netip"
+
+	"arest/internal/mpls"
+	"arest/internal/netsim"
+	"arest/internal/probe"
+)
+
+// Source records which technique produced a vendor annotation.
+type Source int
+
+const (
+	SourceNone Source = iota
+	SourceTTL
+	SourceSNMP
+)
+
+func (s Source) String() string {
+	switch s {
+	case SourceTTL:
+		return "ttl"
+	case SourceSNMP:
+		return "snmpv3"
+	default:
+		return "none"
+	}
+}
+
+// Result is one interface's vendor annotation.
+type Result struct {
+	Vendor mpls.Vendor
+	Source Source
+}
+
+// Signature is a TTL fingerprint: the inferred initial TTLs of
+// time-exceeded and echo-reply messages.
+type Signature struct {
+	TimeExceeded uint8
+	EchoReply    uint8
+}
+
+// Classify maps a TTL signature to a vendor class.
+func (s Signature) Classify() mpls.Vendor {
+	switch s {
+	case Signature{255, 255}:
+		return mpls.VendorCiscoHuawei
+	case Signature{255, 64}:
+		return mpls.VendorJuniper
+	case Signature{64, 255}:
+		return mpls.VendorNokia
+	default:
+		// <64,64> collides across Arista, Linux, MikroTik and more:
+		// unusable for vendor attribution.
+		return mpls.VendorUnknown
+	}
+}
+
+// Pinger issues echo requests; probe.Tracer implements it.
+type Pinger interface {
+	Ping(dst netip.Addr, id uint16) (replyTTL uint8, ok bool, err error)
+}
+
+// CollectTTL builds TTL fingerprints for every responding hop in traces.
+// The time-exceeded half comes from the trace replies themselves; the
+// echo-reply half requires the interface to answer pings — interfaces that
+// do not (e.g. the whole of ESnet in the paper's ground truth) stay
+// unclassified.
+func CollectTTL(traces []*probe.Trace, pinger Pinger) map[netip.Addr]mpls.Vendor {
+	teInit := make(map[netip.Addr]uint8)
+	for _, tr := range traces {
+		for i := range tr.Hops {
+			h := &tr.Hops[i]
+			if !h.Responded() {
+				continue
+			}
+			if h.ICMPType != 11 { // only time-exceeded carries that half
+				continue
+			}
+			if _, seen := teInit[h.Addr]; !seen {
+				teInit[h.Addr] = probe.InferInitialTTL(h.ReplyTTL)
+			}
+		}
+	}
+	out := make(map[netip.Addr]mpls.Vendor)
+	id := uint16(1)
+	for addr, te := range teInit {
+		id++
+		replyTTL, ok, err := pinger.Ping(addr, id)
+		if err != nil || !ok {
+			continue
+		}
+		sig := Signature{TimeExceeded: te, EchoReply: probe.InferInitialTTL(replyTTL)}
+		if v := sig.Classify(); v != mpls.VendorUnknown {
+			out[addr] = v
+		}
+	}
+	return out
+}
+
+// SNMPDataset simulates the public SNMPv3 fingerprint dataset: interfaces
+// of routers that expose SNMP appear with their exact vendor. Arista
+// devices are absent, mirroring the dataset limitation the paper reports.
+func SNMPDataset(n *netsim.Network) map[netip.Addr]mpls.Vendor {
+	out := make(map[netip.Addr]mpls.Vendor)
+	for _, r := range n.Routers() {
+		if !r.Profile.SNMPOpen {
+			continue
+		}
+		if r.Vendor == mpls.VendorArista {
+			continue // not fingerprintable in the SNMPv3 dataset
+		}
+		for _, a := range r.Interfaces() {
+			out[a] = r.Vendor
+		}
+	}
+	return out
+}
+
+// Annotator merges the two techniques, SNMPv3 taking precedence when both
+// disagree (paper Sec. 5).
+type Annotator struct {
+	snmp map[netip.Addr]mpls.Vendor
+	ttl  map[netip.Addr]mpls.Vendor
+}
+
+// NewAnnotator builds an annotator from the two datasets; either may be nil.
+func NewAnnotator(snmp, ttl map[netip.Addr]mpls.Vendor) *Annotator {
+	if snmp == nil {
+		snmp = map[netip.Addr]mpls.Vendor{}
+	}
+	if ttl == nil {
+		ttl = map[netip.Addr]mpls.Vendor{}
+	}
+	return &Annotator{snmp: snmp, ttl: ttl}
+}
+
+// Vendor resolves the annotation for one interface.
+func (a *Annotator) Vendor(ip netip.Addr) Result {
+	if v, ok := a.snmp[ip]; ok {
+		return Result{Vendor: v, Source: SourceSNMP}
+	}
+	if v, ok := a.ttl[ip]; ok {
+		return Result{Vendor: v, Source: SourceTTL}
+	}
+	return Result{Vendor: mpls.VendorUnknown, Source: SourceNone}
+}
+
+// Coverage returns how many distinct interfaces each source annotated,
+// after precedence (an address known to both counts as SNMP).
+func (a *Annotator) Coverage() (snmp, ttl int) {
+	snmp = len(a.snmp)
+	for addr := range a.ttl {
+		if _, dup := a.snmp[addr]; !dup {
+			ttl++
+		}
+	}
+	return snmp, ttl
+}

@@ -1,0 +1,98 @@
+package mpls
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestPoolAllocateStableBinding(t *testing.T) {
+	p := NewPool(DynamicPool(VendorCisco), 1)
+	l1 := p.Allocate("10.0.0.0/24")
+	l2 := p.Allocate("10.0.0.0/24")
+	if l1 != l2 {
+		t.Errorf("re-allocation for same FEC: %d != %d", l1, l2)
+	}
+	if p.Allocated() != 1 {
+		t.Errorf("Allocated = %d, want 1", p.Allocated())
+	}
+}
+
+func TestPoolAllocateWithinRange(t *testing.T) {
+	r := DynamicPool(VendorCisco)
+	p := NewPool(r, 42)
+	for i := 0; i < 1000; i++ {
+		l := p.Allocate(fmt.Sprintf("fec-%d", i))
+		if !r.Contains(l) {
+			t.Fatalf("label %d outside pool %v", l, r)
+		}
+	}
+}
+
+func TestPoolAllocateUnique(t *testing.T) {
+	p := NewPool(LabelRange{100, 1099}, 3)
+	seen := make(map[uint32]bool)
+	for i := 0; i < 1000; i++ {
+		l := p.Allocate(fmt.Sprintf("fec-%d", i))
+		if seen[l] {
+			t.Fatalf("label %d allocated twice", l)
+		}
+		seen[l] = true
+	}
+	if p.Allocated() != 1000 {
+		t.Errorf("Allocated = %d, want 1000", p.Allocated())
+	}
+}
+
+func TestPoolDeterministic(t *testing.T) {
+	a := NewPool(DynamicPool(VendorCisco), 99)
+	b := NewPool(DynamicPool(VendorCisco), 99)
+	for i := 0; i < 50; i++ {
+		fec := fmt.Sprintf("fec-%d", i)
+		if la, lb := a.Allocate(fec), b.Allocate(fec); la != lb {
+			t.Fatalf("same seed diverged at %s: %d vs %d", fec, la, lb)
+		}
+	}
+}
+
+func TestPoolDifferentSeedsDiverge(t *testing.T) {
+	// Local significance: two routers (different seeds) should essentially
+	// never agree on the label for the same FEC across many FECs.
+	a := NewPool(DynamicPool(VendorCisco), 1)
+	b := NewPool(DynamicPool(VendorCisco), 2)
+	agree := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		fec := fmt.Sprintf("fec-%d", i)
+		if a.Allocate(fec) == b.Allocate(fec) {
+			agree++
+		}
+	}
+	// Expected agreements ≈ n/poolSize ≈ 0.002; allow a little slack.
+	if agree > 3 {
+		t.Errorf("%d/%d agreements between independent pools; labels are not locally significant enough", agree, n)
+	}
+}
+
+func TestPoolLookup(t *testing.T) {
+	p := NewPool(LabelRange{100, 200}, 1)
+	if _, ok := p.Lookup("missing"); ok {
+		t.Error("Lookup on empty pool returned ok")
+	}
+	l := p.Allocate("a")
+	got, ok := p.Lookup("a")
+	if !ok || got != l {
+		t.Errorf("Lookup = %d,%v; want %d,true", got, ok, l)
+	}
+}
+
+func TestPoolExhaustionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("exhausted pool did not panic")
+		}
+	}()
+	p := NewPool(LabelRange{10, 11}, 1)
+	p.Allocate("a")
+	p.Allocate("b")
+	p.Allocate("c") // pool of size 2 exhausted
+}

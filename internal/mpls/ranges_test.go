@@ -1,0 +1,155 @@
+package mpls
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTable1Ranges(t *testing.T) {
+	// The exact default ranges from Table 1 of the paper.
+	cases := []struct {
+		name string
+		r    LabelRange
+		lo   uint32
+		hi   uint32
+	}{
+		{"Cisco SRGB", CiscoSRGB, 16000, 23999},
+		{"Cisco SRLB", CiscoSRLB, 15000, 15999},
+		{"Huawei SRGB", HuaweiSRGB, 16000, 47999},
+		{"Arista SRGB", AristaSRGB, 900000, 965535},
+		{"Arista SRLB", AristaSRLB, 100000, 116383},
+	}
+	for _, c := range cases {
+		if c.r.Lo != c.lo || c.r.Hi != c.hi {
+			t.Errorf("%s = %v, want [%d,%d]", c.name, c.r, c.lo, c.hi)
+		}
+	}
+}
+
+func TestLabelRangeContains(t *testing.T) {
+	r := LabelRange{16000, 23999}
+	for _, l := range []uint32{16000, 20000, 23999} {
+		if !r.Contains(l) {
+			t.Errorf("Contains(%d) = false", l)
+		}
+	}
+	for _, l := range []uint32{15999, 24000, 0, MaxLabel} {
+		if r.Contains(l) {
+			t.Errorf("Contains(%d) = true", l)
+		}
+	}
+}
+
+func TestLabelRangeSize(t *testing.T) {
+	if got := (LabelRange{16000, 23999}).Size(); got != 8000 {
+		t.Errorf("Cisco SRGB size = %d, want 8000", got)
+	}
+	if got := (LabelRange{5, 5}).Size(); got != 1 {
+		t.Errorf("singleton size = %d, want 1", got)
+	}
+	if got := (LabelRange{10, 5}).Size(); got != 0 {
+		t.Errorf("inverted size = %d, want 0", got)
+	}
+	// Sec 4.1: the Cisco dynamic pool spans 1,032,575 possible labels.
+	if got := DynamicPool(VendorCisco).Size(); got != 1032575 {
+		t.Errorf("Cisco dynamic pool size = %d, want 1032575", got)
+	}
+}
+
+func TestLabelRangeOverlap(t *testing.T) {
+	got, ok := CiscoSRGB.Overlap(HuaweiSRGB)
+	if !ok || got != CiscoHuaweiSRGBIntersection {
+		t.Errorf("Cisco∩Huawei = %v,%v; want %v", got, ok, CiscoHuaweiSRGBIntersection)
+	}
+	if _, ok := CiscoSRGB.Overlap(AristaSRGB); ok {
+		t.Error("Cisco∩Arista should be empty")
+	}
+}
+
+func TestSRBlocks(t *testing.T) {
+	srgb, srlb, ok := SRBlocks(VendorCisco)
+	if !ok || srgb != CiscoSRGB || srlb != CiscoSRLB {
+		t.Errorf("SRBlocks(Cisco) = %v,%v,%v", srgb, srlb, ok)
+	}
+	// Juniper allocates adjacency SIDs from the dynamic pool: no SRLB.
+	_, srlb, ok = SRBlocks(VendorJuniper)
+	if !ok || srlb.Size() != 0 {
+		t.Errorf("SRBlocks(Juniper) srlb = %v, want empty", srlb)
+	}
+	if _, _, ok := SRBlocks(VendorUnknown); ok {
+		t.Error("SRBlocks(Unknown) should report !ok")
+	}
+	if _, _, ok := SRBlocks(VendorLinux); ok {
+		t.Error("SRBlocks(Linux) should report !ok")
+	}
+	// The ambiguity class must be restricted to the intersection.
+	srgb, _, ok = SRBlocks(VendorCiscoHuawei)
+	if !ok || srgb != CiscoHuaweiSRGBIntersection {
+		t.Errorf("SRBlocks(CiscoHuawei) srgb = %v", srgb)
+	}
+}
+
+func TestInVendorSRRange(t *testing.T) {
+	cases := []struct {
+		v     Vendor
+		label uint32
+		want  bool
+	}{
+		{VendorCisco, 16005, true},
+		{VendorCisco, 15500, true},  // SRLB
+		{VendorCisco, 24000, false}, // dynamic pool
+		{VendorHuawei, 47999, true},
+		{VendorHuawei, 48500, true},  // SRLB
+		{VendorHuawei, 49000, false}, // pool
+		{VendorArista, 900001, true},
+		{VendorArista, 16005, false},
+		{VendorCiscoHuawei, 16005, true},
+		{VendorCiscoHuawei, 24005, false}, // in Huawei SRGB but outside intersection
+		{VendorUnknown, 16005, false},
+		{VendorJuniper, 16005, true},
+	}
+	for _, c := range cases {
+		if got := InVendorSRRange(c.v, c.label); got != c.want {
+			t.Errorf("InVendorSRRange(%v, %d) = %v, want %v", c.v, c.label, got, c.want)
+		}
+	}
+}
+
+func TestVendorString(t *testing.T) {
+	if VendorCisco.String() != "Cisco" {
+		t.Errorf("VendorCisco.String() = %q", VendorCisco)
+	}
+	if Vendor(99).String() != "Vendor(99)" {
+		t.Errorf("unknown vendor String = %q", Vendor(99))
+	}
+}
+
+func TestDynamicPoolDisjointFromSRBlocks(t *testing.T) {
+	// Invariant: a vendor's dynamic pool never overlaps its own SR blocks,
+	// otherwise SR-range membership could not separate SR from LDP labels.
+	for _, v := range []Vendor{VendorCisco, VendorHuawei, VendorArista} {
+		srgb, srlb, _ := SRBlocks(v)
+		pool := DynamicPool(v)
+		if _, ok := pool.Overlap(srgb); ok {
+			t.Errorf("%v: dynamic pool %v overlaps SRGB %v", v, pool, srgb)
+		}
+		if srlb.Size() > 0 {
+			if _, ok := pool.Overlap(srlb); ok {
+				t.Errorf("%v: dynamic pool %v overlaps SRLB %v", v, pool, srlb)
+			}
+		}
+	}
+}
+
+func TestOverlapQuickSymmetric(t *testing.T) {
+	f := func(a, b, c, d uint32) bool {
+		r1 := LabelRange{a % MaxLabel, b % MaxLabel}
+		r2 := LabelRange{c % MaxLabel, d % MaxLabel}
+		o1, ok1 := r1.Overlap(r2)
+		o2, ok2 := r2.Overlap(r1)
+		return ok1 == ok2 && o1 == o2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

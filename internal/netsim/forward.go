@@ -1,0 +1,648 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+
+	"arest/internal/mpls"
+	"arest/internal/pkt"
+)
+
+// ttlMode is the TTL treatment chosen at push time (RFC 3443).
+type ttlMode int
+
+const (
+	modeUniform ttlMode = iota // ttl-propagate on: IP TTL copied into LSE TTL
+	modePipe                   // ttl-propagate off: LSE TTL 255, IP TTL frozen inside
+)
+
+// frame is a packet in flight: an IP packet under an optional label stack.
+type frame struct {
+	stack mpls.Stack
+	ip    *pkt.IPv4
+	mode  ttlMode
+}
+
+// Delivery is the outcome of injecting one probe.
+type Delivery struct {
+	// Reply holds the serialized IPv4 reply observed at the probing host,
+	// nil when no reply was generated (silent router, drop, or no route).
+	Reply []byte
+	// Path lists the routers the probe traversed, in order, including the
+	// router that answered or dropped it.
+	Path []RouterID
+	// FwdHops and RetHops are the forward and return hop counts, used by
+	// the prober to synthesize RTTs.
+	FwdHops, RetHops int
+}
+
+// Errors returned by Send.
+var (
+	ErrUnknownHost = errors.New("netsim: source address is not an attached host")
+	ErrNotComputed = errors.New("netsim: Compute must be called before Send")
+)
+
+const maxSteps = 1024
+
+// Send injects the serialized IPv4 probe wire from the attached host with
+// source address src and simulates its journey. The reply (if any) is the
+// serialized IPv4 packet the host would capture.
+func (n *Network) Send(src netip.Addr, wire []byte) (*Delivery, error) {
+	if !n.computed {
+		return nil, ErrNotComputed
+	}
+	host, ok := n.hosts[src]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownHost, src)
+	}
+	ip, err := pkt.UnmarshalIPv4(wire)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: bad probe: %w", err)
+	}
+	c := &sendCtx{
+		n:         n,
+		flow:      flowHash(ip),
+		vpGateway: host.Gateway,
+		probeSrc:  src,
+	}
+	owner, ok := n.Owner(ip.Dst)
+	if !ok {
+		return &Delivery{}, nil // no route: probe vanishes
+	}
+	c.dstOwner = owner
+
+	f := &frame{ip: ip}
+	d := &Delivery{}
+	cur := host.Gateway
+	prev := RouterID(-1)
+	for step := 0; step < maxSteps; step++ {
+		d.Path = append(d.Path, cur)
+		next, reply, done := c.process(n.routers[cur], prev, f)
+		if done {
+			d.Reply = reply
+			d.FwdHops = len(d.Path)
+			d.RetHops = c.lastRetDist
+			return d, nil
+		}
+		prev, cur = cur, next
+	}
+	return d, nil // forwarding loop: treated as loss
+}
+
+// flowHash derives the Paris-stable flow identifier from the probe's
+// 5-tuple (ports for UDP, identifier for ICMP).
+func flowHash(ip *pkt.IPv4) uint64 {
+	h := uint64(17)
+	mix := func(v uint64) {
+		h = h*0x100000001b3 ^ v
+	}
+	s, d := ip.Src.As4(), ip.Dst.As4()
+	mix(uint64(s[0])<<24 | uint64(s[1])<<16 | uint64(s[2])<<8 | uint64(s[3]))
+	mix(uint64(d[0])<<24 | uint64(d[1])<<16 | uint64(d[2])<<8 | uint64(d[3]))
+	mix(uint64(ip.Protocol))
+	if len(ip.Payload) >= 4 {
+		switch ip.Protocol {
+		case pkt.ProtoUDP:
+			mix(uint64(ip.Payload[0])<<24 | uint64(ip.Payload[1])<<16 |
+				uint64(ip.Payload[2])<<8 | uint64(ip.Payload[3]))
+		case pkt.ProtoICMP:
+			if len(ip.Payload) >= 6 {
+				mix(uint64(ip.Payload[4])<<8 | uint64(ip.Payload[5])) // echo ID
+			}
+		}
+	}
+	return h
+}
+
+type sendCtx struct {
+	n           *Network
+	flow        uint64
+	dstOwner    RouterID
+	vpGateway   RouterID
+	probeSrc    netip.Addr
+	lastRetDist int
+}
+
+// process runs one router's worth of forwarding. It returns either the next
+// hop (done=false) or the final outcome (done=true, reply possibly nil).
+func (c *sendCtx) process(r *Router, prev RouterID, f *frame) (next RouterID, reply []byte, done bool) {
+	received := f.stack.Clone()
+	rcvIPTTL := f.ip.TTL
+	inIface := c.inIface(r, prev)
+
+	ttlDone := false
+	if len(f.stack) > 0 {
+		// MPLS stage: one LSE-TTL decrement per router.
+		if f.stack[0].TTL <= 1 {
+			return 0, c.timeExceeded(r, inIface, f, received, rcvIPTTL), true
+		}
+		f.stack[0].TTL--
+		for len(f.stack) > 0 {
+			eff := f.stack[0].TTL
+			kind, fec, nbr := c.n.resolveLabel(r, f.stack[0].Label)
+			switch kind {
+			case labelNodeSID:
+				e := c.n.routers[fec]
+				if e.ID == r.ID {
+					// Active segment completed at this node: pop.
+					f.stack = f.stack.Pop()
+					c.popTTLAdjust(f, eff)
+					continue
+				}
+				nh, ok := c.n.NextHop(r.ID, e.ID, c.flow)
+				if !ok {
+					return 0, nil, true
+				}
+				nhr := c.n.routers[nh]
+				if c.n.SRPHPEnabled && nh == e.ID {
+					f.stack = f.stack.Pop()
+					c.popTTLAdjust(f, eff)
+					return nh, nil, false
+				}
+				if out, ok := c.n.srLabelAt(nhr, e); ok {
+					f.stack = f.stack.Swap(out)
+					f.stack[0].TTL = eff
+					return nh, nil, false
+				}
+				// SR→LDP interworking: the next hop is not SR-capable, so
+				// this border router swaps the SR label for the neighbor's
+				// LDP binding toward the same FEC.
+				if nh == e.ID {
+					// LDP implicit null at the penultimate hop.
+					f.stack = f.stack.Pop()
+					c.popTTLAdjust(f, eff)
+					return nh, nil, false
+				}
+				if out, ok := nhr.ldpOut[e.ID]; ok {
+					f.stack = f.stack.Swap(out)
+					f.stack[0].TTL = eff
+					return nh, nil, false
+				}
+				return 0, nil, true // no binding: drop
+			case labelService:
+				// Service SID terminating here: consume it and continue
+				// processing the rest of the packet locally.
+				f.stack = f.stack.Pop()
+				c.popTTLAdjust(f, eff)
+				continue
+			case labelExplicitNull:
+				// Reserved label 0 (RFC 3032): pop and forward by the IP
+				// header (or by the next label, for robustness).
+				f.stack = f.stack.Pop()
+				c.popTTLAdjust(f, eff)
+				continue
+			case labelELI:
+				// Entropy label indicator (RFC 6790): the ELI and the
+				// entropy label beneath it are consumed together.
+				f.stack = f.stack.Pop()
+				if len(f.stack) > 0 {
+					f.stack = f.stack.Pop()
+				}
+				c.popTTLAdjust(f, eff)
+				continue
+			case labelAdjSID:
+				if c.n.linkDown(r.ID, nbr) {
+					return 0, nil, true // adjacency segment over a dead link
+				}
+				f.stack = f.stack.Pop()
+				c.popTTLAdjust(f, eff)
+				return nbr, nil, false
+			case labelLDP:
+				e := c.n.routers[fec]
+				if e.ID == r.ID {
+					f.stack = f.stack.Pop()
+					c.popTTLAdjust(f, eff)
+					continue
+				}
+				nh, ok := c.n.NextHop(r.ID, e.ID, c.flow)
+				if !ok {
+					return 0, nil, true
+				}
+				nhr := c.n.routers[nh]
+				if nhr.LDPEnabled {
+					if nh == e.ID {
+						if e.Profile.ExplicitNull {
+							// The egress advertised explicit null: swap
+							// to label 0 instead of popping.
+							f.stack = f.stack.Swap(mpls.LabelIPv4ExplicitNull)
+							f.stack[0].TTL = eff
+							return nh, nil, false
+						}
+						// Penultimate-hop popping (implicit null).
+						f.stack = f.stack.Pop()
+						c.popTTLAdjust(f, eff)
+						return nh, nil, false
+					}
+					if out, ok := nhr.ldpOut[e.ID]; ok {
+						f.stack = f.stack.Swap(out)
+						f.stack[0].TTL = eff
+						return nh, nil, false
+					}
+					return 0, nil, true
+				}
+				// LDP→SR interworking: SR border routers advertise LDP
+				// bindings mirroring node SIDs, so the frame continues on
+				// the neighbor's SR label for the same FEC.
+				if out, ok := c.n.srLabelAt(nhr, e); ok {
+					f.stack = f.stack.Swap(out)
+					f.stack[0].TTL = eff
+					return nh, nil, false
+				}
+				return 0, nil, true
+			default:
+				return 0, nil, true // unknown label: drop
+			}
+		}
+		// The whole stack popped here. Under the uniform model the IP TTL
+		// was already synced to the (decremented) LSE TTL; under short-pipe
+		// the egress still performs its own IP TTL work below.
+		ttlDone = f.mode == modeUniform
+	}
+
+	// IP stage. A packet addressed to one of this router's own addresses
+	// is delivered without a TTL check; packets for attached hosts or
+	// routed prefixes are still forwarded (one more TTL consumed), so the
+	// destination appears one traceroute hop beyond its gateway.
+	selfAddr := false
+	if id, ok := c.n.addrOwner[f.ip.Dst]; ok && id == r.ID {
+		selfAddr = true
+	}
+	if r.ID == c.dstOwner && selfAddr {
+		return 0, c.deliver(r, f, received, rcvIPTTL), true
+	}
+	if !ttlDone {
+		if f.ip.TTL <= 1 {
+			return 0, c.timeExceeded(r, inIface, f, received, rcvIPTTL), true
+		}
+		f.ip.TTL--
+	}
+	if r.ID == c.dstOwner {
+		return 0, c.deliver(r, f, received, rcvIPTTL), true
+	}
+
+	ownerR := c.n.routers[c.dstOwner]
+	nh, ok := c.n.NextHop(r.ID, c.dstOwner, c.flow)
+	if !ok {
+		return 0, nil, true
+	}
+
+	// Ingress LER decision: label-push transit traffic toward an egress in
+	// the same AS, for tunnel-eligible FECs only.
+	if len(f.stack) == 0 && r.Mode != ModeIP && ownerR.ASN == r.ASN &&
+		c.n.TunnelEligible(f.ip.Dst) {
+		pushed, newNh := c.push(r, ownerR, f, nh)
+		if pushed {
+			return newNh, nil, false
+		}
+	}
+	return nh, nil, false
+}
+
+// push applies the ingress encapsulation; it returns false when no label
+// ends up on the packet (implicit null to an adjacent egress, or missing
+// state), in which case plain IP forwarding proceeds.
+func (c *sendCtx) push(r *Router, egress *Router, f *frame, defaultNh RouterID) (bool, RouterID) {
+	f.mode = modeUniform
+	if !r.Profile.TTLPropagate {
+		f.mode = modePipe
+	}
+	lseTTL := f.ip.TTL
+	if f.mode == modePipe {
+		lseTTL = 255
+	}
+
+	mode := r.Mode
+	if mode == ModeSR && !r.SREnabled {
+		if r.LDPEnabled {
+			mode = ModeLDP
+		} else {
+			return false, 0
+		}
+	}
+	if mode == ModeLDP && !r.LDPEnabled {
+		return false, 0
+	}
+
+	switch mode {
+	case ModeSR:
+		segs := SegmentList{{Node: egress.ID}}
+		if c.n.SRPolicy != nil {
+			if s := c.n.SRPolicy(r, egress.ID, f.ip.Dst, c.flow); len(s) > 0 {
+				segs = s
+			}
+		}
+		stack, ok := c.n.buildSRStack(r, segs, c.flow, lseTTL)
+		if !ok {
+			// Destination has no SID (LDP-only egress, no mapping server):
+			// fall back to LDP, but only if this router actually runs LDP —
+			// a pure-SR ingress has no LDP sessions to learn labels from.
+			if r.LDPEnabled {
+				return c.pushLDP(r, egress, f, lseTTL)
+			}
+			return false, 0
+		}
+		// First segment may terminate at the next hop under PHP.
+		nh, ok2 := c.n.NextHop(r.ID, firstNodeOf(segs, egress.ID), c.flow)
+		if !ok2 {
+			return false, 0
+		}
+		if c.n.SRPHPEnabled && len(stack) == 1 && nh == egress.ID {
+			return false, 0
+		}
+		f.stack = stack
+		return true, nh
+	case ModeLDP:
+		return c.pushLDP(r, egress, f, lseTTL)
+	default:
+		return false, 0
+	}
+}
+
+func firstNodeOf(segs SegmentList, fallback RouterID) RouterID {
+	if len(segs) > 0 && !segs[0].Adj && !segs[0].Service {
+		return segs[0].Node
+	}
+	return fallback
+}
+
+func (c *sendCtx) pushLDP(r *Router, egress *Router, f *frame, lseTTL uint8) (bool, RouterID) {
+	nh, ok := c.n.NextHop(r.ID, egress.ID, c.flow)
+	if !ok {
+		return false, 0
+	}
+	var inner *mpls.LSE
+	if c.n.LDPStackPolicy != nil {
+		if l, ok2 := c.n.LDPStackPolicy(r, egress.ID, f.ip.Dst); ok2 {
+			inner = &mpls.LSE{Label: l, TTL: lseTTL}
+		}
+	}
+	if nh == egress.ID {
+		// An adjacent egress advertised implicit null (no transport label)
+		// or explicit null (label 0); a service label, if any, still rides
+		// to the egress.
+		var stack mpls.Stack
+		if egress.Profile.ExplicitNull {
+			stack = mpls.Stack{{Label: mpls.LabelIPv4ExplicitNull, TTL: lseTTL}}
+		}
+		if inner != nil {
+			stack = append(stack, *inner)
+		}
+		if len(stack) == 0 {
+			return false, 0
+		}
+		f.stack = c.appendEntropy(r, egress.ID, f, stack, lseTTL)
+		return true, nh
+	}
+	nhr := c.n.routers[nh]
+	var label uint32
+	if nhr.LDPEnabled {
+		label, ok = nhr.ldpOut[egress.ID]
+		if !ok {
+			return false, 0
+		}
+	} else if l, ok2 := c.n.srLabelAt(nhr, egress); ok2 {
+		label = l // LDP ingress facing an SR core: LDP→SR at the first hop
+	} else {
+		return false, 0
+	}
+	f.stack = mpls.Stack{{Label: label, TTL: lseTTL}}
+	if inner != nil {
+		f.stack = append(f.stack, *inner)
+	}
+	f.stack = c.appendEntropy(r, egress.ID, f, f.stack, lseTTL)
+	return true, nh
+}
+
+// appendEntropy adds an RFC 6790 entropy label pair (ELI + flow-derived EL)
+// to the bottom of a classic-MPLS stack when the ingress policy asks for
+// load-balancing entropy.
+func (c *sendCtx) appendEntropy(r *Router, egress RouterID, f *frame, stack mpls.Stack, lseTTL uint8) mpls.Stack {
+	if c.n.EntropyPolicy == nil || len(stack) == 0 {
+		return stack
+	}
+	if !c.n.EntropyPolicy(r, egress, f.ip.Dst, c.flow) {
+		return stack
+	}
+	el := uint32(16 + c.flow%1000000)
+	return append(stack,
+		mpls.LSE{Label: mpls.LabelELI, TTL: lseTTL},
+		mpls.LSE{Label: el, TTL: lseTTL})
+}
+
+// popTTLAdjust applies RFC 3443 TTL propagation when an LSE is popped.
+// eff is the (already decremented) TTL of the popped entry.
+func (c *sendCtx) popTTLAdjust(f *frame, eff uint8) {
+	if f.mode != modeUniform {
+		return
+	}
+	if len(f.stack) > 0 {
+		f.stack[0].TTL = eff
+	} else if eff < f.ip.TTL {
+		f.ip.TTL = eff
+	}
+}
+
+// inIface resolves the address of r's interface facing the previous hop.
+func (c *sendCtx) inIface(r *Router, prev RouterID) netip.Addr {
+	if prev >= 0 {
+		if a, ok := r.ifaces[prev]; ok {
+			return a
+		}
+	}
+	return r.Loopback
+}
+
+// retDist computes the return path length (in IP hops) from a replying
+// router back to the probing host.
+func (c *sendCtx) retDist(r *Router) int {
+	d := c.n.PathLen(r.ID, c.vpGateway, c.flow)
+	if d < 0 {
+		d = 0
+	}
+	return d + 1 // gateway → host
+}
+
+func (c *sendCtx) nextIPID(r *Router) uint16 {
+	r.ipID += r.ipIDStride
+	return r.ipID
+}
+
+// quoteBytes rebuilds the original datagram as the replying router saw it.
+func quoteBytes(f *frame, rcvTTL uint8) []byte {
+	q := *f.ip
+	q.TTL = rcvTTL
+	b, err := q.Marshal()
+	if err != nil {
+		return nil
+	}
+	return b
+}
+
+// timeExceeded builds the ICMP time-exceeded reply from router r, quoting
+// the received label stack when the router implements RFC 4950.
+func (c *sendCtx) timeExceeded(r *Router, src netip.Addr, f *frame, received mpls.Stack, rcvTTL uint8) []byte {
+	if !r.Profile.RespondsICMP || c.icmpLost(r, f) {
+		return nil
+	}
+	return c.icmpError(r, src, pkt.ICMPTimeExceeded, pkt.CodeTTLExceeded, f, received, rcvTTL)
+}
+
+// icmpLost models ICMP rate limiting: a deterministic per-probe coin flip
+// keyed on the router and the probe's IP-ID, so a retry (new IP-ID) draws
+// a fresh coin.
+func (c *sendCtx) icmpLost(r *Router, f *frame) bool {
+	p := r.Profile.ICMPLossProb
+	if p <= 0 {
+		return false
+	}
+	h := uint64(r.ID)*0x9e3779b97f4a7c15 ^ uint64(f.ip.ID)*0xc2b2ae3d27d4eb4f ^ c.flow
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return float64(h%10000)/10000 < p
+}
+
+func (c *sendCtx) icmpError(r *Router, src netip.Addr, typ, code uint8, f *frame, received mpls.Stack, rcvTTL uint8) []byte {
+	msg := &pkt.ICMP{Type: typ, Code: code, Body: quoteBytes(f, rcvTTL)}
+	if r.Profile.RFC4950 && len(received) > 0 {
+		if obj, err := pkt.NewMPLSExtension(received); err == nil {
+			msg.Extensions = []pkt.ExtensionObject{obj}
+		}
+	}
+	payload, err := msg.Marshal()
+	if err != nil {
+		return nil
+	}
+	ret := c.retDist(r)
+	c.lastRetDist = ret
+	initTTL := int(r.Profile.InitialTTLTimeExceeded)
+	outTTL := initTTL - ret
+	if outTTL < 1 {
+		outTTL = 1
+	}
+	out := &pkt.IPv4{
+		TTL:      uint8(outTTL),
+		Protocol: pkt.ProtoICMP,
+		ID:       c.nextIPID(r),
+		Src:      src,
+		Dst:      f.ip.Src,
+		Payload:  payload,
+	}
+	b, err := out.Marshal()
+	if err != nil {
+		return nil
+	}
+	return b
+}
+
+// deliver handles a probe that reached the router owning its destination:
+// either a directly attached host answers, or the router itself does.
+func (c *sendCtx) deliver(r *Router, f *frame, received mpls.Stack, rcvTTL uint8) []byte {
+	if h, ok := c.n.hosts[f.ip.Dst]; ok {
+		return c.hostReply(h, r, f)
+	}
+	// Addressed to the router itself (loopback or interface) or to a
+	// routed prefix with no attached host; the router answers either way,
+	// sourcing the reply from the probed address as most stacks do.
+	switch f.ip.Protocol {
+	case pkt.ProtoUDP:
+		if !r.Profile.RespondsICMP || c.icmpLost(r, f) {
+			return nil
+		}
+		src := f.ip.Dst
+		if _, ok := c.n.addrOwner[src]; !ok {
+			src = r.Loopback
+		}
+		return c.icmpError(r, src, pkt.ICMPDestUnreachable, pkt.CodePortUnreachable, f, received, rcvTTL)
+	case pkt.ProtoICMP:
+		return c.echoReply(r, f)
+	default:
+		return nil
+	}
+}
+
+func (c *sendCtx) echoReply(r *Router, f *frame) []byte {
+	if !r.Profile.RespondsEcho {
+		return nil
+	}
+	req, err := pkt.UnmarshalICMP(f.ip.Payload)
+	if err != nil || req.Type != pkt.ICMPEchoRequest {
+		return nil
+	}
+	rep := &pkt.ICMP{Type: pkt.ICMPEchoReply, ID: req.ID, Seq: req.Seq, Body: req.Body}
+	payload, err := rep.Marshal()
+	if err != nil {
+		return nil
+	}
+	ret := c.retDist(r)
+	c.lastRetDist = ret
+	outTTL := int(r.Profile.InitialTTLEchoReply) - ret
+	if outTTL < 1 {
+		outTTL = 1
+	}
+	src := f.ip.Dst
+	if _, ok := c.n.addrOwner[src]; !ok {
+		src = r.Loopback
+	}
+	out := &pkt.IPv4{
+		TTL:      uint8(outTTL),
+		Protocol: pkt.ProtoICMP,
+		ID:       c.nextIPID(r),
+		Src:      src,
+		Dst:      f.ip.Src,
+		Payload:  payload,
+	}
+	b, err := out.Marshal()
+	if err != nil {
+		return nil
+	}
+	return b
+}
+
+// hostReply models the destination end host answering: port unreachable
+// for UDP probes to closed ports, echo replies for pings.
+func (c *sendCtx) hostReply(h *Host, gw *Router, f *frame) []byte {
+	const hostInitTTL = 64
+	var payload []byte
+	switch f.ip.Protocol {
+	case pkt.ProtoUDP:
+		msg := &pkt.ICMP{Type: pkt.ICMPDestUnreachable, Code: pkt.CodePortUnreachable, Body: quoteBytes(f, f.ip.TTL)}
+		b, err := msg.Marshal()
+		if err != nil {
+			return nil
+		}
+		payload = b
+	case pkt.ProtoICMP:
+		req, err := pkt.UnmarshalICMP(f.ip.Payload)
+		if err != nil || req.Type != pkt.ICMPEchoRequest {
+			return nil
+		}
+		rep := &pkt.ICMP{Type: pkt.ICMPEchoReply, ID: req.ID, Seq: req.Seq, Body: req.Body}
+		b, err := rep.Marshal()
+		if err != nil {
+			return nil
+		}
+		payload = b
+	default:
+		return nil
+	}
+	ret := c.retDist(gw)
+	c.lastRetDist = ret + 1
+	outTTL := hostInitTTL - ret - 1
+	if outTTL < 1 {
+		outTTL = 1
+	}
+	out := &pkt.IPv4{
+		TTL:      uint8(outTTL),
+		Protocol: pkt.ProtoICMP,
+		Src:      h.Addr,
+		Dst:      f.ip.Src,
+		Payload:  payload,
+	}
+	b, err := out.Marshal()
+	if err != nil {
+		return nil
+	}
+	return b
+}

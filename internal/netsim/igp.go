@@ -1,0 +1,149 @@
+package netsim
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// computeSPF runs Dijkstra from every router, recording IGP distances and
+// the set of equal-cost first hops toward every destination. ECMP next hops
+// are kept sorted so that flow-hash selection is deterministic.
+func (n *Network) computeSPF() {
+	n.nexthops = make(map[RouterID]map[RouterID][]RouterID, len(n.routers))
+	n.dist = make(map[RouterID]map[RouterID]int, len(n.routers))
+	for _, r := range n.routers {
+		dist, first := n.dijkstra(r.ID)
+		n.dist[r.ID] = dist
+		n.nexthops[r.ID] = first
+	}
+}
+
+type pqItem struct {
+	id   RouterID
+	cost int
+}
+
+type pq []pqItem
+
+func (q pq) Len() int { return len(q) }
+func (q pq) Less(i, j int) bool {
+	return q[i].cost < q[j].cost || (q[i].cost == q[j].cost && q[i].id < q[j].id)
+}
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	it := old[len(old)-1]
+	*q = old[:len(old)-1]
+	return it
+}
+
+// dijkstra returns the cost map from src and, per destination, the ECMP set
+// of first-hop router IDs on shortest paths.
+func (n *Network) dijkstra(src RouterID) (map[RouterID]int, map[RouterID][]RouterID) {
+	const inf = int(^uint(0) >> 2)
+	cost := make(map[RouterID]int, len(n.routers))
+	firstSet := make(map[RouterID]map[RouterID]bool, len(n.routers))
+	for _, r := range n.routers {
+		cost[r.ID] = inf
+	}
+	cost[src] = 0
+	q := &pq{{src, 0}}
+	done := make(map[RouterID]bool)
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if done[it.id] {
+			continue
+		}
+		done[it.id] = true
+		for _, nb := range n.adj[it.id] {
+			if n.linkDown(it.id, nb.id) {
+				continue
+			}
+			c := it.cost + nb.weight
+			switch {
+			case c < cost[nb.id]:
+				cost[nb.id] = c
+				fs := make(map[RouterID]bool)
+				if it.id == src {
+					fs[nb.id] = true
+				} else {
+					for f := range firstSet[it.id] {
+						fs[f] = true
+					}
+				}
+				firstSet[nb.id] = fs
+				heap.Push(q, pqItem{nb.id, c})
+			case c == cost[nb.id] && c < inf:
+				fs := firstSet[nb.id]
+				if fs == nil {
+					fs = make(map[RouterID]bool)
+					firstSet[nb.id] = fs
+				}
+				if it.id == src {
+					fs[nb.id] = true
+				} else {
+					for f := range firstSet[it.id] {
+						fs[f] = true
+					}
+				}
+			}
+		}
+	}
+	dist := make(map[RouterID]int, len(n.routers))
+	first := make(map[RouterID][]RouterID, len(n.routers))
+	for _, r := range n.routers {
+		if cost[r.ID] >= inf {
+			dist[r.ID] = -1
+			continue
+		}
+		dist[r.ID] = cost[r.ID]
+		if r.ID == src {
+			continue
+		}
+		fs := make([]RouterID, 0, len(firstSet[r.ID]))
+		for f := range firstSet[r.ID] {
+			fs = append(fs, f)
+		}
+		sort.Slice(fs, func(i, j int) bool { return fs[i] < fs[j] })
+		first[r.ID] = fs
+	}
+	return dist, first
+}
+
+// NextHop picks the next hop from src toward dst for a given flow hash,
+// selecting deterministically among ECMP candidates. ok is false when dst
+// is unreachable.
+func (n *Network) NextHop(src, dst RouterID, flow uint64) (RouterID, bool) {
+	hops := n.nexthops[src][dst]
+	if len(hops) == 0 {
+		return 0, false
+	}
+	// Mix the router ID in so different routers spread flows differently,
+	// as per-router ECMP hashing does.
+	h := flow*0x9e3779b97f4a7c15 + uint64(src)*0x85ebca6b
+	h ^= h >> 33
+	return hops[h%uint64(len(hops))], true
+}
+
+// PathLen returns the number of router hops on the flow's path from src to
+// dst (0 when src == dst, -1 when unreachable).
+func (n *Network) PathLen(src, dst RouterID, flow uint64) int {
+	if src == dst {
+		return 0
+	}
+	hops := 0
+	cur := src
+	for cur != dst {
+		nxt, ok := n.NextHop(cur, dst, flow)
+		if !ok {
+			return -1
+		}
+		cur = nxt
+		hops++
+		if hops > len(n.routers) {
+			return -1
+		}
+	}
+	return hops
+}

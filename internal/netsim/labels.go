@@ -1,0 +1,160 @@
+package netsim
+
+import (
+	"net/netip"
+
+	"arest/internal/mpls"
+)
+
+// sidIndexOwner returns the router holding the given node-SID index.
+func (n *Network) sidIndexOwner(idx int) (*Router, bool) {
+	if idx < 0 || idx >= len(n.sidOwner) {
+		return nil, false
+	}
+	id := n.sidOwner[idx]
+	if id < 0 {
+		return nil, false
+	}
+	return n.routers[id], true
+}
+
+// srLabelAt computes the MPLS label that router "at" understands as the
+// node SID of egress e: at's SRGB base plus e's index. ok is false when at
+// is not SR-capable or e has no node SID.
+func (n *Network) srLabelAt(at *Router, e *Router) (uint32, bool) {
+	if !at.SREnabled || e.nodeIndex < 0 {
+		return 0, false
+	}
+	l := at.SRGB.Lo + uint32(e.nodeIndex)
+	if l > at.SRGB.Hi {
+		return 0, false
+	}
+	return l, true
+}
+
+// resolveLabel interprets an incoming label at router r. Resolution order:
+// the router's own SRGB (node SIDs), its adjacency SIDs, then its LDP
+// bindings; the dynamic pool is range-disjoint from the SR blocks for every
+// modeled vendor, so the order only matters for operator-customized SRGBs.
+type labelKind int
+
+const (
+	labelUnknown      labelKind = iota
+	labelNodeSID                // FEC = egress router
+	labelAdjSID                 // forward out a specific link
+	labelLDP                    // FEC = egress router
+	labelService                // service SID terminating here: pop and continue
+	labelExplicitNull           // reserved label 0: pop, continue with IP
+	labelELI                    // entropy label indicator (RFC 6790): pop it and the EL
+)
+
+func (n *Network) resolveLabel(r *Router, label uint32) (kind labelKind, fec RouterID, nbr RouterID) {
+	switch label {
+	case mpls.LabelIPv4ExplicitNull:
+		return labelExplicitNull, r.ID, 0
+	case mpls.LabelELI:
+		return labelELI, r.ID, 0
+	}
+	if r.SREnabled && r.SRGB.Contains(label) {
+		if e, ok := n.sidIndexOwner(int(label - r.SRGB.Lo)); ok {
+			return labelNodeSID, e.ID, 0
+		}
+		return labelUnknown, 0, 0
+	}
+	if nb, ok := r.adjByL[label]; ok {
+		return labelAdjSID, 0, nb
+	}
+	if r.svcSIDs[label] {
+		return labelService, r.ID, 0
+	}
+	if e, ok := r.ldpIn[label]; ok {
+		return labelLDP, e, 0
+	}
+	return labelUnknown, 0, 0
+}
+
+// AllocateServiceSID reserves a service SID at router r (service SIDs ride
+// at the bottom of SR stacks and are consumed by the terminating node —
+// the "unshrinking stack" behaviour of advanced SR deployments). The label
+// is drawn from the router's dynamic pool so it collides with nothing.
+func (n *Network) AllocateServiceSID(r *Router, name string) uint32 {
+	l := r.pool.Allocate("svc-" + name)
+	r.svcSIDs[l] = true
+	return l
+}
+
+// SegmentList is an explicit SR path: a sequence of segments the ingress
+// encodes as a label stack.
+type SegmentList []Segment
+
+// Segment is one instruction: either a node segment (shortest path to Node)
+// or an adjacency segment (cross the link From->To using From's adjacency
+// SID). Service marks a service SID, which rides at the bottom of the stack
+// until the terminating node.
+type Segment struct {
+	Node    RouterID
+	From    RouterID
+	To      RouterID
+	Adj     bool
+	Service bool
+	// ServiceLabel is the label value for Service segments.
+	ServiceLabel uint32
+}
+
+// buildSRStack encodes a segment list into a label stack as the SR source
+// would: each label is expressed in the SRGB of the router where it becomes
+// active. atFirst is the first router that will read the top label (the
+// ingress's next hop, or the ingress itself when it processes its own
+// push — we model the push as interpreted by the ingress's next hop).
+func (n *Network) buildSRStack(ingress *Router, segs SegmentList, flow uint64, ttl uint8) (mpls.Stack, bool) {
+	var stack mpls.Stack
+	cur := ingress // router at which the *next* segment becomes active
+	for i, s := range segs {
+		switch {
+		case s.Service:
+			stack = append(stack, mpls.LSE{Label: s.ServiceLabel, TTL: ttl})
+		case s.Adj:
+			from := n.routers[s.From]
+			l, ok := from.AdjacencySID(s.To)
+			if !ok {
+				return nil, false
+			}
+			stack = append(stack, mpls.LSE{Label: l, TTL: ttl})
+			cur = n.routers[s.To]
+		default:
+			// Node segment: the top label of the stack is read by the
+			// ingress's next hop; deeper labels are read at the router
+			// where they become active (the endpoint of the previous
+			// segment).
+			reader := cur
+			if i == 0 {
+				nh, ok := n.NextHop(ingress.ID, s.Node, flow)
+				if !ok {
+					return nil, false
+				}
+				reader = n.routers[nh]
+			}
+			l, ok := n.srLabelAt(reader, n.routers[s.Node])
+			if !ok {
+				return nil, false
+			}
+			stack = append(stack, mpls.LSE{Label: l, TTL: ttl})
+			cur = n.routers[s.Node]
+		}
+	}
+	return stack, len(stack) > 0
+}
+
+// TunnelEligible reports whether a destination address is carried over an
+// LSP: loopback FECs and routed (customer/host) prefixes are; bare
+// interface addresses are not, because neither LDP nor SR binds labels to
+// point-to-point interface prefixes. This FEC granularity is what lets
+// TNT's DPR/BRPR reveal invisible tunnel interiors by tracing toward
+// interface addresses.
+func (n *Network) TunnelEligible(dst netip.Addr) bool {
+	id, ok := n.addrOwner[dst]
+	if !ok {
+		return true // routed prefix or host: label-switched
+	}
+	return n.routers[id].Loopback == dst
+}

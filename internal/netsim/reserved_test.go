@@ -1,0 +1,129 @@
+package netsim
+
+import (
+	"net/netip"
+	"testing"
+
+	"arest/internal/mpls"
+	"arest/internal/pkt"
+)
+
+// ldpChainWith builds the canonical LDP chain letting the caller tweak the
+// egress profile and network policies before Compute.
+func ldpChainWith(t *testing.T, tweak func(n *Network, pe2 *Router)) *chain {
+	t.Helper()
+	n := New(42)
+	prof := DefaultProfile(mpls.VendorCisco)
+	gw := n.AddRouter(RouterConfig{Name: "gw", ASN: 65000, Vendor: mpls.VendorLinux,
+		Profile: DefaultProfile(mpls.VendorLinux), Mode: ModeIP})
+	mk := func(name string) *Router {
+		return n.AddRouter(RouterConfig{Name: name, ASN: 100, Vendor: mpls.VendorCisco,
+			Profile: prof, LDPEnabled: true, Mode: ModeLDP})
+	}
+	pe1 := mk("pe1")
+	n.Connect(gw.ID, pe1.ID, 10)
+	prev := pe1
+	var ps []*Router
+	for i := 0; i < 3; i++ {
+		p := mk("p")
+		n.Connect(prev.ID, p.ID, 10)
+		ps = append(ps, p)
+		prev = p
+	}
+	pe2 := mk("pe2")
+	n.Connect(prev.ID, pe2.ID, 10)
+	vp := a("172.16.0.10")
+	target := a("100.1.0.20")
+	n.AddHost(vp, gw.ID)
+	n.AddHost(target, pe2.ID)
+	if tweak != nil {
+		tweak(n, pe2)
+	}
+	n.Compute()
+	return &chain{net: n, vp: vp, target: target, gw: gw, pe1: pe1, ps: ps, pe2: pe2, pathLen: 6}
+}
+
+func TestExplicitNullEgress(t *testing.T) {
+	c := ldpChainWith(t, func(n *Network, pe2 *Router) {
+		pe2.Profile.ExplicitNull = true
+	})
+	hops := c.traceUDP(t, c.target, 10, 33434)
+	if len(hops) != c.pathLen+1 {
+		t.Fatalf("hops = %d, want %d", len(hops), c.pathLen+1)
+	}
+	// The penultimate hop swaps to label 0 instead of popping, so pe2's
+	// time-exceeded quotes the reserved explicit-null label.
+	eh := hops[c.pathLen-1] // pe2
+	if eh.stack == nil {
+		t.Fatal("explicit-null egress quoted no stack")
+	}
+	if eh.stack[0].Label != mpls.LabelIPv4ExplicitNull {
+		t.Errorf("egress label = %d, want 0", eh.stack[0].Label)
+	}
+	if !eh.stack[0].Reserved() {
+		t.Error("label 0 not marked reserved")
+	}
+	// Delivery still works.
+	last := hops[c.pathLen]
+	if last.icmpType != pkt.ICMPDestUnreachable {
+		t.Errorf("not delivered: %+v", last)
+	}
+}
+
+func TestImplicitNullDefault(t *testing.T) {
+	c := ldpChainWith(t, nil)
+	hops := c.traceUDP(t, c.target, 10, 33434)
+	// Default implicit null: pe2 receives unlabeled.
+	if hops[c.pathLen-1].stack != nil {
+		t.Errorf("pe2 labeled despite implicit null: %v", hops[c.pathLen-1].stack)
+	}
+}
+
+func TestEntropyLabelStacks(t *testing.T) {
+	c := ldpChainWith(t, func(n *Network, pe2 *Router) {
+		n.EntropyPolicy = func(ing *Router, egress RouterID, dst netip.Addr, flow uint64) bool {
+			return true
+		}
+	})
+	hops := c.traceUDP(t, c.target, 10, 33434)
+	if len(hops) != c.pathLen+1 {
+		t.Fatalf("hops = %d, want %d", len(hops), c.pathLen+1)
+	}
+	// Interior LSRs quote [transport, ELI, EL]: depth 3.
+	for i := 2; i < 2+len(c.ps); i++ {
+		h := hops[i]
+		if h.stack.Depth() != 3 {
+			t.Fatalf("hop %d depth = %d, want 3: %v", i, h.stack.Depth(), h.stack)
+		}
+		if h.stack[1].Label != mpls.LabelELI {
+			t.Errorf("hop %d middle label = %d, want ELI (7)", i, h.stack[1].Label)
+		}
+		if h.stack[2].Label < 16 {
+			t.Errorf("hop %d entropy label %d is reserved", i, h.stack[2].Label)
+		}
+	}
+	// PHP pops the transport at the penultimate hop; pe2 receives
+	// [ELI, EL], consumes both, and still delivers.
+	eh := hops[c.pathLen-1]
+	if eh.stack.Depth() != 2 || eh.stack[0].Label != mpls.LabelELI {
+		t.Errorf("egress stack = %v, want [ELI, EL]", eh.stack)
+	}
+	if hops[c.pathLen].icmpType != pkt.ICMPDestUnreachable {
+		t.Error("entropy-labeled packet not delivered")
+	}
+}
+
+func TestEntropyVariesPerFlow(t *testing.T) {
+	c := ldpChainWith(t, func(n *Network, pe2 *Router) {
+		n.EntropyPolicy = func(ing *Router, egress RouterID, dst netip.Addr, flow uint64) bool {
+			return true
+		}
+	})
+	h1 := c.traceUDP(t, c.target, 10, 33434)
+	h2 := c.traceUDP(t, c.target, 10, 33500) // different flow
+	el1 := h1[2].stack[2].Label
+	el2 := h2[2].stack[2].Label
+	if el1 == el2 {
+		t.Errorf("entropy labels identical across flows: %d", el1)
+	}
+}

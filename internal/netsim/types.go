@@ -1,0 +1,208 @@
+// Package netsim is a deterministic simulator of IP/MPLS networks with
+// Segment Routing (SR-MPLS) and LDP control planes. It forwards frames with
+// genuine IP-TTL/LSE-TTL semantics (uniform and pipe models, ttl-propagate)
+// and generates ICMP replies per router profile (RFC 4950 label-stack
+// quoting on or off), so the four MPLS tunnel visibility classes of Donnet
+// et al. — explicit, implicit, opaque, invisible — emerge from the
+// mechanisms rather than being asserted.
+//
+// Vantage points and targets attach to edge routers as hosts; probes enter
+// and replies leave the simulator as serialized IPv4 bytes, forcing the
+// prober to run the same codec path a raw-socket tool would.
+package netsim
+
+import (
+	"net/netip"
+
+	"arest/internal/mpls"
+)
+
+// RouterID identifies a router within a Network.
+type RouterID int
+
+// TunnelMode selects the intra-domain encapsulation an ingress LER applies
+// to transit traffic.
+type TunnelMode int
+
+const (
+	// ModeIP performs plain IP forwarding (no MPLS).
+	ModeIP TunnelMode = iota
+	// ModeLDP pushes LDP-learned labels (classic MPLS).
+	ModeLDP
+	// ModeSR pushes SR node-SID labels (SR-MPLS).
+	ModeSR
+)
+
+func (m TunnelMode) String() string {
+	switch m {
+	case ModeIP:
+		return "ip"
+	case ModeLDP:
+		return "ldp"
+	case ModeSR:
+		return "sr"
+	default:
+		return "?"
+	}
+}
+
+// Profile captures the externally observable behaviour of a router that the
+// measurement pipeline depends on.
+type Profile struct {
+	// RFC4950 controls whether time-exceeded messages quote the received
+	// MPLS label stack (explicit/opaque tunnels need it).
+	RFC4950 bool
+	// TTLPropagate controls the ingress ttl-propagate knob: when true the
+	// IP TTL is copied into the pushed LSE TTL (uniform model); when false
+	// the LSE TTL is set to 255 and the tunnel hides its hops (pipe model).
+	TTLPropagate bool
+	// InitialTTLTimeExceeded and InitialTTLEchoReply are the initial TTL
+	// values of generated ICMP messages; the pair is the router's
+	// TTL-fingerprint signature (Vanaubel et al.).
+	InitialTTLTimeExceeded uint8
+	InitialTTLEchoReply    uint8
+	// RespondsICMP false models silent routers (traceroute shows "*").
+	RespondsICMP bool
+	// RespondsEcho false models routers that drop pings; TTL-based
+	// fingerprinting then lacks the echo-reply half of the signature and
+	// cannot classify the router (the AS#46/ESnet situation).
+	RespondsEcho bool
+	// SNMPOpen true means the router appears in the SNMPv3 fingerprint
+	// dataset with its exact vendor.
+	SNMPOpen bool
+	// ICMPLossProb is the probability that a generated ICMP reply is lost
+	// (rate limiting, control-plane policers). Deterministic per probe:
+	// retrying with a different IP-ID can succeed, exactly the behaviour
+	// traceroute retries exploit.
+	ICMPLossProb float64
+	// ExplicitNull makes this router, as an LDP egress, advertise the
+	// IPv4 explicit-null label (0) instead of implicit null: the
+	// penultimate hop then swaps to label 0 rather than popping, and the
+	// egress shows a reserved-label LSE in its quotes — a real traceroute
+	// phenomenon AReST must not mistake for Segment Routing.
+	ExplicitNull bool
+}
+
+// DefaultProfile returns the vendor's characteristic profile: initial-TTL
+// signature pairs follow the network-fingerprinting literature, where Cisco
+// and Huawei share <255,255> and are therefore indistinguishable by TTL.
+func DefaultProfile(v mpls.Vendor) Profile {
+	p := Profile{
+		RFC4950:                true,
+		TTLPropagate:           true,
+		RespondsICMP:           true,
+		RespondsEcho:           true,
+		InitialTTLTimeExceeded: 255,
+		InitialTTLEchoReply:    255,
+	}
+	switch v {
+	case mpls.VendorCisco, mpls.VendorHuawei:
+		// shared signature <255,255>
+	case mpls.VendorJuniper:
+		p.InitialTTLEchoReply = 64 // <255,64>
+	case mpls.VendorNokia:
+		p.InitialTTLTimeExceeded = 64 // <64,255>
+	case mpls.VendorArista, mpls.VendorLinux, mpls.VendorMikroTik:
+		p.InitialTTLTimeExceeded = 64
+		p.InitialTTLEchoReply = 64 // <64,64>
+	}
+	return p
+}
+
+// RouterConfig describes a router to add to a Network.
+type RouterConfig struct {
+	Name   string
+	ASN    int
+	Vendor mpls.Vendor
+	Profile
+	// SREnabled programs the SR-MPLS control plane on this router.
+	SREnabled bool
+	// LDPEnabled programs LDP on this router.
+	LDPEnabled bool
+	// SRGB overrides the vendor default SRGB (zero value keeps default).
+	SRGB mpls.LabelRange
+	// SRLB overrides the vendor default SRLB (zero value keeps default).
+	SRLB mpls.LabelRange
+	// Mode is the encapsulation this router applies as ingress LER.
+	Mode TunnelMode
+}
+
+// Router is a simulated router.
+type Router struct {
+	ID       RouterID
+	Name     string
+	ASN      int
+	Vendor   mpls.Vendor
+	Loopback netip.Addr
+	Profile  Profile
+
+	SREnabled  bool
+	LDPEnabled bool
+	SRGB       mpls.LabelRange
+	SRLB       mpls.LabelRange
+	Mode       TunnelMode
+
+	// nodeIndex is the SR node-SID index; -1 when the router has none.
+	nodeIndex int
+
+	pool    *mpls.Pool              // dynamic label pool (LDP labels, Juniper adj SIDs)
+	svcSIDs map[uint32]bool         // service SIDs terminating at this router
+	adjSIDs map[RouterID]uint32     // neighbor -> adjacency SID label
+	adjByL  map[uint32]RouterID     // adjacency SID label -> neighbor
+	ldpIn   map[uint32]RouterID     // incoming LDP label -> FEC (egress router)
+	ldpOut  map[RouterID]uint32     // FEC -> label this router advertised
+	ifaces  map[RouterID]netip.Addr // neighbor -> local interface address
+
+	// ipID is the router's shared IP-ID counter (monotone, wrapping),
+	// the signal MIDAR-style alias resolution keys on.
+	ipID uint16
+	// ipIDStride is how much the counter advances per generated packet,
+	// modeling background traffic through the shared counter.
+	ipIDStride uint16
+}
+
+// NodeIndex returns the router's SR node-SID index, or -1.
+func (r *Router) NodeIndex() int { return r.nodeIndex }
+
+// InterfaceTo returns the router's interface address on the link to
+// neighbor n, if such a link exists.
+func (r *Router) InterfaceTo(n RouterID) (netip.Addr, bool) {
+	a, ok := r.ifaces[n]
+	return a, ok
+}
+
+// Interfaces returns all interface addresses of the router.
+func (r *Router) Interfaces() []netip.Addr {
+	out := make([]netip.Addr, 0, len(r.ifaces)+1)
+	out = append(out, r.Loopback)
+	for _, a := range r.ifaces {
+		out = append(out, a)
+	}
+	return out
+}
+
+// AdjacencySID returns the adjacency SID this router allocated for the IGP
+// link to neighbor n.
+func (r *Router) AdjacencySID(n RouterID) (uint32, bool) {
+	l, ok := r.adjSIDs[n]
+	return l, ok
+}
+
+// LDPLabel returns the label this router advertised for the FEC of egress
+// router e.
+func (r *Router) LDPLabel(e RouterID) (uint32, bool) {
+	l, ok := r.ldpOut[e]
+	return l, ok
+}
+
+// Host is an end host attached to an edge router: a vantage point or a
+// probing target.
+type Host struct {
+	Addr    netip.Addr
+	Gateway RouterID
+}
+
+type neighbor struct {
+	id     RouterID
+	weight int
+}

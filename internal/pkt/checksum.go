@@ -1,0 +1,30 @@
+// Package pkt implements the wire formats the measurement pipeline needs:
+// IPv4, UDP, and ICMPv4, including ICMP multipart extensions (RFC 4884)
+// carrying the MPLS label stack object (RFC 4950). Probes leave the vantage
+// point and replies come back as these bytes, so the codecs are exercised
+// end to end by every simulated traceroute.
+package pkt
+
+// Checksum computes the Internet checksum (RFC 1071) over b.
+func Checksum(b []byte) uint16 {
+	return finish(sum(b, 0))
+}
+
+// sum accumulates 16-bit big-endian words of b into acc without folding.
+func sum(b []byte, acc uint32) uint32 {
+	for len(b) >= 2 {
+		acc += uint32(b[0])<<8 | uint32(b[1])
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		acc += uint32(b[0]) << 8
+	}
+	return acc
+}
+
+func finish(acc uint32) uint16 {
+	for acc>>16 != 0 {
+		acc = acc&0xffff + acc>>16
+	}
+	return ^uint16(acc)
+}

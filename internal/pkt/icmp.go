@@ -1,0 +1,247 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"arest/internal/mpls"
+)
+
+// ICMP types and codes used by the pipeline.
+const (
+	ICMPEchoReply       = 0
+	ICMPDestUnreachable = 3
+	ICMPEchoRequest     = 8
+	ICMPTimeExceeded    = 11
+
+	CodePortUnreachable = 3 // under ICMPDestUnreachable
+	CodeTTLExceeded     = 0 // under ICMPTimeExceeded
+)
+
+// RFC 4884 / RFC 4950 constants.
+const (
+	icmpHeaderLen       = 8
+	ExtensionVersion    = 2   // RFC 4884 Sec. 8
+	origDatagramPadLen  = 128 // original datagram field length when extensions are present
+	extHeaderLen        = 4
+	objectHeaderLen     = 4
+	ClassMPLSLabelStack = 1 // RFC 4950
+	CTypeIncomingStack  = 1 // RFC 4950
+)
+
+// ErrBadExtension reports a malformed ICMP extension structure.
+var ErrBadExtension = errors.New("pkt: malformed ICMP extension")
+
+// ExtensionObject is one RFC 4884 extension object.
+type ExtensionObject struct {
+	Class   uint8
+	CType   uint8
+	Payload []byte
+}
+
+// ICMP is an ICMPv4 message. For error messages (time exceeded, destination
+// unreachable) Body holds the quoted original datagram (unpadded) and
+// Extensions holds any RFC 4884 objects — notably the RFC 4950 MPLS label
+// stack quoted by compliant LSRs. For echo messages Body holds the data.
+type ICMP struct {
+	Type       uint8
+	Code       uint8
+	ID         uint16 // echo only
+	Seq        uint16 // echo only
+	Body       []byte
+	Extensions []ExtensionObject
+}
+
+// IsError reports whether the message quotes an original datagram.
+func (m *ICMP) IsError() bool {
+	return m.Type == ICMPTimeExceeded || m.Type == ICMPDestUnreachable
+}
+
+// Marshal serializes the message. Error messages with extension objects are
+// emitted in RFC 4884 form: the original datagram padded to 128 bytes, the
+// length field set, and a checksummed extension structure appended.
+func (m *ICMP) Marshal() ([]byte, error) {
+	var b []byte
+	switch {
+	case m.Type == ICMPEchoRequest || m.Type == ICMPEchoReply:
+		b = make([]byte, icmpHeaderLen+len(m.Body))
+		binary.BigEndian.PutUint16(b[4:], m.ID)
+		binary.BigEndian.PutUint16(b[6:], m.Seq)
+		copy(b[icmpHeaderLen:], m.Body)
+	case m.IsError():
+		orig := m.Body
+		if len(m.Extensions) > 0 {
+			padded := make([]byte, origDatagramPadLen)
+			if len(orig) > origDatagramPadLen {
+				orig = orig[:origDatagramPadLen]
+			}
+			copy(padded, orig)
+			ext, err := marshalExtensions(m.Extensions)
+			if err != nil {
+				return nil, err
+			}
+			b = make([]byte, icmpHeaderLen+len(padded)+len(ext))
+			b[5] = origDatagramPadLen / 4 // RFC 4884 length field, 32-bit words
+			copy(b[icmpHeaderLen:], padded)
+			copy(b[icmpHeaderLen+len(padded):], ext)
+		} else {
+			b = make([]byte, icmpHeaderLen+len(orig))
+			copy(b[icmpHeaderLen:], orig)
+		}
+	default:
+		return nil, fmt.Errorf("%w: unsupported ICMP type %d", ErrBadHeader, m.Type)
+	}
+	b[0] = m.Type
+	b[1] = m.Code
+	binary.BigEndian.PutUint16(b[2:], Checksum(b))
+	return b, nil
+}
+
+func marshalExtensions(objs []ExtensionObject) ([]byte, error) {
+	n := extHeaderLen
+	for _, o := range objs {
+		n += objectHeaderLen + len(o.Payload)
+	}
+	b := make([]byte, n)
+	b[0] = ExtensionVersion << 4
+	off := extHeaderLen
+	for _, o := range objs {
+		olen := objectHeaderLen + len(o.Payload)
+		if olen > 0xffff {
+			return nil, fmt.Errorf("%w: object too large", ErrBadExtension)
+		}
+		binary.BigEndian.PutUint16(b[off:], uint16(olen))
+		b[off+2] = o.Class
+		b[off+3] = o.CType
+		copy(b[off+objectHeaderLen:], o.Payload)
+		off += olen
+	}
+	binary.BigEndian.PutUint16(b[2:], Checksum(b))
+	return b, nil
+}
+
+// UnmarshalICMP parses an ICMPv4 message, verifying the message checksum
+// and, when present, the RFC 4884 extension structure checksum.
+func UnmarshalICMP(b []byte) (*ICMP, error) {
+	if len(b) < icmpHeaderLen {
+		return nil, ErrShortPacket
+	}
+	if Checksum(b) != 0 {
+		return nil, ErrBadChecksum
+	}
+	m := &ICMP{Type: b[0], Code: b[1]}
+	switch {
+	case m.Type == ICMPEchoRequest || m.Type == ICMPEchoReply:
+		m.ID = binary.BigEndian.Uint16(b[4:])
+		m.Seq = binary.BigEndian.Uint16(b[6:])
+		m.Body = append([]byte(nil), b[icmpHeaderLen:]...)
+	case m.IsError():
+		words := int(b[5])
+		rest := b[icmpHeaderLen:]
+		if words == 0 {
+			// No extensions signalled: everything is original datagram.
+			m.Body = append([]byte(nil), rest...)
+			return m, nil
+		}
+		origLen := words * 4
+		if origLen < origDatagramPadLen {
+			// RFC 4884: the original datagram field must be at least
+			// 128 bytes when the length attribute is used.
+			return nil, fmt.Errorf("%w: length field %d words", ErrBadExtension, words)
+		}
+		if len(rest) < origLen {
+			return nil, fmt.Errorf("%w: original datagram truncated", ErrBadExtension)
+		}
+		m.Body = trimOriginal(rest[:origLen])
+		ext := rest[origLen:]
+		objs, err := unmarshalExtensions(ext)
+		if err != nil {
+			return nil, err
+		}
+		m.Extensions = objs
+	default:
+		return nil, fmt.Errorf("%w: unsupported ICMP type %d", ErrBadHeader, m.Type)
+	}
+	return m, nil
+}
+
+// trimOriginal strips RFC 4884 zero padding from a quoted datagram by
+// re-reading the quoted IPv4 total length. If the quote is not parseable
+// the padded field is returned as-is.
+func trimOriginal(b []byte) []byte {
+	if len(b) >= IPv4HeaderLen && b[0]>>4 == 4 {
+		total := int(binary.BigEndian.Uint16(b[2:]))
+		if total >= IPv4HeaderLen && total <= len(b) {
+			return append([]byte(nil), b[:total]...)
+		}
+	}
+	return append([]byte(nil), b...)
+}
+
+func unmarshalExtensions(b []byte) ([]ExtensionObject, error) {
+	if len(b) < extHeaderLen {
+		return nil, fmt.Errorf("%w: structure truncated", ErrBadExtension)
+	}
+	if b[0]>>4 != ExtensionVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrBadExtension, b[0]>>4)
+	}
+	if binary.BigEndian.Uint16(b[2:]) != 0 && Checksum(b) != 0 {
+		return nil, fmt.Errorf("%w: bad extension checksum", ErrBadExtension)
+	}
+	var objs []ExtensionObject
+	off := extHeaderLen
+	for off < len(b) {
+		if len(b)-off < objectHeaderLen {
+			return nil, fmt.Errorf("%w: object header truncated", ErrBadExtension)
+		}
+		olen := int(binary.BigEndian.Uint16(b[off:]))
+		if olen < objectHeaderLen || off+olen > len(b) {
+			return nil, fmt.Errorf("%w: object length %d", ErrBadExtension, olen)
+		}
+		objs = append(objs, ExtensionObject{
+			Class:   b[off+2],
+			CType:   b[off+3],
+			Payload: append([]byte(nil), b[off+objectHeaderLen:off+olen]...),
+		})
+		off += olen
+	}
+	return objs, nil
+}
+
+// NewMPLSExtension builds the RFC 4950 incoming-label-stack object from s.
+func NewMPLSExtension(s mpls.Stack) (ExtensionObject, error) {
+	payload, err := s.Marshal()
+	if err != nil {
+		return ExtensionObject{}, err
+	}
+	return ExtensionObject{Class: ClassMPLSLabelStack, CType: CTypeIncomingStack, Payload: payload}, nil
+}
+
+// MPLSStack extracts the quoted MPLS label stack from the message's
+// RFC 4950 extension object, if present.
+func (m *ICMP) MPLSStack() (mpls.Stack, bool) {
+	for _, o := range m.Extensions {
+		if o.Class == ClassMPLSLabelStack && o.CType == CTypeIncomingStack {
+			s, _, err := mpls.UnmarshalStack(o.Payload)
+			if err != nil {
+				return nil, false
+			}
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// QuotedIPv4 parses the quoted original datagram of an error message,
+// tolerating the truncated quotes many routers emit.
+func (m *ICMP) QuotedIPv4() (*IPv4, error) {
+	if !m.IsError() {
+		return nil, fmt.Errorf("%w: not an error message", ErrBadHeader)
+	}
+	return UnmarshalIPv4Quoted(m.Body)
+}
+
+func (m *ICMP) String() string {
+	return fmt.Sprintf("ICMP type=%d code=%d body=%d ext=%d", m.Type, m.Code, len(m.Body), len(m.Extensions))
+}

@@ -1,0 +1,153 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// ICMPv6 types used by a v6 measurement pipeline.
+const (
+	ICMPv6DestUnreachable = 1
+	ICMPv6TimeExceeded    = 3
+	ICMPv6EchoRequest     = 128
+	ICMPv6EchoReply       = 129
+)
+
+// ICMPv6 is an ICMPv6 message. The checksum covers an IPv6 pseudo-header,
+// so Marshal and Unmarshal take the enclosing addresses. Error messages
+// carry the quoted original datagram in Body and may carry RFC 4884
+// extension objects — RFC 4950 label quoting applies to ICMPv6 as well
+// (6PE deployments emit exactly that).
+type ICMPv6 struct {
+	Type       uint8
+	Code       uint8
+	ID         uint16 // echo only
+	Seq        uint16 // echo only
+	Body       []byte
+	Extensions []ExtensionObject
+}
+
+// IsError reports whether the message quotes an original datagram.
+func (m *ICMPv6) IsError() bool {
+	return m.Type == ICMPv6TimeExceeded || m.Type == ICMPv6DestUnreachable
+}
+
+// Marshal serializes the message, computing the pseudo-header checksum.
+// Like its v4 counterpart, an error message with extensions is emitted in
+// RFC 4884 form — for ICMPv6 the length attribute sits in the first octet
+// of the unused field and counts 8-octet units.
+func (m *ICMPv6) Marshal(src, dst netip.Addr) ([]byte, error) {
+	if !src.Is6() || !dst.Is6() {
+		return nil, fmt.Errorf("%w: ICMPv6 needs IPv6 endpoints", ErrBadHeader)
+	}
+	var b []byte
+	switch {
+	case m.Type == ICMPv6EchoRequest || m.Type == ICMPv6EchoReply:
+		b = make([]byte, icmpHeaderLen+len(m.Body))
+		binary.BigEndian.PutUint16(b[4:], m.ID)
+		binary.BigEndian.PutUint16(b[6:], m.Seq)
+		copy(b[icmpHeaderLen:], m.Body)
+	case m.IsError():
+		orig := m.Body
+		if len(m.Extensions) > 0 {
+			padded := make([]byte, origDatagramPadLen)
+			if len(orig) > origDatagramPadLen {
+				orig = orig[:origDatagramPadLen]
+			}
+			copy(padded, orig)
+			ext, err := marshalExtensions(m.Extensions)
+			if err != nil {
+				return nil, err
+			}
+			b = make([]byte, icmpHeaderLen+len(padded)+len(ext))
+			b[4] = origDatagramPadLen / 8 // RFC 4884: 8-octet units for ICMPv6
+			copy(b[icmpHeaderLen:], padded)
+			copy(b[icmpHeaderLen+len(padded):], ext)
+		} else {
+			b = make([]byte, icmpHeaderLen+len(orig))
+			copy(b[icmpHeaderLen:], orig)
+		}
+	default:
+		return nil, fmt.Errorf("%w: unsupported ICMPv6 type %d", ErrBadHeader, m.Type)
+	}
+	b[0] = m.Type
+	b[1] = m.Code
+	binary.BigEndian.PutUint16(b[2:], icmp6Checksum(src, dst, b))
+	return b, nil
+}
+
+// UnmarshalICMPv6 parses an ICMPv6 message, verifying the pseudo-header
+// checksum and any RFC 4884 extension structure.
+func UnmarshalICMPv6(src, dst netip.Addr, b []byte) (*ICMPv6, error) {
+	if len(b) < icmpHeaderLen {
+		return nil, ErrShortPacket
+	}
+	if icmp6Checksum(src, dst, b) != 0 {
+		return nil, ErrBadChecksum
+	}
+	m := &ICMPv6{Type: b[0], Code: b[1]}
+	switch {
+	case m.Type == ICMPv6EchoRequest || m.Type == ICMPv6EchoReply:
+		m.ID = binary.BigEndian.Uint16(b[4:])
+		m.Seq = binary.BigEndian.Uint16(b[6:])
+		m.Body = append([]byte(nil), b[icmpHeaderLen:]...)
+	case m.IsError():
+		units := int(b[4])
+		rest := b[icmpHeaderLen:]
+		if units == 0 {
+			m.Body = append([]byte(nil), rest...)
+			return m, nil
+		}
+		origLen := units * 8
+		if origLen < origDatagramPadLen {
+			return nil, fmt.Errorf("%w: length field %d units", ErrBadExtension, units)
+		}
+		if len(rest) < origLen {
+			return nil, fmt.Errorf("%w: original datagram truncated", ErrBadExtension)
+		}
+		m.Body = trimOriginalV6(rest[:origLen])
+		objs, err := unmarshalExtensions(rest[origLen:])
+		if err != nil {
+			return nil, err
+		}
+		m.Extensions = objs
+	default:
+		return nil, fmt.Errorf("%w: unsupported ICMPv6 type %d", ErrBadHeader, m.Type)
+	}
+	return m, nil
+}
+
+// trimOriginalV6 strips RFC 4884 padding from a quoted IPv6 datagram.
+func trimOriginalV6(b []byte) []byte {
+	if len(b) >= IPv6HeaderLen && b[0]>>4 == 6 {
+		total := IPv6HeaderLen + int(binary.BigEndian.Uint16(b[4:]))
+		if total >= IPv6HeaderLen && total <= len(b) {
+			return append([]byte(nil), b[:total]...)
+		}
+	}
+	return append([]byte(nil), b...)
+}
+
+// MPLSStack extracts the RFC 4950 label stack object, if present — 6PE
+// LSRs quote the v4-transport labels under IPv6 payloads exactly like
+// their v4 counterparts.
+func (m *ICMPv6) MPLSStack() (stack []byte, ok bool) {
+	for _, o := range m.Extensions {
+		if o.Class == ClassMPLSLabelStack && o.CType == CTypeIncomingStack {
+			return o.Payload, true
+		}
+	}
+	return nil, false
+}
+
+// icmp6Checksum folds the IPv6 pseudo-header (RFC 8200 §8.1) and message.
+func icmp6Checksum(src, dst netip.Addr, msg []byte) uint16 {
+	var pseudo [40]byte
+	s, d := src.As16(), dst.As16()
+	copy(pseudo[0:16], s[:])
+	copy(pseudo[16:32], d[:])
+	binary.BigEndian.PutUint32(pseudo[32:], uint32(len(msg)))
+	pseudo[39] = ProtoICMPv6
+	return finish(sum(msg, sum(pseudo[:], 0)))
+}

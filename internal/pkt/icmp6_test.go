@@ -1,0 +1,124 @@
+package pkt
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"arest/internal/mpls"
+)
+
+func v6Quote(t *testing.T) []byte {
+	t.Helper()
+	ip := &IPv6{NextHeader: ProtoICMPv6, HopLimit: 1,
+		Src: a6("2001:db8::1"), Dst: a6("2001:db8::2"), Payload: []byte("probe6")}
+	b, err := ip.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestICMPv6EchoRoundTrip(t *testing.T) {
+	src, dst := a6("2001:db8::1"), a6("2001:db8::2")
+	in := &ICMPv6{Type: ICMPv6EchoRequest, ID: 99, Seq: 3, Body: []byte("ping6")}
+	b, err := in.Marshal(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := UnmarshalICMPv6(src, dst, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != ICMPv6EchoRequest || out.ID != 99 || out.Seq != 3 || string(out.Body) != "ping6" {
+		t.Errorf("round trip: %+v", out)
+	}
+}
+
+func TestICMPv6ChecksumBindsPseudoHeader(t *testing.T) {
+	src, dst := a6("2001:db8::1"), a6("2001:db8::2")
+	in := &ICMPv6{Type: ICMPv6EchoReply, ID: 1, Body: []byte("x")}
+	b, _ := in.Marshal(src, dst)
+	if _, err := UnmarshalICMPv6(src, a6("2001:db8::3"), b); !errors.Is(err, ErrBadChecksum) {
+		t.Errorf("wrong pseudo-header accepted: %v", err)
+	}
+	b[4] ^= 0xff
+	if _, err := UnmarshalICMPv6(src, dst, b); !errors.Is(err, ErrBadChecksum) {
+		t.Errorf("corrupted message accepted: %v", err)
+	}
+}
+
+func TestICMPv6TimeExceededWithMPLS(t *testing.T) {
+	// A 6PE LSR's time-exceeded: quoted IPv6 original + RFC 4950 labels.
+	src, dst := a6("2001:db8::9"), a6("2001:db8::1")
+	quote := v6Quote(t)
+	stack := mpls.Stack{{Label: 24017, TTL: 253}, {Label: mpls.LabelIPv6ExplicitNull, TTL: 253}}
+	obj, err := NewMPLSExtension(stack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := &ICMPv6{Type: ICMPv6TimeExceeded, Body: quote, Extensions: []ExtensionObject{obj}}
+	b, err := in.Marshal(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Length attribute in 8-octet units at byte 4.
+	if b[4] != origDatagramPadLen/8 {
+		t.Errorf("length attribute = %d, want %d", b[4], origDatagramPadLen/8)
+	}
+	out, err := UnmarshalICMPv6(src, dst, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Body, quote) {
+		t.Errorf("quote mangled: %d vs %d bytes", len(out.Body), len(quote))
+	}
+	raw, ok := out.MPLSStack()
+	if !ok {
+		t.Fatal("MPLS object lost")
+	}
+	got, _, err := mpls.UnmarshalStack(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 6PE signature: bottom label is IPv6 explicit null (2).
+	if got.Depth() != 2 || got.Bottom().Label != mpls.LabelIPv6ExplicitNull {
+		t.Errorf("stack = %v, want 6PE shape", got)
+	}
+	// The quoted datagram is IPv6 and parses.
+	q, err := UnmarshalIPv6(out.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.HopLimit != 1 {
+		t.Errorf("quoted hop limit = %d", q.HopLimit)
+	}
+}
+
+func TestICMPv6PlainError(t *testing.T) {
+	src, dst := a6("2001:db8::9"), a6("2001:db8::1")
+	in := &ICMPv6{Type: ICMPv6DestUnreachable, Code: 4, Body: v6Quote(t)}
+	b, err := in.Marshal(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := UnmarshalICMPv6(src, dst, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.IsError() || len(out.Extensions) != 0 {
+		t.Errorf("plain error: %+v", out)
+	}
+}
+
+func TestICMPv6Validation(t *testing.T) {
+	if _, err := (&ICMPv6{Type: ICMPv6EchoRequest}).Marshal(a6("10.0.0.1"), a6("2001:db8::1")); err == nil {
+		t.Error("IPv4 endpoint accepted")
+	}
+	if _, err := (&ICMPv6{Type: 42}).Marshal(a6("2001:db8::1"), a6("2001:db8::2")); err == nil {
+		t.Error("unknown type accepted")
+	}
+	if _, err := UnmarshalICMPv6(a6("2001:db8::1"), a6("2001:db8::2"), make([]byte, 4)); !errors.Is(err, ErrShortPacket) {
+		t.Error("short message accepted")
+	}
+}

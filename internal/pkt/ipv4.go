@@ -1,0 +1,142 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// IP protocol numbers used by the prober and simulator.
+const (
+	ProtoICMP = 1
+	ProtoTCP  = 6
+	ProtoUDP  = 17
+)
+
+// IPv4HeaderLen is the length of an IPv4 header without options.
+const IPv4HeaderLen = 20
+
+// Errors returned by the IPv4 codec.
+var (
+	ErrShortPacket = errors.New("pkt: packet too short")
+	ErrBadVersion  = errors.New("pkt: not an IPv4 packet")
+	ErrBadChecksum = errors.New("pkt: bad checksum")
+	ErrBadHeader   = errors.New("pkt: malformed header")
+)
+
+// IPv4 is an IPv4 packet: header fields plus payload. Options are not
+// modeled (no measurement tool in this pipeline emits them).
+type IPv4 struct {
+	TOS      uint8
+	ID       uint16
+	DontFrag bool
+	TTL      uint8
+	Protocol uint8
+	Src, Dst netip.Addr
+	Payload  []byte
+}
+
+// Marshal serializes the packet, computing TotalLength and the header
+// checksum.
+func (p *IPv4) Marshal() ([]byte, error) {
+	if !p.Src.Is4() || !p.Dst.Is4() {
+		return nil, fmt.Errorf("%w: src/dst must be IPv4 addresses", ErrBadHeader)
+	}
+	total := IPv4HeaderLen + len(p.Payload)
+	if total > 0xffff {
+		return nil, fmt.Errorf("%w: payload too large (%d bytes)", ErrBadHeader, len(p.Payload))
+	}
+	b := make([]byte, total)
+	b[0] = 4<<4 | IPv4HeaderLen/4
+	b[1] = p.TOS
+	binary.BigEndian.PutUint16(b[2:], uint16(total))
+	binary.BigEndian.PutUint16(b[4:], p.ID)
+	if p.DontFrag {
+		b[6] = 1 << 6
+	}
+	b[8] = p.TTL
+	b[9] = p.Protocol
+	src := p.Src.As4()
+	dst := p.Dst.As4()
+	copy(b[12:16], src[:])
+	copy(b[16:20], dst[:])
+	binary.BigEndian.PutUint16(b[10:], Checksum(b[:IPv4HeaderLen]))
+	copy(b[IPv4HeaderLen:], p.Payload)
+	return b, nil
+}
+
+// UnmarshalIPv4 parses an IPv4 packet, verifying version, lengths, and the
+// header checksum.
+func UnmarshalIPv4(b []byte) (*IPv4, error) {
+	if len(b) < IPv4HeaderLen {
+		return nil, ErrShortPacket
+	}
+	if b[0]>>4 != 4 {
+		return nil, ErrBadVersion
+	}
+	ihl := int(b[0]&0xf) * 4
+	if ihl < IPv4HeaderLen || len(b) < ihl {
+		return nil, fmt.Errorf("%w: IHL=%d", ErrBadHeader, ihl)
+	}
+	total := int(binary.BigEndian.Uint16(b[2:]))
+	if total < ihl || total > len(b) {
+		return nil, fmt.Errorf("%w: total length %d of %d bytes", ErrBadHeader, total, len(b))
+	}
+	if Checksum(b[:ihl]) != 0 {
+		return nil, ErrBadChecksum
+	}
+	p := &IPv4{
+		TOS:      b[1],
+		ID:       binary.BigEndian.Uint16(b[4:]),
+		DontFrag: b[6]&(1<<6) != 0,
+		TTL:      b[8],
+		Protocol: b[9],
+		Src:      netip.AddrFrom4([4]byte(b[12:16])),
+		Dst:      netip.AddrFrom4([4]byte(b[16:20])),
+	}
+	p.Payload = append([]byte(nil), b[ihl:total]...)
+	return p, nil
+}
+
+// UnmarshalIPv4Quoted parses a quoted original datagram from an ICMP error
+// body. Unlike UnmarshalIPv4 it tolerates truncation: many routers quote
+// only the IP header plus 8 payload bytes (RFC 792 minimum), so the
+// declared total length may exceed the bytes present. The checksum still
+// has to verify — the header itself is never truncated.
+func UnmarshalIPv4Quoted(b []byte) (*IPv4, error) {
+	if len(b) < IPv4HeaderLen {
+		return nil, ErrShortPacket
+	}
+	if b[0]>>4 != 4 {
+		return nil, ErrBadVersion
+	}
+	ihl := int(b[0]&0xf) * 4
+	if ihl < IPv4HeaderLen || len(b) < ihl {
+		return nil, fmt.Errorf("%w: IHL=%d", ErrBadHeader, ihl)
+	}
+	if Checksum(b[:ihl]) != 0 {
+		return nil, ErrBadChecksum
+	}
+	total := int(binary.BigEndian.Uint16(b[2:]))
+	end := total
+	if end > len(b) || end < ihl {
+		end = len(b) // truncated quote: keep what we have
+	}
+	p := &IPv4{
+		TOS:      b[1],
+		ID:       binary.BigEndian.Uint16(b[4:]),
+		DontFrag: b[6]&(1<<6) != 0,
+		TTL:      b[8],
+		Protocol: b[9],
+		Src:      netip.AddrFrom4([4]byte(b[12:16])),
+		Dst:      netip.AddrFrom4([4]byte(b[16:20])),
+	}
+	p.Payload = append([]byte(nil), b[ihl:end]...)
+	return p, nil
+}
+
+func (p *IPv4) String() string {
+	return fmt.Sprintf("IPv4 %s -> %s proto=%d ttl=%d len=%d",
+		p.Src, p.Dst, p.Protocol, p.TTL, IPv4HeaderLen+len(p.Payload))
+}

@@ -1,0 +1,153 @@
+package pkt
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func addr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+func TestIPv4RoundTrip(t *testing.T) {
+	in := &IPv4{
+		TOS:      0x10,
+		ID:       0xbeef,
+		DontFrag: true,
+		TTL:      7,
+		Protocol: ProtoUDP,
+		Src:      addr("10.0.0.1"),
+		Dst:      addr("192.0.2.33"),
+		Payload:  []byte("hello world"),
+	}
+	b, err := in.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != IPv4HeaderLen+len(in.Payload) {
+		t.Fatalf("len = %d", len(b))
+	}
+	out, err := UnmarshalIPv4(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TOS != in.TOS || out.ID != in.ID || out.DontFrag != in.DontFrag ||
+		out.TTL != in.TTL || out.Protocol != in.Protocol ||
+		out.Src != in.Src || out.Dst != in.Dst || string(out.Payload) != string(in.Payload) {
+		t.Errorf("round trip mismatch: %+v vs %+v", out, in)
+	}
+}
+
+func TestIPv4ChecksumValidation(t *testing.T) {
+	in := &IPv4{TTL: 64, Protocol: ProtoICMP, Src: addr("1.2.3.4"), Dst: addr("5.6.7.8")}
+	b, _ := in.Marshal()
+	b[8] ^= 0xff // corrupt TTL without fixing checksum
+	if _, err := UnmarshalIPv4(b); !errors.Is(err, ErrBadChecksum) {
+		t.Errorf("corrupted header: err = %v, want ErrBadChecksum", err)
+	}
+}
+
+func TestIPv4RejectsNonV4(t *testing.T) {
+	in := &IPv4{TTL: 64, Src: addr("1.2.3.4"), Dst: addr("5.6.7.8")}
+	b, _ := in.Marshal()
+	b[0] = 6<<4 | 5
+	if _, err := UnmarshalIPv4(b); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("err = %v, want ErrBadVersion", err)
+	}
+	if _, err := (&IPv4{Src: addr("::1"), Dst: addr("5.6.7.8")}).Marshal(); err == nil {
+		t.Error("Marshal accepted IPv6 source")
+	}
+}
+
+func TestIPv4Short(t *testing.T) {
+	if _, err := UnmarshalIPv4(make([]byte, 19)); !errors.Is(err, ErrShortPacket) {
+		t.Errorf("err = %v, want ErrShortPacket", err)
+	}
+}
+
+func TestIPv4BadTotalLength(t *testing.T) {
+	in := &IPv4{TTL: 1, Src: addr("1.2.3.4"), Dst: addr("5.6.7.8"), Payload: []byte{1, 2, 3}}
+	b, _ := in.Marshal()
+	// Claim a total length longer than the buffer.
+	b[2], b[3] = 0xff, 0xff
+	if _, err := UnmarshalIPv4(b); err == nil {
+		t.Error("oversized total length accepted")
+	}
+}
+
+func TestIPv4PayloadCopied(t *testing.T) {
+	in := &IPv4{TTL: 9, Src: addr("1.1.1.1"), Dst: addr("2.2.2.2"), Payload: []byte{1, 2, 3}}
+	b, _ := in.Marshal()
+	out, err := UnmarshalIPv4(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[IPv4HeaderLen] = 0xff
+	if out.Payload[0] != 1 {
+		t.Error("Unmarshal aliases input buffer")
+	}
+}
+
+func TestIPv4QuickRoundTrip(t *testing.T) {
+	f := func(tos uint8, id uint16, df bool, ttl uint8, proto uint8, s, d [4]byte, payload []byte) bool {
+		if len(payload) > 60000 {
+			payload = payload[:60000]
+		}
+		in := &IPv4{TOS: tos, ID: id, DontFrag: df, TTL: ttl, Protocol: proto,
+			Src: netip.AddrFrom4(s), Dst: netip.AddrFrom4(d), Payload: payload}
+		b, err := in.Marshal()
+		if err != nil {
+			return false
+		}
+		out, err := UnmarshalIPv4(b)
+		if err != nil {
+			return false
+		}
+		if out.TTL != ttl || out.Src != in.Src || out.Dst != in.Dst || len(out.Payload) != len(payload) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// RFC 1071 example: bytes 00 01 f2 03 f4 f5 f6 f7 sum to ddf2 -> checksum 220d.
+	b := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(b); got != 0x220d {
+		t.Errorf("Checksum = %#04x, want 0x220d", got)
+	}
+	// Odd length pads with a zero byte.
+	if got := Checksum([]byte{0xff}); got != ^uint16(0xff00) {
+		t.Errorf("odd-length checksum = %#04x", got)
+	}
+}
+
+func TestUnmarshalIPv4QuotedTruncated(t *testing.T) {
+	// RFC 792 minimum quote: IP header + 8 payload bytes, with a declared
+	// total length larger than what is present.
+	full := &IPv4{TTL: 5, ID: 321, Protocol: ProtoUDP,
+		Src: addr("10.0.0.1"), Dst: addr("192.0.2.2"),
+		Payload: make([]byte, 100)}
+	b, _ := full.Marshal()
+	quote := b[:IPv4HeaderLen+8]
+	// Strict parser refuses it...
+	if _, err := UnmarshalIPv4(quote); err == nil {
+		t.Error("strict parser accepted truncated datagram")
+	}
+	// ...the quoted parser accepts it and keeps the header fields.
+	q, err := UnmarshalIPv4Quoted(quote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.ID != 321 || q.Src != full.Src || q.Dst != full.Dst || len(q.Payload) != 8 {
+		t.Errorf("quoted parse = %+v", q)
+	}
+	// But a corrupted header is still rejected.
+	quote[8] ^= 0xff
+	if _, err := UnmarshalIPv4Quoted(quote); err == nil {
+		t.Error("corrupted quote accepted")
+	}
+}

@@ -1,0 +1,164 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// IPv6HeaderLen is the fixed IPv6 header length.
+const IPv6HeaderLen = 40
+
+// IPv6 next-header values used here.
+const (
+	ProtoIPv6Routing = 43 // routing extension header (carries the SRH)
+	ProtoICMPv6      = 58
+)
+
+// IPv6 is an IPv6 packet: fixed header plus payload. Only the fields the
+// measurement pipeline needs are modeled; extension headers live in the
+// payload and are parsed separately (see SRH).
+type IPv6 struct {
+	TrafficClass uint8
+	FlowLabel    uint32 // 20 bits
+	NextHeader   uint8
+	HopLimit     uint8
+	Src, Dst     netip.Addr
+	Payload      []byte
+}
+
+// Marshal serializes the packet. IPv6 has no header checksum.
+func (p *IPv6) Marshal() ([]byte, error) {
+	if !p.Src.Is6() || !p.Dst.Is6() {
+		return nil, fmt.Errorf("%w: src/dst must be IPv6 addresses", ErrBadHeader)
+	}
+	if p.FlowLabel > 1<<20-1 {
+		return nil, fmt.Errorf("%w: flow label %d exceeds 20 bits", ErrBadHeader, p.FlowLabel)
+	}
+	if len(p.Payload) > 0xffff {
+		return nil, fmt.Errorf("%w: payload too large", ErrBadHeader)
+	}
+	b := make([]byte, IPv6HeaderLen+len(p.Payload))
+	binary.BigEndian.PutUint32(b, 6<<28|uint32(p.TrafficClass)<<20|p.FlowLabel)
+	binary.BigEndian.PutUint16(b[4:], uint16(len(p.Payload)))
+	b[6] = p.NextHeader
+	b[7] = p.HopLimit
+	src, dst := p.Src.As16(), p.Dst.As16()
+	copy(b[8:24], src[:])
+	copy(b[24:40], dst[:])
+	copy(b[IPv6HeaderLen:], p.Payload)
+	return b, nil
+}
+
+// UnmarshalIPv6 parses an IPv6 packet.
+func UnmarshalIPv6(b []byte) (*IPv6, error) {
+	if len(b) < IPv6HeaderLen {
+		return nil, ErrShortPacket
+	}
+	first := binary.BigEndian.Uint32(b)
+	if first>>28 != 6 {
+		return nil, ErrBadVersion
+	}
+	plen := int(binary.BigEndian.Uint16(b[4:]))
+	if IPv6HeaderLen+plen > len(b) {
+		return nil, fmt.Errorf("%w: payload length %d of %d bytes", ErrBadHeader, plen, len(b)-IPv6HeaderLen)
+	}
+	p := &IPv6{
+		TrafficClass: uint8(first >> 20),
+		FlowLabel:    first & 0xfffff,
+		NextHeader:   b[6],
+		HopLimit:     b[7],
+		Src:          netip.AddrFrom16([16]byte(b[8:24])),
+		Dst:          netip.AddrFrom16([16]byte(b[24:40])),
+	}
+	p.Payload = append([]byte(nil), b[IPv6HeaderLen:IPv6HeaderLen+plen]...)
+	return p, nil
+}
+
+func (p *IPv6) String() string {
+	return fmt.Sprintf("IPv6 %s -> %s next=%d hlim=%d len=%d",
+		p.Src, p.Dst, p.NextHeader, p.HopLimit, IPv6HeaderLen+len(p.Payload))
+}
+
+// SRH is the IPv6 Segment Routing Header (RFC 8754) — the SRv6 data plane
+// the paper scopes out of AReST but whose wire format any SR measurement
+// suite should speak. Segments are stored in reverse order, Segments[0]
+// being the final one, per the RFC.
+type SRH struct {
+	NextHeader   uint8
+	SegmentsLeft uint8
+	LastEntry    uint8
+	Flags        uint8
+	Tag          uint16
+	Segments     []netip.Addr
+}
+
+const srhRoutingType = 4 // SRH routing type (RFC 8754)
+
+// Marshal serializes the SRH. LastEntry is derived from the segment list.
+func (h *SRH) Marshal() ([]byte, error) {
+	if len(h.Segments) == 0 || len(h.Segments) > 255 {
+		return nil, fmt.Errorf("%w: SRH needs 1..255 segments", ErrBadHeader)
+	}
+	for _, s := range h.Segments {
+		if !s.Is6() {
+			return nil, fmt.Errorf("%w: SRH segment %s is not IPv6", ErrBadHeader, s)
+		}
+	}
+	// Hdr Ext Len: length in 8-octet units, not including the first 8.
+	hdrLen := len(h.Segments) * 2
+	b := make([]byte, 8+len(h.Segments)*16)
+	b[0] = h.NextHeader
+	b[1] = uint8(hdrLen)
+	b[2] = srhRoutingType
+	b[3] = h.SegmentsLeft
+	b[4] = uint8(len(h.Segments) - 1)
+	b[5] = h.Flags
+	binary.BigEndian.PutUint16(b[6:], h.Tag)
+	for i, s := range h.Segments {
+		a := s.As16()
+		copy(b[8+i*16:], a[:])
+	}
+	return b, nil
+}
+
+// UnmarshalSRH parses a Segment Routing Header from the front of b,
+// returning the header and the number of bytes consumed.
+func UnmarshalSRH(b []byte) (*SRH, int, error) {
+	if len(b) < 8 {
+		return nil, 0, ErrShortPacket
+	}
+	if b[2] != srhRoutingType {
+		return nil, 0, fmt.Errorf("%w: routing type %d is not SRH", ErrBadHeader, b[2])
+	}
+	total := 8 + int(b[1])*8
+	if len(b) < total {
+		return nil, 0, fmt.Errorf("%w: SRH truncated", ErrBadHeader)
+	}
+	nseg := int(b[4]) + 1
+	if 8+nseg*16 > total {
+		return nil, 0, fmt.Errorf("%w: %d segments exceed header length", ErrBadHeader, nseg)
+	}
+	h := &SRH{
+		NextHeader:   b[0],
+		SegmentsLeft: b[3],
+		LastEntry:    b[4],
+		Flags:        b[5],
+		Tag:          binary.BigEndian.Uint16(b[6:]),
+	}
+	if int(h.SegmentsLeft) > nseg {
+		return nil, 0, fmt.Errorf("%w: segments left %d of %d", ErrBadHeader, h.SegmentsLeft, nseg)
+	}
+	for i := 0; i < nseg; i++ {
+		h.Segments = append(h.Segments, netip.AddrFrom16([16]byte(b[8+i*16:8+(i+1)*16])))
+	}
+	return h, total, nil
+}
+
+// ActiveSegment returns the segment currently steering the packet.
+func (h *SRH) ActiveSegment() (netip.Addr, bool) {
+	if int(h.SegmentsLeft) >= len(h.Segments) || h.SegmentsLeft == 0 && len(h.Segments) == 0 {
+		return netip.Addr{}, false
+	}
+	return h.Segments[h.SegmentsLeft], true
+}

@@ -1,0 +1,143 @@
+package pkt
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func a6(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+func TestIPv6RoundTrip(t *testing.T) {
+	in := &IPv6{
+		TrafficClass: 0x20,
+		FlowLabel:    0xabcde,
+		NextHeader:   ProtoICMPv6,
+		HopLimit:     64,
+		Src:          a6("2001:db8::1"),
+		Dst:          a6("2001:db8::2"),
+		Payload:      []byte("hello v6"),
+	}
+	b, err := in.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != IPv6HeaderLen+len(in.Payload) {
+		t.Fatalf("len = %d", len(b))
+	}
+	out, err := UnmarshalIPv6(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TrafficClass != in.TrafficClass || out.FlowLabel != in.FlowLabel ||
+		out.NextHeader != in.NextHeader || out.HopLimit != in.HopLimit ||
+		out.Src != in.Src || out.Dst != in.Dst || string(out.Payload) != "hello v6" {
+		t.Errorf("round trip: %+v", out)
+	}
+}
+
+func TestIPv6Validation(t *testing.T) {
+	if _, err := (&IPv6{Src: a6("10.0.0.1"), Dst: a6("2001:db8::2")}).Marshal(); err == nil {
+		t.Error("IPv4 source accepted in an IPv6 packet")
+	}
+	if _, err := (&IPv6{Src: a6("2001:db8::1"), Dst: a6("2001:db8::2"), FlowLabel: 1 << 20}).Marshal(); err == nil {
+		t.Error("oversized flow label accepted")
+	}
+	if _, err := UnmarshalIPv6(make([]byte, 39)); err != ErrShortPacket {
+		t.Error("short packet accepted")
+	}
+	in := &IPv6{Src: a6("2001:db8::1"), Dst: a6("2001:db8::2"), HopLimit: 1}
+	b, _ := in.Marshal()
+	b[0] = 4 << 4
+	if _, err := UnmarshalIPv6(b); err != ErrBadVersion {
+		t.Errorf("version check: %v", err)
+	}
+}
+
+func TestSRHRoundTrip(t *testing.T) {
+	in := &SRH{
+		NextHeader:   ProtoICMPv6,
+		SegmentsLeft: 1,
+		Flags:        0,
+		Tag:          7,
+		Segments: []netip.Addr{
+			a6("2001:db8:0:7::1"), // final segment (index 0)
+			a6("2001:db8:0:4::1"),
+		},
+	}
+	b, err := in.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, n, err := UnmarshalSRH(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(b) {
+		t.Errorf("consumed %d of %d", n, len(b))
+	}
+	if out.SegmentsLeft != 1 || out.Tag != 7 || len(out.Segments) != 2 {
+		t.Errorf("round trip: %+v", out)
+	}
+	if out.Segments[0] != in.Segments[0] || out.Segments[1] != in.Segments[1] {
+		t.Errorf("segments: %v", out.Segments)
+	}
+	active, ok := out.ActiveSegment()
+	if !ok || active != a6("2001:db8:0:4::1") {
+		t.Errorf("active = %v, %v", active, ok)
+	}
+}
+
+func TestSRHInsideIPv6(t *testing.T) {
+	// A full SRv6 packet: IPv6(next=routing) carrying an SRH.
+	srh := &SRH{NextHeader: ProtoICMPv6, SegmentsLeft: 2,
+		Segments: []netip.Addr{a6("fc00::3"), a6("fc00::2"), a6("fc00::1")}}
+	sb, err := srh.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := &IPv6{NextHeader: ProtoIPv6Routing, HopLimit: 63,
+		Src: a6("2001:db8::9"), Dst: a6("fc00::1"), Payload: sb}
+	wire, err := ip.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := UnmarshalIPv6(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rx.NextHeader != ProtoIPv6Routing {
+		t.Fatalf("next header %d", rx.NextHeader)
+	}
+	h, _, err := UnmarshalSRH(rx.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act, ok := h.ActiveSegment(); !ok || act != a6("fc00::1") {
+		t.Errorf("active segment %v %v", act, ok)
+	}
+}
+
+func TestSRHValidation(t *testing.T) {
+	if _, err := (&SRH{}).Marshal(); err == nil {
+		t.Error("empty segment list accepted")
+	}
+	if _, err := (&SRH{Segments: []netip.Addr{a6("10.0.0.1").Unmap()}}).Marshal(); err == nil {
+		t.Error("IPv4 segment accepted")
+	}
+	srh := &SRH{Segments: []netip.Addr{a6("fc00::1")}}
+	b, _ := srh.Marshal()
+	b[2] = 0 // not SRH routing type
+	if _, _, err := UnmarshalSRH(b); err == nil {
+		t.Error("non-SRH routing header accepted")
+	}
+	b[2] = 4
+	if _, _, err := UnmarshalSRH(b[:10]); err == nil {
+		t.Error("truncated SRH accepted")
+	}
+	// Segments-left beyond the list.
+	srh2 := &SRH{SegmentsLeft: 9, Segments: []netip.Addr{a6("fc00::1")}}
+	b2, _ := srh2.Marshal()
+	if _, _, err := UnmarshalSRH(b2); err == nil {
+		t.Error("out-of-range segments-left accepted")
+	}
+}

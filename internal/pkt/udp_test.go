@@ -1,0 +1,91 @@
+package pkt
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestUDPRoundTrip(t *testing.T) {
+	src, dst := addr("10.0.0.1"), addr("192.0.2.9")
+	in := &UDP{SrcPort: 33434, DstPort: 33435, Payload: []byte("probe")}
+	b, err := in.Marshal(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := UnmarshalUDP(src, dst, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SrcPort != in.SrcPort || out.DstPort != in.DstPort || string(out.Payload) != "probe" {
+		t.Errorf("round trip: %+v", out)
+	}
+}
+
+func TestUDPChecksumCoversPseudoHeader(t *testing.T) {
+	src, dst := addr("10.0.0.1"), addr("192.0.2.9")
+	in := &UDP{SrcPort: 1000, DstPort: 2000, Payload: []byte("xyz")}
+	b, _ := in.Marshal(src, dst)
+	// Same bytes validated against different addresses must fail: Paris
+	// traceroute relies on the checksum binding the 5-tuple.
+	if _, err := UnmarshalUDP(src, addr("192.0.2.10"), b); !errors.Is(err, ErrBadChecksum) {
+		t.Errorf("wrong pseudo-header: err = %v, want ErrBadChecksum", err)
+	}
+}
+
+func TestUDPCorruptedPayload(t *testing.T) {
+	src, dst := addr("10.0.0.1"), addr("192.0.2.9")
+	in := &UDP{SrcPort: 1, DstPort: 2, Payload: []byte{1, 2, 3, 4}}
+	b, _ := in.Marshal(src, dst)
+	b[len(b)-1] ^= 0x55
+	if _, err := UnmarshalUDP(src, dst, b); !errors.Is(err, ErrBadChecksum) {
+		t.Errorf("err = %v, want ErrBadChecksum", err)
+	}
+}
+
+func TestUDPZeroChecksumAccepted(t *testing.T) {
+	src, dst := addr("10.0.0.1"), addr("192.0.2.9")
+	in := &UDP{SrcPort: 1, DstPort: 2, Payload: []byte{9}}
+	b, _ := in.Marshal(src, dst)
+	b[6], b[7] = 0, 0 // checksum disabled
+	if _, err := UnmarshalUDP(src, dst, b); err != nil {
+		t.Errorf("zero checksum rejected: %v", err)
+	}
+}
+
+func TestUDPShortAndBadLength(t *testing.T) {
+	src, dst := addr("10.0.0.1"), addr("192.0.2.9")
+	if _, err := UnmarshalUDP(src, dst, make([]byte, 7)); !errors.Is(err, ErrShortPacket) {
+		t.Errorf("short: err = %v", err)
+	}
+	in := &UDP{SrcPort: 1, DstPort: 2}
+	b, _ := in.Marshal(src, dst)
+	b[4], b[5] = 0xff, 0xff
+	if _, err := UnmarshalUDP(src, dst, b); err == nil {
+		t.Error("oversized UDP length accepted")
+	}
+}
+
+func TestUDPInsideIPv4(t *testing.T) {
+	src, dst := addr("172.16.0.1"), addr("203.0.113.7")
+	u := &UDP{SrcPort: 33434, DstPort: 33500, Payload: []byte("tnt-probe-0001")}
+	ub, err := u.Marshal(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := &IPv4{TTL: 1, Protocol: ProtoUDP, Src: src, Dst: dst, Payload: ub}
+	b, err := ip.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotIP, err := UnmarshalIPv4(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotUDP, err := UnmarshalUDP(gotIP.Src, gotIP.Dst, gotIP.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotUDP.DstPort != 33500 || string(gotUDP.Payload) != "tnt-probe-0001" {
+		t.Errorf("nested decode: %+v", gotUDP)
+	}
+}

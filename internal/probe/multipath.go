@@ -1,0 +1,89 @@
+package probe
+
+import "net/netip"
+
+// Multipath is the result of MDA-style multipath discovery: per-TTL sets
+// of interfaces reached under varying Paris flow identifiers, exposing the
+// ECMP diamonds a single-flow traceroute hides.
+type Multipath struct {
+	Dst netip.Addr
+	// Hops[i] lists the distinct responding interfaces observed at TTL
+	// i+1, in discovery order.
+	Hops [][]netip.Addr
+	// Flows is the number of flow IDs actually probed.
+	Flows int
+}
+
+// Width returns the number of distinct interfaces at a TTL (1-based), the
+// quantity load-balancing analyses care about.
+func (m *Multipath) Width(ttl int) int {
+	if ttl < 1 || ttl > len(m.Hops) {
+		return 0
+	}
+	return len(m.Hops[ttl-1])
+}
+
+// MaxWidth returns the widest TTL of the discovered diamond.
+func (m *Multipath) MaxWidth() int {
+	w := 0
+	for i := range m.Hops {
+		if len(m.Hops[i]) > w {
+			w = len(m.Hops[i])
+		}
+	}
+	return w
+}
+
+// DiscoverMultipath probes dst under increasing flow identifiers and
+// accumulates the per-TTL interface sets, in the spirit of the Multipath
+// Detection Algorithm: flows keep being added until several consecutive
+// flows discover nothing new (the confidence proxy), or maxFlows is
+// exhausted.
+func (t *Tracer) DiscoverMultipath(dst netip.Addr, maxFlows int) (*Multipath, error) {
+	if maxFlows < 1 {
+		maxFlows = 1
+	}
+	m := &Multipath{Dst: dst}
+	seen := make(map[int]map[netip.Addr]bool)
+	quiet := 0
+	for flow := 0; flow < maxFlows; flow++ {
+		tr, err := t.Trace(dst, uint16(flow))
+		if err != nil {
+			return nil, err
+		}
+		m.Flows++
+		discovered := false
+		for i := range tr.Hops {
+			h := &tr.Hops[i]
+			if !h.Responded() || h.Revealed {
+				continue
+			}
+			ttl := h.TTL
+			set := seen[ttl]
+			if set == nil {
+				set = make(map[netip.Addr]bool)
+				seen[ttl] = set
+			}
+			if !set[h.Addr] {
+				set[h.Addr] = true
+				discovered = true
+				for len(m.Hops) < ttl {
+					m.Hops = append(m.Hops, nil)
+				}
+				m.Hops[ttl-1] = append(m.Hops[ttl-1], h.Addr)
+			}
+		}
+		if discovered {
+			quiet = 0
+			continue
+		}
+		quiet++
+		// MDA-style stopping: the wider the diamond seen so far, the more
+		// silent flows are needed before concluding it is complete (the
+		// n(k) probe-count rule, linearized).
+		if quiet >= 4+3*m.MaxWidth() {
+			break
+		}
+	}
+	return m, nil
+}

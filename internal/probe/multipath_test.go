@@ -1,0 +1,90 @@
+package probe
+
+import (
+	"testing"
+
+	"arest/internal/mpls"
+	"arest/internal/netsim"
+)
+
+// diamondNet builds gw - s - {x1..xN} - d with N parallel middle routers.
+func diamondNet(t *testing.T, width int) (*netsim.Network, *Tracer, []netsim.RouterID) {
+	t.Helper()
+	n := netsim.New(31)
+	prof := netsim.DefaultProfile(mpls.VendorCisco)
+	mk := func(name string) *netsim.Router {
+		return n.AddRouter(netsim.RouterConfig{Name: name, ASN: 100, Vendor: mpls.VendorCisco,
+			Profile: prof, Mode: netsim.ModeIP})
+	}
+	gw := mk("gw")
+	s := mk("s")
+	d := mk("d")
+	n.Connect(gw.ID, s.ID, 10)
+	var mids []netsim.RouterID
+	for i := 0; i < width; i++ {
+		x := mk("x")
+		n.Connect(s.ID, x.ID, 10)
+		n.Connect(x.ID, d.ID, 10)
+		mids = append(mids, x.ID)
+	}
+	vp := a("172.16.4.1")
+	tgt := a("100.4.0.9")
+	n.AddHost(vp, gw.ID)
+	n.AddHost(tgt, d.ID)
+	n.Compute()
+	return n, NewTracer(NetsimConn{Net: n}, vp), mids
+}
+
+func TestDiscoverMultipathFindsDiamond(t *testing.T) {
+	n, tc, mids := diamondNet(t, 3)
+	m, err := tc.DiscoverMultipath(a("100.4.0.9"), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TTL 3 is the diamond: all three middles should appear.
+	if got := m.Width(3); got != 3 {
+		t.Fatalf("diamond width = %d, want 3 (%v)", got, m.Hops)
+	}
+	// Every discovered middle address belongs to a middle router.
+	midSet := map[netsim.RouterID]bool{}
+	for _, id := range mids {
+		midSet[id] = true
+	}
+	for _, addr := range m.Hops[2] {
+		r, ok := n.RouterByAddr(addr)
+		if !ok || !midSet[r.ID] {
+			t.Errorf("TTL-3 interface %s is not a diamond middle", addr)
+		}
+	}
+	if m.MaxWidth() != 3 {
+		t.Errorf("MaxWidth = %d", m.MaxWidth())
+	}
+	// Non-diamond TTLs stay width 1.
+	if m.Width(1) != 1 || m.Width(2) != 1 {
+		t.Errorf("linear hops widened: %v", m.Hops)
+	}
+}
+
+func TestDiscoverMultipathStopsEarlyOnChain(t *testing.T) {
+	_, tc, _ := diamondNet(t, 1) // effectively a chain
+	m, err := tc.DiscoverMultipath(a("100.4.0.9"), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Flows > 8 {
+		t.Errorf("no-ECMP chain probed %d flows; stopping rule broken", m.Flows)
+	}
+	if m.MaxWidth() != 1 {
+		t.Errorf("chain MaxWidth = %d", m.MaxWidth())
+	}
+}
+
+func TestMultipathWidthBounds(t *testing.T) {
+	m := &Multipath{}
+	if m.Width(0) != 0 || m.Width(1) != 0 || m.Width(-1) != 0 {
+		t.Error("Width out-of-range not zero")
+	}
+	if m.MaxWidth() != 0 {
+		t.Error("empty MaxWidth not zero")
+	}
+}

@@ -1,0 +1,92 @@
+package probe
+
+import "net/netip"
+
+// opaqueTTLFloor is the quoted-LSE TTL above which a label quote can only
+// come from a pipe-model tunnel (LSE TTL initialized to 255 at the ingress
+// rather than copied from the IP TTL).
+const opaqueTTLFloor = 200
+
+// reveal implements TNT-style revelation: when the return-path length
+// (RTLA) jumps by more than one between consecutive visible hops, or an
+// opaque LSE quote is present, hidden hops are suspected in between. TNT
+// then traces directly toward the downstream hop's interface address (DPR):
+// interface prefixes carry no LDP/SR FEC, so those probes are forwarded as
+// plain IP and expose the tunnel interior — without LSEs, exactly as the
+// paper notes for invisible tunnels.
+func (t *Tracer) reveal(tr *Trace) {
+	visible := make(map[netip.Addr]bool)
+	for i := range tr.Hops {
+		if tr.Hops[i].Responded() {
+			visible[tr.Hops[i].Addr] = true
+		}
+	}
+	// Walk hop pairs; splice in revealed hops as we find them.
+	for i := 0; i < len(tr.Hops)-1; i++ {
+		a, b := &tr.Hops[i], &tr.Hops[i+1]
+		if !a.Responded() || !b.Responded() || b.Revealed {
+			continue
+		}
+		suspected := 0
+		if jump := returnPathLen(b.ReplyTTL) - returnPathLen(a.ReplyTTL); jump > 1 {
+			suspected = jump - 1
+		}
+		if b.HasStack() && b.Stack[0].TTL > opaqueTTLFloor {
+			if n := 255 - int(b.Stack[0].TTL); n > suspected {
+				suspected = n
+			}
+		}
+		if suspected == 0 {
+			continue
+		}
+		hidden := t.directPathRevelation(b.Addr, visible)
+		if len(hidden) == 0 {
+			continue
+		}
+		for j := range hidden {
+			hidden[j].Revealed = true
+			hidden[j].TTL = a.TTL // shares the gap between a and b
+			visible[hidden[j].Addr] = true
+		}
+		spliced := make([]Hop, 0, len(tr.Hops)+len(hidden))
+		spliced = append(spliced, tr.Hops[:i+1]...)
+		spliced = append(spliced, hidden...)
+		spliced = append(spliced, tr.Hops[i+1:]...)
+		tr.Hops = spliced
+		i += len(hidden) // continue after the spliced region
+	}
+}
+
+// directPathRevelation traces toward the trigger address and returns the
+// responding hops that precede it and are not already visible in the main
+// trace: the hidden tunnel interior.
+func (t *Tracer) directPathRevelation(trigger netip.Addr, visible map[netip.Addr]bool) []Hop {
+	aux := &Tracer{Conn: t.Conn, VP: t.VP, MaxTTL: t.MaxTTL, MaxGaps: t.MaxGaps,
+		BasePort: t.BasePort, Reveal: false}
+	tr, err := aux.Trace(trigger, 0)
+	if err != nil || !tr.Reached() {
+		return nil
+	}
+	// Locate the trigger in the auxiliary trace, then collect the
+	// contiguous run of new hops immediately before it.
+	end := -1
+	for i := range tr.Hops {
+		if tr.Hops[i].Addr == trigger {
+			end = i
+			break
+		}
+	}
+	if end <= 0 {
+		return nil
+	}
+	start := end
+	for start > 0 && tr.Hops[start-1].Responded() && !visible[tr.Hops[start-1].Addr] {
+		start--
+	}
+	if start == end {
+		return nil
+	}
+	out := make([]Hop, end-start)
+	copy(out, tr.Hops[start:end])
+	return out
+}

@@ -1,0 +1,264 @@
+package probe
+
+import (
+	"fmt"
+	"net/netip"
+
+	"arest/internal/netsim"
+	"arest/internal/pkt"
+)
+
+// Conn abstracts the raw-socket boundary: one probe out, at most one reply
+// back, both as serialized IPv4 packets, plus the measured round-trip time
+// in milliseconds (zero when no reply arrived).
+type Conn interface {
+	Exchange(src netip.Addr, wire []byte) (reply []byte, rttMs float64, err error)
+}
+
+// hopMilliseconds is the synthetic per-hop one-way delay the simulator
+// backend reports.
+const hopMilliseconds = 0.35
+
+// NetsimConn adapts a netsim.Network to the Conn interface, synthesizing
+// RTTs from the simulated forward and return hop counts.
+type NetsimConn struct {
+	Net *netsim.Network
+}
+
+// Exchange implements Conn over the simulator.
+func (c NetsimConn) Exchange(src netip.Addr, wire []byte) ([]byte, float64, error) {
+	d, err := c.Net.Send(src, wire)
+	if err != nil {
+		return nil, 0, err
+	}
+	return d.Reply, hopMilliseconds * float64(d.FwdHops+d.RetHops), nil
+}
+
+// Method selects the probe type of a traceroute.
+type Method int
+
+const (
+	// MethodUDP sends UDP datagrams to high ports (the TNT default: UDP
+	// probes reveal the most links).
+	MethodUDP Method = iota
+	// MethodICMP sends echo requests (classic ICMP traceroute); the
+	// destination answers with an echo reply instead of port unreachable.
+	MethodICMP
+)
+
+// Tracer is a Paris traceroute engine with TNT extensions.
+type Tracer struct {
+	Conn Conn
+	// VP is the source address probes are sent from.
+	VP netip.Addr
+	// Method selects UDP (default) or ICMP-echo probing.
+	Method Method
+	// MaxTTL bounds the forward TTL sweep.
+	MaxTTL int
+	// MaxGaps stops the sweep after this many consecutive silent hops.
+	MaxGaps int
+	// BasePort is the UDP destination port of flow 0; Paris flow IDs
+	// offset it.
+	BasePort uint16
+	// Reveal enables TNT revelation of hidden tunnel content (DPR).
+	Reveal bool
+	// Retries is how many extra probes a silent hop gets before being
+	// recorded as a gap (rate-limited routers often answer a retry).
+	Retries int
+
+	srcPortSeq uint16
+}
+
+// NewTracer returns a tracer with TNT-like defaults.
+func NewTracer(conn Conn, vp netip.Addr) *Tracer {
+	return &Tracer{Conn: conn, VP: vp, MaxTTL: 32, MaxGaps: 3, BasePort: 33434, Reveal: true, Retries: 2}
+}
+
+// Trace runs one Paris traceroute toward dst with the given flow ID. The
+// 5-tuple is held constant across the TTL sweep (per-flow load balancers
+// then keep the path stable); distinct flow IDs map to distinct UDP
+// destination ports.
+func (t *Tracer) Trace(dst netip.Addr, flowID uint16) (*Trace, error) {
+	tr := &Trace{VP: t.VP, Dst: dst, FlowID: flowID, Halt: HaltMaxTTL}
+	dport := t.BasePort + flowID
+	gaps := 0
+	seen := make(map[netip.Addr]int)
+sweep:
+	for ttl := 1; ttl <= t.MaxTTL; ttl++ {
+		hop, err := t.probeOnce(dst, uint8(ttl), dport)
+		for retry := 0; err == nil && !hop.Responded() && retry < t.Retries; retry++ {
+			hop, err = t.probeOnce(dst, uint8(ttl), dport)
+		}
+		if err != nil {
+			return nil, err
+		}
+		tr.Hops = append(tr.Hops, *hop)
+		if !hop.Responded() {
+			gaps++
+			if gaps >= t.MaxGaps {
+				tr.Halt = HaltGaps
+				break sweep
+			}
+			continue
+		}
+		gaps = 0
+		if prev, dup := seen[hop.Addr]; dup && ttl-prev > 1 {
+			tr.Halt = HaltLoop
+			break sweep
+		}
+		seen[hop.Addr] = ttl
+		if hop.ICMPType == pkt.ICMPDestUnreachable ||
+			(t.Method == MethodICMP && hop.ICMPType == pkt.ICMPEchoReply) {
+			tr.Halt = HaltReached
+			break sweep
+		}
+	}
+	if t.Reveal {
+		t.reveal(tr)
+	}
+	return tr, nil
+}
+
+// probeOnce sends a single probe (UDP or ICMP echo, per Method) and parses
+// the reply into a Hop.
+func (t *Tracer) probeOnce(dst netip.Addr, ttl uint8, dport uint16) (*Hop, error) {
+	t.srcPortSeq++
+	var payload []byte
+	proto := uint8(pkt.ProtoUDP)
+	switch t.Method {
+	case MethodICMP:
+		// Paris semantics for ICMP: the identifier is the flow key, so it
+		// derives from dport; the sequence varies per probe.
+		m := &pkt.ICMP{Type: pkt.ICMPEchoRequest, ID: dport, Seq: uint16(ttl), Body: []byte("arest-tnt-probe")}
+		mb, err := m.Marshal()
+		if err != nil {
+			return nil, fmt.Errorf("probe: %w", err)
+		}
+		payload = mb
+		proto = pkt.ProtoICMP
+	default:
+		u := &pkt.UDP{SrcPort: 33434, DstPort: dport, Payload: []byte("arest-tnt-probe")}
+		ub, err := u.Marshal(t.VP, dst)
+		if err != nil {
+			return nil, fmt.Errorf("probe: %w", err)
+		}
+		payload = ub
+	}
+	ip := &pkt.IPv4{TTL: ttl, Protocol: proto, ID: uint16(ttl) | t.srcPortSeq<<8,
+		Src: t.VP, Dst: dst, Payload: payload}
+	wire, err := ip.Marshal()
+	if err != nil {
+		return nil, fmt.Errorf("probe: %w", err)
+	}
+	reply, rtt, err := t.Conn.Exchange(t.VP, wire)
+	if err != nil {
+		return nil, fmt.Errorf("probe: %w", err)
+	}
+	hop := &Hop{TTL: int(ttl)}
+	if reply == nil {
+		return hop, nil
+	}
+	rip, err := pkt.UnmarshalIPv4(reply)
+	if err != nil {
+		return hop, nil // mangled reply: treat as loss
+	}
+	m, err := pkt.UnmarshalICMP(rip.Payload)
+	if err != nil {
+		return hop, nil
+	}
+	hop.Addr = rip.Src
+	hop.ReplyTTL = rip.TTL
+	hop.ICMPType = m.Type
+	hop.ICMPCode = m.Code
+	hop.RTT = rtt
+	if s, ok := m.MPLSStack(); ok {
+		hop.Stack = s
+	}
+	if q, err := m.QuotedIPv4(); err == nil {
+		hop.QTTL = q.TTL
+	}
+	return hop, nil
+}
+
+// Ping sends one ICMP echo request and reports the received reply TTL,
+// which TTL fingerprinting combines with the time-exceeded reply TTL.
+func (t *Tracer) Ping(dst netip.Addr, id uint16) (replyTTL uint8, ok bool, err error) {
+	m := &pkt.ICMP{Type: pkt.ICMPEchoRequest, ID: id, Seq: 1, Body: []byte("arest-ping")}
+	mb, err := m.Marshal()
+	if err != nil {
+		return 0, false, err
+	}
+	ip := &pkt.IPv4{TTL: 64, Protocol: pkt.ProtoICMP, ID: id, Src: t.VP, Dst: dst, Payload: mb}
+	wire, err := ip.Marshal()
+	if err != nil {
+		return 0, false, err
+	}
+	reply, _, err := t.Conn.Exchange(t.VP, wire)
+	if err != nil || reply == nil {
+		return 0, false, err
+	}
+	rip, err := pkt.UnmarshalIPv4(reply)
+	if err != nil {
+		return 0, false, nil
+	}
+	rm, err := pkt.UnmarshalICMP(rip.Payload)
+	if err != nil || rm.Type != pkt.ICMPEchoReply {
+		return 0, false, nil
+	}
+	return rip.TTL, true, nil
+}
+
+// InferInitialTTL rounds a received TTL up to the nearest common initial
+// value (32, 64, 128, 255), the standard trick for estimating path length
+// and vendor signatures from reply TTLs.
+func InferInitialTTL(received uint8) uint8 {
+	switch {
+	case received <= 32:
+		return 32
+	case received <= 64:
+		return 64
+	case received <= 128:
+		return 128
+	default:
+		return 255
+	}
+}
+
+// returnPathLen estimates the return path length of a hop from its reply
+// TTL (RTLA).
+func returnPathLen(replyTTL uint8) int {
+	return int(InferInitialTTL(replyTTL)) - int(replyTTL)
+}
+
+// IPIDSample is one IP-ID observation from a direct probe, used by
+// MIDAR-style alias resolution.
+type IPIDSample struct {
+	ID       uint16
+	ReplyTTL uint8
+}
+
+// SampleIPID probes the address directly (UDP to an unreachable port) and
+// returns the IP-ID of the reply, exposing the router's shared IP-ID
+// counter.
+func (t *Tracer) SampleIPID(dst netip.Addr) (IPIDSample, bool, error) {
+	t.srcPortSeq++
+	u := &pkt.UDP{SrcPort: 33434, DstPort: t.BasePort + 200, Payload: []byte("arest-ipid")}
+	ub, err := u.Marshal(t.VP, dst)
+	if err != nil {
+		return IPIDSample{}, false, err
+	}
+	ip := &pkt.IPv4{TTL: 64, Protocol: pkt.ProtoUDP, ID: t.srcPortSeq, Src: t.VP, Dst: dst, Payload: ub}
+	wire, err := ip.Marshal()
+	if err != nil {
+		return IPIDSample{}, false, err
+	}
+	reply, _, err := t.Conn.Exchange(t.VP, wire)
+	if err != nil || reply == nil {
+		return IPIDSample{}, false, err
+	}
+	rip, err := pkt.UnmarshalIPv4(reply)
+	if err != nil {
+		return IPIDSample{}, false, nil
+	}
+	return IPIDSample{ID: rip.ID, ReplyTTL: rip.TTL}, true, nil
+}

@@ -1,0 +1,160 @@
+// Package survey models the operator survey of Sec. 3 (Table 2, Fig. 5):
+// 46 respondents describing their SR-MPLS deployments. The respondent set
+// is synthesized deterministically so that its aggregation reproduces the
+// published proportions; the aggregation code itself is what the figures
+// exercise.
+package survey
+
+import "arest/internal/mpls"
+
+// Usage is an SR-MPLS deployment motivation (Fig. 5b answer options).
+type Usage int
+
+const (
+	UsageTrafficEngineering Usage = iota
+	UsageBestEffort
+	UsageSimplifyMPLS
+	UsageResilience
+	UsageTraditionalServices
+	usageCount
+)
+
+func (u Usage) String() string {
+	switch u {
+	case UsageTrafficEngineering:
+		return "Traffic Engineering"
+	case UsageBestEffort:
+		return "Carry Best Effort Traffic"
+	case UsageSimplifyMPLS:
+		return "Simplify MPLS Management"
+	case UsageResilience:
+		return "Network Resilience"
+	case UsageTraditionalServices:
+		return "Carry Traditional Services"
+	default:
+		return "?"
+	}
+}
+
+// AllUsages lists the closed answer options of the usage question.
+var AllUsages = []Usage{UsageTrafficEngineering, UsageBestEffort, UsageSimplifyMPLS,
+	UsageResilience, UsageTraditionalServices}
+
+// Respondent is one survey answer sheet (all questions multiple-choice or
+// yes/no, per Table 2).
+type Respondent struct {
+	Vendors     []mpls.Vendor
+	Usages      []Usage
+	SRGBDefault bool
+	SRLBDefault bool
+}
+
+// N is the number of responses the paper received.
+const N = 46
+
+// Respondents synthesizes the N answer sheets. Counts are chosen so the
+// aggregates match Fig. 5 and the quoted percentages: 70% keep the default
+// SRGB, 67% the default SRLB; Cisco and Juniper dominate the vendor
+// question; network resilience and MPLS simplification lead usage.
+func Respondents() []Respondent {
+	vendorCounts := []struct {
+		v mpls.Vendor
+		n int
+	}{
+		{mpls.VendorCisco, 28},
+		{mpls.VendorJuniper, 24},
+		{mpls.VendorNokia, 13},
+		{mpls.VendorArista, 9},
+		{mpls.VendorLinux, 8},
+		{mpls.VendorHuawei, 7},
+		{mpls.VendorMikroTik, 5},
+	}
+	usageCounts := []struct {
+		u Usage
+		n int
+	}{
+		{UsageResilience, 28},          // ~0.61
+		{UsageSimplifyMPLS, 25},        // ~0.54
+		{UsageTraditionalServices, 23}, // ~0.50
+		{UsageTrafficEngineering, 21},  // ~0.46
+		{UsageBestEffort, 18},          // ~0.39
+	}
+	const srgbDefault = 32 // 32/46 = 69.6% ≈ 70%
+	const srlbDefault = 31 // 31/46 = 67.4% ≈ 67%
+
+	out := make([]Respondent, N)
+	for _, vc := range vendorCounts {
+		for i := 0; i < vc.n; i++ {
+			// Spread mentions round-robin so multi-vendor shops emerge.
+			idx := (i*7 + int(vc.v)*3) % N
+			out[idx].Vendors = append(out[idx].Vendors, vc.v)
+		}
+	}
+	for _, uc := range usageCounts {
+		for i := 0; i < uc.n; i++ {
+			idx := (i*5 + int(uc.u)*11) % N
+			out[idx].Usages = append(out[idx].Usages, uc.u)
+		}
+	}
+	for i := 0; i < srgbDefault; i++ {
+		out[i].SRGBDefault = true
+	}
+	for i := 0; i < srlbDefault; i++ {
+		out[(i+7)%N].SRLBDefault = true
+	}
+	return out
+}
+
+// VendorShares aggregates the vendor question: fraction of respondents
+// mentioning each vendor (multiple choice, so shares do not sum to 1).
+func VendorShares(rs []Respondent) map[mpls.Vendor]float64 {
+	counts := map[mpls.Vendor]int{}
+	for _, r := range rs {
+		seen := map[mpls.Vendor]bool{}
+		for _, v := range r.Vendors {
+			if !seen[v] {
+				counts[v]++
+				seen[v] = true
+			}
+		}
+	}
+	out := map[mpls.Vendor]float64{}
+	for v, c := range counts {
+		out[v] = float64(c) / float64(len(rs))
+	}
+	return out
+}
+
+// UsageShares aggregates the usage question.
+func UsageShares(rs []Respondent) map[Usage]float64 {
+	counts := map[Usage]int{}
+	for _, r := range rs {
+		seen := map[Usage]bool{}
+		for _, u := range r.Usages {
+			if !seen[u] {
+				counts[u]++
+				seen[u] = true
+			}
+		}
+	}
+	out := map[Usage]float64{}
+	for u, c := range counts {
+		out[u] = float64(c) / float64(len(rs))
+	}
+	return out
+}
+
+// DefaultRangeRates returns the fractions of respondents keeping the
+// vendor-recommended SRGB and SRLB.
+func DefaultRangeRates(rs []Respondent) (srgb, srlb float64) {
+	var g, l int
+	for _, r := range rs {
+		if r.SRGBDefault {
+			g++
+		}
+		if r.SRLBDefault {
+			l++
+		}
+	}
+	return float64(g) / float64(len(rs)), float64(l) / float64(len(rs))
+}

@@ -1,0 +1,86 @@
+package survey
+
+import (
+	"math"
+	"testing"
+
+	"arest/internal/mpls"
+)
+
+func TestRespondentCount(t *testing.T) {
+	rs := Respondents()
+	if len(rs) != N || N != 46 {
+		t.Fatalf("respondents = %d, want 46", len(rs))
+	}
+}
+
+func TestVendorSharesMatchFig5a(t *testing.T) {
+	shares := VendorShares(Respondents())
+	// Cisco and Juniper dominate; ordering per Fig. 5a.
+	if shares[mpls.VendorCisco] <= shares[mpls.VendorJuniper] {
+		t.Errorf("Cisco (%.2f) should lead Juniper (%.2f)", shares[mpls.VendorCisco], shares[mpls.VendorJuniper])
+	}
+	if shares[mpls.VendorJuniper] <= shares[mpls.VendorNokia] {
+		t.Errorf("Juniper should lead Nokia")
+	}
+	for _, v := range []mpls.Vendor{mpls.VendorNokia, mpls.VendorArista, mpls.VendorLinux, mpls.VendorHuawei} {
+		if shares[v] <= 0 {
+			t.Errorf("vendor %v has zero share", v)
+		}
+		if shares[v] >= shares[mpls.VendorCisco] {
+			t.Errorf("vendor %v outranks Cisco", v)
+		}
+	}
+}
+
+func TestUsageSharesMatchFig5b(t *testing.T) {
+	shares := UsageShares(Respondents())
+	// Resilience first, then simplification; ~40% best effort.
+	if shares[UsageResilience] < shares[UsageSimplifyMPLS] {
+		t.Error("resilience should lead")
+	}
+	if shares[UsageSimplifyMPLS] < shares[UsageTraditionalServices] {
+		t.Error("simplify should beat traditional services")
+	}
+	if math.Abs(shares[UsageBestEffort]-0.40) > 0.05 {
+		t.Errorf("best effort share = %.2f, want ≈0.40", shares[UsageBestEffort])
+	}
+	for _, u := range AllUsages {
+		if shares[u] <= 0 || shares[u] > 1 {
+			t.Errorf("usage %v share out of range: %f", u, shares[u])
+		}
+	}
+}
+
+func TestDefaultRangeRates(t *testing.T) {
+	srgb, srlb := DefaultRangeRates(Respondents())
+	if math.Abs(srgb-0.70) > 0.02 {
+		t.Errorf("SRGB default rate = %.3f, want ≈0.70", srgb)
+	}
+	if math.Abs(srlb-0.67) > 0.02 {
+		t.Errorf("SRLB default rate = %.3f, want ≈0.67", srlb)
+	}
+}
+
+func TestAggregationCountsRespondentsOnce(t *testing.T) {
+	// A respondent mentioning the same vendor twice must count once.
+	rs := []Respondent{{Vendors: []mpls.Vendor{mpls.VendorCisco, mpls.VendorCisco}}}
+	if got := VendorShares(rs)[mpls.VendorCisco]; got != 1.0 {
+		t.Errorf("share = %f, want 1.0", got)
+	}
+	rs = []Respondent{{Usages: []Usage{UsageResilience, UsageResilience}}}
+	if got := UsageShares(rs)[UsageResilience]; got != 1.0 {
+		t.Errorf("usage share = %f", got)
+	}
+}
+
+func TestUsageStrings(t *testing.T) {
+	for _, u := range AllUsages {
+		if u.String() == "?" {
+			t.Errorf("usage %d has no name", u)
+		}
+	}
+	if Usage(99).String() != "?" {
+		t.Error("unknown usage named")
+	}
+}

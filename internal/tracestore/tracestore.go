@@ -1,0 +1,70 @@
+// Package tracestore reads and writes trace collections as JSON Lines, the
+// interchange format between the probing tool (cmd/tntsim) and the
+// detector (cmd/arest). Each line is one probe.Trace; an optional metadata
+// header line (prefixed with '#') carries campaign context.
+package tracestore
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"arest/internal/probe"
+)
+
+// Meta describes a stored campaign.
+type Meta struct {
+	ASN  int    `json:"asn"`
+	Name string `json:"name,omitempty"`
+	Seed int64  `json:"seed,omitempty"`
+	VPs  int    `json:"vps,omitempty"`
+}
+
+// Write stores the metadata header followed by one trace per line.
+func Write(w io.Writer, meta Meta, traces []*probe.Trace) error {
+	bw := bufio.NewWriter(w)
+	mb, err := json.Marshal(meta)
+	if err != nil {
+		return fmt.Errorf("tracestore: meta: %w", err)
+	}
+	if _, err := fmt.Fprintf(bw, "#%s\n", mb); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(bw)
+	for _, tr := range traces {
+		if err := enc.Encode(tr); err != nil {
+			return fmt.Errorf("tracestore: trace %s->%s: %w", tr.VP, tr.Dst, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a stored campaign. A missing header yields a zero Meta.
+func Read(r io.Reader) (Meta, []*probe.Trace, error) {
+	var meta Meta
+	var traces []*probe.Trace
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := json.Unmarshal([]byte(line[1:]), &meta); err != nil {
+				return meta, nil, fmt.Errorf("tracestore: line %d: bad header: %w", lineNo, err)
+			}
+			continue
+		}
+		var tr probe.Trace
+		if err := json.Unmarshal([]byte(line), &tr); err != nil {
+			return meta, nil, fmt.Errorf("tracestore: line %d: %w", lineNo, err)
+		}
+		traces = append(traces, &tr)
+	}
+	return meta, traces, sc.Err()
+}

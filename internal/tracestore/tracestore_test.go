@@ -1,0 +1,92 @@
+package tracestore
+
+import (
+	"bytes"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"arest/internal/mpls"
+	"arest/internal/probe"
+)
+
+func sampleTraces() []*probe.Trace {
+	return []*probe.Trace{
+		{
+			VP:  netip.MustParseAddr("172.16.0.1"),
+			Dst: netip.MustParseAddr("100.1.0.1"),
+			Hops: []probe.Hop{
+				{TTL: 1, Addr: netip.MustParseAddr("10.1.0.1"), ICMPType: 11, QTTL: 1},
+				{TTL: 2, Addr: netip.MustParseAddr("10.1.0.2"), ICMPType: 11,
+					Stack: mpls.Stack{{Label: 16005, TTL: 1, S: true}}},
+			},
+			Halt: probe.HaltReached,
+		},
+		{
+			VP:   netip.MustParseAddr("172.16.0.1"),
+			Dst:  netip.MustParseAddr("100.1.0.2"),
+			Hops: []probe.Hop{{TTL: 1}}, // unresponsive hop
+			Halt: probe.HaltGaps,
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	meta := Meta{ASN: 293, Name: "ESnet", Seed: 42, VPs: 3}
+	if err := Write(&buf, meta, sampleTraces()); err != nil {
+		t.Fatal(err)
+	}
+	gotMeta, got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta != meta {
+		t.Errorf("meta = %+v", gotMeta)
+	}
+	if len(got) != 2 {
+		t.Fatalf("traces = %d", len(got))
+	}
+	if got[0].Hops[1].Stack[0].Label != 16005 {
+		t.Errorf("stack lost: %+v", got[0].Hops[1])
+	}
+	if got[1].Hops[0].Responded() {
+		t.Error("gap hop became responsive")
+	}
+	if got[0].Halt != probe.HaltReached || got[1].Halt != probe.HaltGaps {
+		t.Error("halt reasons lost")
+	}
+}
+
+func TestReadWithoutHeader(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, Meta{ASN: 1}, sampleTraces()); err != nil {
+		t.Fatal(err)
+	}
+	// Strip the header line.
+	body := buf.String()
+	body = body[strings.Index(body, "\n")+1:]
+	meta, traces, err := Read(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.ASN != 0 || len(traces) != 2 {
+		t.Errorf("meta=%+v traces=%d", meta, len(traces))
+	}
+}
+
+func TestReadSkipsBlankLines(t *testing.T) {
+	_, traces, err := Read(strings.NewReader("\n\n{\"vp\":\"172.16.0.1\",\"dst\":\"100.0.0.1\",\"flow_id\":0,\"hops\":null,\"halt\":0}\n\n"))
+	if err != nil || len(traces) != 1 {
+		t.Errorf("err=%v traces=%d", err, len(traces))
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, _, err := Read(strings.NewReader("#not-json\n")); err == nil {
+		t.Error("bad header accepted")
+	}
+	if _, _, err := Read(strings.NewReader("{broken\n")); err == nil {
+		t.Error("bad trace accepted")
+	}
+}
