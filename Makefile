@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test vet race check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-enabled suite: includes the concurrent netsim.Send stress test and
+# the parallel-vs-sequential campaign equivalence tests.
+race:
+	$(GO) test -race ./...
+
+# CI entry point.
+check: vet race
+
+bench:
+	$(GO) test -run 'Benchmark' -bench . -benchmem .

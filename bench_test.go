@@ -6,8 +6,10 @@
 package arest
 
 import (
+	"fmt"
 	"math/rand"
 	"net/netip"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -110,6 +112,61 @@ func BenchmarkCampaignAS(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkCampaignParallel measures the shared bench campaign end to end
+// at worker counts 1 (the sequential baseline) and GOMAXPROCS, exercising
+// every fan-out stage: the AS pool, per-AS trace sweeps, fingerprint
+// echoes, conflict-ordered alias probing, and detection. Output is
+// identical at every worker count, so the ratio is pure scheduling gain.
+func BenchmarkCampaignParallel(b *testing.B) {
+	var recs []asgen.Record
+	for _, id := range []int{2, 7, 13, 15, 19, 28, 40, 46, 52, 55} {
+		r, _ := asgen.ByID(id)
+		recs = append(recs, r)
+	}
+	parallel := runtime.GOMAXPROCS(0)
+	if parallel < 2 {
+		// On a single-core runner an 8-worker run can show no speedup; it
+		// then measures pure scheduling overhead instead.
+		parallel = 8
+	}
+	for _, workers := range []int{1, parallel} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			cfg := exp.Config{
+				Seed: 20250405, NumVPs: 4, MaxTargets: 16,
+				FlowsPerTarget: 1, AliasCandidateCap: 80, MaxRouters: 28,
+				Workers: workers,
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := exp.Run(recs, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSendContention measures raw Send throughput on one shared
+// Network with all cores probing at once — the contention profile of a
+// parallel VP sweep (atomic IP-ID bumps plus read-only FIB lookups).
+func BenchmarkSendContention(b *testing.B) {
+	rec, _ := asgen.ByID(15)
+	dep := asgen.DeploymentFor(rec, 1)
+	dep.Routers = 60
+	w := asgen.Build(rec, dep, 1, 1)
+	tgt := w.Targets[0]
+	b.RunParallel(func(pb *testing.PB) {
+		tc := probe.NewTracer(probe.NetsimConn{Net: w.Net}, w.VPs[0])
+		tc.Reveal = false
+		flow := uint16(0)
+		for pb.Next() {
+			flow++
+			if _, err := tc.Trace(tgt, flow%8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkDetector measures raw AReST analysis throughput on a synthetic

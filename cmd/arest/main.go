@@ -23,6 +23,7 @@ import (
 	"arest/internal/eval"
 	"arest/internal/fingerprint"
 	"arest/internal/mpls"
+	"arest/internal/par"
 	"arest/internal/tracestore"
 )
 
@@ -32,6 +33,7 @@ func main() {
 	verbose := flag.Bool("v", false, "print every detected segment")
 	jsonOut := flag.Bool("json", false, "emit one JSON report per trace instead of tables")
 	noSuffix := flag.Bool("no-suffix", false, "disable suffix-based label matching")
+	workers := flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	r := os.Stdin
@@ -63,10 +65,19 @@ func main() {
 	det := core.NewDetector()
 	det.SuffixMatching = !*noSuffix
 
+	// Analyze is a pure function of each trace, so the passes fan out into
+	// index-addressed slices; all reporting below walks them in input
+	// order, keeping the output identical at any worker count.
+	paths := make([]*core.Path, len(traces))
+	results := make([]*core.Result, len(traces))
+	par.ForEach(par.Workers(*workers), len(traces), func(i int) {
+		paths[i] = core.BuildPath(traces[i], ann, nil)
+		results[i] = det.Analyze(paths[i])
+	})
+
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
-		for _, tr := range traces {
-			res := det.Analyze(core.BuildPath(tr, ann, nil))
+		for _, res := range results {
 			if err := enc.Encode(core.NewReport(res)); err != nil {
 				fatalf("encode report: %v", err)
 			}
@@ -77,9 +88,9 @@ func main() {
 	flagCounts := map[core.Flag]int{}
 	patterns := map[core.Pattern]int{}
 	tracesWithSR := 0
-	for _, tr := range traces {
-		p := core.BuildPath(tr, ann, nil)
-		res := det.Analyze(p)
+	for i, tr := range traces {
+		p := paths[i]
+		res := results[i]
 		if res.HasSR() {
 			tracesWithSR++
 		}

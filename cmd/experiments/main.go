@@ -30,6 +30,7 @@ func main() {
 	targets := flag.Int("targets", 32, "max targets per AS")
 	maxRouters := flag.Int("max-routers", 60, "per-AS topology cap")
 	seed := flag.Int64("seed", 20250405, "campaign seed")
+	workers := flag.Int("workers", 0, "worker pool size for every pipeline stage (0 = GOMAXPROCS, 1 = sequential)")
 	outDir := flag.String("o", "", "write each experiment to <dir>/<id>.txt instead of stdout")
 	flag.Parse()
 
@@ -74,6 +75,7 @@ func main() {
 	cfg.NumVPs = *vps
 	cfg.MaxTargets = *targets
 	cfg.MaxRouters = *maxRouters
+	cfg.Workers = *workers
 
 	fmt.Fprintf(os.Stderr, "running campaign over %d ASes (%d VPs, <=%d targets each)...\n",
 		len(records), cfg.NumVPs, cfg.MaxTargets)

@@ -8,12 +8,15 @@ import (
 	"net/netip"
 	"sort"
 
+	"arest/internal/par"
 	"arest/internal/probe"
 )
 
-// Prober samples IP-IDs from candidate interfaces; probe.Tracer implements it.
+// Prober samples IP-IDs from candidate interfaces; probe.Tracer implements
+// it. seq distinguishes successive samples so each probe carries a distinct
+// IP-ID; implementations must be safe for concurrent use.
 type Prober interface {
-	SampleIPID(dst netip.Addr) (probe.IPIDSample, bool, error)
+	SampleIPID(dst netip.Addr, seq uint32) (probe.IPIDSample, bool, error)
 }
 
 // Config tunes the resolution pipeline.
@@ -26,6 +29,20 @@ type Config struct {
 	// PathLenSlack is the APPLE pruning tolerance on estimated return
 	// path lengths.
 	PathLenSlack int
+	// Workers bounds the probing concurrency (0 = GOMAXPROCS, 1 =
+	// sequential). Parallel runs produce the same alias sets as
+	// sequential ones: see ConflictKey.
+	Workers int
+	// ConflictKey, when set, names the shared IP-ID counter behind an
+	// address (e.g. the simulated router's ID). Pair tests whose four
+	// sample streams touch disjoint counters run in parallel; tests
+	// sharing a counter are serialized in pair order, so every counter
+	// sees the same probe subsequence as a sequential run and the
+	// observed IP-ID sequences are identical. Addresses with ok=false —
+	// and all addresses when ConflictKey is nil — fall into one shared
+	// bucket and are serialized against each other (always correct,
+	// merely less parallel).
+	ConflictKey func(a netip.Addr) (key uint64, ok bool)
 }
 
 // DefaultConfig mirrors conservative MIDAR settings.
@@ -39,25 +56,88 @@ type candidate struct {
 }
 
 // Resolve returns alias sets (routers) among the candidate addresses. Only
-// sets with two or more members are reported.
+// sets with two or more members are reported. The result is independent of
+// cfg.Workers: every probe's bytes are a pure function of (address, seq),
+// and the conflict-ordered schedule replays the sequential probe order on
+// every shared counter.
 func Resolve(addrs []netip.Addr, p Prober, cfg Config) [][]netip.Addr {
 	if cfg.Rounds == 0 {
 		cfg = DefaultConfig()
 	}
+	workers := par.Workers(cfg.Workers)
+
 	// Estimation stage: keep responsive candidates and record their
-	// APPLE path-length estimate.
-	var cands []candidate
-	for _, a := range addrs {
-		s, ok, err := p.SampleIPID(a)
+	// APPLE path-length estimate. Responsiveness and path length depend
+	// only on each probe's own bytes, never on counter values, so the
+	// fan-out needs no ordering.
+	ests := make([]*candidate, len(addrs))
+	par.ForEach(workers, len(addrs), func(i int) {
+		s, ok, err := p.SampleIPID(addrs[i], uint32(i))
 		if err != nil || !ok {
-			continue
+			return
 		}
-		cands = append(cands, candidate{addr: a,
-			pathLen: int(probe.InferInitialTTL(s.ReplyTTL)) - int(s.ReplyTTL)})
+		ests[i] = &candidate{addr: addrs[i],
+			pathLen: int(probe.InferInitialTTL(s.ReplyTTL)) - int(s.ReplyTTL)}
+	})
+	var cands []candidate
+	for _, c := range ests {
+		if c != nil {
+			cands = append(cands, *c)
+		}
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].addr.Less(cands[j].addr) })
 
-	// Union-find over candidates.
+	// Pair stage: the APPLE-pruned pair list is built up front, in
+	// lexicographic order, so the probing schedule is static. (The
+	// previous transitive early-skip — skip (i,j) once union-find links
+	// them — made the pair list depend on earlier outcomes; transitivity
+	// is now recovered from the union-find below instead.)
+	type pairTest struct{ i, j int }
+	var pairs []pairTest
+	for i := 0; i < len(cands); i++ {
+		for j := i + 1; j < len(cands); j++ {
+			// APPLE pruning: interfaces of one router sit at (nearly) the
+			// same return distance.
+			d := cands[i].pathLen - cands[j].pathLen
+			if d < 0 {
+				d = -d
+			}
+			if d > cfg.PathLenSlack {
+				continue
+			}
+			pairs = append(pairs, pairTest{i, j})
+		}
+	}
+
+	// counterKey buckets an address by the shared counter behind it;
+	// bucket 0 collects addresses the oracle cannot place (and everything,
+	// when there is no oracle).
+	counterKey := func(a netip.Addr) uint64 {
+		if cfg.ConflictKey != nil {
+			if k, ok := cfg.ConflictKey(a); ok {
+				return k + 1
+			}
+		}
+		return 0
+	}
+	// Each pair test consumes 2*Rounds sample sequence numbers; bases are
+	// disjoint from the estimation stage's [0, len(addrs)) range so no
+	// (addr, seq) coordinate repeats.
+	seqBase := func(pairIdx int) uint32 {
+		return uint32(len(addrs) + pairIdx*2*cfg.Rounds)
+	}
+	aliased := make([]bool, len(pairs))
+	par.ConflictOrdered(workers, len(pairs),
+		func(t int) []uint64 {
+			return []uint64{counterKey(cands[pairs[t].i].addr), counterKey(cands[pairs[t].j].addr)}
+		},
+		func(t int) {
+			aliased[t] = sharedCounter(cands[pairs[t].i].addr, cands[pairs[t].j].addr,
+				p, cfg, seqBase(t))
+		})
+
+	// Union-find over the recorded outcomes (order-independent: union is
+	// commutative on the final partition).
 	parent := make([]int, len(cands))
 	for i := range parent {
 		parent[i] = i
@@ -70,25 +150,9 @@ func Resolve(addrs []netip.Addr, p Prober, cfg Config) [][]netip.Addr {
 		}
 		return x
 	}
-	union := func(a, b int) { parent[find(a)] = find(b) }
-
-	for i := 0; i < len(cands); i++ {
-		for j := i + 1; j < len(cands); j++ {
-			if find(i) == find(j) {
-				continue // already aliased transitively
-			}
-			// APPLE pruning: interfaces of one router sit at (nearly) the
-			// same return distance.
-			d := cands[i].pathLen - cands[j].pathLen
-			if d < 0 {
-				d = -d
-			}
-			if d > cfg.PathLenSlack {
-				continue
-			}
-			if sharedCounter(cands[i].addr, cands[j].addr, p, cfg) {
-				union(i, j)
-			}
+	for t, ok := range aliased {
+		if ok {
+			parent[find(pairs[t].i)] = find(pairs[t].j)
 		}
 	}
 	groups := make(map[int][]netip.Addr)
@@ -110,12 +174,15 @@ func Resolve(addrs []netip.Addr, p Prober, cfg Config) [][]netip.Addr {
 // sharedCounter runs the monotonic bounds test: interleave samples of the
 // two addresses; a shared counter yields a strictly increasing sequence
 // with small steps, while independent counters almost surely violate the
-// bound at some step.
-func sharedCounter(a, b netip.Addr, p Prober, cfg Config) bool {
+// bound at some step. seqBase numbers the samples within the resolution
+// run's global sequence space.
+func sharedCounter(a, b netip.Addr, p Prober, cfg Config, seqBase uint32) bool {
 	var seq []uint16
+	k := seqBase
 	for r := 0; r < cfg.Rounds; r++ {
 		for _, addr := range []netip.Addr{a, b} {
-			s, ok, err := p.SampleIPID(addr)
+			s, ok, err := p.SampleIPID(addr, k)
+			k++
 			if err != nil || !ok {
 				return false
 			}

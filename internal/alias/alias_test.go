@@ -2,6 +2,7 @@ package alias
 
 import (
 	"net/netip"
+	"reflect"
 	"testing"
 
 	"arest/internal/mpls"
@@ -104,7 +105,7 @@ type fakeProber struct {
 	ttl  map[netip.Addr]uint8
 }
 
-func (f *fakeProber) SampleIPID(dst netip.Addr) (probe.IPIDSample, bool, error) {
+func (f *fakeProber) SampleIPID(dst netip.Addr, seq uint32) (probe.IPIDSample, bool, error) {
 	p, ok := f.ids[dst]
 	if !ok {
 		return probe.IPIDSample{}, false, nil
@@ -144,6 +145,39 @@ func TestAPPLEPruning(t *testing.T) {
 	sets := Resolve([]netip.Addr{a("10.0.0.1"), a("10.0.0.2")}, f, DefaultConfig())
 	if len(sets) != 0 {
 		t.Errorf("APPLE pruning failed: %v", sets)
+	}
+}
+
+func TestResolveParallelMatchesSequential(t *testing.T) {
+	// The same candidate set resolved sequentially and with 8 workers must
+	// yield identical alias sets: probes are pure functions of (addr, seq)
+	// and the conflict-ordered schedule replays the sequential probe order
+	// on every shared IP-ID counter. Run under -race this also exercises
+	// concurrent netsim.Send on one shared Network.
+	run := func(workers int) [][]netip.Addr {
+		n, tc, rs := meshNet(t)
+		var cands []netip.Addr
+		for _, r := range rs {
+			cands = append(cands, r.Interfaces()...)
+		}
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		cfg.ConflictKey = func(a netip.Addr) (uint64, bool) {
+			r, ok := n.RouterByAddr(a)
+			if !ok {
+				return 0, false
+			}
+			return uint64(r.ID), true
+		}
+		return Resolve(cands, tc, cfg)
+	}
+	seq := run(1)
+	parl := run(8)
+	if len(seq) == 0 {
+		t.Fatal("sequential run found no alias sets")
+	}
+	if !reflect.DeepEqual(seq, parl) {
+		t.Errorf("parallel alias sets diverge:\nseq  = %v\npar  = %v", seq, parl)
 	}
 }
 

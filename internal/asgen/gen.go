@@ -519,17 +519,3 @@ func treeParent(i, cut, island2, border2 int, regionized bool, rng *rand.Rand) i
 		return island2 + rng.Intn(i-island2)
 	}
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -8,8 +8,7 @@ package exp
 import (
 	"fmt"
 	"net/netip"
-	"runtime"
-	"sync"
+	"sort"
 
 	"arest/internal/alias"
 	"arest/internal/anaximander"
@@ -17,6 +16,7 @@ import (
 	"arest/internal/bdrmap"
 	"arest/internal/core"
 	"arest/internal/fingerprint"
+	"arest/internal/par"
 	"arest/internal/probe"
 )
 
@@ -36,7 +36,17 @@ type Config struct {
 	AliasCandidateCap int
 	// MaxRouters, when non-zero, clamps the per-AS topology size.
 	MaxRouters int
+	// Workers bounds the concurrency of every pipeline stage — the AS
+	// pool, per-AS trace sweeps, fingerprint echoes, alias pair probing,
+	// and detection (0 = GOMAXPROCS, 1 = fully sequential). Campaign
+	// output is identical at every worker count: stages write into
+	// index-addressed slices and alias probing replays the sequential
+	// probe order on every shared IP-ID counter.
+	Workers int
 }
+
+// workers resolves the configured concurrency bound.
+func (c Config) workers() int { return par.Workers(c.Workers) }
 
 // DefaultConfig returns a laptop-scale campaign configuration.
 func DefaultConfig() Config {
@@ -98,27 +108,53 @@ func runASWithDeployment(rec asgen.Record, dep asgen.Deployment, cfg Config) (*A
 	plan := anaximander.BuildPlan(rib, rec.ASN, anaximander.Options{MaxTargets: cfg.MaxTargets})
 
 	res := &ASResult{Record: rec, World: w}
+	workers := cfg.workers()
+
+	// Trace sweep: every (vantage point, target, flow) probe is an
+	// independent job — traces never observe shared counter state — so the
+	// whole sweep fans out flat across VPs into pre-sized per-VP slots.
+	type traceJob struct {
+		vpIdx, slot int
+		tgt         netip.Addr
+		flow        uint16
+	}
+	flows := max(1, cfg.FlowsPerTarget)
+	var jobs []traceJob
+	tracers := make([]*probe.Tracer, len(w.VPs))
+	res.PerVP = make([]VPTraces, len(w.VPs))
 	for vpIdx, vp := range w.VPs {
-		tc := probe.NewTracer(probe.NetsimConn{Net: w.Net}, vp)
-		vt := VPTraces{VP: vp}
+		tracers[vpIdx] = probe.NewTracer(probe.NetsimConn{Net: w.Net}, vp)
+		slot := 0
 		for _, tgt := range plan.Shuffled(vpIdx) {
-			for flow := 0; flow < max(1, cfg.FlowsPerTarget); flow++ {
-				tr, err := tc.Trace(tgt, uint16(flow))
-				if err != nil {
-					return nil, fmt.Errorf("trace %s from %s: %w", tgt, vp, err)
-				}
-				vt.Traces = append(vt.Traces, tr)
-				res.TracesSent++
+			for flow := 0; flow < flows; flow++ {
+				jobs = append(jobs, traceJob{vpIdx, slot, tgt, uint16(flow)})
+				slot++
 			}
 		}
-		res.PerVP = append(res.PerVP, vt)
+		res.PerVP[vpIdx] = VPTraces{VP: vp, Traces: make([]*probe.Trace, slot)}
 	}
+	jobErrs := make([]error, len(jobs))
+	par.ForEach(workers, len(jobs), func(i int) {
+		j := jobs[i]
+		tr, err := tracers[j.vpIdx].Trace(j.tgt, j.flow)
+		if err != nil {
+			jobErrs[i] = fmt.Errorf("trace %s from %s: %w", j.tgt, w.VPs[j.vpIdx], err)
+			return
+		}
+		res.PerVP[j.vpIdx].Traces[j.slot] = tr
+	})
+	for _, err := range jobErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.TracesSent = len(jobs)
 	traces := res.Traces()
 
 	// Fingerprinting: TTL signatures need echo probes; the SNMPv3 dataset
 	// is the (simulated) public one.
 	pinger := probe.NewTracer(probe.NetsimConn{Net: w.Net}, w.VPs[0])
-	ttl := fingerprint.CollectTTL(traces, pinger)
+	ttl := fingerprint.CollectTTL(traces, pinger, workers)
 	res.Annotator = fingerprint.NewAnnotator(fingerprint.SNMPDataset(w.Net), ttl)
 
 	// Alias resolution feeds bdrmap.
@@ -135,22 +171,47 @@ func runASWithDeployment(rec asgen.Record, dep asgen.Deployment, cfg Config) (*A
 				}
 			}
 		}
+		// Sort before capping so the kept candidate set is stable
+		// regardless of trace-collection order.
+		sort.Slice(cands, func(i, j int) bool { return cands[i].Less(cands[j]) })
 		if len(cands) > cfg.AliasCandidateCap {
 			cands = cands[:cfg.AliasCandidateCap]
 		}
-		aliasSets = alias.Resolve(cands, pinger, alias.DefaultConfig())
+		acfg := alias.DefaultConfig()
+		acfg.Workers = workers
+		// Ground-truth conflict keys let pair tests on disjoint routers
+		// run concurrently; the keys only order probing, never results.
+		acfg.ConflictKey = func(a netip.Addr) (uint64, bool) {
+			r, ok := w.Net.RouterByAddr(a)
+			if !ok {
+				return 0, false
+			}
+			return uint64(r.ID), true
+		}
+		aliasSets = alias.Resolve(cands, pinger, acfg)
 	}
 	res.Annotation = bdrmap.Annotate(traces, rib, aliasSets)
 
+	// Detection: Analyze is a pure function of the annotated path, so the
+	// per-trace passes fan out into index slots and compact in trace order.
 	det := core.NewDetector()
-	for _, tr := range traces {
-		p := core.BuildPath(tr, res.Annotator, res.Annotation.AsFunc())
+	paths := make([]*core.Path, len(traces))
+	results := make([]*core.Result, len(traces))
+	par.ForEach(workers, len(traces), func(i int) {
+		p := core.BuildPath(traces[i], res.Annotator, res.Annotation.AsFunc())
 		sub := p.RestrictToAS(rec.ASN)
 		if len(sub.Hops) == 0 {
+			return
+		}
+		paths[i] = sub
+		results[i] = det.Analyze(sub)
+	})
+	for i := range traces {
+		if paths[i] == nil {
 			continue
 		}
-		res.Paths = append(res.Paths, sub)
-		res.Results = append(res.Results, det.Analyze(sub))
+		res.Paths = append(res.Paths, paths[i])
+		res.Results = append(res.Results, results[i])
 	}
 	return res, nil
 }
@@ -175,30 +236,9 @@ func Run(records []asgen.Record, cfg Config) (*Campaign, error) {
 	}
 	results := make([]*ASResult, len(kept))
 	errs := make([]error, len(kept))
-
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(kept) {
-		workers = len(kept)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	idxCh := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idxCh {
-				results[i], errs[i] = RunAS(kept[i], cfg)
-			}
-		}()
-	}
-	for i := range kept {
-		idxCh <- i
-	}
-	close(idxCh)
-	wg.Wait()
+	par.ForEach(cfg.workers(), len(kept), func(i int) {
+		results[i], errs[i] = RunAS(kept[i], cfg)
+	})
 
 	c := &Campaign{Cfg: cfg}
 	for i, rec := range kept {
@@ -218,11 +258,4 @@ func (c *Campaign) ByID(id int) (*ASResult, bool) {
 		}
 	}
 	return nil, false
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -86,17 +86,10 @@ func LongitudinalTable(rec asgen.Record, stats []EpochStat) string {
 func runLongitudinalExp(c *Campaign) string {
 	rec, _ := asgen.ByID(28) // Bell Canada: a claimed transit AS
 	cfg := c.Cfg
-	cfg.NumVPs = maxInt(2, cfg.NumVPs/2)
+	cfg.NumVPs = max(2, cfg.NumVPs/2)
 	stats, err := RunLongitudinal(rec, 5, cfg)
 	if err != nil {
 		return "longitudinal run failed: " + err.Error() + "\n"
 	}
 	return LongitudinalTable(rec, stats)
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

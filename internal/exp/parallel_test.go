@@ -1,0 +1,86 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+
+	"arest/internal/asgen"
+	"arest/internal/bdrmap"
+	"arest/internal/core"
+	"arest/internal/fingerprint"
+)
+
+// asProjection is the part of an ASResult the determinism contract covers:
+// everything except World, whose Network holds sync.Map caches with
+// run-dependent internals.
+type asProjection struct {
+	Record     asgen.Record
+	PerVP      []VPTraces
+	Annotator  *fingerprint.Annotator
+	Annotation bdrmap.Annotation
+	Paths      []*core.Path
+	Results    []*core.Result
+	TracesSent int
+}
+
+func project(r *ASResult) asProjection {
+	return asProjection{
+		Record:     r.Record,
+		PerVP:      r.PerVP,
+		Annotator:  r.Annotator,
+		Annotation: r.Annotation,
+		Paths:      r.Paths,
+		Results:    r.Results,
+		TracesSent: r.TracesSent,
+	}
+}
+
+// TestCampaignParallelMatchesSequential runs the same campaign fully
+// sequentially (Workers: 1) and with an 8-worker fan-out and requires
+// deep-equal results: traces, fingerprints, alias-fed annotations,
+// delimited paths, and AReST verdicts. Under -race this exercises every
+// parallel stage — the AS pool, trace sweeps, fingerprint echoes,
+// conflict-ordered alias probing, and detection.
+func TestCampaignParallelMatchesSequential(t *testing.T) {
+	var recs []asgen.Record
+	for _, id := range []int{2, 15, 28, 40} {
+		r, ok := asgen.ByID(id)
+		if !ok {
+			t.Fatalf("record %d missing", id)
+		}
+		recs = append(recs, r)
+	}
+	run := func(workers int) *Campaign {
+		cfg := testCfg()
+		cfg.Workers = workers
+		c, err := Run(recs, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return c
+	}
+	seq := run(1)
+	parl := run(8)
+
+	if len(seq.ASes) != len(parl.ASes) {
+		t.Fatalf("AS count diverged: %d vs %d", len(seq.ASes), len(parl.ASes))
+	}
+	for i := range seq.ASes {
+		sp, pp := project(seq.ASes[i]), project(parl.ASes[i])
+		if !reflect.DeepEqual(sp, pp) {
+			// Narrow the report to the first diverging field.
+			switch {
+			case !reflect.DeepEqual(sp.PerVP, pp.PerVP):
+				t.Errorf("AS#%d: traces diverged", sp.Record.ID)
+			case !reflect.DeepEqual(sp.Annotator, pp.Annotator):
+				t.Errorf("AS#%d: fingerprint annotations diverged", sp.Record.ID)
+			case !reflect.DeepEqual(sp.Annotation, pp.Annotation):
+				t.Errorf("AS#%d: bdrmap annotation diverged", sp.Record.ID)
+			case !reflect.DeepEqual(sp.Results, pp.Results):
+				t.Errorf("AS#%d: AReST results diverged", sp.Record.ID)
+			default:
+				t.Errorf("AS#%d: results diverged", sp.Record.ID)
+			}
+		}
+	}
+}

@@ -11,9 +11,11 @@ package fingerprint
 
 import (
 	"net/netip"
+	"sort"
 
 	"arest/internal/mpls"
 	"arest/internal/netsim"
+	"arest/internal/par"
 	"arest/internal/probe"
 )
 
@@ -71,12 +73,25 @@ type Pinger interface {
 	Ping(dst netip.Addr, id uint16) (replyTTL uint8, ok bool, err error)
 }
 
+// pingID derives a deterministic echo identifier from the pinged address,
+// replacing the old map-iteration-order counter: the probe bytes sent to an
+// interface no longer depend on which other interfaces are in the batch.
+func pingID(a netip.Addr) uint16 {
+	b := a.As4()
+	v := uint64(b[0])<<24 | uint64(b[1])<<16 | uint64(b[2])<<8 | uint64(b[3])
+	v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9
+	v = (v ^ (v >> 27)) * 0x94d049bb133111eb
+	return uint16(v ^ (v >> 31))
+}
+
 // CollectTTL builds TTL fingerprints for every responding hop in traces.
 // The time-exceeded half comes from the trace replies themselves; the
 // echo-reply half requires the interface to answer pings — interfaces that
 // do not (e.g. the whole of ESnet in the paper's ground truth) stay
-// unclassified.
-func CollectTTL(traces []*probe.Trace, pinger Pinger) map[netip.Addr]mpls.Vendor {
+// unclassified. Pings fan out over at most workers goroutines (0 =
+// GOMAXPROCS, 1 = sequential); each ping is independent, so the result is
+// the same at any worker count.
+func CollectTTL(traces []*probe.Trace, pinger Pinger, workers int) map[netip.Addr]mpls.Vendor {
 	teInit := make(map[netip.Addr]uint8)
 	for _, tr := range traces {
 		for i := range tr.Hops {
@@ -92,17 +107,25 @@ func CollectTTL(traces []*probe.Trace, pinger Pinger) map[netip.Addr]mpls.Vendor
 			}
 		}
 	}
-	out := make(map[netip.Addr]mpls.Vendor)
-	id := uint16(1)
-	for addr, te := range teInit {
-		id++
-		replyTTL, ok, err := pinger.Ping(addr, id)
+	addrs := make([]netip.Addr, 0, len(teInit))
+	for addr := range teInit {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i].Less(addrs[j]) })
+	vendors := make([]mpls.Vendor, len(addrs))
+	par.ForEach(par.Workers(workers), len(addrs), func(i int) {
+		vendors[i] = mpls.VendorUnknown
+		replyTTL, ok, err := pinger.Ping(addrs[i], pingID(addrs[i]))
 		if err != nil || !ok {
-			continue
+			return
 		}
-		sig := Signature{TimeExceeded: te, EchoReply: probe.InferInitialTTL(replyTTL)}
-		if v := sig.Classify(); v != mpls.VendorUnknown {
-			out[addr] = v
+		sig := Signature{TimeExceeded: teInit[addrs[i]], EchoReply: probe.InferInitialTTL(replyTTL)}
+		vendors[i] = sig.Classify()
+	})
+	out := make(map[netip.Addr]mpls.Vendor)
+	for i, addr := range addrs {
+		if vendors[i] != mpls.VendorUnknown {
+			out[addr] = vendors[i]
 		}
 	}
 	return out

@@ -48,6 +48,10 @@ const maxSteps = 1024
 // Send injects the serialized IPv4 probe wire from the attached host with
 // source address src and simulates its journey. The reply (if any) is the
 // serialized IPv4 packet the host would capture.
+//
+// Send is safe for concurrent use after Compute (which establishes the
+// happens-before edge for all control-plane state); see the package
+// comment for the full concurrency model.
 func (n *Network) Send(src netip.Addr, wire []byte) (*Delivery, error) {
 	if !n.computed {
 		return nil, ErrNotComputed
@@ -463,9 +467,15 @@ func (c *sendCtx) retDist(r *Router) int {
 	return d + 1 // gateway → host
 }
 
+// nextIPID advances r's shared IP-ID counter by one packet. The counter is
+// base + stride*count with an atomic count, so concurrent Sends commute:
+// the value observed by any single reply depends on scheduling, but the
+// counter state after a set of probes does not. (stride*uint16(count) mod
+// 2^16 equals repeated uint16 addition, since stride·(N mod 2^16) ≡
+// stride·N mod 2^16.)
 func (c *sendCtx) nextIPID(r *Router) uint16 {
-	r.ipID += r.ipIDStride
-	return r.ipID
+	cnt := r.ipIDCount.Add(1)
+	return r.ipIDBase + r.ipIDStride*uint16(cnt)
 }
 
 // quoteBytes rebuilds the original datagram as the replying router saw it.

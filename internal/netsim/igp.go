@@ -7,10 +7,15 @@ import (
 
 // computeSPF runs Dijkstra from every router, recording IGP distances and
 // the set of equal-cost first hops toward every destination. ECMP next hops
-// are kept sorted so that flow-hash selection is deterministic.
+// are kept sorted so that flow-hash selection is deterministic. The results
+// are dense slices indexed by RouterID (IDs are contiguous from 0): the
+// forwarding fast path does two bounds-checked loads instead of two map
+// probes per hop, and the read-only slices are safe to share across
+// concurrent Sends.
 func (n *Network) computeSPF() {
-	n.nexthops = make(map[RouterID]map[RouterID][]RouterID, len(n.routers))
-	n.dist = make(map[RouterID]map[RouterID]int, len(n.routers))
+	nr := len(n.routers)
+	n.nexthops = make([][][]RouterID, nr)
+	n.dist = make([][]int, nr)
 	for _, r := range n.routers {
 		dist, first := n.dijkstra(r.ID)
 		n.dist[r.ID] = dist
@@ -38,18 +43,20 @@ func (q *pq) Pop() interface{} {
 	return it
 }
 
-// dijkstra returns the cost map from src and, per destination, the ECMP set
-// of first-hop router IDs on shortest paths.
-func (n *Network) dijkstra(src RouterID) (map[RouterID]int, map[RouterID][]RouterID) {
+// dijkstra returns the cost slice from src and, per destination, the ECMP
+// set of first-hop router IDs on shortest paths; both are indexed by
+// RouterID, with dist -1 for unreachable destinations.
+func (n *Network) dijkstra(src RouterID) ([]int, [][]RouterID) {
 	const inf = int(^uint(0) >> 2)
-	cost := make(map[RouterID]int, len(n.routers))
-	firstSet := make(map[RouterID]map[RouterID]bool, len(n.routers))
-	for _, r := range n.routers {
-		cost[r.ID] = inf
+	nr := len(n.routers)
+	cost := make([]int, nr)
+	firstSet := make([]map[RouterID]bool, nr)
+	for i := range cost {
+		cost[i] = inf
 	}
 	cost[src] = 0
 	q := &pq{{src, 0}}
-	done := make(map[RouterID]bool)
+	done := make([]bool, nr)
 	for q.Len() > 0 {
 		it := heap.Pop(q).(pqItem)
 		if done[it.id] {
@@ -90,8 +97,8 @@ func (n *Network) dijkstra(src RouterID) (map[RouterID]int, map[RouterID][]Route
 			}
 		}
 	}
-	dist := make(map[RouterID]int, len(n.routers))
-	first := make(map[RouterID][]RouterID, len(n.routers))
+	dist := make([]int, nr)
+	first := make([][]RouterID, nr)
 	for _, r := range n.routers {
 		if cost[r.ID] >= inf {
 			dist[r.ID] = -1
@@ -126,24 +133,44 @@ func (n *Network) NextHop(src, dst RouterID, flow uint64) (RouterID, bool) {
 	return hops[h%uint64(len(hops))], true
 }
 
+// pathKey identifies one memoized PathLen walk.
+type pathKey struct {
+	src, dst RouterID
+	flow     uint64
+}
+
 // PathLen returns the number of router hops on the flow's path from src to
-// dst (0 when src == dst, -1 when unreachable).
+// dst (0 when src == dst, -1 when unreachable). Results are memoized per
+// (src, dst, flow) until the next Compute; every probe of a sweep replays
+// the same return path, so the hop-by-hop walk runs once per flow.
 func (n *Network) PathLen(src, dst RouterID, flow uint64) int {
 	if src == dst {
 		return 0
+	}
+	cache := n.pathCache
+	k := pathKey{src, dst, flow}
+	if cache != nil {
+		if v, ok := cache.Load(k); ok {
+			return v.(int)
+		}
 	}
 	hops := 0
 	cur := src
 	for cur != dst {
 		nxt, ok := n.NextHop(cur, dst, flow)
 		if !ok {
-			return -1
+			hops = -1
+			break
 		}
 		cur = nxt
 		hops++
 		if hops > len(n.routers) {
-			return -1
+			hops = -1
+			break
 		}
+	}
+	if cache != nil {
+		cache.Store(k, hops)
 	}
 	return hops
 }

@@ -2,9 +2,9 @@ package netsim
 
 import (
 	"fmt"
-	"math/rand"
 	"net/netip"
 	"sort"
+	"sync"
 
 	"arest/internal/mpls"
 )
@@ -47,14 +47,17 @@ type Network struct {
 	// stack — another Segment-Routing-free source of deep stacks.
 	EntropyPolicy func(ingress *Router, egress RouterID, dst netip.Addr, flow uint64) bool
 
-	rng  *rand.Rand
 	seed int64
 
 	// addrOwner maps exact interface/loopback addresses to their router.
 	addrOwner map[netip.Addr]RouterID
 	// ownerCache memoizes longest-prefix-match results per destination;
-	// reset by Compute.
-	ownerCache map[netip.Addr]ownerEntry
+	// reset by Compute. A sync.Map so concurrent Sends can share it.
+	ownerCache *sync.Map
+	// pathCache memoizes PathLen walks per (src, dst, flow); reset by
+	// Compute. Campaigns replay the same return paths for every probe of
+	// a sweep, so the hop-by-hop walk runs once per flow.
+	pathCache *sync.Map
 	// downLinks holds administratively/operationally down links (both
 	// orientations), for failure and fast-reroute studies.
 	downLinks map[[2]RouterID]bool
@@ -62,9 +65,10 @@ type Network struct {
 	sidOwner []RouterID
 
 	computed bool
-	// nexthops[src][dst] lists ECMP next hops from src toward dst router.
-	nexthops map[RouterID]map[RouterID][]RouterID
-	dist     map[RouterID]map[RouterID]int
+	// nexthops[src][dst] lists ECMP next hops from src toward dst router;
+	// dense slices indexed by RouterID (IDs are contiguous from 0).
+	nexthops [][][]RouterID
+	dist     [][]int
 }
 
 // New creates an empty network. All stochastic choices (label pool draws,
@@ -77,9 +81,20 @@ func New(seed int64) *Network {
 		asIndex:   make(map[int]int),
 		nextIface: make(map[int]uint32),
 		nextLoop:  make(map[int]uint32),
-		rng:       rand.New(rand.NewSource(seed)),
 		seed:      seed,
 	}
+}
+
+// idHash mixes the network seed with a router ID into a well-distributed
+// 64-bit value (splitmix64 finalizer). Per-router derivation — instead of a
+// shared rand.Rand stream — makes router parameters independent of the
+// order in which other routers were added, and leaves the Network free of
+// mutable randomness state.
+func idHash(seed int64, id RouterID) uint64 {
+	v := uint64(seed) ^ uint64(id)*0x9e3779b97f4a7c15
+	v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9
+	v = (v ^ (v >> 27)) * 0x94d049bb133111eb
+	return v ^ (v >> 31)
 }
 
 func (n *Network) asIdx(asn int) int {
@@ -118,8 +133,10 @@ func (n *Network) AddRouter(cfg RouterConfig) *Router {
 			}
 		}
 	}
+	id := RouterID(len(n.routers))
+	h := idHash(n.seed, id)
 	r := &Router{
-		ID:         RouterID(len(n.routers)),
+		ID:         id,
 		Name:       cfg.Name,
 		ASN:        cfg.ASN,
 		Vendor:     cfg.Vendor,
@@ -137,8 +154,8 @@ func (n *Network) AddRouter(cfg RouterConfig) *Router {
 		ldpIn:      make(map[uint32]RouterID),
 		ldpOut:     make(map[RouterID]uint32),
 		ifaces:     make(map[RouterID]netip.Addr),
-		ipID:       uint16(n.rng.Intn(1 << 16)),
-		ipIDStride: uint16(1 + n.rng.Intn(8)),
+		ipIDBase:   uint16(h),
+		ipIDStride: uint16(1 + (h>>16)%8),
 	}
 	r.pool = mpls.NewPool(mpls.DynamicPool(cfg.Vendor), n.seed^int64(r.ID)*2654435761)
 	if r.Name == "" {
@@ -238,8 +255,12 @@ type ownerEntry struct {
 // from many vantage points, so the linear prefix scan runs once per
 // destination instead of once per probe.
 func (n *Network) Owner(a netip.Addr) (RouterID, bool) {
-	if e, hit := n.ownerCache[a]; hit {
-		return e.id, e.ok
+	cache := n.ownerCache
+	if cache != nil {
+		if e, hit := cache.Load(a); hit {
+			ent := e.(ownerEntry)
+			return ent.id, ent.ok
+		}
 	}
 	best := -1
 	var owner RouterID
@@ -249,8 +270,8 @@ func (n *Network) Owner(a netip.Addr) (RouterID, bool) {
 			owner = id
 		}
 	}
-	if n.ownerCache != nil {
-		n.ownerCache[a] = ownerEntry{owner, best >= 0}
+	if cache != nil {
+		cache.Store(a, ownerEntry{owner, best >= 0})
 	}
 	return owner, best >= 0
 }
@@ -277,7 +298,8 @@ func (n *Network) Compute() {
 }
 
 func (n *Network) buildAddrIndex() {
-	n.ownerCache = make(map[netip.Addr]ownerEntry)
+	n.ownerCache = new(sync.Map)
+	n.pathCache = new(sync.Map)
 	n.addrOwner = make(map[netip.Addr]RouterID)
 	for _, r := range n.routers {
 		n.addrOwner[r.Loopback] = r.ID

@@ -9,10 +9,26 @@
 // Vantage points and targets attach to edge routers as hosts; probes enter
 // and replies leave the simulator as serialized IPv4 bytes, forcing the
 // prober to run the same codec path a raw-socket tool would.
+//
+// # Concurrency model
+//
+// A Network has two phases. During construction (AddRouter, Connect,
+// AddHost, Compute, policy assignment) it must be confined to one
+// goroutine. After Compute returns, the control-plane state is read-only
+// and Send may be called from any number of goroutines concurrently:
+// the only mutable per-packet state is each router's IP-ID counter, an
+// atomic packet count whose increments commute, so the counter state
+// after any set of probes is independent of their interleaving, and the
+// route/owner caches are sync.Maps. Policy callbacks (SRPolicy,
+// LDPStackPolicy, EntropyPolicy) must be pure functions of their
+// arguments for concurrent Sends to stay deterministic. Topology
+// mutation (SetLinkState, AdvertisePrefix, ...) must not race with Send;
+// re-run Compute afterwards.
 package netsim
 
 import (
 	"net/netip"
+	"sync/atomic"
 
 	"arest/internal/mpls"
 )
@@ -153,12 +169,16 @@ type Router struct {
 	ldpOut  map[RouterID]uint32     // FEC -> label this router advertised
 	ifaces  map[RouterID]netip.Addr // neighbor -> local interface address
 
-	// ipID is the router's shared IP-ID counter (monotone, wrapping),
-	// the signal MIDAR-style alias resolution keys on.
-	ipID uint16
-	// ipIDStride is how much the counter advances per generated packet,
-	// modeling background traffic through the shared counter.
+	// ipIDBase and ipIDStride parameterize the router's shared IP-ID
+	// counter (monotone, wrapping), the signal MIDAR-style alias
+	// resolution keys on: packet k carries ipIDBase + k*ipIDStride. The
+	// stride models background traffic through the shared counter.
+	ipIDBase   uint16
 	ipIDStride uint16
+	// ipIDCount is the live packet count behind the counter. It is the
+	// only router state Send mutates; atomic adds commute, keeping
+	// concurrent Sends deterministic in aggregate.
+	ipIDCount atomic.Uint32
 }
 
 // NodeIndex returns the router's SR node-SID index, or -1.

@@ -1,0 +1,177 @@
+// Package par provides the small concurrency primitives the measurement
+// pipeline fans out with: a bounded index-space worker pool and a
+// deterministic conflict-ordered scheduler.
+//
+// Both primitives are designed for *deterministic* parallelism: callers
+// write results into pre-sized, index-addressed slices, so the output of a
+// parallel run is byte-for-byte identical to a sequential one regardless of
+// scheduling. ConflictOrdered additionally serializes tasks that touch the
+// same shared state (e.g. a simulated router's IP-ID counter) in submission
+// order, which keeps even order-dependent side effects reproducible.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers normalizes a worker-count knob: n <= 0 means GOMAXPROCS.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers goroutines.
+// With workers <= 1 it degenerates to a plain sequential loop (no goroutines
+// spawned), so a Workers=1 run is exactly the sequential code path.
+//
+// fn must confine its writes to per-index state (slot i of a pre-sized
+// slice); ForEach establishes a happens-before edge between every fn call
+// and ForEach's return.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next struct {
+		sync.Mutex
+		i int
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				next.Lock()
+				i := next.i
+				next.i++
+				next.Unlock()
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ConflictOrdered runs n tasks on at most workers goroutines under two
+// guarantees that together make side-effectful tasks deterministic:
+//
+//  1. Tasks sharing a conflict key never run concurrently.
+//  2. Tasks sharing a conflict key run in ascending index order.
+//
+// keysOf(i) lists the conflict keys task i touches (duplicates are fine).
+// Tasks with disjoint key sets run in parallel; the schedule reduces to a
+// sequential loop when every task shares a key. Because every per-key queue
+// is ordered by task index, the task with the smallest unfinished index is
+// always runnable and the schedule cannot deadlock.
+func ConflictOrdered(workers, n int, keysOf func(i int) []uint64, run func(i int)) {
+	if n <= 0 {
+		return
+	}
+	keys := make([][]uint64, n)
+	queues := make(map[uint64][]int)
+	for i := 0; i < n; i++ {
+		ks := keysOf(i)
+		// Dedupe: a task appearing twice in one queue would wait on itself.
+		uniq := ks[:0:0]
+		for _, k := range ks {
+			dup := false
+			for _, u := range uniq {
+				dup = dup || u == k
+			}
+			if !dup {
+				uniq = append(uniq, k)
+			}
+		}
+		keys[i] = uniq
+		for _, k := range uniq {
+			queues[k] = append(queues[k], i)
+		}
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			run(i)
+		}
+		return
+	}
+
+	var mu sync.Mutex
+	head := make(map[uint64]int, len(queues))
+	ready := make(chan int, n)
+	pending := n
+
+	// atHeads reports whether task i is at the head of all its key queues.
+	// Caller holds mu.
+	atHeads := func(i int) bool {
+		for _, k := range keys[i] {
+			if queues[k][head[k]] != i {
+				return false
+			}
+		}
+		return true
+	}
+
+	dispatched := make([]bool, n)
+	enqueueReady := func(i int) {
+		if !dispatched[i] && atHeads(i) {
+			dispatched[i] = true
+			ready <- i
+		}
+	}
+
+	mu.Lock()
+	for i := 0; i < n; i++ {
+		if len(keys[i]) == 0 {
+			// Keyless task: conflicts with nothing.
+			dispatched[i] = true
+			ready <- i
+			continue
+		}
+		enqueueReady(i)
+	}
+	mu.Unlock()
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range ready {
+				run(i)
+				mu.Lock()
+				for _, k := range keys[i] {
+					head[k]++
+				}
+				// Completing i can only unblock the new heads of i's queues.
+				for _, k := range keys[i] {
+					if head[k] < len(queues[k]) {
+						enqueueReady(queues[k][head[k]])
+					}
+				}
+				pending--
+				if pending == 0 {
+					close(ready)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,109 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if Workers(4) != 4 {
+		t.Error("explicit worker count not honored")
+	}
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Error("defaulted worker count must be >= 1")
+	}
+}
+
+func TestForEachCoversAllIndexes(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		n := 100
+		hits := make([]int32, n)
+		ForEach(workers, n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+	ForEach(4, 0, func(int) { t.Error("fn called for n=0") })
+}
+
+func TestConflictOrderedSerializesPerKey(t *testing.T) {
+	// 60 tasks over two disjoint key families, two keys per task: same-key
+	// tasks must run in index order and never concurrently.
+	n := 60
+	keysOf := func(i int) []uint64 { return []uint64{uint64(i % 6), uint64(6 + (i*5)%7)} }
+	var mu sync.Mutex
+	perKey := make(map[uint64][]int)
+	inKey := make(map[uint64]bool)
+	ConflictOrdered(8, n, keysOf, func(i int) {
+		mu.Lock()
+		for _, k := range keysOf(i) {
+			if inKey[k] {
+				t.Errorf("task %d entered busy key %d", i, k)
+			}
+			inKey[k] = true
+		}
+		mu.Unlock()
+		mu.Lock()
+		for _, k := range keysOf(i) {
+			perKey[k] = append(perKey[k], i)
+			inKey[k] = false
+		}
+		mu.Unlock()
+	})
+	for k, order := range perKey {
+		for i := 1; i < len(order); i++ {
+			if order[i] <= order[i-1] {
+				t.Errorf("key %d ran out of order: %v", k, order)
+			}
+		}
+	}
+}
+
+func TestConflictOrderedRunsEveryTaskOnce(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		n := 200
+		hits := make([]int32, n)
+		// All tasks share key 0 plus a private key: fully serialized.
+		ConflictOrdered(workers, n, func(i int) []uint64 {
+			return []uint64{0, uint64(1 + i)}
+		}, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestConflictOrderedSharedKeyPreservesTotalOrder(t *testing.T) {
+	// When every task shares one key the parallel schedule must equal the
+	// sequential one exactly.
+	n := 50
+	var order []int
+	ConflictOrdered(8, n, func(i int) []uint64 { return []uint64{42} },
+		func(i int) { order = append(order, i) })
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("order[%d] = %d; schedule %v", i, got, order)
+		}
+	}
+}
+
+func TestConflictOrderedDuplicateAndEmptyKeys(t *testing.T) {
+	n := 20
+	hits := make([]int32, n)
+	ConflictOrdered(4, n, func(i int) []uint64 {
+		if i%3 == 0 {
+			return nil // keyless: unconstrained
+		}
+		return []uint64{7, 7} // duplicate key must not self-deadlock
+	}, func(i int) { atomic.AddInt32(&hits[i], 1) })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("task %d ran %d times", i, h)
+		}
+	}
+}

@@ -65,13 +65,32 @@ type Tracer struct {
 	// Retries is how many extra probes a silent hop gets before being
 	// recorded as a gap (rate-limited routers often answer a retry).
 	Retries int
-
-	srcPortSeq uint16
 }
 
 // NewTracer returns a tracer with TNT-like defaults.
+//
+// A Tracer holds no mutable state: probe identifiers derive from
+// (VP, destination, flow, TTL, attempt), so one Tracer may run traces,
+// pings, and IP-ID samples from any number of goroutines concurrently, and
+// a retry of the same probe still carries a fresh IP-ID (rate-limited
+// routers draw a fresh loss coin per IP-ID).
 func NewTracer(conn Conn, vp netip.Addr) *Tracer {
 	return &Tracer{Conn: conn, VP: vp, MaxTTL: 32, MaxGaps: 3, BasePort: 33434, Reveal: true, Retries: 2}
+}
+
+// probeID derives the 16-bit IP identifier of one probe from the probe's
+// coordinates. Replacing the old mutable sequence field with a hash makes
+// every probe's bytes a pure function of what is being probed — the basis
+// of deterministic parallel sweeps — while keeping IDs well spread so
+// distinct attempts land on distinct rate-limiter coins.
+func (t *Tracer) probeID(dst netip.Addr, flow uint16, ttl uint8, attempt int) uint16 {
+	v := uint64(flow)<<32 | uint64(ttl)<<16 | uint64(uint16(attempt))
+	s, d := t.VP.As4(), dst.As4()
+	v ^= uint64(s[0])<<56 | uint64(s[1])<<48 | uint64(s[2])<<40 | uint64(s[3])<<32
+	v ^= uint64(d[0])<<24 | uint64(d[1])<<16 | uint64(d[2])<<8 | uint64(d[3])
+	v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9
+	v = (v ^ (v >> 27)) * 0x94d049bb133111eb
+	return uint16(v ^ (v >> 31))
 }
 
 // Trace runs one Paris traceroute toward dst with the given flow ID. The
@@ -85,9 +104,9 @@ func (t *Tracer) Trace(dst netip.Addr, flowID uint16) (*Trace, error) {
 	seen := make(map[netip.Addr]int)
 sweep:
 	for ttl := 1; ttl <= t.MaxTTL; ttl++ {
-		hop, err := t.probeOnce(dst, uint8(ttl), dport)
+		hop, err := t.probeOnce(dst, uint8(ttl), dport, 0)
 		for retry := 0; err == nil && !hop.Responded() && retry < t.Retries; retry++ {
-			hop, err = t.probeOnce(dst, uint8(ttl), dport)
+			hop, err = t.probeOnce(dst, uint8(ttl), dport, retry+1)
 		}
 		if err != nil {
 			return nil, err
@@ -120,9 +139,9 @@ sweep:
 }
 
 // probeOnce sends a single probe (UDP or ICMP echo, per Method) and parses
-// the reply into a Hop.
-func (t *Tracer) probeOnce(dst netip.Addr, ttl uint8, dport uint16) (*Hop, error) {
-	t.srcPortSeq++
+// the reply into a Hop. attempt distinguishes retries of the same hop so
+// each retry carries a distinct IP-ID.
+func (t *Tracer) probeOnce(dst netip.Addr, ttl uint8, dport uint16, attempt int) (*Hop, error) {
 	var payload []byte
 	proto := uint8(pkt.ProtoUDP)
 	switch t.Method {
@@ -144,7 +163,7 @@ func (t *Tracer) probeOnce(dst netip.Addr, ttl uint8, dport uint16) (*Hop, error
 		}
 		payload = ub
 	}
-	ip := &pkt.IPv4{TTL: ttl, Protocol: proto, ID: uint16(ttl) | t.srcPortSeq<<8,
+	ip := &pkt.IPv4{TTL: ttl, Protocol: proto, ID: t.probeID(dst, dport, ttl, attempt),
 		Src: t.VP, Dst: dst, Payload: payload}
 	wire, err := ip.Marshal()
 	if err != nil {
@@ -239,15 +258,16 @@ type IPIDSample struct {
 
 // SampleIPID probes the address directly (UDP to an unreachable port) and
 // returns the IP-ID of the reply, exposing the router's shared IP-ID
-// counter.
-func (t *Tracer) SampleIPID(dst netip.Addr) (IPIDSample, bool, error) {
-	t.srcPortSeq++
+// counter. seq distinguishes successive samples of the same address so
+// each carries a distinct probe IP-ID.
+func (t *Tracer) SampleIPID(dst netip.Addr, seq uint32) (IPIDSample, bool, error) {
 	u := &pkt.UDP{SrcPort: 33434, DstPort: t.BasePort + 200, Payload: []byte("arest-ipid")}
 	ub, err := u.Marshal(t.VP, dst)
 	if err != nil {
 		return IPIDSample{}, false, err
 	}
-	ip := &pkt.IPv4{TTL: 64, Protocol: pkt.ProtoUDP, ID: t.srcPortSeq, Src: t.VP, Dst: dst, Payload: ub}
+	id := t.probeID(dst, t.BasePort+200, uint8(seq>>16), int(uint16(seq)))
+	ip := &pkt.IPv4{TTL: 64, Protocol: pkt.ProtoUDP, ID: id, Src: t.VP, Dst: dst, Payload: ub}
 	wire, err := ip.Marshal()
 	if err != nil {
 		return IPIDSample{}, false, err
