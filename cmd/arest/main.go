@@ -23,6 +23,7 @@ import (
 	"arest/internal/eval"
 	"arest/internal/fingerprint"
 	"arest/internal/mpls"
+	"arest/internal/obs"
 	"arest/internal/par"
 	"arest/internal/tracestore"
 )
@@ -34,7 +35,21 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit one JSON report per trace instead of tables")
 	noSuffix := flag.Bool("no-suffix", false, "disable suffix-based label matching")
 	workers := flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+	metricsOut := flag.String("metrics", "", "export analysis metrics to <file> (.json = JSON, else summary table, - = stdout)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		addr, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			fatalf("pprof: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", addr)
+	}
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.New()
+	}
 
 	r := os.Stdin
 	if *in != "" {
@@ -70,10 +85,36 @@ func main() {
 	// order, keeping the output identical at any worker count.
 	paths := make([]*core.Path, len(traces))
 	results := make([]*core.Result, len(traces))
+	analyzeDone := reg.Span("core", "stage.analyze").Start()
 	par.ForEach(par.Workers(*workers), len(traces), func(i int) {
 		paths[i] = core.BuildPath(traces[i], ann, nil)
 		results[i] = det.Analyze(paths[i])
 	})
+	analyzeDone()
+	if reg != nil {
+		// Flag accounting: pure functions of the result set, schedule-
+		// independent at any worker count.
+		reg.Counter("core", "traces").Add(uint64(len(traces)))
+		for _, res := range results {
+			if res.HasSR() {
+				reg.Counter("core", "traces_with_sr").Inc()
+			}
+			reg.Counter("core", "segments").Add(uint64(len(res.Segments)))
+			for _, s := range res.Segments {
+				reg.Counter("core", "flag."+s.Flag.String()).Inc()
+			}
+			for _, tun := range res.Tunnels() {
+				reg.Counter("core", "pattern."+string(tun.Pattern)).Inc()
+			}
+		}
+		snap := reg.Snapshot()
+		if err := snap.ExportFile(*metricsOut); err != nil {
+			fatalf("metrics: %v", err)
+		}
+		if *metricsOut != "-" {
+			fmt.Fprint(os.Stderr, snap.Summary())
+		}
+	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)

@@ -20,6 +20,7 @@ import (
 
 	"arest/internal/asgen"
 	"arest/internal/exp"
+	"arest/internal/obs"
 )
 
 func main() {
@@ -32,7 +33,17 @@ func main() {
 	seed := flag.Int64("seed", 20250405, "campaign seed")
 	workers := flag.Int("workers", 0, "worker pool size for every pipeline stage (0 = GOMAXPROCS, 1 = sequential)")
 	outDir := flag.String("o", "", "write each experiment to <dir>/<id>.txt instead of stdout")
+	metricsOut := flag.String("metrics", "", "export campaign metrics to <file> (.json = JSON, else summary table, - = stdout)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		addr, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			fatalf("pprof: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", addr)
+	}
 
 	if *list {
 		for _, e := range exp.All {
@@ -76,6 +87,11 @@ func main() {
 	cfg.MaxTargets = *targets
 	cfg.MaxRouters = *maxRouters
 	cfg.Workers = *workers
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.New()
+		cfg.Metrics = reg
+	}
 
 	fmt.Fprintf(os.Stderr, "running campaign over %d ASes (%d VPs, <=%d targets each)...\n",
 		len(records), cfg.NumVPs, cfg.MaxTargets)
@@ -90,6 +106,15 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "campaign done: %d ASes, %d traces in %v\n\n",
 		len(c.ASes), total, time.Since(start).Round(time.Millisecond))
+	if reg != nil {
+		snap := reg.Snapshot()
+		if err := snap.ExportFile(*metricsOut); err != nil {
+			fatalf("metrics: %v", err)
+		}
+		if *metricsOut != "-" {
+			fmt.Fprint(os.Stderr, snap.Summary())
+		}
+	}
 
 	for _, e := range selected {
 		body := fmt.Sprintf("=== %s — %s ===\npaper: %s\n\n%s\n", e.ID, e.Title, e.Paper, e.Run(c))

@@ -81,7 +81,7 @@ func main() {
 			tun.Type, tun.Start+1, tun.End+1, tun.HiddenLen)
 	}
 	if *arest {
-		ttl := fingerprint.CollectTTL([]*probe.Trace{tr}, tracer, 1)
+		ttl := fingerprint.CollectTTL([]*probe.Trace{tr}, tracer, 1, nil)
 		ann := fingerprint.NewAnnotator(nil, ttl)
 		res := core.NewDetector().Analyze(core.BuildPath(tr, ann, nil))
 		for _, s := range res.Segments {

@@ -14,6 +14,7 @@ import (
 
 	"arest/internal/asgen"
 	"arest/internal/exp"
+	"arest/internal/obs"
 	"arest/internal/tracestore"
 )
 
@@ -25,7 +26,17 @@ func main() {
 	seed := flag.Int64("seed", 20250405, "campaign seed")
 	out := flag.String("o", "", "output file (default stdout)")
 	list := flag.Bool("list", false, "list the AS catalogue and exit")
+	metricsOut := flag.String("metrics", "", "export campaign metrics to <file> (.json = JSON, else summary table, - = stdout)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		addr, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			fatalf("pprof: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", addr)
+	}
 
 	if *list {
 		for _, r := range asgen.Catalogue {
@@ -48,6 +59,11 @@ func main() {
 	cfg.NumVPs = *vps
 	cfg.MaxTargets = *targets
 	cfg.FlowsPerTarget = *flows
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.New()
+		cfg.Metrics = reg
+	}
 
 	res, err := exp.RunAS(rec, cfg)
 	if err != nil {
@@ -69,6 +85,15 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "AS#%d %s: %d traces from %d VPs (%d distinct IPs observed)\n",
 		rec.ID, rec.Name, res.TracesSent, *vps, res.DistinctIPs())
+	if reg != nil {
+		snap := reg.Snapshot()
+		if err := snap.ExportFile(*metricsOut); err != nil {
+			fatalf("metrics: %v", err)
+		}
+		if *metricsOut != "-" {
+			fmt.Fprint(os.Stderr, snap.Summary())
+		}
+	}
 }
 
 func fatalf(format string, args ...interface{}) {

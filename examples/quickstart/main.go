@@ -52,7 +52,7 @@ func main() {
 	fmt.Println(trace)
 
 	// 3. Fingerprint the hops (TTL signatures + the SNMPv3 dataset).
-	ttl := fingerprint.CollectTTL([]*probe.Trace{trace}, tracer, 1)
+	ttl := fingerprint.CollectTTL([]*probe.Trace{trace}, tracer, 1, nil)
 	ann := fingerprint.NewAnnotator(fingerprint.SNMPDataset(n), ttl)
 
 	// 4. AReST: detect SR-MPLS segments.

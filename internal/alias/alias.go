@@ -8,6 +8,7 @@ import (
 	"net/netip"
 	"sort"
 
+	"arest/internal/obs"
 	"arest/internal/par"
 	"arest/internal/probe"
 )
@@ -43,6 +44,11 @@ type Config struct {
 	// bucket and are serialized against each other (always correct,
 	// merely less parallel).
 	ConflictKey func(a netip.Addr) (key uint64, ok bool)
+	// Metrics, when non-nil, receives "alias" stage instruments: candidate
+	// and pair accounting plus the conflict-queue depth. Every recorded
+	// value is a pure function of the candidate set, so the counters sit
+	// inside the determinism contract.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig mirrors conservative MIDAR settings.
@@ -86,6 +92,8 @@ func Resolve(addrs []netip.Addr, p Prober, cfg Config) [][]netip.Addr {
 		}
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].addr.Less(cands[j].addr) })
+	cfg.Metrics.Counter("alias", "candidates").Add(uint64(len(addrs)))
+	cfg.Metrics.Counter("alias", "responsive").Add(uint64(len(cands)))
 
 	// Pair stage: the APPLE-pruned pair list is built up front, in
 	// lexicographic order, so the probing schedule is static. (The
@@ -94,6 +102,7 @@ func Resolve(addrs []netip.Addr, p Prober, cfg Config) [][]netip.Addr {
 	// is now recovered from the union-find below instead.)
 	type pairTest struct{ i, j int }
 	var pairs []pairTest
+	pruned := 0
 	for i := 0; i < len(cands); i++ {
 		for j := i + 1; j < len(cands); j++ {
 			// APPLE pruning: interfaces of one router sit at (nearly) the
@@ -103,11 +112,14 @@ func Resolve(addrs []netip.Addr, p Prober, cfg Config) [][]netip.Addr {
 				d = -d
 			}
 			if d > cfg.PathLenSlack {
+				pruned++
 				continue
 			}
 			pairs = append(pairs, pairTest{i, j})
 		}
 	}
+	cfg.Metrics.Counter("alias", "pairs.tested").Add(uint64(len(pairs)))
+	cfg.Metrics.Counter("alias", "pairs.apple_pruned").Add(uint64(pruned))
 
 	// counterKey buckets an address by the shared counter behind it;
 	// bucket 0 collects addresses the oracle cannot place (and everything,
@@ -125,6 +137,23 @@ func Resolve(addrs []netip.Addr, p Prober, cfg Config) [][]netip.Addr {
 	// (addr, seq) coordinate repeats.
 	seqBase := func(pairIdx int) uint32 {
 		return uint32(len(addrs) + pairIdx*2*cfg.Rounds)
+	}
+	// Conflict-queue depth: the longest per-counter serialization chain in
+	// the static pair list — how many pair tests contend for the busiest
+	// shared IP-ID counter. Computed from the pair list alone, so it is
+	// deterministic at any worker count.
+	if g := cfg.Metrics.Gauge("alias", "conflict_queue.depth"); g != nil {
+		perKey := map[uint64]uint64{}
+		for _, pt := range pairs {
+			ki, kj := counterKey(cands[pt.i].addr), counterKey(cands[pt.j].addr)
+			perKey[ki]++
+			if kj != ki {
+				perKey[kj]++
+			}
+		}
+		for _, depth := range perKey {
+			g.SetMax(depth)
+		}
 	}
 	aliased := make([]bool, len(pairs))
 	par.ConflictOrdered(workers, len(pairs),
@@ -150,11 +179,14 @@ func Resolve(addrs []netip.Addr, p Prober, cfg Config) [][]netip.Addr {
 		}
 		return x
 	}
+	confirmed := uint64(0)
 	for t, ok := range aliased {
 		if ok {
+			confirmed++
 			parent[find(pairs[t].i)] = find(pairs[t].j)
 		}
 	}
+	cfg.Metrics.Counter("alias", "pairs.aliased").Add(confirmed)
 	groups := make(map[int][]netip.Addr)
 	for i, c := range cands {
 		r := find(i)

@@ -46,7 +46,7 @@ func TestEndToEndSRDetection(t *testing.T) {
 		t.Fatalf("trace did not reach: %s", tr)
 	}
 
-	ttl := fingerprint.CollectTTL([]*probe.Trace{tr}, tc, 1)
+	ttl := fingerprint.CollectTTL([]*probe.Trace{tr}, tc, 1, nil)
 	snmp := fingerprint.SNMPDataset(n)
 	ann := fingerprint.NewAnnotator(snmp, ttl)
 
@@ -122,7 +122,7 @@ func TestEndToEndESnetScenario(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ttl := fingerprint.CollectTTL([]*probe.Trace{tr}, tc, 1)
+	ttl := fingerprint.CollectTTL([]*probe.Trace{tr}, tc, 1, nil)
 	if len(ttl) != 0 {
 		t.Fatalf("TTL fingerprints despite no echo replies: %v", ttl)
 	}

@@ -16,6 +16,8 @@ import (
 	"arest/internal/bdrmap"
 	"arest/internal/core"
 	"arest/internal/fingerprint"
+	"arest/internal/mpls"
+	"arest/internal/obs"
 	"arest/internal/par"
 	"arest/internal/probe"
 )
@@ -43,6 +45,13 @@ type Config struct {
 	// index-addressed slices and alias probing replays the sequential
 	// probe order on every shared IP-ID counter.
 	Workers int
+	// Metrics, when non-nil, receives instrumentation from every stage:
+	// netsim forwarding/drop counters, probe accounting, alias and
+	// fingerprint counters, and per-AS/per-stage spans. The counter section
+	// is identical at every Workers count (obs package doc); spans record
+	// wall-clock time and are excluded from that contract. A nil registry
+	// costs only nil checks.
+	Metrics *obs.Registry
 }
 
 // workers resolves the configured concurrency bound.
@@ -103,12 +112,20 @@ func RunAS(rec asgen.Record, cfg Config) (*ASResult, error) {
 // runASWithDeployment executes the pipeline against an explicit deployment
 // (used by the longitudinal extension to sweep SRFrac).
 func runASWithDeployment(rec asgen.Record, dep asgen.Deployment, cfg Config) (*ASResult, error) {
+	reg := cfg.Metrics
+	asDone := reg.Span("exp", fmt.Sprintf("as.%d", rec.ID)).Start()
+	defer asDone()
 	w := asgen.Build(rec, dep, cfg.NumVPs, cfg.Seed)
+	w.Net.Instrument(reg)
 	rib := anaximander.CollectRIB(w)
 	plan := anaximander.BuildPlan(rib, rec.ASN, anaximander.Options{MaxTargets: cfg.MaxTargets})
 
 	res := &ASResult{Record: rec, World: w}
 	workers := cfg.workers()
+	reg.Counter("exp", "ases").Inc()
+	// busy accumulates per-job worker time across the fan-out stages;
+	// utilization is busy time over wall time × workers.
+	busy := reg.Span("exp", "workers.busy")
 
 	// Trace sweep: every (vantage point, target, flow) probe is an
 	// independent job — traces never observe shared counter state — so the
@@ -120,10 +137,12 @@ func runASWithDeployment(rec asgen.Record, dep asgen.Deployment, cfg Config) (*A
 	}
 	flows := max(1, cfg.FlowsPerTarget)
 	var jobs []traceJob
+	pm := probe.NewMetrics(reg)
 	tracers := make([]*probe.Tracer, len(w.VPs))
 	res.PerVP = make([]VPTraces, len(w.VPs))
 	for vpIdx, vp := range w.VPs {
 		tracers[vpIdx] = probe.NewTracer(probe.NetsimConn{Net: w.Net}, vp)
+		tracers[vpIdx].Metrics = pm
 		slot := 0
 		for _, tgt := range plan.Shuffled(vpIdx) {
 			for flow := 0; flow < flows; flow++ {
@@ -134,7 +153,10 @@ func runASWithDeployment(rec asgen.Record, dep asgen.Deployment, cfg Config) (*A
 		res.PerVP[vpIdx] = VPTraces{VP: vp, Traces: make([]*probe.Trace, slot)}
 	}
 	jobErrs := make([]error, len(jobs))
+	reg.Counter("exp", "jobs.trace").Add(uint64(len(jobs)))
+	traceDone := reg.Span("exp", "stage.trace").Start()
 	par.ForEach(workers, len(jobs), func(i int) {
+		defer busy.Start()()
 		j := jobs[i]
 		tr, err := tracers[j.vpIdx].Trace(j.tgt, j.flow)
 		if err != nil {
@@ -143,6 +165,7 @@ func runASWithDeployment(rec asgen.Record, dep asgen.Deployment, cfg Config) (*A
 		}
 		res.PerVP[j.vpIdx].Traces[j.slot] = tr
 	})
+	traceDone()
 	for _, err := range jobErrs {
 		if err != nil {
 			return nil, err
@@ -154,7 +177,11 @@ func runASWithDeployment(rec asgen.Record, dep asgen.Deployment, cfg Config) (*A
 	// Fingerprinting: TTL signatures need echo probes; the SNMPv3 dataset
 	// is the (simulated) public one.
 	pinger := probe.NewTracer(probe.NetsimConn{Net: w.Net}, w.VPs[0])
-	ttl := fingerprint.CollectTTL(traces, pinger, workers)
+	pinger.Metrics = pm
+	var ttl map[netip.Addr]mpls.Vendor
+	reg.Time("exp", "stage.fingerprint", func() {
+		ttl = fingerprint.CollectTTL(traces, pinger, workers, reg)
+	})
 	res.Annotator = fingerprint.NewAnnotator(fingerprint.SNMPDataset(w.Net), ttl)
 
 	// Alias resolution feeds bdrmap.
@@ -179,6 +206,7 @@ func runASWithDeployment(rec asgen.Record, dep asgen.Deployment, cfg Config) (*A
 		}
 		acfg := alias.DefaultConfig()
 		acfg.Workers = workers
+		acfg.Metrics = reg
 		// Ground-truth conflict keys let pair tests on disjoint routers
 		// run concurrently; the keys only order probing, never results.
 		acfg.ConflictKey = func(a netip.Addr) (uint64, bool) {
@@ -188,7 +216,9 @@ func runASWithDeployment(rec asgen.Record, dep asgen.Deployment, cfg Config) (*A
 			}
 			return uint64(r.ID), true
 		}
-		aliasSets = alias.Resolve(cands, pinger, acfg)
+		reg.Time("exp", "stage.alias", func() {
+			aliasSets = alias.Resolve(cands, pinger, acfg)
+		})
 	}
 	res.Annotation = bdrmap.Annotate(traces, rib, aliasSets)
 
@@ -197,7 +227,10 @@ func runASWithDeployment(rec asgen.Record, dep asgen.Deployment, cfg Config) (*A
 	det := core.NewDetector()
 	paths := make([]*core.Path, len(traces))
 	results := make([]*core.Result, len(traces))
+	reg.Counter("exp", "jobs.detect").Add(uint64(len(traces)))
+	detectDone := reg.Span("exp", "stage.detect").Start()
 	par.ForEach(workers, len(traces), func(i int) {
+		defer busy.Start()()
 		p := core.BuildPath(traces[i], res.Annotator, res.Annotation.AsFunc())
 		sub := p.RestrictToAS(rec.ASN)
 		if len(sub.Hops) == 0 {
@@ -206,6 +239,7 @@ func runASWithDeployment(rec asgen.Record, dep asgen.Deployment, cfg Config) (*A
 		paths[i] = sub
 		results[i] = det.Analyze(sub)
 	})
+	detectDone()
 	for i := range traces {
 		if paths[i] == nil {
 			continue
@@ -213,6 +247,7 @@ func runASWithDeployment(rec asgen.Record, dep asgen.Deployment, cfg Config) (*A
 		res.Paths = append(res.Paths, paths[i])
 		res.Results = append(res.Results, results[i])
 	}
+	reg.Counter("exp", "paths").Add(uint64(len(res.Paths)))
 	return res, nil
 }
 

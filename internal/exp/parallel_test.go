@@ -2,12 +2,14 @@ package exp
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"arest/internal/asgen"
 	"arest/internal/bdrmap"
 	"arest/internal/core"
 	"arest/internal/fingerprint"
+	"arest/internal/obs"
 )
 
 // asProjection is the part of an ASResult the determinism contract covers:
@@ -38,9 +40,10 @@ func project(r *ASResult) asProjection {
 // TestCampaignParallelMatchesSequential runs the same campaign fully
 // sequentially (Workers: 1) and with an 8-worker fan-out and requires
 // deep-equal results: traces, fingerprints, alias-fed annotations,
-// delimited paths, and AReST verdicts. Under -race this exercises every
-// parallel stage — the AS pool, trace sweeps, fingerprint echoes,
-// conflict-ordered alias probing, and detection.
+// delimited paths, AReST verdicts — and identical metric-counter
+// snapshots, pinning the obs determinism contract. Under -race this
+// exercises every parallel stage — the AS pool, trace sweeps, fingerprint
+// echoes, conflict-ordered alias probing, and detection.
 func TestCampaignParallelMatchesSequential(t *testing.T) {
 	var recs []asgen.Record
 	for _, id := range []int{2, 15, 28, 40} {
@@ -50,9 +53,12 @@ func TestCampaignParallelMatchesSequential(t *testing.T) {
 		}
 		recs = append(recs, r)
 	}
+	regs := map[int]*obs.Registry{}
 	run := func(workers int) *Campaign {
 		cfg := testCfg()
 		cfg.Workers = workers
+		regs[workers] = obs.New()
+		cfg.Metrics = regs[workers]
 		c, err := Run(recs, cfg)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
@@ -61,6 +67,42 @@ func TestCampaignParallelMatchesSequential(t *testing.T) {
 	}
 	seq := run(1)
 	parl := run(8)
+
+	// The deterministic section (counters, gauges, histograms) must be
+	// bit-identical across worker counts; spans are wall-clock and excluded.
+	seqSnap := regs[1].Snapshot().Deterministic()
+	parSnap := regs[8].Snapshot().Deterministic()
+	if !reflect.DeepEqual(seqSnap, parSnap) {
+		for k, v := range seqSnap.Counters {
+			if parSnap.Counters[k] != v {
+				t.Errorf("counter %s: %d (seq) vs %d (par)", k, v, parSnap.Counters[k])
+			}
+		}
+		for k, v := range parSnap.Counters {
+			if _, ok := seqSnap.Counters[k]; !ok {
+				t.Errorf("counter %s: only in parallel run (%d)", k, v)
+			}
+		}
+		if !reflect.DeepEqual(seqSnap.Gauges, parSnap.Gauges) {
+			t.Errorf("gauges diverged: %v vs %v", seqSnap.Gauges, parSnap.Gauges)
+		}
+		if !reflect.DeepEqual(seqSnap.Histograms, parSnap.Histograms) {
+			t.Errorf("histograms diverged")
+		}
+	}
+	// The snapshot must cover every instrumented stage.
+	for _, stage := range []string{"netsim.", "probe.", "alias.", "fingerprint.", "exp."} {
+		found := false
+		for k := range seqSnap.Counters {
+			if strings.HasPrefix(k, stage) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no counters recorded for stage %q", stage)
+		}
+	}
 
 	if len(seq.ASes) != len(parl.ASes) {
 		t.Fatalf("AS count diverged: %d vs %d", len(seq.ASes), len(parl.ASes))

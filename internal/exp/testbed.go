@@ -148,7 +148,7 @@ func RunTestbed() ([]TestbedOutcome, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", sc.Name, err)
 		}
-		ttl := fingerprint.CollectTTL([]*probe.Trace{tr}, tc, 1)
+		ttl := fingerprint.CollectTTL([]*probe.Trace{tr}, tc, 1, nil)
 		ann := fingerprint.NewAnnotator(fingerprint.SNMPDataset(n), ttl)
 		res := core.NewDetector().Analyze(core.BuildPath(tr, ann, nil))
 		counts := map[core.Flag]int{}

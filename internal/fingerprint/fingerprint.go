@@ -15,6 +15,7 @@ import (
 
 	"arest/internal/mpls"
 	"arest/internal/netsim"
+	"arest/internal/obs"
 	"arest/internal/par"
 	"arest/internal/probe"
 )
@@ -90,8 +91,10 @@ func pingID(a netip.Addr) uint16 {
 // do not (e.g. the whole of ESnet in the paper's ground truth) stay
 // unclassified. Pings fan out over at most workers goroutines (0 =
 // GOMAXPROCS, 1 = sequential); each ping is independent, so the result is
-// the same at any worker count.
-func CollectTTL(traces []*probe.Trace, pinger Pinger, workers int) map[netip.Addr]mpls.Vendor {
+// the same at any worker count. reg (may be nil) receives "fingerprint"
+// stage accounting; every recorded count is a pure function of the trace
+// set, so the counters sit inside the determinism contract.
+func CollectTTL(traces []*probe.Trace, pinger Pinger, workers int, reg *obs.Registry) map[netip.Addr]mpls.Vendor {
 	teInit := make(map[netip.Addr]uint8)
 	for _, tr := range traces {
 		for i := range tr.Hops {
@@ -112,15 +115,28 @@ func CollectTTL(traces []*probe.Trace, pinger Pinger, workers int) map[netip.Add
 		addrs = append(addrs, addr)
 	}
 	sort.Slice(addrs, func(i, j int) bool { return addrs[i].Less(addrs[j]) })
+	met := struct {
+		candidates, pingNoReply, classified, ambiguousSig *obs.Counter
+	}{
+		candidates:   reg.Counter("fingerprint", "candidates"),
+		pingNoReply:  reg.Counter("fingerprint", "ping_noreply"),
+		classified:   reg.Counter("fingerprint", "classified"),
+		ambiguousSig: reg.Counter("fingerprint", "ambiguous_sig"),
+	}
+	met.candidates.Add(uint64(len(addrs)))
 	vendors := make([]mpls.Vendor, len(addrs))
 	par.ForEach(par.Workers(workers), len(addrs), func(i int) {
 		vendors[i] = mpls.VendorUnknown
 		replyTTL, ok, err := pinger.Ping(addrs[i], pingID(addrs[i]))
 		if err != nil || !ok {
+			met.pingNoReply.Inc()
 			return
 		}
 		sig := Signature{TimeExceeded: teInit[addrs[i]], EchoReply: probe.InferInitialTTL(replyTTL)}
 		vendors[i] = sig.Classify()
+		if vendors[i] == mpls.VendorUnknown {
+			met.ambiguousSig.Inc()
+		}
 	})
 	out := make(map[netip.Addr]mpls.Vendor)
 	for i, addr := range addrs {
@@ -128,6 +144,7 @@ func CollectTTL(traces []*probe.Trace, pinger Pinger, workers int) map[netip.Add
 			out[addr] = vendors[i]
 		}
 	}
+	met.classified.Add(uint64(len(out)))
 	return out
 }
 

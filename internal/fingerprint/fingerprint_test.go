@@ -70,7 +70,7 @@ func TestCollectTTLClassifiesVendors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ttl := CollectTTL([]*probe.Trace{tr}, tc, 1)
+	ttl := CollectTTL([]*probe.Trace{tr}, tc, 1, nil)
 
 	ifc := func(name, nb string) netip.Addr {
 		addr, ok := rs[name].InterfaceTo(rs[nb].ID)
@@ -105,7 +105,7 @@ func TestCollectTTLRequiresEcho(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ttl := CollectTTL([]*probe.Trace{tr}, tc, 1)
+	ttl := CollectTTL([]*probe.Trace{tr}, tc, 1, nil)
 	if len(ttl) != 0 {
 		t.Errorf("fingerprints without echo replies: %v", ttl)
 	}

@@ -62,6 +62,7 @@ func (n *Network) Send(src netip.Addr, wire []byte) (*Delivery, error) {
 	}
 	ip, err := pkt.UnmarshalIPv4(wire)
 	if err != nil {
+		n.met.dropParse.Inc()
 		return nil, fmt.Errorf("netsim: bad probe: %w", err)
 	}
 	c := &sendCtx{
@@ -72,6 +73,7 @@ func (n *Network) Send(src netip.Addr, wire []byte) (*Delivery, error) {
 	}
 	owner, ok := n.Owner(ip.Dst)
 	if !ok {
+		n.met.dropNoRoute.Inc()
 		return &Delivery{}, nil // no route: probe vanishes
 	}
 	c.dstOwner = owner
@@ -89,8 +91,10 @@ func (n *Network) Send(src netip.Addr, wire []byte) (*Delivery, error) {
 			d.RetHops = c.lastRetDist
 			return d, nil
 		}
+		n.met.forwarded.Inc()
 		prev, cur = cur, next
 	}
+	n.met.dropLoop.Inc()
 	return d, nil // forwarding loop: treated as loss
 }
 
@@ -139,6 +143,7 @@ func (c *sendCtx) process(r *Router, prev RouterID, f *frame) (next RouterID, re
 	if len(f.stack) > 0 {
 		// MPLS stage: one LSE-TTL decrement per router.
 		if f.stack[0].TTL <= 1 {
+			c.n.met.ttlExpired.Inc()
 			return 0, c.timeExceeded(r, inIface, f, received, rcvIPTTL), true
 		}
 		f.stack[0].TTL--
@@ -156,6 +161,7 @@ func (c *sendCtx) process(r *Router, prev RouterID, f *frame) (next RouterID, re
 				}
 				nh, ok := c.n.NextHop(r.ID, e.ID, c.flow)
 				if !ok {
+					c.n.met.dropNoRoute.Inc()
 					return 0, nil, true
 				}
 				nhr := c.n.routers[nh]
@@ -183,6 +189,7 @@ func (c *sendCtx) process(r *Router, prev RouterID, f *frame) (next RouterID, re
 					f.stack[0].TTL = eff
 					return nh, nil, false
 				}
+				c.n.met.dropNoRoute.Inc()
 				return 0, nil, true // no binding: drop
 			case labelService:
 				// Service SID terminating here: consume it and continue
@@ -207,6 +214,7 @@ func (c *sendCtx) process(r *Router, prev RouterID, f *frame) (next RouterID, re
 				continue
 			case labelAdjSID:
 				if c.n.linkDown(r.ID, nbr) {
+					c.n.met.dropLinkDown.Inc()
 					return 0, nil, true // adjacency segment over a dead link
 				}
 				f.stack = f.stack.Pop()
@@ -221,6 +229,7 @@ func (c *sendCtx) process(r *Router, prev RouterID, f *frame) (next RouterID, re
 				}
 				nh, ok := c.n.NextHop(r.ID, e.ID, c.flow)
 				if !ok {
+					c.n.met.dropNoRoute.Inc()
 					return 0, nil, true
 				}
 				nhr := c.n.routers[nh]
@@ -243,6 +252,7 @@ func (c *sendCtx) process(r *Router, prev RouterID, f *frame) (next RouterID, re
 						f.stack[0].TTL = eff
 						return nh, nil, false
 					}
+					c.n.met.dropNoRoute.Inc()
 					return 0, nil, true
 				}
 				// LDP→SR interworking: SR border routers advertise LDP
@@ -253,8 +263,10 @@ func (c *sendCtx) process(r *Router, prev RouterID, f *frame) (next RouterID, re
 					f.stack[0].TTL = eff
 					return nh, nil, false
 				}
+				c.n.met.dropNoRoute.Inc()
 				return 0, nil, true
 			default:
+				c.n.met.dropNoRoute.Inc()
 				return 0, nil, true // unknown label: drop
 			}
 		}
@@ -277,6 +289,7 @@ func (c *sendCtx) process(r *Router, prev RouterID, f *frame) (next RouterID, re
 	}
 	if !ttlDone {
 		if f.ip.TTL <= 1 {
+			c.n.met.ttlExpired.Inc()
 			return 0, c.timeExceeded(r, inIface, f, received, rcvIPTTL), true
 		}
 		f.ip.TTL--
@@ -286,8 +299,9 @@ func (c *sendCtx) process(r *Router, prev RouterID, f *frame) (next RouterID, re
 	}
 
 	ownerR := c.n.routers[c.dstOwner]
-	nh, ok := c.n.NextHop(r.ID, c.dstOwner, c.flow)
+	nh, ok := c.n.fibNextHop(r.ID, c.dstOwner, c.flow)
 	if !ok {
+		c.n.met.dropNoRoute.Inc()
 		return 0, nil, true
 	}
 
@@ -492,7 +506,12 @@ func quoteBytes(f *frame, rcvTTL uint8) []byte {
 // timeExceeded builds the ICMP time-exceeded reply from router r, quoting
 // the received label stack when the router implements RFC 4950.
 func (c *sendCtx) timeExceeded(r *Router, src netip.Addr, f *frame, received mpls.Stack, rcvTTL uint8) []byte {
-	if !r.Profile.RespondsICMP || c.icmpLost(r, f) {
+	if !r.Profile.RespondsICMP {
+		c.n.met.dropSilent.Inc()
+		return nil
+	}
+	if c.icmpLost(r, f) {
+		c.n.met.dropRateLim.Inc()
 		return nil
 	}
 	return c.icmpError(r, src, pkt.ICMPTimeExceeded, pkt.CodeTTLExceeded, f, received, rcvTTL)
@@ -522,7 +541,14 @@ func (c *sendCtx) icmpError(r *Router, src netip.Addr, typ, code uint8, f *frame
 	}
 	payload, err := msg.Marshal()
 	if err != nil {
+		c.n.met.dropParse.Inc()
 		return nil
+	}
+	switch typ {
+	case pkt.ICMPTimeExceeded:
+		c.n.met.icmpTimeEx.Inc()
+	case pkt.ICMPDestUnreachable:
+		c.n.met.icmpUnreach.Inc()
 	}
 	ret := c.retDist(r)
 	c.lastRetDist = ret
@@ -557,7 +583,12 @@ func (c *sendCtx) deliver(r *Router, f *frame, received mpls.Stack, rcvTTL uint8
 	// sourcing the reply from the probed address as most stacks do.
 	switch f.ip.Protocol {
 	case pkt.ProtoUDP:
-		if !r.Profile.RespondsICMP || c.icmpLost(r, f) {
+		if !r.Profile.RespondsICMP {
+			c.n.met.dropSilent.Inc()
+			return nil
+		}
+		if c.icmpLost(r, f) {
+			c.n.met.dropRateLim.Inc()
 			return nil
 		}
 		src := f.ip.Dst
@@ -574,10 +605,12 @@ func (c *sendCtx) deliver(r *Router, f *frame, received mpls.Stack, rcvTTL uint8
 
 func (c *sendCtx) echoReply(r *Router, f *frame) []byte {
 	if !r.Profile.RespondsEcho {
+		c.n.met.dropSilent.Inc()
 		return nil
 	}
 	req, err := pkt.UnmarshalICMP(f.ip.Payload)
 	if err != nil || req.Type != pkt.ICMPEchoRequest {
+		c.n.met.dropParse.Inc()
 		return nil
 	}
 	rep := &pkt.ICMP{Type: pkt.ICMPEchoReply, ID: req.ID, Seq: req.Seq, Body: req.Body}
@@ -605,8 +638,10 @@ func (c *sendCtx) echoReply(r *Router, f *frame) []byte {
 	}
 	b, err := out.Marshal()
 	if err != nil {
+		c.n.met.dropParse.Inc()
 		return nil
 	}
+	c.n.met.icmpEcho.Inc()
 	return b
 }
 
@@ -626,11 +661,13 @@ func (c *sendCtx) hostReply(h *Host, gw *Router, f *frame) []byte {
 	case pkt.ProtoICMP:
 		req, err := pkt.UnmarshalICMP(f.ip.Payload)
 		if err != nil || req.Type != pkt.ICMPEchoRequest {
+			c.n.met.dropParse.Inc()
 			return nil
 		}
 		rep := &pkt.ICMP{Type: pkt.ICMPEchoReply, ID: req.ID, Seq: req.Seq, Body: req.Body}
 		b, err := rep.Marshal()
 		if err != nil {
+			c.n.met.dropParse.Inc()
 			return nil
 		}
 		payload = b
@@ -652,7 +689,9 @@ func (c *sendCtx) hostReply(h *Host, gw *Router, f *frame) []byte {
 	}
 	b, err := out.Marshal()
 	if err != nil {
+		c.n.met.dropParse.Inc()
 		return nil
 	}
+	c.n.met.hostReplies.Inc()
 	return b
 }

@@ -61,6 +61,12 @@ type Network struct {
 	// downLinks holds administratively/operationally down links (both
 	// orientations), for failure and fast-reroute studies.
 	downLinks map[[2]RouterID]bool
+	// nhOverride holds static FIB entries (fault injection): (at, owner)
+	// → forced next hop; see SetNextHopOverride.
+	nhOverride map[[2]RouterID]RouterID
+	// met holds the bound observability counters (zero value = no-op);
+	// see Instrument.
+	met simMetrics
 	// sidOwner maps node-SID indexes back to routers.
 	sidOwner []RouterID
 

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	r.Counter("a", "b").Inc()
+	r.Gauge("a", "b").SetMax(7)
+	r.Histogram("a", "b").Observe(3)
+	done := r.Span("a", "b").Start()
+	done()
+	r.Time("a", "b", func() {})
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || s.Schema != SchemaVersion {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+}
+
+func TestCountersCommute(t *testing.T) {
+	r := New()
+	c := r.Counter("probe", "sent")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+}
+
+func TestGaugeMax(t *testing.T) {
+	r := New()
+	g := r.Gauge("alias", "queue_depth")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.SetMax(uint64(w * 10))
+		}()
+	}
+	wg.Wait()
+	if g.Value() != 70 {
+		t.Fatalf("gauge = %d, want 70", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("probe", "rtt_us")
+	for _, v := range []uint64{0, 1, 2, 3, 700, 1 << 40} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["probe.rtt_us"]
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	want := uint64(0 + 1 + 2 + 3 + 700 + 1<<40)
+	if s.Sum != want {
+		t.Fatalf("sum = %d, want %d", s.Sum, want)
+	}
+	// Zero bucket present, overflow bucket catches the huge value.
+	if s.Buckets[0].Le != 0 || s.Buckets[0].N != 1 {
+		t.Fatalf("zero bucket wrong: %+v", s.Buckets)
+	}
+	var total uint64
+	for _, b := range s.Buckets {
+		total += b.N
+	}
+	if total != 6 {
+		t.Fatalf("bucket total = %d, want 6", total)
+	}
+}
+
+func TestSpanUsesInjectedClock(t *testing.T) {
+	r := New()
+	now := time.Unix(0, 0)
+	r.SetClock(func() time.Time { return now })
+	sp := r.Span("exp", "sweep")
+	done := sp.Start()
+	now = now.Add(250 * time.Millisecond)
+	done()
+	s := r.Snapshot().Spans["exp.sweep"]
+	if s.Count != 1 || s.TotalNs != (250*time.Millisecond).Nanoseconds() {
+		t.Fatalf("span snapshot = %+v", s)
+	}
+}
+
+func TestSnapshotJSONStableAndSchemaTagged(t *testing.T) {
+	r := New()
+	r.Counter("netsim", "forwarded").Add(3)
+	r.Counter("probe", "sent_udp").Add(2)
+	r.Histogram("probe", "rtt_us").Observe(5)
+	var a, b bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("snapshot serialization unstable:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(a.Bytes(), &decoded); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if decoded.Schema != SchemaVersion {
+		t.Fatalf("schema tag = %q", decoded.Schema)
+	}
+	if !reflect.DeepEqual(decoded.Counters, map[string]uint64{"netsim.forwarded": 3, "probe.sent_udp": 2}) {
+		t.Fatalf("counters round-trip: %+v", decoded.Counters)
+	}
+}
+
+func TestDeterministicSectionExcludesSpans(t *testing.T) {
+	r := New()
+	r.Counter("a", "b").Inc()
+	r.Time("exp", "stage", func() { time.Sleep(time.Millisecond) })
+	d := r.Snapshot().Deterministic()
+	if len(d.Spans) != 0 {
+		t.Fatalf("deterministic section leaked spans: %+v", d.Spans)
+	}
+	if d.Counters["a.b"] != 1 {
+		t.Fatalf("counters missing: %+v", d.Counters)
+	}
+}
+
+func TestSummaryGroupsByStage(t *testing.T) {
+	r := New()
+	r.Counter("netsim", "forwarded").Add(10)
+	r.Counter("netsim", "drop.rate_limit").Add(2)
+	r.Counter("probe", "sent_udp").Add(4)
+	out := r.Snapshot().Summary()
+	if !strings.Contains(out, "netsim") || !strings.Contains(out, "drop.rate_limit") ||
+		!strings.Contains(out, "sent_udp") {
+		t.Fatalf("summary missing rows:\n%s", out)
+	}
+}
+
+func TestServePprof(t *testing.T) {
+	addr, err := ServePprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ServePprof: %v", err)
+	}
+	resp, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}

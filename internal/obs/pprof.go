@@ -1,0 +1,27 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// ServePprof exposes the standard Go profiling endpoints on addr
+// (host:port) in a background goroutine, for the -pprof CLI flag. It
+// returns the bound address (useful with ":0") or an error if the listener
+// cannot be created; serving errors after startup are ignored, matching
+// the usual net/http/pprof sidecar pattern.
+func ServePprof(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln.Addr().String(), nil
+}

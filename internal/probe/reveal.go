@@ -40,6 +40,7 @@ func (t *Tracer) reveal(tr *Trace) {
 			continue
 		}
 		hidden := t.directPathRevelation(b.Addr, visible)
+		t.Metrics.countReveal(true, len(hidden))
 		if len(hidden) == 0 {
 			continue
 		}
@@ -62,7 +63,7 @@ func (t *Tracer) reveal(tr *Trace) {
 // trace: the hidden tunnel interior.
 func (t *Tracer) directPathRevelation(trigger netip.Addr, visible map[netip.Addr]bool) []Hop {
 	aux := &Tracer{Conn: t.Conn, VP: t.VP, MaxTTL: t.MaxTTL, MaxGaps: t.MaxGaps,
-		BasePort: t.BasePort, Reveal: false}
+		BasePort: t.BasePort, Reveal: false, Metrics: t.Metrics}
 	tr, err := aux.Trace(trigger, 0)
 	if err != nil || !tr.Reached() {
 		return nil

@@ -34,6 +34,12 @@ type Hop struct {
 	// Revealed marks hops discovered by TNT revelation (DPR) rather than
 	// by the original trace; their LSEs are unavailable by construction.
 	Revealed bool `json:"revealed,omitempty"`
+	// DecodeError marks a hop that answered with a reply whose ICMP
+	// payload failed strict parsing: the responder address, reply TTL and
+	// RTT are real observations, but ICMPType/ICMPCode, the quoted TTL and
+	// the label stack are unavailable. Such hops count as responsive (no
+	// retries, no gap) but never as destination-reached evidence.
+	DecodeError bool `json:"decode_error,omitempty"`
 }
 
 // Responded reports whether the hop replied at all.

@@ -65,6 +65,10 @@ type Tracer struct {
 	// Retries is how many extra probes a silent hop gets before being
 	// recorded as a gap (rate-limited routers often answer a retry).
 	Retries int
+	// Metrics, when non-nil, receives per-probe accounting (probes sent,
+	// replies, retries, gaps, decode failures, revelation outcomes); see
+	// NewMetrics. Recording never changes probe bytes or trace results.
+	Metrics *Metrics
 }
 
 // NewTracer returns a tracer with TNT-like defaults.
@@ -93,19 +97,51 @@ func (t *Tracer) probeID(dst netip.Addr, flow uint16, ttl uint8, attempt int) ui
 	return uint16(v ^ (v >> 31))
 }
 
+// Traceroute UDP destination ports live in [PortRangeLo, PortRangeHi): at
+// or above the classic traceroute base and strictly below the port-space
+// ceiling, so a probe can never land on a well-known or zero port.
+const (
+	PortRangeLo = 33434
+	PortRangeHi = 65535
+)
+
+// flowPort maps a Paris flow ID onto the UDP destination port. The naive
+// BasePort+flowID wraps uint16 for large flow IDs, landing probes on
+// well-known ports — where a real service might answer (or a firewall
+// drop), breaking the port-unreachable halt semantics — so the sum is
+// folded back into [PortRangeLo, PortRangeHi). Flow IDs that never reached
+// the old wrap point keep their exact historical port.
+func (t *Tracer) flowPort(flowID uint16) uint16 {
+	base := uint32(t.BasePort)
+	if base < PortRangeLo || base >= PortRangeHi {
+		base = PortRangeLo
+	}
+	const span = PortRangeHi - PortRangeLo
+	return uint16(PortRangeLo + (base-PortRangeLo+uint32(flowID))%span)
+}
+
+// loopRunLen is the number of consecutive identical responding addresses
+// that halts a trace as a loop: a period-1 forwarding loop (a router whose
+// FIB entry points at itself, e.g. during a micro-loop) answers every TTL
+// from the same interface, which the revisit check below can never see.
+const loopRunLen = 3
+
 // Trace runs one Paris traceroute toward dst with the given flow ID. The
 // 5-tuple is held constant across the TTL sweep (per-flow load balancers
 // then keep the path stable); distinct flow IDs map to distinct UDP
-// destination ports.
+// destination ports within the traceroute range (see flowPort).
 func (t *Tracer) Trace(dst netip.Addr, flowID uint16) (*Trace, error) {
 	tr := &Trace{VP: t.VP, Dst: dst, FlowID: flowID, Halt: HaltMaxTTL}
-	dport := t.BasePort + flowID
+	dport := t.flowPort(flowID)
 	gaps := 0
 	seen := make(map[netip.Addr]int)
+	var lastAddr netip.Addr
+	run := 0
 sweep:
 	for ttl := 1; ttl <= t.MaxTTL; ttl++ {
 		hop, err := t.probeOnce(dst, uint8(ttl), dport, 0)
 		for retry := 0; err == nil && !hop.Responded() && retry < t.Retries; retry++ {
+			t.Metrics.countRetry()
 			hop, err = t.probeOnce(dst, uint8(ttl), dport, retry+1)
 		}
 		if err != nil {
@@ -113,7 +149,9 @@ sweep:
 		}
 		tr.Hops = append(tr.Hops, *hop)
 		if !hop.Responded() {
+			t.Metrics.countGap()
 			gaps++
+			run = 0
 			if gaps >= t.MaxGaps {
 				tr.Halt = HaltGaps
 				break sweep
@@ -121,17 +159,31 @@ sweep:
 			continue
 		}
 		gaps = 0
+		// Period-1 loops: the same address answering loopRunLen consecutive
+		// TTLs. Longer-period loops revisit an address with a gap > 1 and
+		// are caught by the revisit check.
+		if hop.Addr == lastAddr {
+			run++
+		} else {
+			lastAddr, run = hop.Addr, 1
+		}
+		if run >= loopRunLen {
+			tr.Halt = HaltLoop
+			break sweep
+		}
 		if prev, dup := seen[hop.Addr]; dup && ttl-prev > 1 {
 			tr.Halt = HaltLoop
 			break sweep
 		}
 		seen[hop.Addr] = ttl
-		if hop.ICMPType == pkt.ICMPDestUnreachable ||
-			(t.Method == MethodICMP && hop.ICMPType == pkt.ICMPEchoReply) {
+		if !hop.DecodeError &&
+			(hop.ICMPType == pkt.ICMPDestUnreachable ||
+				(t.Method == MethodICMP && hop.ICMPType == pkt.ICMPEchoReply)) {
 			tr.Halt = HaltReached
 			break sweep
 		}
 	}
+	t.Metrics.countHalt(tr.Halt)
 	if t.Reveal {
 		t.reveal(tr)
 	}
@@ -169,6 +221,7 @@ func (t *Tracer) probeOnce(dst netip.Addr, ttl uint8, dport uint16, attempt int)
 	if err != nil {
 		return nil, fmt.Errorf("probe: %w", err)
 	}
+	t.Metrics.countSent(t.Method)
 	reply, rtt, err := t.Conn.Exchange(t.VP, wire)
 	if err != nil {
 		return nil, fmt.Errorf("probe: %w", err)
@@ -179,17 +232,27 @@ func (t *Tracer) probeOnce(dst netip.Addr, ttl uint8, dport uint16, attempt int)
 	}
 	rip, err := pkt.UnmarshalIPv4(reply)
 	if err != nil {
-		return hop, nil // mangled reply: treat as loss
-	}
-	m, err := pkt.UnmarshalICMP(rip.Payload)
-	if err != nil {
+		// The IP header itself is mangled: no responder address to keep.
+		t.Metrics.countDecodeError()
 		return hop, nil
 	}
 	hop.Addr = rip.Src
 	hop.ReplyTTL = rip.TTL
+	hop.RTT = rtt
+	t.Metrics.countReply(rtt)
+	m, err := pkt.UnmarshalICMP(rip.Payload)
+	if err != nil {
+		// Something answered but its ICMP payload fails strict parsing
+		// (bad checksum, malformed RFC 4884 structure, …). Discarding the
+		// observation would convert a responsive hop into a gap and burn
+		// retries on a router that did answer — keep the responder address
+		// and RTT, flag the hop, and account for the decode failure.
+		hop.DecodeError = true
+		t.Metrics.countDecodeError()
+		return hop, nil
+	}
 	hop.ICMPType = m.Type
 	hop.ICMPCode = m.Code
-	hop.RTT = rtt
 	if s, ok := m.MPLSStack(); ok {
 		hop.Stack = s
 	}
@@ -212,18 +275,25 @@ func (t *Tracer) Ping(dst netip.Addr, id uint16) (replyTTL uint8, ok bool, err e
 	if err != nil {
 		return 0, false, err
 	}
+	t.Metrics.countPing()
 	reply, _, err := t.Conn.Exchange(t.VP, wire)
 	if err != nil || reply == nil {
 		return 0, false, err
 	}
 	rip, err := pkt.UnmarshalIPv4(reply)
 	if err != nil {
+		t.Metrics.countDecodeError()
 		return 0, false, nil
 	}
 	rm, err := pkt.UnmarshalICMP(rip.Payload)
-	if err != nil || rm.Type != pkt.ICMPEchoReply {
+	if err != nil {
+		t.Metrics.countDecodeError()
 		return 0, false, nil
 	}
+	if rm.Type != pkt.ICMPEchoReply {
+		return 0, false, nil
+	}
+	t.Metrics.countPingReply()
 	return rip.TTL, true, nil
 }
 
@@ -261,24 +331,28 @@ type IPIDSample struct {
 // counter. seq distinguishes successive samples of the same address so
 // each carries a distinct probe IP-ID.
 func (t *Tracer) SampleIPID(dst netip.Addr, seq uint32) (IPIDSample, bool, error) {
-	u := &pkt.UDP{SrcPort: 33434, DstPort: t.BasePort + 200, Payload: []byte("arest-ipid")}
+	dport := t.flowPort(200)
+	u := &pkt.UDP{SrcPort: 33434, DstPort: dport, Payload: []byte("arest-ipid")}
 	ub, err := u.Marshal(t.VP, dst)
 	if err != nil {
 		return IPIDSample{}, false, err
 	}
-	id := t.probeID(dst, t.BasePort+200, uint8(seq>>16), int(uint16(seq)))
+	id := t.probeID(dst, dport, uint8(seq>>16), int(uint16(seq)))
 	ip := &pkt.IPv4{TTL: 64, Protocol: pkt.ProtoUDP, ID: id, Src: t.VP, Dst: dst, Payload: ub}
 	wire, err := ip.Marshal()
 	if err != nil {
 		return IPIDSample{}, false, err
 	}
+	t.Metrics.countIPIDSample()
 	reply, _, err := t.Conn.Exchange(t.VP, wire)
 	if err != nil || reply == nil {
 		return IPIDSample{}, false, err
 	}
 	rip, err := pkt.UnmarshalIPv4(reply)
 	if err != nil {
+		t.Metrics.countDecodeError()
 		return IPIDSample{}, false, nil
 	}
+	t.Metrics.countIPIDReply()
 	return IPIDSample{ID: rip.ID, ReplyTTL: rip.TTL}, true, nil
 }
