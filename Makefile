@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench
+.PHONY: build test vet lint race check bench fuzz
 
 build:
 	$(GO) build ./...
@@ -16,8 +16,27 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# Static analysis beyond vet. Skips gracefully when the tools are not on
+# PATH locally; CI installs both (see .github/workflows/ci.yml).
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed, skipping"; \
+	fi
+
 # CI entry point.
-check: vet race
+check: vet lint race
 
 bench:
-	$(GO) test -run 'Benchmark' -bench . -benchmem .
+	$(GO) test -run 'Benchmark' -bench . -benchmem . ./internal/archive
+
+# Short deterministic fuzz pass over the archive codec seeds plus a minute
+# of mutation.
+fuzz:
+	$(GO) test ./internal/archive -run xxx -fuzz FuzzReadArchive -fuzztime 30s

@@ -13,11 +13,11 @@ import (
 	"sync"
 	"testing"
 
-	"arest/internal/archive"
 	"arest/internal/asgen"
 	"arest/internal/core"
 	"arest/internal/exp"
 	"arest/internal/fingerprint"
+	"arest/internal/longitudinal"
 	"arest/internal/mpls"
 	"arest/internal/netsim"
 	"arest/internal/pkt"
@@ -363,7 +363,7 @@ func BenchmarkSurveyAggregation(b *testing.B) {
 
 func BenchmarkArchiveGeneration(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		archive.Measure(archive.Generate(archive.CAIDA, 1000, int64(i)))
+		longitudinal.Measure(longitudinal.Generate(longitudinal.CAIDA, 1000, int64(i)))
 	}
 }
 

@@ -1,13 +1,19 @@
-// Command arest runs the AReST detection methodology over a stored trace
-// collection (JSON Lines, as produced by cmd/tntsim) and reports detected
-// SR-MPLS segments, per-flag statistics, and interworking tunnels.
+// Command arest runs the AReST detection methodology over a stored
+// campaign and reports detected SR-MPLS segments, per-flag statistics,
+// and interworking tunnels. The input format is sniffed: an
+// arest.archive.v1 record stream (as cmd/tntsim now emits) replays the
+// full campaign — traces plus the archived fingerprint and bdrmap
+// annotations; the legacy JSON-Lines trace format still works and
+// analyzes bare traces.
 //
 // Usage:
 //
+//	arest -i campaign.arest [-v]
 //	arest -i traces.jsonl [-fingerprints fp.txt] [-v]
 //
 // The optional fingerprint file maps interface addresses to vendors, one
-// "addr vendor [snmp|ttl]" per line.
+// "addr vendor [snmp|ttl]" per line; its entries override any archived
+// annotations.
 package main
 
 import (
@@ -15,16 +21,19 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/netip"
 	"os"
 	"strings"
 
+	"arest/internal/archive"
 	"arest/internal/core"
 	"arest/internal/eval"
 	"arest/internal/fingerprint"
 	"arest/internal/mpls"
 	"arest/internal/obs"
 	"arest/internal/par"
+	"arest/internal/probe"
 	"arest/internal/tracestore"
 )
 
@@ -60,7 +69,7 @@ func main() {
 		defer f.Close()
 		r = f
 	}
-	meta, traces, err := tracestore.Read(r)
+	meta, traces, snmp, ttl, asOf, err := loadCampaign(r)
 	if err != nil {
 		fatalf("read traces: %v", err)
 	}
@@ -68,14 +77,20 @@ func main() {
 		fatalf("no traces in input")
 	}
 
-	ann := fingerprint.NewAnnotator(nil, nil)
+	// CLI-supplied fingerprints override archived annotations.
 	if *fpFile != "" {
-		snmp, ttl, err := loadFingerprints(*fpFile)
+		fsnmp, fttl, err := loadFingerprints(*fpFile)
 		if err != nil {
 			fatalf("fingerprints: %v", err)
 		}
-		ann = fingerprint.NewAnnotator(snmp, ttl)
+		for a, v := range fsnmp {
+			snmp[a] = v
+		}
+		for a, v := range fttl {
+			ttl[a] = v
+		}
 	}
+	ann := fingerprint.NewAnnotator(snmp, ttl)
 
 	det := core.NewDetector()
 	det.SuffixMatching = !*noSuffix
@@ -87,7 +102,7 @@ func main() {
 	results := make([]*core.Result, len(traces))
 	analyzeDone := reg.Span("core", "stage.analyze").Start()
 	par.ForEach(par.Workers(*workers), len(traces), func(i int) {
-		paths[i] = core.BuildPath(traces[i], ann, nil)
+		paths[i] = core.BuildPath(traces[i], ann, asOf)
 		results[i] = det.Analyze(paths[i])
 	})
 	analyzeDone()
@@ -177,6 +192,36 @@ func main() {
 		}
 	}
 	fmt.Print(pt.Render())
+}
+
+// loadCampaign sniffs the input format and loads the stored campaign. For
+// an arest.archive.v1 stream it returns the traces together with the
+// archived side-channels — fingerprint annotations and bdrmap owners — so
+// detection replays with the same context the measurement campaign had.
+// For legacy JSON Lines it returns bare traces. The vendor maps are always
+// non-nil so callers can merge overrides into them.
+func loadCampaign(r io.Reader) (meta tracestore.Meta, traces []*probe.Trace,
+	snmp, ttl map[netip.Addr]mpls.Vendor, asOf func(netip.Addr) int, err error) {
+	br := bufio.NewReader(r)
+	if archive.Sniff(br) {
+		data, err := archive.ReadData(br)
+		if err != nil {
+			return tracestore.Meta{}, nil, nil, nil, nil, err
+		}
+		meta = tracestore.Meta{
+			ASN:  data.Meta.Record.ASN,
+			Name: data.Meta.Record.Name,
+			Seed: data.Meta.Seed,
+			VPs:  len(data.VPs),
+		}
+		if len(data.Borders) > 0 {
+			borders := data.Borders
+			asOf = func(a netip.Addr) int { return borders[a] }
+		}
+		return meta, data.Traces(), data.SNMP, data.TTL, asOf, nil
+	}
+	meta, traces, err = tracestore.Read(br)
+	return meta, traces, map[netip.Addr]mpls.Vendor{}, map[netip.Addr]mpls.Vendor{}, nil, err
 }
 
 // loadFingerprints parses "addr vendor [snmp|ttl]" lines.

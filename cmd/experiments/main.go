@@ -33,6 +33,7 @@ func main() {
 	seed := flag.Int64("seed", 20250405, "campaign seed")
 	workers := flag.Int("workers", 0, "worker pool size for every pipeline stage (0 = GOMAXPROCS, 1 = sequential)")
 	outDir := flag.String("o", "", "write each experiment to <dir>/<id>.txt instead of stdout")
+	snapshotDir := flag.String("snapshot", "", "snapshot/resume mode: persist per-AS archive shards under <dir> and skip ASes whose shard is already complete")
 	metricsOut := flag.String("metrics", "", "export campaign metrics to <file> (.json = JSON, else summary table, - = stdout)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
@@ -96,7 +97,24 @@ func main() {
 	fmt.Fprintf(os.Stderr, "running campaign over %d ASes (%d VPs, <=%d targets each)...\n",
 		len(records), cfg.NumVPs, cfg.MaxTargets)
 	start := time.Now()
-	c, err := exp.Run(records, cfg)
+	var c *exp.Campaign
+	var err error
+	if *snapshotDir != "" {
+		var statuses []exp.ShardStatus
+		c, statuses, err = exp.RunSharded(records, cfg, *snapshotDir)
+		if err == nil {
+			resumed := 0
+			for _, s := range statuses {
+				if s == exp.ShardResumed {
+					resumed++
+				}
+			}
+			fmt.Fprintf(os.Stderr, "snapshot %s: %d/%d ASes resumed from shards, %d measured\n",
+				*snapshotDir, resumed, len(statuses), len(statuses)-resumed)
+		}
+	} else {
+		c, err = exp.Run(records, cfg)
+	}
 	if err != nil {
 		fatalf("campaign: %v", err)
 	}

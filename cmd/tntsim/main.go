@@ -1,17 +1,23 @@
 // Command tntsim runs the simulated TNT measurement campaign against one
 // synthetic AS from the paper's Table 5 catalogue and writes the collected
-// traces as JSON Lines, ready for cmd/arest.
+// campaign — traces plus fingerprint/alias/bdrmap annotations and ground
+// truth — as an arest.archive.v1 record stream, ready for cmd/arest to
+// re-analyze offline. The legacy JSON-Lines trace format is still
+// available behind -format jsonl (it stores traces only).
 //
 // Usage:
 //
-//	tntsim -as 46 -vps 6 -targets 24 -seed 1 -o esnet.jsonl
+//	tntsim -as 46 -vps 6 -targets 24 -seed 1 -o esnet.arest
+//	tntsim -as 46 -format jsonl -o esnet.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/netip"
 	"os"
 
+	"arest/internal/archive"
 	"arest/internal/asgen"
 	"arest/internal/exp"
 	"arest/internal/obs"
@@ -25,6 +31,7 @@ func main() {
 	flows := flag.Int("flows", 1, "Paris flows per target")
 	seed := flag.Int64("seed", 20250405, "campaign seed")
 	out := flag.String("o", "", "output file (default stdout)")
+	format := flag.String("format", "archive", "output format: archive (full campaign) or jsonl (legacy, traces only)")
 	list := flag.Bool("list", false, "list the AS catalogue and exit")
 	metricsOut := flag.String("metrics", "", "export campaign metrics to <file> (.json = JSON, else summary table, - = stdout)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -49,6 +56,9 @@ func main() {
 		}
 		return
 	}
+	if *format != "archive" && *format != "jsonl" {
+		fatalf("unknown format %q (archive or jsonl)", *format)
+	}
 
 	rec, ok := asgen.ByID(*asID)
 	if !ok {
@@ -65,7 +75,7 @@ func main() {
 		cfg.Metrics = reg
 	}
 
-	res, err := exp.RunAS(rec, cfg)
+	data, err := exp.MeasureAS(rec, cfg)
 	if err != nil {
 		fatalf("campaign failed: %v", err)
 	}
@@ -79,12 +89,28 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	meta := tracestore.Meta{ASN: rec.ASN, Name: rec.Name, Seed: *seed, VPs: *vps}
-	if err := tracestore.Write(w, meta, res.Traces()); err != nil {
-		fatalf("write traces: %v", err)
+	traces := data.Traces()
+	switch *format {
+	case "archive":
+		if err := archive.WriteData(w, data); err != nil {
+			fatalf("write archive: %v", err)
+		}
+	case "jsonl":
+		meta := tracestore.Meta{ASN: rec.ASN, Name: rec.Name, Seed: *seed, VPs: *vps}
+		if err := tracestore.Write(w, meta, traces); err != nil {
+			fatalf("write traces: %v", err)
+		}
+	}
+	distinct := map[netip.Addr]bool{}
+	for _, tr := range traces {
+		for i := range tr.Hops {
+			if tr.Hops[i].Responded() {
+				distinct[tr.Hops[i].Addr] = true
+			}
+		}
 	}
 	fmt.Fprintf(os.Stderr, "AS#%d %s: %d traces from %d VPs (%d distinct IPs observed)\n",
-		rec.ID, rec.Name, res.TracesSent, *vps, res.DistinctIPs())
+		rec.ID, rec.Name, len(traces), *vps, len(distinct))
 	if reg != nil {
 		snap := reg.Snapshot()
 		if err := snap.ExportFile(*metricsOut); err != nil {

@@ -1,130 +1,260 @@
-// Package archive synthesizes the longitudinal traceroute archives behind
-// Fig. 7: quarterly samples of CAIDA Ark and RIPE Atlas traces from
-// December 2015 to March 2025, summarized by MPLS label-stack depth. The
-// generator produces per-sample populations of stack depths following the
-// published trend (stacks of depth ≥2 growing to ~20% on CAIDA and ~10% on
-// RIPE), and the measurement code recovers the distributions from them.
+// Package archive implements the durable storage boundary between the
+// measurement and analysis layers of the campaign pipeline: a versioned,
+// length-prefixed, CRC-checked binary record stream (warts-style) holding
+// one AS's full campaign — metadata, per-VP traces, fingerprint
+// annotations, alias sets, bdrmap borders, and simulator ground truth.
+//
+// The on-disk format, "arest.archive.v1", is a magic line followed by a
+// sequence of framed records and a mandatory end trailer:
+//
+//	magic   "arest.archive.v1\n"            (17 bytes)
+//	record  type    uint8
+//	        length  uint32 big-endian        (payload bytes)
+//	        payload JSON                     (schema fixed per type)
+//	        crc     uint32 big-endian        (CRC-32C over type+length+payload)
+//	...
+//	end     a TypeEnd record whose payload carries the record and trace
+//	        counts; a stream without it is truncated (an interrupted
+//	        writer), which readers report as ErrTruncated.
+//
+// Writer and Reader stream one record at a time, so a campaign never needs
+// to be wholly resident; the Data aggregate in data.go is a convenience
+// for pipelines that do want everything in memory.
 package archive
 
 import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
 	"fmt"
-	"math/rand"
+	"hash/crc32"
+	"io"
 )
 
-// Platform identifies the measurement archive.
-type Platform int
+// Magic opens every v1 archive. The trailing newline keeps accidental
+// `cat` of an archive from gluing into a terminal line and gives format
+// sniffers an unambiguous 17-byte prefix.
+const Magic = "arest.archive.v1\n"
 
+// Type tags one framed record.
+type Type uint8
+
+// Record types of format v1. Values are part of the on-disk format and
+// must never be renumbered.
 const (
-	CAIDA Platform = iota
-	RIPEAtlas
+	TypeMeta        Type = 1 // campaign metadata (one per archive, first)
+	TypeVP          Type = 2 // one vantage point (index, address, trace count)
+	TypeTrace       Type = 3 // one probe.Trace with its VP index
+	TypeFingerprint Type = 4 // one interface vendor annotation (snmp or ttl)
+	TypeAliasSet    Type = 5 // one resolved alias set
+	TypeBorder      Type = 6 // one bdrmap owner annotation
+	TypeSREnabled   Type = 7 // one ground-truth SR-enabled interface
+	TypeEnd         Type = 0x7f
 )
 
-func (p Platform) String() string {
-	if p == CAIDA {
-		return "caida-ark"
+func (t Type) String() string {
+	switch t {
+	case TypeMeta:
+		return "meta"
+	case TypeVP:
+		return "vp"
+	case TypeTrace:
+		return "trace"
+	case TypeFingerprint:
+		return "fingerprint"
+	case TypeAliasSet:
+		return "alias-set"
+	case TypeBorder:
+		return "border"
+	case TypeSREnabled:
+		return "sr-enabled"
+	case TypeEnd:
+		return "end"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
 	}
-	return "ripe-atlas"
 }
 
-// Sample is one quarterly archive snapshot: the label-stack depth of every
-// MPLS-touching trace in the sample.
-type Sample struct {
-	Year    int
-	Quarter int // 1..4 (March, June, September, December)
-	Depths  []int
+// MaxPayload bounds a single record's payload. It is far above anything
+// the pipeline produces; its purpose is to keep a corrupted or hostile
+// length field from driving a multi-gigabyte allocation.
+const MaxPayload = 1 << 26
+
+var (
+	// ErrBadMagic reports a stream that does not start with Magic.
+	ErrBadMagic = errors.New("archive: bad magic (not an arest.archive.v1 stream)")
+	// ErrCorrupt reports a CRC mismatch or malformed frame.
+	ErrCorrupt = errors.New("archive: corrupt record")
+	// ErrTruncated reports a stream that ended without the end trailer —
+	// the signature of an interrupted writer.
+	ErrTruncated = errors.New("archive: truncated stream (no end trailer)")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Writer emits one v1 archive. Records are framed and checksummed as they
+// are written; Close appends the end trailer. A Writer is not safe for
+// concurrent use.
+type Writer struct {
+	bw      *bufio.Writer
+	records int
+	traces  int
+	closed  bool
+	err     error
 }
 
-// Date renders the sample's nominal date.
-func (s Sample) Date() string {
-	months := map[int]string{1: "Mar", 2: "Jun", 3: "Sep", 4: "Dec"}
-	return fmt.Sprintf("%s-%d", months[s.Quarter], s.Year)
+// NewWriter writes the magic and returns a streaming record writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(Magic); err != nil {
+		return nil, fmt.Errorf("archive: write magic: %w", err)
+	}
+	return &Writer{bw: bw}, nil
 }
 
-// Generate produces the full quarterly archive for a platform, seeded
-// deterministically. tracesPerSample controls population size.
-func Generate(p Platform, tracesPerSample int, seed int64) []Sample {
-	rng := rand.New(rand.NewSource(seed ^ int64(p)<<32))
-	var out []Sample
-	for year := 2015; year <= 2025; year++ {
-		for q := 1; q <= 4; q++ {
-			if year == 2015 && q < 4 {
-				continue // series starts December 2015
-			}
-			if year == 2025 && q > 1 {
-				continue // series ends March 2025
-			}
-			out = append(out, generateSample(p, year, q, tracesPerSample, rng))
+// endPayload is the trailer body: record and trace counts let readers
+// verify they saw the whole stream.
+type endPayload struct {
+	Records int `json:"records"`
+	Traces  int `json:"traces"`
+}
+
+// writeRecord frames one payload. The CRC covers the type byte, the length
+// field, and the payload, so a flipped bit anywhere in the frame is caught.
+func (w *Writer) writeRecord(t Type, payload any) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return errors.New("archive: write after Close")
+	}
+	body, err := json.Marshal(payload)
+	if err != nil {
+		w.err = fmt.Errorf("archive: encode %s: %w", t, err)
+		return w.err
+	}
+	if len(body) > MaxPayload {
+		w.err = fmt.Errorf("archive: %s payload %d bytes exceeds cap %d", t, len(body), MaxPayload)
+		return w.err
+	}
+	var hdr [5]byte
+	hdr[0] = byte(t)
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(body)))
+	crc := crc32.Update(0, castagnoli, hdr[:])
+	crc = crc32.Update(crc, castagnoli, body)
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		w.err = err
+		return err
+	}
+	if _, err := w.bw.Write(body); err != nil {
+		w.err = err
+		return err
+	}
+	var tail [4]byte
+	binary.BigEndian.PutUint32(tail[:], crc)
+	if _, err := w.bw.Write(tail[:]); err != nil {
+		w.err = err
+		return err
+	}
+	w.records++
+	if t == TypeTrace {
+		w.traces++
+	}
+	return nil
+}
+
+// Close writes the end trailer and flushes. The archive is complete only
+// after Close returns nil.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return nil
+	}
+	end := endPayload{Records: w.records, Traces: w.traces}
+	if err := w.writeRecord(TypeEnd, end); err != nil {
+		return err
+	}
+	w.closed = true
+	return w.bw.Flush()
+}
+
+// Reader streams records out of a v1 archive.
+type Reader struct {
+	br      *bufio.Reader
+	records int
+	traces  int
+	done    bool
+	offset  int64
+}
+
+// NewReader checks the magic and returns a streaming record reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	var magic [len(Magic)]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
+	}
+	if string(magic[:]) != Magic {
+		return nil, ErrBadMagic
+	}
+	return &Reader{br: br, offset: int64(len(Magic))}, nil
+}
+
+// Next returns the next record's type and raw JSON payload. It returns
+// io.EOF after the end trailer has been consumed, ErrTruncated if the
+// stream stops without one, and ErrCorrupt on a CRC or framing error. The
+// payload buffer is owned by the caller.
+func (r *Reader) Next() (Type, []byte, error) {
+	if r.done {
+		return 0, nil, io.EOF
+	}
+	var hdr [5]byte
+	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, ErrTruncated
 		}
+		return 0, nil, fmt.Errorf("%w: header at offset %d: %v", ErrTruncated, r.offset, err)
 	}
-	return out
-}
-
-// generateSample draws one quarter's stack-depth population. The deep-stack
-// share rises linearly over the decade toward the platform's 2025 level,
-// with mild quarter noise.
-func generateSample(p Platform, year, q, n int, rng *rand.Rand) Sample {
-	// Fraction of traces with stack depth >= 2.
-	var start, end float64
-	if p == CAIDA {
-		start, end = 0.08, 0.20
-	} else {
-		start, end = 0.04, 0.10
+	t := Type(hdr[0])
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > MaxPayload {
+		return 0, nil, fmt.Errorf("%w: %s length %d exceeds cap at offset %d", ErrCorrupt, t, n, r.offset)
 	}
-	t := (float64(year-2015) + float64(q-1)/4) / 10
-	deepShare := start + (end-start)*t
-	deepShare += (rng.Float64() - 0.5) * 0.02
-	if deepShare < 0 {
-		deepShare = 0
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r.br, body); err != nil {
+		return 0, nil, fmt.Errorf("%w: payload at offset %d: %v", ErrTruncated, r.offset, err)
 	}
-	s := Sample{Year: year, Quarter: q, Depths: make([]int, n)}
-	for i := range s.Depths {
-		if rng.Float64() < deepShare {
-			// Depth >= 2: mostly 2, tail of 3-5.
-			d := 2
-			for d < 5 && rng.Float64() < 0.25 {
-				d++
-			}
-			s.Depths[i] = d
-		} else {
-			s.Depths[i] = 1
+	var tail [4]byte
+	if _, err := io.ReadFull(r.br, tail[:]); err != nil {
+		return 0, nil, fmt.Errorf("%w: checksum at offset %d: %v", ErrTruncated, r.offset, err)
+	}
+	crc := crc32.Update(0, castagnoli, hdr[:])
+	crc = crc32.Update(crc, castagnoli, body)
+	if got := binary.BigEndian.Uint32(tail[:]); got != crc {
+		return 0, nil, fmt.Errorf("%w: %s at offset %d: crc %08x, want %08x", ErrCorrupt, t, r.offset, got, crc)
+	}
+	r.offset += int64(5 + len(body) + 4)
+	if t == TypeEnd {
+		var end endPayload
+		if err := json.Unmarshal(body, &end); err != nil {
+			return 0, nil, fmt.Errorf("%w: end trailer: %v", ErrCorrupt, err)
 		}
-	}
-	return s
-}
-
-// Distribution is the measured share of each stack-depth bucket in one
-// sample: depth 1, depth 2, and depth 3 or more.
-type Distribution struct {
-	Date                   string
-	Depth1, Depth2, Depth3 float64 // Depth3 aggregates >= 3
-}
-
-// Measure computes the per-sample stack-depth distributions, the statistic
-// Fig. 7 plots.
-func Measure(samples []Sample) []Distribution {
-	out := make([]Distribution, 0, len(samples))
-	for _, s := range samples {
-		var d1, d2, d3 int
-		for _, d := range s.Depths {
-			switch {
-			case d <= 1:
-				d1++
-			case d == 2:
-				d2++
-			default:
-				d3++
-			}
+		if end.Records != r.records || end.Traces != r.traces {
+			return 0, nil, fmt.Errorf("%w: end trailer counts %d records/%d traces, saw %d/%d",
+				ErrCorrupt, end.Records, end.Traces, r.records, r.traces)
 		}
-		n := float64(len(s.Depths))
-		if n == 0 {
-			n = 1
-		}
-		out = append(out, Distribution{
-			Date:   s.Date(),
-			Depth1: float64(d1) / n,
-			Depth2: float64(d2) / n,
-			Depth3: float64(d3) / n,
-		})
+		r.done = true
+		return t, body, nil
 	}
-	return out
+	r.records++
+	if t == TypeTrace {
+		r.traces++
+	}
+	return t, body, nil
 }

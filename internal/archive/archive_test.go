@@ -1,89 +1,288 @@
 package archive
 
-import "testing"
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"net/netip"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
 
-func TestGenerateSeriesBounds(t *testing.T) {
-	samples := Generate(CAIDA, 500, 1)
-	if len(samples) == 0 {
-		t.Fatal("no samples")
+	"arest/internal/asgen"
+	"arest/internal/mpls"
+	"arest/internal/probe"
+)
+
+func addr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+// fixtureData builds a small hand-rolled campaign exercising every record
+// type, including edge shapes: a VP with zero traces, an unresponsive hop,
+// a revealed hop, and a decode-error hop.
+func fixtureData() *Data {
+	rec := asgen.Record{ID: 46, ASN: 293, Name: "ESnet", Category: asgen.Transit,
+		TracesSent: 123, IPsDiscovered: 45, CiscoConfirmed: true}
+	dep := asgen.Deployment{
+		Routers: 12, ExtraLinkFrac: 0.25, MPLS: true, SRFrac: 1,
+		VendorWeights: map[mpls.Vendor]int{mpls.VendorNokia: 100},
+		PropagateProb: 0.93, RFC4950Prob: 1, ServiceProb: 0.25, AlignSRGB: true,
+		CustomSRGB: mpls.LabelRange{Lo: 100000, Hi: 107999},
 	}
-	first, last := samples[0], samples[len(samples)-1]
-	if first.Year != 2015 || first.Quarter != 4 {
-		t.Errorf("first sample = %s", first.Date())
+	tr1 := &probe.Trace{
+		VP: addr("172.16.0.1"), Dst: addr("100.1.0.1"), FlowID: 3,
+		Hops: []probe.Hop{
+			{TTL: 1, Addr: addr("10.1.0.1"), RTT: 1.25, ICMPType: 11, ReplyTTL: 253, QTTL: 2,
+				Stack: mpls.Stack{{Label: 16005, TC: 1, S: true, TTL: 1}}},
+			{TTL: 2}, // unresponsive
+			{TTL: 3, Addr: addr("10.1.0.3"), RTT: 2.5, ICMPType: 11, Revealed: true},
+			{TTL: 4, Addr: addr("100.1.0.1"), RTT: 3.75, ICMPType: 3, DecodeError: true},
+		},
+		Halt: probe.HaltReached,
 	}
-	if last.Year != 2025 || last.Quarter != 1 {
-		t.Errorf("last sample = %s", last.Date())
+	tr2 := &probe.Trace{
+		VP: addr("172.16.0.1"), Dst: addr("100.1.0.2"),
+		Hops: []probe.Hop{{TTL: 1, Addr: addr("10.1.0.1"), RTT: 0.5, ICMPType: 11}},
+		Halt: probe.HaltGaps,
 	}
-	// Dec 2015 + 4 quarters × 9 years + Mar 2025 = 38 samples.
-	if len(samples) != 38 {
-		t.Errorf("samples = %d, want 38", len(samples))
+	return &Data{
+		Meta: Meta{Format: FormatV1, Record: rec, Dep: dep, Seed: 42,
+			NumVPs: 2, MaxTargets: 8, FlowsPerTarget: 2},
+		VPs:   []netip.Addr{addr("172.16.0.1"), addr("172.16.1.1")},
+		PerVP: [][]*probe.Trace{{tr1, tr2}, {}},
+		SNMP:  map[netip.Addr]mpls.Vendor{addr("10.1.0.1"): mpls.VendorNokia},
+		TTL: map[netip.Addr]mpls.Vendor{
+			addr("10.1.0.3"): mpls.VendorJuniper,
+			addr("10.1.0.1"): mpls.VendorCiscoHuawei,
+		},
+		Aliases:   [][]netip.Addr{{addr("10.1.0.1"), addr("10.1.0.3")}},
+		Borders:   map[netip.Addr]int{addr("10.1.0.1"): 293, addr("10.1.0.3"): 293},
+		SREnabled: []netip.Addr{addr("10.1.0.1"), addr("10.1.0.3")},
 	}
-	for _, s := range samples {
-		if len(s.Depths) != 500 {
-			t.Fatalf("%s has %d traces", s.Date(), len(s.Depths))
+}
+
+func encode(t testing.TB, d *Data) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteData(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	want := fixtureData()
+	raw := encode(t, want)
+	got, err := ReadData(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("roundtrip diverged:\n got %+v\nwant %+v", got, want)
+	}
+	// Re-encoding the decoded value must reproduce the bytes: the writer's
+	// canonical record order makes the encoding a function of the value.
+	if again := encode(t, got); !bytes.Equal(again, raw) {
+		t.Error("re-encoding decoded data diverged from original bytes")
+	}
+}
+
+func TestEmptySectionsRoundTrip(t *testing.T) {
+	d := fixtureData()
+	d.SNMP = map[netip.Addr]mpls.Vendor{}
+	d.TTL = map[netip.Addr]mpls.Vendor{}
+	d.Aliases = nil
+	d.Borders = map[netip.Addr]int{}
+	d.SREnabled = nil
+	got, err := ReadData(bytes.NewReader(encode(t, d)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, d) {
+		t.Errorf("empty sections diverged: %+v", got)
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	raw := encode(t, fixtureData())
+	// Every proper prefix must fail with ErrTruncated or ErrCorrupt (for
+	// cuts inside the magic, ErrBadMagic) — never succeed, never panic.
+	for _, cut := range []int{0, 5, len(Magic), len(Magic) + 3, len(raw) / 2, len(raw) - 1} {
+		_, err := ReadData(bytes.NewReader(raw[:cut]))
+		if err == nil {
+			t.Fatalf("prefix of %d bytes accepted", cut)
 		}
-		for _, d := range s.Depths {
-			if d < 1 || d > 5 {
-				t.Fatalf("depth %d out of range", d)
-			}
+		if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrCorrupt) {
+			t.Errorf("cut %d: unexpected error class: %v", cut, err)
 		}
 	}
 }
 
-func TestTrendUpwardAndPlatformGap(t *testing.T) {
-	const n = 4000
-	caida := Measure(Generate(CAIDA, n, 7))
-	ripe := Measure(Generate(RIPEAtlas, n, 7))
-	deep := func(d Distribution) float64 { return d.Depth2 + d.Depth3 }
-
-	// Rising trend: last-year average well above first-year average.
-	avg := func(ds []Distribution, lo, hi int) float64 {
-		s := 0.0
-		for _, d := range ds[lo:hi] {
-			s += deep(d)
-		}
-		return s / float64(hi-lo)
-	}
-	if early, late := avg(caida, 0, 4), avg(caida, len(caida)-4, len(caida)); late <= early {
-		t.Errorf("CAIDA deep share did not rise: %.3f -> %.3f", early, late)
-	}
-	// End-of-series levels: ~20% CAIDA, ~10% RIPE.
-	cLate := avg(caida, len(caida)-4, len(caida))
-	rLate := avg(ripe, len(ripe)-4, len(ripe))
-	if cLate < 0.15 || cLate > 0.25 {
-		t.Errorf("CAIDA 2025 deep share = %.3f, want ≈0.20", cLate)
-	}
-	if rLate < 0.06 || rLate > 0.14 {
-		t.Errorf("RIPE 2025 deep share = %.3f, want ≈0.10", rLate)
-	}
-	if cLate <= rLate {
-		t.Error("CAIDA should observe more deep stacks than RIPE")
-	}
-}
-
-func TestMeasureSumsToOne(t *testing.T) {
-	for _, d := range Measure(Generate(RIPEAtlas, 300, 3)) {
-		sum := d.Depth1 + d.Depth2 + d.Depth3
-		if sum < 0.999 || sum > 1.001 {
-			t.Errorf("%s: distribution sums to %f", d.Date, sum)
+func TestCorruptedStream(t *testing.T) {
+	raw := encode(t, fixtureData())
+	// Flip one bit at several offsets past the magic: CRC must catch it.
+	for _, off := range []int{len(Magic), len(Magic) + 7, len(raw) / 2, len(raw) - 3} {
+		mut := bytes.Clone(raw)
+		mut[off] ^= 0x20
+		if _, err := ReadData(bytes.NewReader(mut)); err == nil {
+			t.Errorf("bit flip at %d accepted", off)
 		}
 	}
 }
 
-func TestGenerateDeterministic(t *testing.T) {
-	a := Generate(CAIDA, 100, 5)
-	b := Generate(CAIDA, 100, 5)
-	for i := range a {
-		for j := range a[i].Depths {
-			if a[i].Depths[j] != b[i].Depths[j] {
-				t.Fatal("generation not deterministic")
-			}
-		}
+func TestBadMagic(t *testing.T) {
+	if _, err := ReadData(strings.NewReader("#{\"asn\":1}\n{}\n")); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("jsonl input: err = %v, want ErrBadMagic", err)
+	}
+	if _, err := ReadData(strings.NewReader("arest.archive.v9\nrest")); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("wrong version: err = %v, want ErrBadMagic", err)
 	}
 }
 
-func TestPlatformString(t *testing.T) {
-	if CAIDA.String() != "caida-ark" || RIPEAtlas.String() != "ripe-atlas" {
-		t.Error("platform names wrong")
+func TestHugeLengthRejected(t *testing.T) {
+	// A frame whose length field exceeds MaxPayload must be rejected
+	// without attempting the allocation.
+	var buf bytes.Buffer
+	buf.WriteString(Magic)
+	buf.Write([]byte{byte(TypeMeta), 0xff, 0xff, 0xff, 0xff})
+	if _, err := ReadData(&buf); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestEndTrailerCountsVerified(t *testing.T) {
+	d := fixtureData()
+	var buf bytes.Buffer
+	aw, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := aw.writeRecord(TypeMeta, d.Meta); err != nil {
+		t.Fatal(err)
+	}
+	// Trailer claims one more record than was written.
+	if err := aw.writeRecord(TypeEnd, endPayload{Records: 2, Traces: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := aw.bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadData(&buf); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt for trailer count mismatch", err)
+	}
+}
+
+func TestMetaMustComeFirst(t *testing.T) {
+	var buf bytes.Buffer
+	aw, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := aw.writeRecord(TypeVP, VPRecord{Index: 0, Addr: addr("172.16.0.1")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := aw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadData(&buf); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt for meta-less stream", err)
+	}
+}
+
+func TestUnknownRecordTypeSkipped(t *testing.T) {
+	d := fixtureData()
+	var buf bytes.Buffer
+	aw, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := aw.writeRecord(TypeMeta, d.Meta); err != nil {
+		t.Fatal(err)
+	}
+	// A future additive record type must not break a v1 reader.
+	if err := aw.writeRecord(Type(42), map[string]int{"future": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := aw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadData(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta.Record.ASN != d.Meta.Record.ASN {
+		t.Error("meta lost around unknown record")
+	}
+}
+
+func TestWriteFileAtomicAndReadFile(t *testing.T) {
+	d := fixtureData()
+	path := filepath.Join(t.TempDir(), "as-046.arest")
+	if err := WriteFile(path, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, d) {
+		t.Error("file roundtrip diverged")
+	}
+	dir, err := filepath.Glob(filepath.Join(filepath.Dir(path), ".arest-tmp-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dir) != 0 {
+		t.Errorf("temp files left behind: %v", dir)
+	}
+}
+
+func TestSniff(t *testing.T) {
+	raw := encode(t, fixtureData())
+	if !Sniff(bufio.NewReader(bytes.NewReader(raw))) {
+		t.Error("archive not recognized")
+	}
+	br := bufio.NewReader(strings.NewReader("#{\"asn\":1}\n"))
+	if Sniff(br) {
+		t.Error("jsonl recognized as archive")
+	}
+	// Sniff must not consume: the jsonl header must still be readable.
+	if b, _ := br.ReadByte(); b != '#' {
+		t.Error("Sniff consumed input")
+	}
+	if Sniff(bufio.NewReader(strings.NewReader(""))) {
+		t.Error("empty input recognized as archive")
+	}
+}
+
+func TestStreamingReaderSeesAllRecords(t *testing.T) {
+	raw := encode(t, fixtureData())
+	ar, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[Type]int{}
+	for {
+		typ, _, err := ar.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[typ]++
+		if typ == TypeEnd {
+			break
+		}
+	}
+	want := map[Type]int{TypeMeta: 1, TypeVP: 2, TypeTrace: 2, TypeFingerprint: 3,
+		TypeAliasSet: 1, TypeBorder: 2, TypeSREnabled: 2, TypeEnd: 1}
+	if !reflect.DeepEqual(counts, want) {
+		t.Errorf("record counts = %v, want %v", counts, want)
+	}
+	// After the trailer the reader reports EOF.
+	if _, _, err := ar.Next(); err != io.EOF {
+		t.Errorf("post-trailer Next: %v, want io.EOF", err)
 	}
 }

@@ -1,0 +1,328 @@
+// Typed record payloads and the whole-campaign Data aggregate: the
+// interchange value between the Measure stage (which produces it against
+// the live world) and the Annotate/Detect stages (which are pure functions
+// of it, live or replayed from disk).
+package archive
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"arest/internal/asgen"
+	"arest/internal/mpls"
+	"arest/internal/probe"
+)
+
+// Meta is the campaign-metadata record: the catalogue row, the derived
+// deployment (ground-truth configuration, e.g. the provisioned SRGB), and
+// the measurement knobs that shaped the probing. It carries everything a
+// replay needs so analysis never reaches back into the generator.
+type Meta struct {
+	Format         string           `json:"format"` // always "arest.archive.v1"
+	Record         asgen.Record     `json:"record"`
+	Dep            asgen.Deployment `json:"dep"`
+	Seed           int64            `json:"seed"`
+	NumVPs         int              `json:"num_vps"`
+	MaxTargets     int              `json:"max_targets"`
+	FlowsPerTarget int              `json:"flows_per_target"`
+}
+
+// FormatV1 is the Meta.Format value of this package's format.
+const FormatV1 = "arest.archive.v1"
+
+// VPRecord declares one vantage point and how many trace records follow
+// for it (readers use the count for preallocation; the end trailer is the
+// integrity check).
+type VPRecord struct {
+	Index  int        `json:"index"`
+	Addr   netip.Addr `json:"addr"`
+	Traces int        `json:"traces"`
+}
+
+// TraceRecord wraps one trace with its vantage-point index.
+type TraceRecord struct {
+	VPIndex int          `json:"vp_index"`
+	Trace   *probe.Trace `json:"trace"`
+}
+
+// FingerprintSource distinguishes the two annotation datasets.
+type FingerprintSource string
+
+const (
+	SourceSNMP FingerprintSource = "snmp"
+	SourceTTL  FingerprintSource = "ttl"
+)
+
+// FingerprintRecord is one interface vendor annotation.
+type FingerprintRecord struct {
+	Addr   netip.Addr        `json:"addr"`
+	Vendor mpls.Vendor       `json:"vendor"`
+	Source FingerprintSource `json:"source"`
+}
+
+// AliasSetRecord is one resolved router (its interface addresses).
+type AliasSetRecord struct {
+	Addrs []netip.Addr `json:"addrs"`
+}
+
+// BorderRecord is one bdrmap owner annotation.
+type BorderRecord struct {
+	Addr netip.Addr `json:"addr"`
+	ASN  int        `json:"asn"`
+}
+
+// SREnabledRecord is one ground-truth SR-enabled interface of the target
+// AS, exported by the simulator for offline validation (Table 3).
+type SREnabledRecord struct {
+	Addr netip.Addr `json:"addr"`
+}
+
+// Data is one AS's campaign, wholly resident: what Measure produces and
+// what Annotate/Detect consume. WriteData/ReadData round-trip it through
+// the record stream losslessly.
+type Data struct {
+	Meta      Meta
+	VPs       []netip.Addr
+	PerVP     [][]*probe.Trace // indexed like VPs
+	SNMP      map[netip.Addr]mpls.Vendor
+	TTL       map[netip.Addr]mpls.Vendor
+	Aliases   [][]netip.Addr
+	Borders   map[netip.Addr]int
+	SREnabled []netip.Addr // sorted
+}
+
+// Traces flattens all vantage points' traces in VP order.
+func (d *Data) Traces() []*probe.Trace {
+	var out []*probe.Trace
+	for _, ts := range d.PerVP {
+		out = append(out, ts...)
+	}
+	return out
+}
+
+// sortedAddrs returns a map's keys in address order, for deterministic
+// record emission.
+func sortedAddrs[V any](m map[netip.Addr]V) []netip.Addr {
+	out := make([]netip.Addr, 0, len(m))
+	for a := range m {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// WriteData streams the whole campaign into w in the canonical record
+// order: meta, VPs, traces (grouped per VP), fingerprints (snmp then ttl,
+// each address-sorted), alias sets, borders, ground truth, end trailer.
+// The canonical order makes byte-identical re-encoding possible, which the
+// golden-file test pins.
+func WriteData(w io.Writer, d *Data) error {
+	aw, err := NewWriter(w)
+	if err != nil {
+		return err
+	}
+	if err := aw.writeRecord(TypeMeta, d.Meta); err != nil {
+		return err
+	}
+	for i, vp := range d.VPs {
+		if err := aw.writeRecord(TypeVP, VPRecord{Index: i, Addr: vp, Traces: len(d.PerVP[i])}); err != nil {
+			return err
+		}
+	}
+	for i, ts := range d.PerVP {
+		for _, tr := range ts {
+			if err := aw.writeRecord(TypeTrace, TraceRecord{VPIndex: i, Trace: tr}); err != nil {
+				return err
+			}
+		}
+	}
+	for _, src := range []struct {
+		src FingerprintSource
+		m   map[netip.Addr]mpls.Vendor
+	}{{SourceSNMP, d.SNMP}, {SourceTTL, d.TTL}} {
+		for _, a := range sortedAddrs(src.m) {
+			if err := aw.writeRecord(TypeFingerprint, FingerprintRecord{Addr: a, Vendor: src.m[a], Source: src.src}); err != nil {
+				return err
+			}
+		}
+	}
+	for _, set := range d.Aliases {
+		if err := aw.writeRecord(TypeAliasSet, AliasSetRecord{Addrs: set}); err != nil {
+			return err
+		}
+	}
+	for _, a := range sortedAddrs(d.Borders) {
+		if err := aw.writeRecord(TypeBorder, BorderRecord{Addr: a, ASN: d.Borders[a]}); err != nil {
+			return err
+		}
+	}
+	for _, a := range d.SREnabled {
+		if err := aw.writeRecord(TypeSREnabled, SREnabledRecord{Addr: a}); err != nil {
+			return err
+		}
+	}
+	return aw.Close()
+}
+
+// ReadData drains a v1 archive into a Data. It fails with ErrTruncated on
+// a stream missing its end trailer and ErrCorrupt on checksum or schema
+// violations, so callers can distinguish "interrupted writer" from
+// "damaged file".
+func ReadData(r io.Reader) (*Data, error) {
+	ar, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	d := &Data{
+		SNMP:    map[netip.Addr]mpls.Vendor{},
+		TTL:     map[netip.Addr]mpls.Vendor{},
+		Borders: map[netip.Addr]int{},
+	}
+	sawMeta := false
+	for {
+		t, body, err := ar.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if t == TypeEnd {
+			break
+		}
+		if !sawMeta && t != TypeMeta {
+			return nil, fmt.Errorf("%w: first record is %s, want meta", ErrCorrupt, t)
+		}
+		switch t {
+		case TypeMeta:
+			if sawMeta {
+				return nil, fmt.Errorf("%w: duplicate meta record", ErrCorrupt)
+			}
+			if err := decode(body, &d.Meta); err != nil {
+				return nil, err
+			}
+			if d.Meta.Format != FormatV1 {
+				return nil, fmt.Errorf("%w: meta format %q, want %q", ErrCorrupt, d.Meta.Format, FormatV1)
+			}
+			sawMeta = true
+		case TypeVP:
+			var rec VPRecord
+			if err := decode(body, &rec); err != nil {
+				return nil, err
+			}
+			if rec.Index != len(d.VPs) {
+				return nil, fmt.Errorf("%w: vp record index %d, want %d", ErrCorrupt, rec.Index, len(d.VPs))
+			}
+			d.VPs = append(d.VPs, rec.Addr)
+			d.PerVP = append(d.PerVP, make([]*probe.Trace, 0, rec.Traces))
+		case TypeTrace:
+			var rec TraceRecord
+			if err := decode(body, &rec); err != nil {
+				return nil, err
+			}
+			if rec.VPIndex < 0 || rec.VPIndex >= len(d.PerVP) {
+				return nil, fmt.Errorf("%w: trace references unknown vp %d", ErrCorrupt, rec.VPIndex)
+			}
+			if rec.Trace == nil {
+				return nil, fmt.Errorf("%w: trace record without trace body", ErrCorrupt)
+			}
+			d.PerVP[rec.VPIndex] = append(d.PerVP[rec.VPIndex], rec.Trace)
+		case TypeFingerprint:
+			var rec FingerprintRecord
+			if err := decode(body, &rec); err != nil {
+				return nil, err
+			}
+			switch rec.Source {
+			case SourceSNMP:
+				d.SNMP[rec.Addr] = rec.Vendor
+			case SourceTTL:
+				d.TTL[rec.Addr] = rec.Vendor
+			default:
+				return nil, fmt.Errorf("%w: fingerprint source %q", ErrCorrupt, rec.Source)
+			}
+		case TypeAliasSet:
+			var rec AliasSetRecord
+			if err := decode(body, &rec); err != nil {
+				return nil, err
+			}
+			d.Aliases = append(d.Aliases, rec.Addrs)
+		case TypeBorder:
+			var rec BorderRecord
+			if err := decode(body, &rec); err != nil {
+				return nil, err
+			}
+			d.Borders[rec.Addr] = rec.ASN
+		case TypeSREnabled:
+			var rec SREnabledRecord
+			if err := decode(body, &rec); err != nil {
+				return nil, err
+			}
+			d.SREnabled = append(d.SREnabled, rec.Addr)
+		default:
+			// Unknown record types are skipped, not fatal: a v1 reader can
+			// cross archives produced by a writer with additive extensions.
+		}
+	}
+	if !sawMeta {
+		return nil, fmt.Errorf("%w: no meta record", ErrCorrupt)
+	}
+	return d, nil
+}
+
+func decode(body []byte, into any) error {
+	if err := json.Unmarshal(body, into); err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return nil
+}
+
+// WriteFile writes the campaign to path atomically: a temp file in the
+// same directory, fsync'd and renamed into place, so an interrupted writer
+// never leaves a file that parses as complete.
+func WriteFile(path string, d *Data) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".arest-tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := WriteData(tmp, d); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadFile loads one archive shard from disk.
+func ReadFile(path string) (*Data, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadData(bufio.NewReader(f))
+}
+
+// Sniff reports whether br's next bytes are a v1 archive, without
+// consuming them. It lets cmd/arest accept both the binary format and the
+// legacy JSONL tracestore behind one flag.
+func Sniff(br *bufio.Reader) bool {
+	head, err := br.Peek(len(Magic))
+	if err != nil {
+		return false
+	}
+	return bytes.Equal(head, []byte(Magic))
+}

@@ -1,0 +1,67 @@
+package archive
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzReadArchive throws arbitrary byte streams at the reader. The
+// contract under attack: never panic, never allocate past MaxPayload per
+// record, and classify every failure as ErrBadMagic, ErrTruncated, or
+// ErrCorrupt. Seeds cover a valid archive plus the corruptions the unit
+// tests pin individually.
+func FuzzReadArchive(f *testing.F) {
+	valid := encode(f, fixtureData())
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte(Magic))                      // magic, no records
+	f.Add(valid[:len(valid)/2])               // mid-record cut
+	f.Add(valid[:len(valid)-2])               // trailer cut
+	f.Add([]byte("#{\"asn\":1}\n{}\n"))       // legacy jsonl
+	f.Add([]byte("arest.archive.v2\nfuture")) // future magic
+	flip := bytes.Clone(valid)
+	flip[len(Magic)+9] ^= 0xff // payload bit flip -> CRC mismatch
+	f.Add(flip)
+	long := append([]byte(Magic), byte(TypeTrace), 0xff, 0xff, 0xff, 0xff) // length past cap
+	f.Add(long)
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		d, err := ReadData(bytes.NewReader(in))
+		if err != nil {
+			if !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("unclassified error: %v", err)
+			}
+			return
+		}
+		// An accepted stream must re-encode without error, and the result
+		// must decode to the same value (the roundtrip fixpoint).
+		var buf bytes.Buffer
+		if err := WriteData(&buf, d); err != nil {
+			t.Fatalf("accepted data does not re-encode: %v", err)
+		}
+		if _, err := ReadData(&buf); err != nil {
+			t.Fatalf("re-encoded data does not decode: %v", err)
+		}
+	})
+}
+
+// FuzzReaderNext drives the streaming layer directly so the framing code
+// is exercised even on inputs the Data aggregation would reject early.
+func FuzzReaderNext(f *testing.F) {
+	f.Add(encode(f, fixtureData()))
+	f.Add([]byte(Magic))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		ar, err := NewReader(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1<<16; i++ {
+			typ, _, err := ar.Next()
+			if err == io.EOF || err != nil || typ == TypeEnd {
+				return
+			}
+		}
+	})
+}

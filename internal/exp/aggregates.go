@@ -292,7 +292,8 @@ func (r *ASResult) VPAccumulation() []int {
 // simulator's ground truth (Table 3): a segment is a true positive when
 // every hop belongs to an SR-enabled router, a false positive otherwise.
 // False negatives count SR interfaces that were observed with labels but
-// never covered by any flag.
+// never covered by any flag. The truth set is the archived SREnabled
+// export, so the score is computable offline from a replayed archive.
 func (r *ASResult) GroundTruth() map[core.Flag]eval.Confusion {
 	out := map[core.Flag]eval.Confusion{}
 	flaggedAddrs := map[netip.Addr]bool{}
@@ -303,7 +304,7 @@ func (r *ASResult) GroundTruth() map[core.Flag]eval.Confusion {
 			for k := s.Start; k <= s.End; k++ {
 				h := &res.Path.Hops[k]
 				flaggedAddrs[h.Addr] = true
-				if !r.World.SREnabledAddr(h.Addr) {
+				if !r.SREnabled[h.Addr] {
 					allSR = false
 				}
 			}
@@ -328,7 +329,7 @@ func (r *ASResult) GroundTruth() map[core.Flag]eval.Confusion {
 				continue
 			}
 			seen[h.Addr] = true
-			if r.World.SREnabledAddr(h.Addr) && !flaggedAddrs[h.Addr] {
+			if r.SREnabled[h.Addr] && !flaggedAddrs[h.Addr] {
 				fn++
 			}
 		}

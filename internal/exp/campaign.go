@@ -1,8 +1,20 @@
-// Package exp reproduces the paper's evaluation: it runs the full
-// measurement campaign (synthetic worlds → Anaximander target lists → TNT
-// probing from many vantage points → fingerprinting, alias resolution and
-// bdrmap annotation → AReST), and regenerates every table and figure of
-// the paper from the result.
+// Package exp reproduces the paper's evaluation as an explicit staged
+// pipeline — Measure → Archive → Annotate → Detect → Aggregate:
+//
+//   - Measure (MeasureAS) probes a synthetic world from many vantage
+//     points and collects every side-channel the analysis needs: raw
+//     traces, fingerprint annotations (TTL + SNMPv3), alias sets, bdrmap
+//     borders, and the simulator's ground truth. Its output is an
+//     archive.Data — the only value that crosses the storage boundary.
+//   - Archive (archive.WriteData / archive.ReadData) persists that value
+//     as a versioned, CRC-checked record stream; cmd/tntsim ends here.
+//   - Annotate + Detect (Detect) are a pure function of archive.Data: no
+//     *asgen.World, no netsim, no generator state. Vendor and owner
+//     annotations are applied per hop and AReST runs over the delimited
+//     paths. Live runs and archive replays share this exact code path, so
+//     their results are bit-identical by construction.
+//   - Aggregate (aggregates.go, experiments.go) regenerates every table
+//     and figure of the paper from the detect output.
 package exp
 
 import (
@@ -12,11 +24,11 @@ import (
 
 	"arest/internal/alias"
 	"arest/internal/anaximander"
+	"arest/internal/archive"
 	"arest/internal/asgen"
 	"arest/internal/bdrmap"
 	"arest/internal/core"
 	"arest/internal/fingerprint"
-	"arest/internal/mpls"
 	"arest/internal/obs"
 	"arest/internal/par"
 	"arest/internal/probe"
@@ -75,13 +87,21 @@ type VPTraces struct {
 	Traces []*probe.Trace
 }
 
-// ASResult is the full pipeline output for one targeted AS.
+// ASResult is the analysis output for one targeted AS. It is built by
+// Detect as a pure function of an archive.Data — it holds no reference to
+// the measurement-side *asgen.World, so a replayed archive yields a result
+// deep-equal to the live run's.
 type ASResult struct {
-	Record     asgen.Record
-	World      *asgen.World
+	Record asgen.Record
+	// Dep is the archived ground-truth deployment configuration (e.g. the
+	// provisioned SRGB the inference extension is validated against).
+	Dep        asgen.Deployment
 	PerVP      []VPTraces
 	Annotator  *fingerprint.Annotator
 	Annotation bdrmap.Annotation
+	// SREnabled is the simulator's exported ground truth: the interface
+	// addresses of SR-enabled routers inside the target AS.
+	SREnabled map[netip.Addr]bool
 	// Paths are the annotated traces restricted to the target AS
 	// (bdrmapIT delimitation), with their AReST results in parallel.
 	Paths   []*core.Path
@@ -99,19 +119,21 @@ func (r *ASResult) Traces() []*probe.Trace {
 	return out
 }
 
-// RunAS executes the pipeline for one catalogue record with its derived
-// deployment.
-func RunAS(rec asgen.Record, cfg Config) (*ASResult, error) {
+// MeasureAS runs the measurement stage for one catalogue record with its
+// derived deployment: the trace sweep, fingerprint echo probing, alias
+// pair probing, and bdrmap annotation, plus the ground-truth export. The
+// returned archive.Data is everything downstream analysis ever sees.
+func MeasureAS(rec asgen.Record, cfg Config) (*archive.Data, error) {
 	dep := asgen.DeploymentFor(rec, cfg.Seed)
 	if cfg.MaxRouters > 0 && dep.Routers > cfg.MaxRouters {
 		dep.Routers = cfg.MaxRouters
 	}
-	return runASWithDeployment(rec, dep, cfg)
+	return measureWithDeployment(rec, dep, cfg)
 }
 
-// runASWithDeployment executes the pipeline against an explicit deployment
-// (used by the longitudinal extension to sweep SRFrac).
-func runASWithDeployment(rec asgen.Record, dep asgen.Deployment, cfg Config) (*ASResult, error) {
+// measureWithDeployment measures against an explicit deployment (used by
+// the longitudinal extension to sweep SRFrac).
+func measureWithDeployment(rec asgen.Record, dep asgen.Deployment, cfg Config) (*archive.Data, error) {
 	reg := cfg.Metrics
 	asDone := reg.Span("exp", fmt.Sprintf("as.%d", rec.ID)).Start()
 	defer asDone()
@@ -120,7 +142,17 @@ func runASWithDeployment(rec asgen.Record, dep asgen.Deployment, cfg Config) (*A
 	rib := anaximander.CollectRIB(w)
 	plan := anaximander.BuildPlan(rib, rec.ASN, anaximander.Options{MaxTargets: cfg.MaxTargets})
 
-	res := &ASResult{Record: rec, World: w}
+	data := &archive.Data{
+		Meta: archive.Meta{
+			Format:         archive.FormatV1,
+			Record:         rec,
+			Dep:            dep,
+			Seed:           cfg.Seed,
+			NumVPs:         cfg.NumVPs,
+			MaxTargets:     cfg.MaxTargets,
+			FlowsPerTarget: cfg.FlowsPerTarget,
+		},
+	}
 	workers := cfg.workers()
 	reg.Counter("exp", "ases").Inc()
 	// busy accumulates per-job worker time across the fan-out stages;
@@ -139,7 +171,8 @@ func runASWithDeployment(rec asgen.Record, dep asgen.Deployment, cfg Config) (*A
 	var jobs []traceJob
 	pm := probe.NewMetrics(reg)
 	tracers := make([]*probe.Tracer, len(w.VPs))
-	res.PerVP = make([]VPTraces, len(w.VPs))
+	data.VPs = make([]netip.Addr, len(w.VPs))
+	data.PerVP = make([][]*probe.Trace, len(w.VPs))
 	for vpIdx, vp := range w.VPs {
 		tracers[vpIdx] = probe.NewTracer(probe.NetsimConn{Net: w.Net}, vp)
 		tracers[vpIdx].Metrics = pm
@@ -150,7 +183,8 @@ func runASWithDeployment(rec asgen.Record, dep asgen.Deployment, cfg Config) (*A
 				slot++
 			}
 		}
-		res.PerVP[vpIdx] = VPTraces{VP: vp, Traces: make([]*probe.Trace, slot)}
+		data.VPs[vpIdx] = vp
+		data.PerVP[vpIdx] = make([]*probe.Trace, slot)
 	}
 	jobErrs := make([]error, len(jobs))
 	reg.Counter("exp", "jobs.trace").Add(uint64(len(jobs)))
@@ -163,7 +197,7 @@ func runASWithDeployment(rec asgen.Record, dep asgen.Deployment, cfg Config) (*A
 			jobErrs[i] = fmt.Errorf("trace %s from %s: %w", j.tgt, w.VPs[j.vpIdx], err)
 			return
 		}
-		res.PerVP[j.vpIdx].Traces[j.slot] = tr
+		data.PerVP[j.vpIdx][j.slot] = tr
 	})
 	traceDone()
 	for _, err := range jobErrs {
@@ -171,21 +205,18 @@ func runASWithDeployment(rec asgen.Record, dep asgen.Deployment, cfg Config) (*A
 			return nil, err
 		}
 	}
-	res.TracesSent = len(jobs)
-	traces := res.Traces()
+	traces := data.Traces()
 
 	// Fingerprinting: TTL signatures need echo probes; the SNMPv3 dataset
 	// is the (simulated) public one.
 	pinger := probe.NewTracer(probe.NetsimConn{Net: w.Net}, w.VPs[0])
 	pinger.Metrics = pm
-	var ttl map[netip.Addr]mpls.Vendor
 	reg.Time("exp", "stage.fingerprint", func() {
-		ttl = fingerprint.CollectTTL(traces, pinger, workers, reg)
+		data.TTL = fingerprint.CollectTTL(traces, pinger, workers, reg)
 	})
-	res.Annotator = fingerprint.NewAnnotator(fingerprint.SNMPDataset(w.Net), ttl)
+	data.SNMP = fingerprint.SNMPDataset(w.Net)
 
 	// Alias resolution feeds bdrmap.
-	var aliasSets [][]netip.Addr
 	if cfg.AliasCandidateCap > 0 {
 		seen := map[netip.Addr]bool{}
 		var cands []netip.Addr
@@ -217,22 +248,64 @@ func runASWithDeployment(rec asgen.Record, dep asgen.Deployment, cfg Config) (*A
 			return uint64(r.ID), true
 		}
 		reg.Time("exp", "stage.alias", func() {
-			aliasSets = alias.Resolve(cands, pinger, acfg)
+			data.Aliases = alias.Resolve(cands, pinger, acfg)
 		})
+		if len(data.Aliases) == 0 {
+			data.Aliases = nil // canonical empty form for archive roundtrips
+		}
 	}
-	res.Annotation = bdrmap.Annotate(traces, rib, aliasSets)
+	data.Borders = bdrmap.Annotate(traces, rib, data.Aliases)
+
+	// Ground-truth export: every interface address of an SR-enabled router
+	// in the target AS, so offline replays can score Table 3 without the
+	// world. Membership in this set is exactly World.SREnabledAddr.
+	for _, r := range w.Routers {
+		if !w.SRRouter[r.ID] {
+			continue
+		}
+		data.SREnabled = append(data.SREnabled, r.Interfaces()...)
+	}
+	sort.Slice(data.SREnabled, func(i, j int) bool { return data.SREnabled[i].Less(data.SREnabled[j]) })
+	return data, nil
+}
+
+// Detect runs the Annotate and Detect stages over archived campaign data:
+// vendor fingerprints and bdrmap owners are applied per hop, traces are
+// delimited to the target AS, and AReST analyzes each path. It is a pure
+// function of data (plus the Workers/Metrics knobs), shared verbatim by
+// live runs and archive replays.
+func Detect(data *archive.Data, cfg Config) (*ASResult, error) {
+	reg := cfg.Metrics
+	res := &ASResult{
+		Record:     data.Meta.Record,
+		Dep:        data.Meta.Dep,
+		Annotator:  fingerprint.NewAnnotator(data.SNMP, data.TTL),
+		Annotation: bdrmap.Annotation(data.Borders),
+		SREnabled:  make(map[netip.Addr]bool, len(data.SREnabled)),
+	}
+	for _, a := range data.SREnabled {
+		res.SREnabled[a] = true
+	}
+	res.PerVP = make([]VPTraces, len(data.VPs))
+	for i, vp := range data.VPs {
+		res.PerVP[i] = VPTraces{VP: vp, Traces: data.PerVP[i]}
+	}
+	traces := data.Traces()
+	res.TracesSent = len(traces)
 
 	// Detection: Analyze is a pure function of the annotated path, so the
 	// per-trace passes fan out into index slots and compact in trace order.
+	busy := reg.Span("exp", "workers.busy")
 	det := core.NewDetector()
 	paths := make([]*core.Path, len(traces))
 	results := make([]*core.Result, len(traces))
 	reg.Counter("exp", "jobs.detect").Add(uint64(len(traces)))
 	detectDone := reg.Span("exp", "stage.detect").Start()
-	par.ForEach(workers, len(traces), func(i int) {
+	asn := data.Meta.Record.ASN
+	par.ForEach(cfg.workers(), len(traces), func(i int) {
 		defer busy.Start()()
 		p := core.BuildPath(traces[i], res.Annotator, res.Annotation.AsFunc())
-		sub := p.RestrictToAS(rec.ASN)
+		sub := p.RestrictToAS(asn)
 		if len(sub.Hops) == 0 {
 			return
 		}
@@ -251,6 +324,29 @@ func runASWithDeployment(rec asgen.Record, dep asgen.Deployment, cfg Config) (*A
 	return res, nil
 }
 
+// RunAS executes the full staged pipeline for one catalogue record:
+// Measure, then Annotate+Detect over the in-memory campaign data. The
+// archive stage is a pass-through here; writing the data out and replaying
+// it through Detect yields a deep-equal result (the roundtrip-equivalence
+// test pins this).
+func RunAS(rec asgen.Record, cfg Config) (*ASResult, error) {
+	data, err := MeasureAS(rec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return Detect(data, cfg)
+}
+
+// runASWithDeployment runs measure+detect against an explicit deployment
+// (longitudinal extension).
+func runASWithDeployment(rec asgen.Record, dep asgen.Deployment, cfg Config) (*ASResult, error) {
+	data, err := measureWithDeployment(rec, dep, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return Detect(data, cfg)
+}
+
 // Campaign is a full multi-AS run.
 type Campaign struct {
 	Cfg  Config
@@ -263,12 +359,7 @@ type Campaign struct {
 // is its own world), so they run concurrently; results keep catalogue
 // order and the output is bit-identical to a sequential run.
 func Run(records []asgen.Record, cfg Config) (*Campaign, error) {
-	var kept []asgen.Record
-	for _, rec := range records {
-		if !asgen.ExcludedIDs[rec.ID] {
-			kept = append(kept, rec)
-		}
-	}
+	kept := keptRecords(records)
 	results := make([]*ASResult, len(kept))
 	errs := make([]error, len(kept))
 	par.ForEach(cfg.workers(), len(kept), func(i int) {
@@ -283,6 +374,17 @@ func Run(records []asgen.Record, cfg Config) (*Campaign, error) {
 		c.ASes = append(c.ASes, results[i])
 	}
 	return c, nil
+}
+
+// keptRecords applies the Sec. 5 coverage filter.
+func keptRecords(records []asgen.Record) []asgen.Record {
+	var kept []asgen.Record
+	for _, rec := range records {
+		if !asgen.ExcludedIDs[rec.ID] {
+			kept = append(kept, rec)
+		}
+	}
+	return kept
 }
 
 // ByID returns the AS result with the given paper identifier.

@@ -354,7 +354,7 @@ func TestInferSRGBAgainstWorldTruth(t *testing.T) {
 	if !ok {
 		t.Fatal("no estimate for a full-SR AS")
 	}
-	cfg := r.World.Dep.CustomSRGB
+	cfg := r.Dep.CustomSRGB
 	if cfg.Size() == 0 {
 		// Aligned deployments use the common interop (Cisco) block.
 		if est.Block.Lo != 16000 || est.Block.Hi != 23999 {

@@ -5,10 +5,10 @@ import (
 	"sort"
 	"strings"
 
-	"arest/internal/archive"
 	"arest/internal/core"
 	"arest/internal/eval"
 	"arest/internal/fingerprint"
+	"arest/internal/longitudinal"
 	"arest/internal/mpls"
 	"arest/internal/probe"
 	"arest/internal/survey"
@@ -131,10 +131,10 @@ func runFig5(*Campaign) string {
 
 func runFig7(c *Campaign) string {
 	var b strings.Builder
-	for _, p := range []archive.Platform{archive.CAIDA, archive.RIPEAtlas} {
+	for _, p := range []longitudinal.Platform{longitudinal.CAIDA, longitudinal.RIPEAtlas} {
 		t := eval.Table{Title: fmt.Sprintf("Fig. 7 — MPLS stack sizes over time (%s)", p),
 			Headers: []string{"Sample", "depth=1", "depth=2", "depth>=3"}}
-		dists := archive.Measure(archive.Generate(p, 2000, c.Cfg.Seed))
+		dists := longitudinal.Measure(longitudinal.Generate(p, 2000, c.Cfg.Seed))
 		for i, d := range dists {
 			if i%4 != 0 && i != len(dists)-1 {
 				continue // yearly rows keep the table readable

@@ -6,36 +6,13 @@ import (
 	"testing"
 
 	"arest/internal/asgen"
-	"arest/internal/bdrmap"
-	"arest/internal/core"
-	"arest/internal/fingerprint"
 	"arest/internal/obs"
 )
 
-// asProjection is the part of an ASResult the determinism contract covers:
-// everything except World, whose Network holds sync.Map caches with
-// run-dependent internals.
-type asProjection struct {
-	Record     asgen.Record
-	PerVP      []VPTraces
-	Annotator  *fingerprint.Annotator
-	Annotation bdrmap.Annotation
-	Paths      []*core.Path
-	Results    []*core.Result
-	TracesSent int
-}
-
-func project(r *ASResult) asProjection {
-	return asProjection{
-		Record:     r.Record,
-		PerVP:      r.PerVP,
-		Annotator:  r.Annotator,
-		Annotation: r.Annotation,
-		Paths:      r.Paths,
-		Results:    r.Results,
-		TracesSent: r.TracesSent,
-	}
-}
+// project returns the ASResult itself: since the staged-pipeline refactor
+// dropped the *asgen.World reference, every field sits inside the
+// determinism contract and the whole result is directly comparable.
+func project(r *ASResult) *ASResult { return r }
 
 // TestCampaignParallelMatchesSequential runs the same campaign fully
 // sequentially (Workers: 1) and with an 8-worker fan-out and requires

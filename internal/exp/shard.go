@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"arest/internal/archive"
+	"arest/internal/asgen"
+	"arest/internal/par"
+)
+
+// ShardPath names the archive shard for one catalogue record inside a
+// snapshot directory.
+func ShardPath(dir string, rec asgen.Record) string {
+	return filepath.Join(dir, fmt.Sprintf("as-%03d.arest", rec.ID))
+}
+
+// ShardStatus reports what RunSharded did for one AS.
+type ShardStatus int
+
+const (
+	// ShardMeasured: no usable shard existed; the AS was measured and a
+	// fresh archive written.
+	ShardMeasured ShardStatus = iota
+	// ShardResumed: a complete shard existed and was replayed without
+	// re-measuring.
+	ShardResumed
+)
+
+// RunSharded executes the campaign in snapshot/resume mode: each AS's
+// measurement is persisted as a per-AS archive shard under dir, and a
+// restart skips every AS whose shard is already complete — an interrupted
+// campaign resumes where it stopped and still produces output identical
+// to an uninterrupted run, because analysis is always a replay of the
+// shard on disk (never of in-memory measurement state).
+//
+// A shard that is missing, truncated (interrupted writer), or corrupt is
+// re-measured and atomically rewritten; statuses (parallel to the returned
+// campaign's ASes) say which path each AS took.
+func RunSharded(records []asgen.Record, cfg Config, dir string) (*Campaign, []ShardStatus, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("snapshot dir: %w", err)
+	}
+	kept := keptRecords(records)
+	results := make([]*ASResult, len(kept))
+	statuses := make([]ShardStatus, len(kept))
+	errs := make([]error, len(kept))
+	par.ForEach(cfg.workers(), len(kept), func(i int) {
+		results[i], statuses[i], errs[i] = runShard(kept[i], cfg, dir)
+	})
+
+	c := &Campaign{Cfg: cfg}
+	for i, rec := range kept {
+		if errs[i] != nil {
+			return nil, nil, fmt.Errorf("AS#%d %s: %w", rec.ID, rec.Name, errs[i])
+		}
+		c.ASes = append(c.ASes, results[i])
+	}
+	return c, statuses, nil
+}
+
+// runShard loads-or-measures one AS's shard and analyzes it.
+func runShard(rec asgen.Record, cfg Config, dir string) (*ASResult, ShardStatus, error) {
+	path := ShardPath(dir, rec)
+	data, err := archive.ReadFile(path)
+	switch {
+	case err == nil:
+		res, derr := Detect(data, cfg)
+		return res, ShardResumed, derr
+	case errors.Is(err, fs.ErrNotExist),
+		errors.Is(err, archive.ErrTruncated),
+		errors.Is(err, archive.ErrCorrupt),
+		errors.Is(err, archive.ErrBadMagic):
+		// Fall through to re-measure: the shard never finished (or was
+		// damaged); WriteFile's temp+rename keeps this crash-safe too.
+	default:
+		return nil, 0, fmt.Errorf("shard %s: %w", path, err)
+	}
+
+	data, err = MeasureAS(rec, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := archive.WriteFile(path, data); err != nil {
+		return nil, 0, fmt.Errorf("shard %s: %w", path, err)
+	}
+	// Analyze the written-then-read shard, not the in-memory measurement:
+	// every campaign output then provably flows through the archive codec.
+	data, err = archive.ReadFile(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("shard %s: readback: %w", path, err)
+	}
+	res, err := Detect(data, cfg)
+	return res, ShardMeasured, err
+}

@@ -1,0 +1,130 @@
+// Package longitudinal synthesizes the longitudinal traceroute archives behind
+// Fig. 7: quarterly samples of CAIDA Ark and RIPE Atlas traces from
+// December 2015 to March 2025, summarized by MPLS label-stack depth. The
+// generator produces per-sample populations of stack depths following the
+// published trend (stacks of depth ≥2 growing to ~20% on CAIDA and ~10% on
+// RIPE), and the measurement code recovers the distributions from them.
+package longitudinal
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Platform identifies the measurement archive.
+type Platform int
+
+const (
+	CAIDA Platform = iota
+	RIPEAtlas
+)
+
+func (p Platform) String() string {
+	if p == CAIDA {
+		return "caida-ark"
+	}
+	return "ripe-atlas"
+}
+
+// Sample is one quarterly archive snapshot: the label-stack depth of every
+// MPLS-touching trace in the sample.
+type Sample struct {
+	Year    int
+	Quarter int // 1..4 (March, June, September, December)
+	Depths  []int
+}
+
+// Date renders the sample's nominal date.
+func (s Sample) Date() string {
+	months := map[int]string{1: "Mar", 2: "Jun", 3: "Sep", 4: "Dec"}
+	return fmt.Sprintf("%s-%d", months[s.Quarter], s.Year)
+}
+
+// Generate produces the full quarterly archive for a platform, seeded
+// deterministically. tracesPerSample controls population size.
+func Generate(p Platform, tracesPerSample int, seed int64) []Sample {
+	rng := rand.New(rand.NewSource(seed ^ int64(p)<<32))
+	var out []Sample
+	for year := 2015; year <= 2025; year++ {
+		for q := 1; q <= 4; q++ {
+			if year == 2015 && q < 4 {
+				continue // series starts December 2015
+			}
+			if year == 2025 && q > 1 {
+				continue // series ends March 2025
+			}
+			out = append(out, generateSample(p, year, q, tracesPerSample, rng))
+		}
+	}
+	return out
+}
+
+// generateSample draws one quarter's stack-depth population. The deep-stack
+// share rises linearly over the decade toward the platform's 2025 level,
+// with mild quarter noise.
+func generateSample(p Platform, year, q, n int, rng *rand.Rand) Sample {
+	// Fraction of traces with stack depth >= 2.
+	var start, end float64
+	if p == CAIDA {
+		start, end = 0.08, 0.20
+	} else {
+		start, end = 0.04, 0.10
+	}
+	t := (float64(year-2015) + float64(q-1)/4) / 10
+	deepShare := start + (end-start)*t
+	deepShare += (rng.Float64() - 0.5) * 0.02
+	if deepShare < 0 {
+		deepShare = 0
+	}
+	s := Sample{Year: year, Quarter: q, Depths: make([]int, n)}
+	for i := range s.Depths {
+		if rng.Float64() < deepShare {
+			// Depth >= 2: mostly 2, tail of 3-5.
+			d := 2
+			for d < 5 && rng.Float64() < 0.25 {
+				d++
+			}
+			s.Depths[i] = d
+		} else {
+			s.Depths[i] = 1
+		}
+	}
+	return s
+}
+
+// Distribution is the measured share of each stack-depth bucket in one
+// sample: depth 1, depth 2, and depth 3 or more.
+type Distribution struct {
+	Date                   string
+	Depth1, Depth2, Depth3 float64 // Depth3 aggregates >= 3
+}
+
+// Measure computes the per-sample stack-depth distributions, the statistic
+// Fig. 7 plots.
+func Measure(samples []Sample) []Distribution {
+	out := make([]Distribution, 0, len(samples))
+	for _, s := range samples {
+		var d1, d2, d3 int
+		for _, d := range s.Depths {
+			switch {
+			case d <= 1:
+				d1++
+			case d == 2:
+				d2++
+			default:
+				d3++
+			}
+		}
+		n := float64(len(s.Depths))
+		if n == 0 {
+			n = 1
+		}
+		out = append(out, Distribution{
+			Date:   s.Date(),
+			Depth1: float64(d1) / n,
+			Depth2: float64(d2) / n,
+			Depth3: float64(d3) / n,
+		})
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package longitudinal
+
+import "testing"
+
+func TestGenerateSeriesBounds(t *testing.T) {
+	samples := Generate(CAIDA, 500, 1)
+	if len(samples) == 0 {
+		t.Fatal("no samples")
+	}
+	first, last := samples[0], samples[len(samples)-1]
+	if first.Year != 2015 || first.Quarter != 4 {
+		t.Errorf("first sample = %s", first.Date())
+	}
+	if last.Year != 2025 || last.Quarter != 1 {
+		t.Errorf("last sample = %s", last.Date())
+	}
+	// Dec 2015 + 4 quarters × 9 years + Mar 2025 = 38 samples.
+	if len(samples) != 38 {
+		t.Errorf("samples = %d, want 38", len(samples))
+	}
+	for _, s := range samples {
+		if len(s.Depths) != 500 {
+			t.Fatalf("%s has %d traces", s.Date(), len(s.Depths))
+		}
+		for _, d := range s.Depths {
+			if d < 1 || d > 5 {
+				t.Fatalf("depth %d out of range", d)
+			}
+		}
+	}
+}
+
+func TestTrendUpwardAndPlatformGap(t *testing.T) {
+	const n = 4000
+	caida := Measure(Generate(CAIDA, n, 7))
+	ripe := Measure(Generate(RIPEAtlas, n, 7))
+	deep := func(d Distribution) float64 { return d.Depth2 + d.Depth3 }
+
+	// Rising trend: last-year average well above first-year average.
+	avg := func(ds []Distribution, lo, hi int) float64 {
+		s := 0.0
+		for _, d := range ds[lo:hi] {
+			s += deep(d)
+		}
+		return s / float64(hi-lo)
+	}
+	if early, late := avg(caida, 0, 4), avg(caida, len(caida)-4, len(caida)); late <= early {
+		t.Errorf("CAIDA deep share did not rise: %.3f -> %.3f", early, late)
+	}
+	// End-of-series levels: ~20% CAIDA, ~10% RIPE.
+	cLate := avg(caida, len(caida)-4, len(caida))
+	rLate := avg(ripe, len(ripe)-4, len(ripe))
+	if cLate < 0.15 || cLate > 0.25 {
+		t.Errorf("CAIDA 2025 deep share = %.3f, want ≈0.20", cLate)
+	}
+	if rLate < 0.06 || rLate > 0.14 {
+		t.Errorf("RIPE 2025 deep share = %.3f, want ≈0.10", rLate)
+	}
+	if cLate <= rLate {
+		t.Error("CAIDA should observe more deep stacks than RIPE")
+	}
+}
+
+func TestMeasureSumsToOne(t *testing.T) {
+	for _, d := range Measure(Generate(RIPEAtlas, 300, 3)) {
+		sum := d.Depth1 + d.Depth2 + d.Depth3
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("%s: distribution sums to %f", d.Date, sum)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(CAIDA, 100, 5)
+	b := Generate(CAIDA, 100, 5)
+	for i := range a {
+		for j := range a[i].Depths {
+			if a[i].Depths[j] != b[i].Depths[j] {
+				t.Fatal("generation not deterministic")
+			}
+		}
+	}
+}
+
+func TestPlatformString(t *testing.T) {
+	if CAIDA.String() != "caida-ark" || RIPEAtlas.String() != "ripe-atlas" {
+		t.Error("platform names wrong")
+	}
+}

@@ -41,30 +41,57 @@ func Write(w io.Writer, meta Meta, traces []*probe.Trace) error {
 	return bw.Flush()
 }
 
-// Read parses a stored campaign. A missing header yields a zero Meta.
+// Read parses a stored campaign. A missing header yields a zero Meta; the
+// '#' header is accepted only as the first non-empty line, and a second
+// header anywhere is an error (it used to silently overwrite Meta
+// mid-file). Lines are read through bufio.Reader, so traces of any length
+// parse instead of tripping a scanner token cap.
 func Read(r io.Reader) (Meta, []*probe.Trace, error) {
 	var meta Meta
 	var traces []*probe.Trace
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	br := bufio.NewReader(r)
 	lineNo := 0
-	for sc.Scan() {
+	sawContent := false
+	for {
+		raw, err := br.ReadString('\n')
+		if raw == "" && err != nil {
+			if err == io.EOF {
+				return meta, traces, nil
+			}
+			return meta, nil, fmt.Errorf("tracestore: %w", err)
+		}
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
+		line := strings.TrimSpace(raw)
 		if line == "" {
-			continue
+			if err == nil {
+				continue
+			}
+			if err == io.EOF {
+				return meta, traces, nil
+			}
+			return meta, nil, fmt.Errorf("tracestore: %w", err)
 		}
 		if strings.HasPrefix(line, "#") {
-			if err := json.Unmarshal([]byte(line[1:]), &meta); err != nil {
-				return meta, nil, fmt.Errorf("tracestore: line %d: bad header: %w", lineNo, err)
+			if sawContent {
+				return meta, nil, fmt.Errorf("tracestore: line %d: unexpected header (only the first non-empty line may be one)", lineNo)
 			}
-			continue
+			sawContent = true
+			if jerr := json.Unmarshal([]byte(line[1:]), &meta); jerr != nil {
+				return meta, nil, fmt.Errorf("tracestore: line %d: bad header: %w", lineNo, jerr)
+			}
+		} else {
+			sawContent = true
+			var tr probe.Trace
+			if jerr := json.Unmarshal([]byte(line), &tr); jerr != nil {
+				return meta, nil, fmt.Errorf("tracestore: line %d: %w", lineNo, jerr)
+			}
+			traces = append(traces, &tr)
 		}
-		var tr probe.Trace
-		if err := json.Unmarshal([]byte(line), &tr); err != nil {
-			return meta, nil, fmt.Errorf("tracestore: line %d: %w", lineNo, err)
+		if err == io.EOF {
+			return meta, traces, nil
 		}
-		traces = append(traces, &tr)
+		if err != nil {
+			return meta, nil, fmt.Errorf("tracestore: %w", err)
+		}
 	}
-	return meta, traces, sc.Err()
 }

@@ -82,6 +82,63 @@ func TestReadSkipsBlankLines(t *testing.T) {
 	}
 }
 
+func TestReadRejectsDuplicateHeader(t *testing.T) {
+	trLine := `{"vp":"172.16.0.1","dst":"100.0.0.1","flow_id":0,"hops":null,"halt":0}`
+	cases := []string{
+		"#{\"asn\":1}\n#{\"asn\":2}\n" + trLine + "\n",     // header twice up front
+		"#{\"asn\":1}\n" + trLine + "\n#{\"asn\":2}\n",     // header after a trace
+		trLine + "\n#{\"asn\":2}\n",                        // header after content, no first header
+		"\n\n#{\"asn\":1}\n" + trLine + "\n#{\"asn\":2}\n", // leading blanks still count header as first
+	}
+	for i, in := range cases {
+		if _, _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: mid-file header accepted", i)
+		}
+	}
+	// A header preceded only by blank lines is still the first non-empty
+	// line and must parse.
+	meta, traces, err := Read(strings.NewReader("\n\n#{\"asn\":7}\n" + trLine + "\n"))
+	if err != nil || meta.ASN != 7 || len(traces) != 1 {
+		t.Errorf("blank-prefixed header: meta=%+v traces=%d err=%v", meta, len(traces), err)
+	}
+}
+
+func TestReadHugeLine(t *testing.T) {
+	// A single trace far beyond the old 16 MiB scanner cap must parse; the
+	// scanner-based reader reported such files as a silent clean EOF.
+	tr := &probe.Trace{
+		VP:  netip.MustParseAddr("172.16.0.1"),
+		Dst: netip.MustParseAddr("100.1.0.1"),
+	}
+	for ttl := 0; len(tr.Hops) < 300000; ttl++ {
+		tr.Hops = append(tr.Hops, probe.Hop{TTL: ttl,
+			Addr:  netip.MustParseAddr("10.9.9.9"),
+			Stack: mpls.Stack{{Label: 16005, TTL: 1, S: true}}})
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, Meta{ASN: 1}, []*probe.Trace{tr}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() < 1<<24 {
+		t.Fatalf("test line too short to exercise the old cap: %d bytes", buf.Len())
+	}
+	_, got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || len(got[0].Hops) != len(tr.Hops) {
+		t.Fatalf("huge trace mangled: traces=%d", len(got))
+	}
+}
+
+func TestReadNoTrailingNewline(t *testing.T) {
+	trLine := `{"vp":"172.16.0.1","dst":"100.0.0.1","flow_id":0,"hops":null,"halt":0}`
+	_, traces, err := Read(strings.NewReader(trLine)) // no final \n
+	if err != nil || len(traces) != 1 {
+		t.Errorf("unterminated last line: traces=%d err=%v", len(traces), err)
+	}
+}
+
 func TestReadErrors(t *testing.T) {
 	if _, _, err := Read(strings.NewReader("#not-json\n")); err == nil {
 		t.Error("bad header accepted")
