@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race check bench fuzz
+.PHONY: build test vet lint arestlint race check bench fuzz
 
 build:
 	$(GO) build ./...
@@ -16,9 +16,11 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# Static analysis beyond vet. Skips gracefully when the tools are not on
-# PATH locally; CI installs both (see .github/workflows/ci.yml).
-lint:
+# Static analysis beyond vet. arestlint (the in-tree determinism-contract
+# checker, DESIGN.md §10) always runs — it needs no external install.
+# staticcheck/govulncheck skip gracefully when not on PATH locally; CI
+# installs both (see .github/workflows/ci.yml).
+lint: arestlint
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
@@ -29,6 +31,12 @@ lint:
 	else \
 		echo "lint: govulncheck not installed, skipping"; \
 	fi
+
+# Machine-checked determinism contract: nowallclock, noglobalrand,
+# maporder, nilsafe over every package (stdlib-only, exits non-zero on any
+# finding or unjustified suppression).
+arestlint:
+	$(GO) run ./cmd/arestlint ./...
 
 # CI entry point.
 check: vet lint race

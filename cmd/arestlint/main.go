@@ -1,0 +1,116 @@
+// Command arestlint machine-checks the repository's determinism contract
+// (DESIGN.md §7/§8) with the stdlib-only analyzers of internal/lint/rules:
+//
+//	nowallclock   no wall-clock reads in determinism-contract packages
+//	noglobalrand  no process-global math/rand, no wall-clock seeding
+//	maporder      no map iteration order reaching slices or output
+//	nilsafe       nil-receiver guards on every exported obs instrument method
+//
+// Usage:
+//
+//	arestlint [-list] [./...]
+//
+// With no arguments (or the literal "./..." pattern) it lints every
+// package of the enclosing module. A finding, a malformed or unused
+// //arest:allow directive, or a load failure makes the exit status
+// non-zero, so `go run ./cmd/arestlint ./...` gates CI with no external
+// install.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"arest/internal/lint"
+	"arest/internal/lint/rules"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("arestlint", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := rules.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arestlint:", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arestlint:", err)
+		return 2
+	}
+
+	var pkgs []*lint.Package
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	for _, pat := range patterns {
+		switch pat {
+		case "./...", "...":
+			all, err := loader.LoadAll()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "arestlint:", err)
+				return 2
+			}
+			pkgs = append(pkgs, all...)
+		default:
+			// A single package directory, relative to the working tree.
+			dir, err := filepath.Abs(pat)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "arestlint:", err)
+				return 2
+			}
+			rel, err := filepath.Rel(root, dir)
+			if err != nil || rel == ".." || filepath.IsAbs(rel) || (len(rel) > 2 && rel[:3] == "../") {
+				fmt.Fprintf(os.Stderr, "arestlint: %s is outside module %s\n", pat, root)
+				return 2
+			}
+			ip := loader.Module
+			if rel != "." {
+				ip = loader.Module + "/" + filepath.ToSlash(rel)
+			}
+			pkg, err := loader.LoadDir(dir, ip)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "arestlint:", err)
+				return 2
+			}
+			pkgs = append(pkgs, pkg)
+		}
+	}
+
+	runner := &lint.Runner{Analyzers: analyzers}
+	diags, err := runner.Run(pkgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arestlint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		rel := d.Pos.String()
+		if r, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+			rel = fmt.Sprintf("%s:%d:%d", r, d.Pos.Line, d.Pos.Column)
+		}
+		fmt.Printf("%s: [%s] %s\n", rel, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "arestlint: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}

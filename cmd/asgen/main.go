@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"arest/internal/asgen"
@@ -88,6 +89,7 @@ func main() {
 	for v, n := range vendors {
 		vparts = append(vparts, fmt.Sprintf("%s:%d", v, n))
 	}
+	sort.Strings(vparts)
 	fmt.Printf("\nSR-enabled routers: %d/%d; vendor mix: %s\n",
 		srCount, len(w.Routers), strings.Join(vparts, " "))
 }

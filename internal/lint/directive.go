@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// DirectiveAnalyzerName attributes diagnostics about the suppression
+// directives themselves (malformed or unused //arest:allow comments).
+const DirectiveAnalyzerName = "arestlint"
+
+// directivePrefix introduces a suppression comment. The syntax is
+//
+//	//arest:allow <analyzer> <reason...>
+//
+// placed anywhere in a file (conventionally next to the code it excuses).
+// It silences every finding of <analyzer> in that file. The reason is
+// mandatory: a suppression without a written justification is itself a
+// build-failing finding, so the contract's escape hatch always leaves an
+// audit trail.
+const directivePrefix = "//arest:allow"
+
+// allowDirective is one parsed //arest:allow comment.
+type allowDirective struct {
+	analyzer string
+	reason   string
+	file     string
+	pos      token.Position
+	used     bool
+}
+
+// allowSet is every well-formed directive of one package.
+type allowSet []*allowDirective
+
+// match returns the first unexpired directive suppressing analyzer
+// findings in file, or nil.
+func (s allowSet) match(analyzer, file string) *allowDirective {
+	for _, a := range s {
+		if a.analyzer == analyzer && a.file == file {
+			return a
+		}
+	}
+	return nil
+}
+
+// collectAllows parses the //arest:allow directives of every file in the
+// package. Malformed directives — a missing analyzer name, a name not in
+// known, or a missing reason — are returned as diagnostics so the CLI
+// fails on them.
+func collectAllows(fset *token.FileSet, files []*ast.File, known map[string]bool) (allowSet, []Diagnostic) {
+	var allows allowSet
+	var bad []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		bad = append(bad, Diagnostic{
+			Analyzer: DirectiveAnalyzerName,
+			Pos:      fset.Position(pos),
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //arest:allowed — not our directive
+				}
+				name, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				reason = strings.TrimSpace(reason)
+				switch {
+				case name == "":
+					report(c.Pos(), "malformed directive: want //arest:allow <analyzer> <reason>")
+				case !known[name]:
+					report(c.Pos(), "//arest:allow names unknown analyzer %q", name)
+				case reason == "":
+					report(c.Pos(), "//arest:allow %s is missing its written reason: every suppression must justify itself", name)
+				default:
+					allows = append(allows, &allowDirective{
+						analyzer: name,
+						reason:   reason,
+						file:     fset.Position(c.Pos()).Filename,
+						pos:      fset.Position(c.Pos()),
+					})
+				}
+			}
+		}
+	}
+	return allows, bad
+}

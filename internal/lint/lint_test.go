@@ -1,0 +1,256 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTestPkg materializes a one-file package in a temp dir and returns
+// the dir. The loader under test is rooted at the real module so stdlib
+// imports resolve; the package itself may live anywhere.
+func writeTestPkg(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func testLoader(t *testing.T) *Loader {
+	t.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// flagIdents is a toy analyzer that reports every identifier named "bad".
+func flagIdents() *Analyzer {
+	return &Analyzer{
+		Name: "flagbad",
+		Doc:  "test analyzer: flags identifiers named bad",
+		Run: func(pass *Pass) error {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if id, ok := n.(*ast.Ident); ok && id.Name == "bad" {
+						pass.Report(id.Pos(), "identifier %q is flagged", id.Name)
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+}
+
+func runOn(t *testing.T, src string, r *Runner) []Diagnostic {
+	t.Helper()
+	dir := writeTestPkg(t, src)
+	l := testLoader(t)
+	pkg, err := l.LoadDir(dir, "linttest/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := r.Run([]*Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+func TestRunnerReportsAndSorts(t *testing.T) {
+	diags := runOn(t, "package p\n\nvar bad = 1\n\nfunc f() { bad++; _ = bad }\n",
+		&Runner{Analyzers: []*Analyzer{flagIdents()}})
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnostics, want 3: %v", len(diags), diags)
+	}
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1].Pos, diags[i].Pos
+		if a.Line > b.Line || (a.Line == b.Line && a.Column > b.Column) {
+			t.Errorf("diagnostics out of order: %v before %v", diags[i-1], diags[i])
+		}
+	}
+}
+
+func TestAllowSuppresses(t *testing.T) {
+	diags := runOn(t, `package p
+
+//arest:allow flagbad the identifier is load-bearing in this fixture
+
+var bad = 1
+`, &Runner{Analyzers: []*Analyzer{flagIdents()}})
+	if len(diags) != 0 {
+		t.Fatalf("allow directive did not suppress: %v", diags)
+	}
+}
+
+func TestAllowMissingReason(t *testing.T) {
+	diags := runOn(t, `package p
+
+//arest:allow flagbad
+
+var bad = 1
+`, &Runner{Analyzers: []*Analyzer{flagIdents()}})
+	var hasReasonErr, hasFinding bool
+	for _, d := range diags {
+		if d.Analyzer == DirectiveAnalyzerName && strings.Contains(d.Message, "missing its written reason") {
+			hasReasonErr = true
+		}
+		if d.Analyzer == "flagbad" {
+			hasFinding = true
+		}
+	}
+	if !hasReasonErr {
+		t.Errorf("reason-less directive not reported: %v", diags)
+	}
+	if !hasFinding {
+		t.Errorf("malformed directive must not suppress; diagnostics: %v", diags)
+	}
+}
+
+func TestAllowUnknownAnalyzer(t *testing.T) {
+	diags := runOn(t, `package p
+
+//arest:allow nosuchcheck because reasons
+`, &Runner{Analyzers: []*Analyzer{flagIdents()}})
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, `unknown analyzer "nosuchcheck"`) {
+		t.Fatalf("unknown-analyzer directive not reported: %v", diags)
+	}
+}
+
+func TestUnusedAllowReported(t *testing.T) {
+	src := `package p
+
+//arest:allow flagbad nothing here actually trips it
+
+var good = 1
+`
+	diags := runOn(t, src, &Runner{Analyzers: []*Analyzer{flagIdents()}})
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "unused //arest:allow") {
+		t.Fatalf("unused allow not reported: %v", diags)
+	}
+	diags = runOn(t, src, &Runner{Analyzers: []*Analyzer{flagIdents()}, KeepUnusedAllows: true})
+	if len(diags) != 0 {
+		t.Fatalf("KeepUnusedAllows still reported: %v", diags)
+	}
+}
+
+func TestLoadAllCoversModule(t *testing.T) {
+	l := testLoader(t)
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, p := range pkgs {
+		seen[p.Path] = true
+	}
+	for _, want := range []string{
+		"arest/internal/netsim",
+		"arest/internal/obs",
+		"arest/internal/lint",
+		"arest/cmd/arestlint",
+	} {
+		if !seen[want] {
+			t.Errorf("LoadAll missed %s (got %d packages)", want, len(pkgs))
+		}
+	}
+	for p := range seen {
+		if strings.Contains(p, "testdata") {
+			t.Errorf("LoadAll descended into testdata: %s", p)
+		}
+	}
+}
+
+// fakeTB records harness failures so the want harness can be tested
+// against intentionally wrong expectations.
+type fakeTB struct {
+	errors []string
+	fatal  bool
+}
+
+func (f *fakeTB) Helper() {}
+func (f *fakeTB) Errorf(format string, args ...any) {
+	f.errors = append(f.errors, fmt.Sprintf(format, args...))
+}
+func (f *fakeTB) Fatalf(format string, args ...any) {
+	f.fatal = true
+	f.errors = append(f.errors, fmt.Sprintf(format, args...))
+	panic(f)
+}
+
+func TestWantHarnessMatches(t *testing.T) {
+	dir := writeTestPkg(t, `package p
+
+var bad = 1 // want "identifier \"bad\" is flagged"
+var good = 2
+`)
+	l := testLoader(t)
+	RunWantTest(t, l, dir, "linttest/want", flagIdents())
+}
+
+func TestWantHarnessCatchesMismatch(t *testing.T) {
+	dir := writeTestPkg(t, `package p
+
+var bad = 1
+var good = 2 // want "never reported"
+`)
+	l := testLoader(t)
+	ft := &fakeTB{}
+	func() {
+		defer func() { recover() }()
+		RunWantTest(ft, l, dir, "linttest/mismatch", flagIdents())
+	}()
+	var unexpected, unmet bool
+	for _, e := range ft.errors {
+		if strings.Contains(e, "unexpected finding") {
+			unexpected = true
+		}
+		if strings.Contains(e, "no finding matched") {
+			unmet = true
+		}
+	}
+	if !unexpected || !unmet {
+		t.Fatalf("want harness missed mismatches: %v", ft.errors)
+	}
+}
+
+func TestFindModuleRoot(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("FindModuleRoot returned %s without go.mod: %v", root, err)
+	}
+	if _, err := FindModuleRoot(t.TempDir()); err == nil {
+		t.Error("FindModuleRoot succeeded outside any module")
+	}
+}
+
+func TestSortAndDedupe(t *testing.T) {
+	pos := func(file string, line int) token.Position {
+		return token.Position{Filename: file, Line: line, Column: 1}
+	}
+	in := []Diagnostic{
+		{Analyzer: "a", Pos: pos("b.go", 2), Message: "m"},
+		{Analyzer: "a", Pos: pos("a.go", 9), Message: "m"},
+		{Analyzer: "a", Pos: pos("b.go", 2), Message: "m"},
+	}
+	SortDiagnostics(in)
+	out := dedupe(in)
+	if len(out) != 2 || out[0].Pos.Filename != "a.go" || out[1].Pos.Filename != "b.go" {
+		t.Fatalf("sort+dedupe wrong: %v", out)
+	}
+}

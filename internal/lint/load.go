@@ -1,0 +1,219 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package: the unit analyzers run on.
+type Package struct {
+	// Path is the package's import path ("arest/internal/netsim").
+	Path string
+	// Dir is the directory the files were parsed from.
+	Dir string
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader enumerates and type-checks module packages using only the
+// standard library: go/build for file selection (honouring build
+// constraints), go/parser for syntax, go/types for checking. Imports that
+// resolve inside the module are themselves type-checked from source;
+// stdlib imports come from compiler export data via importer.Default().
+// The module is dependency-free (stdlib-only), so nothing else can occur.
+type Loader struct {
+	// Root is the absolute module root (directory holding go.mod).
+	Root string
+	// Module is the module path declared in go.mod.
+	Module string
+
+	fset  *token.FileSet
+	std   types.Importer
+	cache map[string]*Package
+}
+
+// NewLoader creates a loader for the module rooted at root, reading the
+// module path from root/go.mod.
+func NewLoader(root string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	return &Loader{
+		Root:   abs,
+		Module: mod,
+		fset:   token.NewFileSet(),
+		std:    importer.Default(),
+		cache:  make(map[string]*Package),
+	}, nil
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// modulePath extracts the module declaration from a go.mod file. A full
+// modfile parser is unnecessary: the directive is a single line.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			rest = strings.TrimSpace(rest)
+			if rest != "" {
+				return strings.Trim(rest, `"`), nil
+			}
+		}
+	}
+	return "", fmt.Errorf("%s: no module directive", gomod)
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing a
+// go.mod — how tests and the CLI locate the module when invoked from a
+// package subdirectory.
+func FindModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}
+
+// LoadAll loads every package under the module root (the "./..." pattern):
+// each directory containing buildable non-test Go files, skipping testdata
+// trees and hidden or underscore-prefixed directories. Results are sorted
+// by import path.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.Root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.Root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.Root, dir)
+		if err != nil {
+			return nil, err
+		}
+		ip := l.Module
+		if rel != "." {
+			ip = l.Module + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.load(ip, dir)
+		if err != nil {
+			if _, ok := err.(*build.NoGoError); ok {
+				continue // test-only or empty directory
+			}
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir type-checks the single package in dir under the given import
+// path. dir may live outside the module root (the mutation tests exploit
+// this): its own files are parsed from dir while any intra-module imports
+// still resolve against the loader's root.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	return l.load(importPath, dir)
+}
+
+// load parses and type-checks one directory as importPath, caching by
+// import path so diamond imports check once.
+func (l *Loader) load(importPath, dir string) (*Package, error) {
+	if p, ok := l.cache[importPath]; ok {
+		return p, nil
+	}
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: (*loaderImporter)(l)}
+	tpkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", importPath, err)
+	}
+	pkg := &Package{Path: importPath, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.cache[importPath] = pkg
+	return pkg, nil
+}
+
+// loaderImporter adapts the Loader into a types.Importer: module-local
+// import paths are mapped to directories under Root and checked from
+// source; everything else is treated as stdlib and resolved from export
+// data.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == l.Module || strings.HasPrefix(path, l.Module+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.Module), "/")
+		dir := l.Root
+		if rel != "" {
+			dir = filepath.Join(l.Root, filepath.FromSlash(rel))
+		}
+		pkg, err := l.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}

@@ -1,0 +1,294 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"arest/internal/lint"
+)
+
+// MapOrder builds the maporder analyzer: the canonical source of
+// run-to-run drift in measurement pipelines is a `for range` over a map
+// whose iteration order leaks into output (DESIGN.md §7.2). A map range
+// is flagged when its body, at any depth,
+//
+//   - appends to a slice that outlives the loop (accumulating elements in
+//     iteration order), unless the enclosing function later passes that
+//     slice to sort/slices — the collect-then-sort idiom — or
+//   - writes to a writer, hash, encoder or string builder that outlives
+//     the loop (fmt.Fprint*, Write*, Encode — bytes cannot be re-sorted
+//     after the fact), or prints to stdout.
+//
+// Order-independent uses stay silent: writes into maps, keyed
+// accumulation (m[k] = append(m[k], ...)), per-iteration locals, and
+// commutative folds (sums, max, counts).
+func MapOrder() *lint.Analyzer {
+	return &lint.Analyzer{
+		Name: "maporder",
+		Doc:  "forbid map iteration order from reaching slices or output unsorted",
+		Run:  runMapOrder,
+	}
+}
+
+func runMapOrder(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if tv, ok := pass.Info.Types[rs.X]; !ok || !isMap(tv.Type) {
+					return true
+				}
+				checkMapRange(pass, fd.Body, rs)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func isMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// orderedWriters are method names that serialize their arguments in call
+// order; feeding them from a map range bakes iteration order into bytes.
+var orderedWriters = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "EncodeToken": true,
+}
+
+// fmtPrinters are the fmt functions flagged inside map ranges: the F*
+// variants when their writer outlives the loop, the bare variants always
+// (stdout outlives everything).
+var fmtPrinters = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+// checkMapRange walks one map-range body for order-sensitive sinks.
+func checkMapRange(pass *lint.Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass, call) || i >= len(n.Lhs) {
+					continue
+				}
+				checkAppend(pass, fnBody, rs, n.Lhs[i])
+			}
+			return true
+		case *ast.CallExpr:
+			if isBuiltinAppend(pass, n) && !isAssignedAppend(rs, n) {
+				// append whose result escapes through a call or return:
+				// order-dependent and unsortable here.
+				pass.Report(n.Pos(),
+					"append inside map iteration accumulates in nondeterministic order (DESIGN.md §7.2); collect and sort, or iterate sorted keys")
+				return true
+			}
+			checkOutputCall(pass, rs, n)
+			return true
+		}
+		return true
+	})
+}
+
+// isBuiltinAppend reports whether call is the append builtin.
+func isBuiltinAppend(pass *lint.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// isAssignedAppend reports whether the append call is the direct RHS of
+// an assignment somewhere in the range body (those are handled, with
+// target analysis, by the AssignStmt case).
+func isAssignedAppend(rs *ast.RangeStmt, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return !found
+		}
+		for _, rhs := range as.Rhs {
+			if ast.Unparen(rhs) == call {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkAppend analyzes one `target = append(...)` inside a map range.
+func checkAppend(pass *lint.Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt, target ast.Expr) {
+	switch t := ast.Unparen(target).(type) {
+	case *ast.IndexExpr:
+		// m[k] = append(m[k], ...): keyed accumulation, order-free.
+		return
+	case *ast.Ident:
+		obj := pass.ObjectOf(t)
+		if obj == nil {
+			return // blank identifier
+		}
+		if within(obj.Pos(), rs) {
+			return // per-iteration local, rebuilt each key
+		}
+		if sortedAfter(pass, fnBody, rs, obj) {
+			return // collect-then-sort idiom
+		}
+		pass.Report(t.Pos(),
+			"map iteration appends to %q in nondeterministic order (DESIGN.md §7.2); sort %q afterwards or iterate sorted keys", t.Name, t.Name)
+	default:
+		// Selector or other lvalue: order-dependent unless its base is
+		// loop-local.
+		if base := baseIdent(target); base != nil {
+			obj := pass.ObjectOf(base)
+			if obj != nil && within(obj.Pos(), rs) {
+				return
+			}
+		}
+		pass.Report(target.Pos(),
+			"map iteration appends through %s in nondeterministic order (DESIGN.md §7.2); sort the result or iterate sorted keys", exprString(target))
+	}
+}
+
+// checkOutputCall flags writer/encoder/printer calls whose destination
+// outlives the map range.
+func checkOutputCall(pass *lint.Pass, rs *ast.RangeStmt, call *ast.CallExpr) {
+	pkg, name, ok := pass.CalleeIn(call)
+	if !ok {
+		return
+	}
+	if pkg == "fmt" && fmtPrinters[name] {
+		if name[0] == 'F' {
+			if len(call.Args) > 0 && destIsLoopLocal(pass, rs, call.Args[0]) {
+				return
+			}
+		}
+		pass.Report(call.Pos(),
+			"fmt.%s inside map iteration emits output in nondeterministic order (DESIGN.md §7.2); iterate sorted keys", name)
+		return
+	}
+	// Method call x.Write(...) / x.Encode(...) etc.
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !orderedWriters[name] {
+		return
+	}
+	if _, isMethod := pass.Info.Selections[sel]; !isMethod {
+		return
+	}
+	if destIsLoopLocal(pass, rs, sel.X) {
+		return
+	}
+	pass.Report(call.Pos(),
+		"%s.%s inside map iteration serializes in nondeterministic order (DESIGN.md §7.2); iterate sorted keys", exprString(sel.X), name)
+}
+
+// destIsLoopLocal reports whether the destination expression bottoms out
+// in an identifier declared inside the range statement (a per-iteration
+// buffer is order-safe).
+func destIsLoopLocal(pass *lint.Pass, rs *ast.RangeStmt, dest ast.Expr) bool {
+	base := baseIdent(dest)
+	if base == nil {
+		return false
+	}
+	obj := pass.ObjectOf(base)
+	return obj != nil && within(obj.Pos(), rs)
+}
+
+// sortedAfter reports whether obj is passed to a sort/slices call after
+// the range ends, within the same function body.
+func sortedAfter(pass *lint.Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		pkg, _, ok := pass.CalleeIn(call)
+		if !ok || (pkg != "sort" && pkg != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// within reports whether pos falls inside the range statement.
+func within(pos token.Pos, rs *ast.RangeStmt) bool {
+	return pos >= rs.Pos() && pos <= rs.End()
+}
+
+// baseIdent unwraps an lvalue-ish expression to its base identifier:
+// (&b).rows[i] -> b. Returns nil when the base is not a plain identifier.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.CallExpr:
+			e = x.Fun
+		default:
+			return nil
+		}
+	}
+}
+
+// exprString renders a short source-ish form of e for messages.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	case *ast.UnaryExpr:
+		return x.Op.String() + exprString(x.X)
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "(...)"
+	default:
+		return "expression"
+	}
+}

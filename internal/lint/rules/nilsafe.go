@@ -1,0 +1,181 @@
+package rules
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"arest/internal/lint"
+)
+
+// NilSafe builds the nilsafe analyzer for one package: every exported
+// method with a pointer receiver to one of typeNames must begin with a
+// nil-receiver guard, pinning the §8 guarantee that library code records
+// metrics unconditionally against a possibly-nil registry or instrument.
+//
+// "Begins with" is checked semantically, not positionally: statements
+// that never touch the receiver may precede the guard, but the first
+// statement that does use the receiver must be either
+//
+//	if recv == nil { ... return ... }   // early exit, rest unguarded
+//	if recv != nil { ... }              // whole use wrapped; nothing after may touch recv
+//
+// (the nil comparison may be one operand of a larger && / || condition).
+func NilSafe(pkgPath string, typeNames []string) *lint.Analyzer {
+	names := make(map[string]bool, len(typeNames))
+	for _, n := range typeNames {
+		names[n] = true
+	}
+	return &lint.Analyzer{
+		Name: "nilsafe",
+		Doc:  fmt.Sprintf("require nil-receiver guards on exported methods of %s instruments", pkgPath),
+		Run: func(pass *lint.Pass) error {
+			if pass.Pkg.Path() != pkgPath {
+				return nil
+			}
+			for _, f := range pass.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Recv == nil || !fd.Name.IsExported() || fd.Body == nil {
+						continue
+					}
+					tn, recvObj := receiverInfo(pass, fd)
+					if tn == "" || !names[tn] {
+						continue
+					}
+					if recvObj == nil {
+						continue // unnamed receiver: body cannot dereference it
+					}
+					checkGuard(pass, fd, tn, recvObj)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// receiverInfo resolves a method's receiver: the pointed-to type name
+// (empty for value receivers, which cannot be nil) and the receiver
+// variable's object (nil when unnamed or blank).
+func receiverInfo(pass *lint.Pass, fd *ast.FuncDecl) (typeName string, recv types.Object) {
+	field := fd.Recv.List[0]
+	star, ok := field.Type.(*ast.StarExpr)
+	if !ok {
+		return "", nil
+	}
+	base, ok := ast.Unparen(star.X).(*ast.Ident)
+	if !ok {
+		return "", nil
+	}
+	if len(field.Names) == 1 && field.Names[0].Name != "_" {
+		recv = pass.Info.Defs[field.Names[0]]
+	}
+	return base.Name, recv
+}
+
+// checkGuard verifies the guard discipline over the method body.
+func checkGuard(pass *lint.Pass, fd *ast.FuncDecl, typeName string, recv types.Object) {
+	report := func() {
+		pass.Report(fd.Name.Pos(),
+			"exported method (*%s).%s must begin with a nil-receiver guard (DESIGN.md §8: nil-safe instruments)",
+			typeName, fd.Name.Name)
+	}
+	stmts := fd.Body.List
+	for i, stmt := range stmts {
+		if !usesObject(pass, stmt, recv) {
+			continue
+		}
+		ifs, ok := stmt.(*ast.IfStmt)
+		if !ok || ifs.Init != nil {
+			report()
+			return
+		}
+		switch {
+		case hasNilCompare(pass, ifs.Cond, recv, true):
+			// if recv == nil: the guard body must leave the function so
+			// everything after runs with a non-nil receiver.
+			if !terminates(ifs.Body) {
+				report()
+			}
+			return
+		case hasNilCompare(pass, ifs.Cond, recv, false):
+			// if recv != nil { ... }: all receiver use must stay inside.
+			for _, later := range stmts[i+1:] {
+				if usesObject(pass, later, recv) {
+					report()
+					return
+				}
+			}
+			return
+		default:
+			report()
+			return
+		}
+	}
+	// Method never touches its receiver: trivially nil-safe.
+}
+
+// usesObject reports whether any identifier under n resolves to obj.
+func usesObject(pass *lint.Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// hasNilCompare reports whether cond contains, possibly inside && / || /
+// parens, the comparison `recv == nil` (eq) or `recv != nil` (!eq).
+func hasNilCompare(pass *lint.Pass, cond ast.Expr, recv types.Object, eq bool) bool {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch e.Op.String() {
+		case "&&", "||":
+			return hasNilCompare(pass, e.X, recv, eq) || hasNilCompare(pass, e.Y, recv, eq)
+		case "==", "!=":
+			if (e.Op.String() == "==") != eq {
+				return false
+			}
+			return isObjIdent(pass, e.X, recv) && isNil(pass, e.Y) ||
+				isObjIdent(pass, e.Y, recv) && isNil(pass, e.X)
+		}
+	}
+	return false
+}
+
+func isObjIdent(pass *lint.Pass, e ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && pass.ObjectOf(id) == obj
+}
+
+func isNil(pass *lint.Pass, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNilObj := pass.ObjectOf(id).(*types.Nil)
+	return isNilObj
+}
+
+// terminates reports whether a guard block always leaves the function:
+// its last statement is a return or an unconditional panic.
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}

@@ -1,0 +1,118 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"arest/internal/lint"
+)
+
+// globalRandFns are the math/rand (and math/rand/v2) package-level
+// functions that draw from the process-global source. §7.1 requires every
+// random draw to come from an explicitly seeded *rand.Rand — hash-derived
+// or seeded from config — so campaigns replay bit-identically; the global
+// source is shared, lockstep-dependent mutable state that silently couples
+// unrelated call sites.
+var globalRandFns = map[string]bool{
+	// math/rand
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+	// math/rand/v2 additions
+	"IntN": true, "Int32": true, "Int32N": true, "Int64": true,
+	"Int64N": true, "UintN": true, "Uint": true, "N": true,
+}
+
+// randPkg reports whether path is a math/rand flavour.
+func randPkg(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+// NoGlobalRand builds the noglobalrand analyzer. Two findings:
+//
+//   - any use of a global-source math/rand function (rand.Intn, rand.Seed,
+//     rand.Shuffle, ...), in any package;
+//   - rand.New / rand.NewSource whose seed expression reads the wall
+//     clock (the classic rand.NewSource(time.Now().UnixNano())), which is
+//     seeded-but-not-reproducible.
+func NoGlobalRand() *lint.Analyzer {
+	return &lint.Analyzer{
+		Name: "noglobalrand",
+		Doc:  "forbid process-global math/rand draws and wall-clock seeding",
+		Run: func(pass *lint.Pass) error {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.Ident:
+						fn, ok := pass.Info.Uses[n].(*types.Func)
+						if !ok || fn.Pkg() == nil {
+							return true
+						}
+						if randPkg(fn.Pkg().Path()) && isPkgFunc(fn) && globalRandFns[fn.Name()] {
+							pass.Report(n.Pos(),
+								"rand.%s draws from the process-global source; use a *rand.Rand seeded from config or a hash (DESIGN.md §7.1)",
+								fn.Name())
+						}
+					case *ast.CallExpr:
+						pkg, name, ok := pass.CalleeIn(n)
+						if !ok || !randPkg(pkg) || (name != "New" && name != "NewSource" && name != "NewPCG" && name != "NewChaCha8") {
+							return true
+						}
+						for _, arg := range n.Args {
+							if isRandConstructor(pass, arg) {
+								continue // the inner NewSource/NewPCG call reports itself
+							}
+							if tp := wallClockUse(pass, arg); tp != nil {
+								pass.Report(n.Pos(),
+									"rand.%s seeded from the wall clock (time.%s): seeds must come from config or a hash so runs replay bit-identically (DESIGN.md §7.1)",
+									name, tp.Name())
+								break
+							}
+						}
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+}
+
+// wallClockUse returns the first package-time function referenced inside
+// expr (time.Now and friends), or nil.
+func wallClockUse(pass *lint.Pass, expr ast.Expr) *types.Func {
+	var found *types.Func
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if fn, ok := pass.Info.Uses[id].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "time" && isPkgFunc(fn) {
+			found = fn
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isRandConstructor reports whether expr is itself a math/rand source
+// constructor call, which files its own finding when clock-seeded.
+func isRandConstructor(pass *lint.Pass, expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	pkg, name, ok := pass.CalleeIn(call)
+	return ok && randPkg(pkg) && (name == "NewSource" || name == "NewPCG" || name == "NewChaCha8")
+}
+
+// isPkgFunc reports whether fn is a package-level function (no receiver).
+func isPkgFunc(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}

@@ -1,0 +1,63 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"arest/internal/lint"
+)
+
+// wallClockFns are the package time functions that read the process
+// clock or construct timers from it. Any reference to one of these —
+// a call or a function value — inside a determinism-contract package is
+// a finding: probe outcomes must be pure functions of what is probed,
+// never of when (DESIGN.md §7), and timing that operators do want is
+// measured through the injectable obs clock (§8), which contract code
+// receives already constructed.
+var wallClockFns = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// NoWallClock builds the nowallclock analyzer over the given contract
+// package import paths.
+func NoWallClock(contract []string) *lint.Analyzer {
+	set := make(map[string]bool, len(contract))
+	for _, p := range contract {
+		set[p] = true
+	}
+	return &lint.Analyzer{
+		Name: "nowallclock",
+		Doc:  "forbid wall-clock reads (time.Now etc.) in determinism-contract packages",
+		Run: func(pass *lint.Pass) error {
+			if !set[pass.Pkg.Path()] {
+				return nil
+			}
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					id, ok := n.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					fn, ok := pass.Info.Uses[id].(*types.Func)
+					if !ok || fn.Pkg() == nil {
+						return true
+					}
+					if fn.Pkg().Path() == "time" && wallClockFns[fn.Name()] {
+						pass.Report(id.Pos(),
+							"time.%s reads the wall clock: %s is a determinism-contract package (DESIGN.md §7); inject a clock through obs instead",
+							fn.Name(), pass.Pkg.Path())
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+}

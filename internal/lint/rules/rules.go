@@ -1,0 +1,57 @@
+// Package rules holds the repo-specific arestlint analyzers: machine
+// checks for the determinism contract of DESIGN.md §7 (schedule-
+// independent pipeline output) and §8 (nil-safe observability
+// instruments). The framework they run on is internal/lint; the CLI is
+// cmd/arestlint.
+//
+// The four analyzers and the prose rule each one pins:
+//
+//	nowallclock   §7/§8 — determinism-contract packages never read the
+//	              wall clock directly; timing flows through the
+//	              injectable obs clock only.
+//	noglobalrand  §7.1 — no randomness from the process-global
+//	              math/rand source and no wall-clock seeding; every
+//	              draw is hash-derived or seeded from config.
+//	maporder      §7.2 — no map iteration order may reach output:
+//	              ranges that append to slices or write to
+//	              writers/hashes/encoders must sort.
+//	nilsafe       §8 — every exported method on the obs instruments
+//	              starts with a nil-receiver guard, so a nil registry
+//	              stays a zero-cost no-op.
+package rules
+
+import "arest/internal/lint"
+
+// ContractPackages are the determinism-contract packages (DESIGN.md §7):
+// everything between world generation and detection verdicts, where
+// parallel output must be bit-identical to sequential. nowallclock audits
+// exactly these.
+var ContractPackages = []string{
+	"arest/internal/netsim",
+	"arest/internal/probe",
+	"arest/internal/alias",
+	"arest/internal/fingerprint",
+	"arest/internal/core",
+	"arest/internal/exp",
+	"arest/internal/archive",
+}
+
+// ObsPackage is the observability package whose instruments nilsafe
+// audits.
+const ObsPackage = "arest/internal/obs"
+
+// ObsInstrumentTypes are the obs types whose exported methods must be
+// nil-safe (DESIGN.md §8: "methods on a nil *Registry or nil instrument
+// are no-ops").
+var ObsInstrumentTypes = []string{"Registry", "Counter", "Gauge", "Histogram", "Span"}
+
+// All returns the production analyzer set, configured for this module —
+// what cmd/arestlint runs.
+func All() []*lint.Analyzer {
+	return []*lint.Analyzer{
+		NoWallClock(ContractPackages),
+		NoGlobalRand(),
+		MapOrder(),
+		NilSafe(ObsPackage, ObsInstrumentTypes),
+	}
+}

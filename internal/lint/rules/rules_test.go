@@ -1,0 +1,334 @@
+package rules
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"arest/internal/lint"
+)
+
+// newLoader returns a fresh loader rooted at the real module (mutation
+// tests need isolated caches, so each call builds its own).
+func newLoader(t *testing.T) *lint.Loader {
+	t.Helper()
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func testdata(t *testing.T, elems ...string) string {
+	t.Helper()
+	dir := filepath.Join(append([]string{"testdata", "src"}, elems...)...)
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+func TestNoWallClock(t *testing.T) {
+	const contractPath = "arestlint.test/nowallclock/a"
+	an := NoWallClock(append([]string{contractPath, "arestlint.test/nowallclock/suppressed"}, ContractPackages...))
+	lint.RunWantTest(t, newLoader(t), testdata(t, "nowallclock", "a"), contractPath, an)
+}
+
+func TestNoWallClockOutsideContract(t *testing.T) {
+	// Same analyzer config, but the loaded package is not in the contract
+	// set: its time.Now stays legal.
+	an := NoWallClock(ContractPackages)
+	lint.RunWantTest(t, newLoader(t), testdata(t, "nowallclock", "outside"), "arestlint.test/nowallclock/outside", an)
+}
+
+func TestNoWallClockSuppressed(t *testing.T) {
+	const path = "arestlint.test/nowallclock/suppressed"
+	an := NoWallClock([]string{path})
+	lint.RunWantTest(t, newLoader(t), testdata(t, "nowallclock", "suppressed"), path, an)
+}
+
+func TestNoGlobalRand(t *testing.T) {
+	lint.RunWantTest(t, newLoader(t), testdata(t, "noglobalrand", "a"), "arestlint.test/noglobalrand/a", NoGlobalRand())
+}
+
+func TestMapOrder(t *testing.T) {
+	lint.RunWantTest(t, newLoader(t), testdata(t, "maporder", "a"), "arestlint.test/maporder/a", MapOrder())
+}
+
+func TestMapOrderSuppressed(t *testing.T) {
+	lint.RunWantTest(t, newLoader(t), testdata(t, "maporder", "suppressed"), "arestlint.test/maporder/suppressed", MapOrder())
+}
+
+func TestNilSafe(t *testing.T) {
+	const path = "arestlint.test/nilsafe/a"
+	an := NilSafe(path, []string{"Counter", "Registry"})
+	lint.RunWantTest(t, newLoader(t), testdata(t, "nilsafe", "a"), path, an)
+}
+
+// TestRealTreeClean is the acceptance gate in test form: the production
+// analyzer set over every package of the module must report nothing, with
+// every //arest:allow directive both well-formed and actually used.
+func TestRealTreeClean(t *testing.T) {
+	l := newLoader(t)
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; loader is missing the tree", len(pkgs))
+	}
+	runner := &lint.Runner{Analyzers: All()}
+	diags, err := runner.Run(pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("real tree not arestlint-clean: %s", d)
+	}
+}
+
+// TestNilGuardDeletionCaught mutates the real internal/obs package: for
+// every exported instrument method whose first receiver-using statement
+// is a nil guard, deleting (or unwrapping) that guard must produce a
+// nilsafe finding naming the method. This pins the acceptance criterion
+// that removing any one nil-guard in internal/obs fails the build.
+func TestNilGuardDeletionCaught(t *testing.T) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	obsDir := filepath.Join(root, "internal", "obs")
+	names := map[string]bool{}
+	for _, n := range ObsInstrumentTypes {
+		names[n] = true
+	}
+
+	// Parse the package once to enumerate mutation sites.
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, obsDir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obsPkg, ok := pkgs["obs"]
+	if !ok {
+		t.Fatalf("no obs package in %s", obsDir)
+	}
+
+	type site struct {
+		file   string
+		method string
+	}
+	var sites []site
+	for fname, f := range obsPkg.Files {
+		for _, decl := range f.Decls {
+			if m := guardedMethod(decl, names); m != "" {
+				sites = append(sites, site{fname, m})
+			}
+		}
+	}
+	if len(sites) < 10 {
+		t.Fatalf("found only %d guarded obs methods; expected the full instrument surface", len(sites))
+	}
+
+	for _, s := range sites {
+		s := s
+		t.Run(s.method, func(t *testing.T) {
+			dir := t.TempDir()
+			writeMutatedObs(t, obsDir, dir, s.file, s.method, names)
+			l := newLoader(t)
+			pkg, err := l.LoadDir(dir, ObsPackage)
+			if err != nil {
+				t.Fatalf("mutated obs no longer type-checks: %v", err)
+			}
+			runner := &lint.Runner{Analyzers: []*lint.Analyzer{NilSafe(ObsPackage, ObsInstrumentTypes)}}
+			diags, err := runner.Run([]*lint.Package{pkg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			found := false
+			for _, d := range diags {
+				if strings.Contains(d.Message, "."+s.method+" ") {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("deleting the nil guard of %s went undetected; got %d diagnostics: %v", s.method, len(diags), diags)
+			}
+		})
+	}
+}
+
+// guardedMethod returns the method name when decl is an exported
+// instrument method beginning with a nil guard, else "".
+func guardedMethod(decl ast.Decl, typeNames map[string]bool) string {
+	fd, ok := decl.(*ast.FuncDecl)
+	if !ok || fd.Recv == nil || !fd.Name.IsExported() || fd.Body == nil || len(fd.Body.List) == 0 {
+		return ""
+	}
+	star, ok := fd.Recv.List[0].Type.(*ast.StarExpr)
+	if !ok {
+		return ""
+	}
+	base, ok := star.X.(*ast.Ident)
+	if !ok || !typeNames[base.Name] {
+		return ""
+	}
+	if findGuard(fd) < 0 {
+		return ""
+	}
+	return fd.Name.Name
+}
+
+// findGuard returns the index of the method's leading nil-guard if
+// statement (the first statement that is an if with a receiver-nil
+// comparison), or -1.
+func findGuard(fd *ast.FuncDecl) int {
+	if len(fd.Recv.List[0].Names) != 1 {
+		return -1
+	}
+	recv := fd.Recv.List[0].Names[0].Name
+	for i, stmt := range fd.Body.List {
+		ifs, ok := stmt.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		if cond, ok := ifs.Cond.(*ast.BinaryExpr); ok {
+			if x, ok := cond.X.(*ast.Ident); ok && x.Name == recv {
+				if y, ok := cond.Y.(*ast.Ident); ok && y.Name == "nil" {
+					return i
+				}
+			}
+		}
+	}
+	return -1
+}
+
+// writeMutatedObs copies the obs package sources into dst, stripping the
+// nil guard from the named method in the named file: an `if recv == nil`
+// guard is deleted outright, an `if recv != nil` wrap is replaced by its
+// body.
+func writeMutatedObs(t *testing.T, srcDir, dst, mutFile, method string, typeNames map[string]bool) {
+	t.Helper()
+	entries, err := os.ReadDir(srcDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := false
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		src := filepath.Join(srcDir, e.Name())
+		if src != mutFile {
+			data, err := os.ReadFile(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, src, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != method || guardedMethod(decl, typeNames) == "" {
+				continue
+			}
+			i := findGuard(fd)
+			ifs := fd.Body.List[i].(*ast.IfStmt)
+			cond := ifs.Cond.(*ast.BinaryExpr)
+			var repl []ast.Stmt
+			if cond.Op == token.NEQ {
+				repl = ifs.Body.List
+			}
+			fd.Body.List = append(append(append([]ast.Stmt{}, fd.Body.List[:i]...), repl...), fd.Body.List[i+1:]...)
+			mutated = true
+			break
+		}
+		out, err := os.Create(filepath.Join(dst, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := printer.Fprint(out, fset, f); err != nil {
+			t.Fatal(err)
+		}
+		out.Close()
+	}
+	if !mutated {
+		t.Fatalf("method %s not found (or not guarded) in %s", method, mutFile)
+	}
+}
+
+// TestWallClockInjectionCaught pins the other acceptance criterion:
+// adding a time.Now() call to internal/netsim makes arestlint fail. The
+// real netsim sources are copied verbatim next to one injected file.
+func TestWallClockInjectionCaught(t *testing.T) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcDir := filepath.Join(root, "internal", "netsim")
+	dir := t.TempDir()
+	entries, err := os.ReadDir(srcDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(srcDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inject := `package netsim
+
+import "time"
+
+// wallClockDrift is the mutation: a contract package reading the clock.
+func wallClockDrift() time.Time { return time.Now() }
+`
+	if err := os.WriteFile(filepath.Join(dir, "zz_mutation.go"), []byte(inject), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l := newLoader(t)
+	pkg, err := l.LoadDir(dir, "arest/internal/netsim")
+	if err != nil {
+		t.Fatalf("mutated netsim no longer type-checks: %v", err)
+	}
+	runner := &lint.Runner{Analyzers: All()}
+	diags, err := runner.Run([]*lint.Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range diags {
+		if d.Analyzer == "nowallclock" && strings.Contains(d.Message, "time.Now") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("injected time.Now() in netsim went undetected; diagnostics: %v", diags)
+	}
+}

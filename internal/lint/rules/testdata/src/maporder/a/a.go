@@ -1,0 +1,133 @@
+// Package a is maporder testdata.
+package a
+
+import (
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"strings"
+)
+
+// badAppend accumulates in map order with no sort downstream.
+func badAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `map iteration appends to "out"`
+	}
+	return out
+}
+
+// goodCollectThenSort is the canonical fix: collect, then sort the result.
+func goodCollectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// goodSortSlice sorts with sort.Slice instead of a typed helper.
+func goodSortSlice(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// goodKeyed: keyed accumulation is order-free.
+func goodKeyed(m map[string][]int) map[string][]int {
+	inv := map[string][]int{}
+	for k, vs := range m {
+		inv[k] = append(inv[k], vs...)
+	}
+	return inv
+}
+
+// goodLoopLocal: the slice is rebuilt per iteration and consumed keyed.
+func goodLoopLocal(m map[string][]int) map[string]int {
+	sums := map[string]int{}
+	for k, vs := range m {
+		var doubled []int
+		for _, v := range vs {
+			doubled = append(doubled, 2*v)
+		}
+		sums[k] = len(doubled)
+	}
+	return sums
+}
+
+// goodCommutative: sums, counts and max are order-independent folds.
+func goodCommutative(m map[string]int) (total, max int) {
+	for _, v := range m {
+		total += v
+		if v > max {
+			max = v
+		}
+	}
+	return
+}
+
+// badBuilder writes into an outer builder in map order.
+func badBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `b.WriteString inside map iteration`
+	}
+	return b.String()
+}
+
+// goodBuilderLocal: a per-iteration builder feeding a keyed map is fine.
+func goodBuilderLocal(m map[string]int) map[string]string {
+	out := map[string]string{}
+	for k, v := range m {
+		var b strings.Builder
+		b.WriteString(k)
+		fmt.Fprintf(&b, "=%d", v)
+		out[k] = b.String()
+	}
+	return out
+}
+
+// badHash feeds a hash in map order: the digest drifts run to run.
+func badHash(m map[string]string) uint32 {
+	h := crc32.NewIEEE()
+	for _, v := range m {
+		h.Write([]byte(v)) // want `h.Write inside map iteration`
+	}
+	return h.Sum32()
+}
+
+// badPrint emits lines in map order.
+func badPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `fmt.Printf inside map iteration`
+	}
+}
+
+// badFprint writes to an outer writer in map order.
+func badFprint(m map[string]int, b *strings.Builder) {
+	for k := range m {
+		fmt.Fprintln(b, k) // want `fmt.Fprintln inside map iteration`
+	}
+}
+
+// badEscape: the appended slice escapes through a call, unsortable here.
+func badEscape(m map[string]int) int {
+	n := 0
+	for k := range m {
+		n += len(append([]string{}, k)) // want "append inside map iteration accumulates"
+	}
+	return n
+}
+
+// goodSliceRange: ranging a slice is always ordered.
+func goodSliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

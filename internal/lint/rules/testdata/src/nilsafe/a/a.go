@@ -1,0 +1,99 @@
+// Package a is nilsafe testdata: the test configures the analyzer with
+// this package's import path and the instrument types Counter and
+// Registry.
+package a
+
+// Counter mimics an obs instrument.
+type Counter struct{ n uint64 }
+
+// Registry mimics the obs registry.
+type Registry struct{ counters map[string]*Counter }
+
+// Plain is not an instrument type: its methods are exempt.
+type Plain struct{ n int }
+
+// Add has the early-exit guard form.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.n += n
+}
+
+// Inc has the wrapping guard form.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.n++
+	}
+}
+
+// Value guards with a compound condition.
+func (c *Counter) Value() uint64 {
+	if c == nil || c.n == 0 {
+		return 0
+	}
+	return c.n
+}
+
+// Reset lacks any guard.
+func (c *Counter) Reset() { // want `\(\*Counter\).Reset must begin with a nil-receiver guard`
+	c.n = 0
+}
+
+// Bump guards too late: the receiver is dereferenced first.
+func (c *Counter) Bump() uint64 { // want `\(\*Counter\).Bump must begin with a nil-receiver guard`
+	v := c.n
+	if c == nil {
+		return 0
+	}
+	return v + 1
+}
+
+// Peek has a non-terminating == nil guard: execution falls through to a
+// dereference.
+func (c *Counter) Peek() uint64 { // want `\(\*Counter\).Peek must begin with a nil-receiver guard`
+	if c == nil {
+		_ = 0
+	}
+	return c.n
+}
+
+// Leak wraps in != nil but touches the receiver after the guard.
+func (c *Counter) Leak() uint64 { // want `\(\*Counter\).Leak must begin with a nil-receiver guard`
+	if c != nil {
+		c.n++
+	}
+	return c.n
+}
+
+// reset is unexported: exempt.
+func (c *Counter) reset() { c.n = 0 }
+
+// Describe never touches its receiver: trivially nil-safe.
+func (c *Counter) Describe() string { return "counter" }
+
+// Counter is guarded after receiver-free setup statements, which is fine:
+// the guard is the first statement that uses the receiver.
+func (r *Registry) Counter(name string) *Counter {
+	key := "counter." + name
+	if r == nil {
+		return nil
+	}
+	c, ok := r.counters[key]
+	if !ok {
+		c = &Counter{}
+		r.counters[key] = c
+	}
+	return c
+}
+
+// Len lacks a guard.
+func (r *Registry) Len() int { // want `\(\*Registry\).Len must begin with a nil-receiver guard`
+	return len(r.counters)
+}
+
+// Touch is on a value receiver: nil is impossible, exempt.
+func (p Plain) Touch() int { return p.n }
+
+// Grow is on a non-instrument type: exempt even without a guard.
+func (p *Plain) Grow() { p.n++ }

@@ -1,0 +1,35 @@
+// Package a is noglobalrand testdata.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() {
+	_ = rand.Intn(10)                  // want "rand.Intn draws from the process-global source"
+	_ = rand.Float64()                 // want "rand.Float64 draws from the process-global source"
+	rand.Seed(42)                      // want "rand.Seed draws from the process-global source"
+	rand.Shuffle(3, func(i, j int) {}) // want "rand.Shuffle draws from the process-global source"
+}
+
+func badSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "rand.NewSource seeded from the wall clock"
+}
+
+func badSource() rand.Source {
+	return rand.NewSource(int64(time.Now().Nanosecond())) // want "rand.NewSource seeded from the wall clock"
+}
+
+// good: explicit seeds, from constants or caller config.
+func good(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	rng2 := rand.New(rand.NewSource(42))
+	return rng.Float64() + rng2.Float64()
+}
+
+// goodDerived: hash-derived seeding mixes config, not the clock.
+func goodDerived(seed int64, id int) int {
+	rng := rand.New(rand.NewSource(seed ^ int64(id)*7919))
+	return rng.Intn(100)
+}

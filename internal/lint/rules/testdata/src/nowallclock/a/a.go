@@ -1,0 +1,29 @@
+// Package a is nowallclock testdata: loaded under an import path that the
+// test registers as a determinism-contract package.
+package a
+
+import "time"
+
+func bad() time.Duration {
+	t0 := time.Now()       // want "time.Now reads the wall clock"
+	d := time.Since(t0)    // want "time.Since reads the wall clock"
+	_ = time.After(d)      // want "time.After reads the wall clock"
+	tm := time.NewTimer(d) // want "time.NewTimer reads the wall clock"
+	defer tm.Stop()
+	return time.Until(t0) // want "time.Until reads the wall clock"
+}
+
+// badValue: referencing the function as a value is a finding too — the
+// clock must arrive pre-injected, not be captured locally.
+func badValue() func() time.Time {
+	return time.Now // want "time.Now reads the wall clock"
+}
+
+// good: pure time arithmetic and formatting never read the clock.
+func good(clock func() time.Time) string {
+	t := clock()
+	t = t.Add(3 * time.Second)
+	_ = time.Unix(0, 0)
+	_ = time.Date(2025, time.March, 1, 0, 0, 0, 0, time.UTC)
+	return t.Format(time.RFC3339)
+}

@@ -1,0 +1,10 @@
+// Package outside is nowallclock testdata loaded under an import path
+// that is NOT in the contract set: wall-clock reads here are fine.
+package outside
+
+import "time"
+
+func clocky() time.Time {
+	time.Sleep(0)
+	return time.Now()
+}

@@ -1,0 +1,12 @@
+// Package suppressed is nowallclock testdata: a contract package whose
+// wall-clock use is excused by a justified //arest:allow directive, so the
+// harness expects zero findings.
+package suppressed
+
+import "time"
+
+//arest:allow nowallclock this testdata package stands in for a live-measurement backend where wall-clock reads are the point
+
+func live() time.Time {
+	return time.Now()
+}

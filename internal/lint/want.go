@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// TB is the subset of testing.TB the want harness needs; taking the
+// interface keeps the framework free of a testing import at run time and
+// lets the harness test itself.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// wantPrefix marks an expected finding in a testdata file:
+//
+//	time.Now() // want "regexp" `another regexp`
+//
+// Each regexp (a double-quoted or backquoted Go string literal) must match
+// exactly one diagnostic message reported on that line; multiple
+// expectations may share a line. The harness matches on message text
+// alone — it runs one rule set per package, so analyzer-name tags would
+// only add noise.
+const wantPrefix = "// want "
+
+// expectation is one pending // want regexp at a file position.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+// RunWantTest type-checks the package in dir (under importPath), runs the
+// analyzers over it with directive suppression applied, and asserts that
+// the diagnostics agree exactly with the package's // want comments:
+// every expectation matched by exactly one finding on its line, and no
+// finding without an expectation.
+func RunWantTest(t TB, l *Loader, dir, importPath string, analyzers ...*Analyzer) {
+	t.Helper()
+	pkg, err := l.LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		ws, err := parseWants(pkg, f)
+		if err != nil {
+			t.Fatalf("%v", err)
+		}
+		wants = append(wants, ws...)
+	}
+	runner := &Runner{Analyzers: analyzers}
+	diags, err := runner.Run([]*Package{pkg})
+	if err != nil {
+		t.Fatalf("run analyzers on %s: %v", importPath, err)
+	}
+	for _, d := range diags {
+		if w := matchWant(wants, d); w == nil {
+			t.Errorf("%s: unexpected finding: [%s] %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: no finding matched want %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// matchWant consumes the first unmet expectation on the diagnostic's line
+// whose regexp matches its message.
+func matchWant(wants []*expectation, d Diagnostic) *expectation {
+	for _, w := range wants {
+		if w.met || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.met = true
+			return w
+		}
+	}
+	return nil
+}
+
+// parseWants extracts the // want expectations of one file.
+func parseWants(pkg *Package, f *ast.File) ([]*expectation, error) {
+	var wants []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, wantPrefix) {
+				continue
+			}
+			pos := pkg.Fset.Position(c.Pos())
+			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, wantPrefix))
+			if rest == "" {
+				return nil, fmt.Errorf("%s: empty // want comment", pos)
+			}
+			for rest != "" {
+				if rest[0] != '"' && rest[0] != '`' {
+					return nil, fmt.Errorf("%s: // want expects quoted regexps, got %q", pos, rest)
+				}
+				lit, err := nextQuoted(rest)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %v", pos, err)
+				}
+				pattern, err := strconv.Unquote(lit)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad want literal %s: %v", pos, lit, err)
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad want regexp %q: %v", pos, pattern, err)
+				}
+				wants = append(wants, &expectation{
+					file: pos.Filename,
+					line: pos.Line,
+					re:   re,
+					raw:  pattern,
+				})
+				rest = strings.TrimSpace(rest[len(lit):])
+			}
+		}
+	}
+	return wants, nil
+}
+
+// nextQuoted returns the leading Go string literal of s: double-quoted
+// (with escapes) or backquoted (raw, the form regexps usually want).
+func nextQuoted(s string) (string, error) {
+	if s[0] == '`' {
+		if i := strings.IndexByte(s[1:], '`'); i >= 0 {
+			return s[:i+2], nil
+		}
+		return "", fmt.Errorf("unterminated want literal %q", s)
+	}
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			return s[:i+1], nil
+		}
+	}
+	return "", fmt.Errorf("unterminated want literal %q", s)
+}

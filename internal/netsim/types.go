@@ -28,6 +28,7 @@ package netsim
 
 import (
 	"net/netip"
+	"sort"
 	"sync/atomic"
 
 	"arest/internal/mpls"
@@ -191,13 +192,16 @@ func (r *Router) InterfaceTo(n RouterID) (netip.Addr, bool) {
 	return a, ok
 }
 
-// Interfaces returns all interface addresses of the router.
+// Interfaces returns all interface addresses of the router: the loopback
+// first, then the link interfaces in ascending address order, so the
+// slice is identical run to run regardless of map iteration.
 func (r *Router) Interfaces() []netip.Addr {
 	out := make([]netip.Addr, 0, len(r.ifaces)+1)
 	out = append(out, r.Loopback)
 	for _, a := range r.ifaces {
 		out = append(out, a)
 	}
+	sort.Slice(out[1:], func(i, j int) bool { return out[1+i].Less(out[1+j]) })
 	return out
 }
 

@@ -85,8 +85,13 @@ func (c *Counter) Add(n uint64) {
 	}
 }
 
-// Inc increments the counter by one.
-func (c *Counter) Inc() { c.Add(1) }
+// Inc increments the counter by one; no-op on a nil counter.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
 
 // Value returns the current count (0 on nil).
 func (c *Counter) Value() uint64 {
@@ -240,8 +245,13 @@ func (r *Registry) Span(stage, reason string) *Span {
 	return s
 }
 
-// Time runs fn inside the span stage.reason (convenience wrapper).
+// Time runs fn inside the span stage.reason (convenience wrapper). On a
+// nil registry fn still runs, untimed.
 func (r *Registry) Time(stage, reason string, fn func()) {
+	if r == nil {
+		fn()
+		return
+	}
 	done := r.Span(stage, reason).Start()
 	fn()
 	done()

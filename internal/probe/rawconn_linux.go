@@ -1,5 +1,7 @@
 //go:build linux
 
+//arest:allow nowallclock RawConn is the live raw-socket prober: RTTs and receive deadlines are genuine wall-clock measurements of the real Internet, outside the simulator's determinism contract (DESIGN.md §7 covers the netsim backend; this backend is inherently nondeterministic)
+
 package probe
 
 import (
