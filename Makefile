@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint arestlint race check bench fuzz
+.PHONY: build test vet lint arestlint race check bench bench-json fuzz
 
 build:
 	$(GO) build ./...
@@ -41,8 +41,18 @@ arestlint:
 # CI entry point.
 check: vet lint race
 
+# Full benchmark sweep: every package, with allocation columns — the
+# wire-path allocation budgets (DESIGN.md §11) are regression-gated by
+# tests, but the B/op and allocs/op columns here are the numbers to watch.
 bench:
-	$(GO) test -run 'Benchmark' -bench . -benchmem . ./internal/archive
+	$(GO) test -run 'Benchmark' -bench . -benchmem ./...
+
+# Machine-readable baseline: records the sweep into BENCH_6.json under
+# LABEL (default "post"), replacing any previous run with the same label.
+# Compare runs with: jq '.runs[] | {label, probe: (.results[] | select(.name=="BenchmarkProbe"))}' BENCH_6.json
+LABEL ?= post
+bench-json:
+	$(GO) test -run 'Benchmark' -bench . -benchmem ./... | $(GO) run ./cmd/benchjson -label $(LABEL) -o BENCH_6.json
 
 # Short deterministic fuzz pass over the archive codec seeds plus a minute
 # of mutation.

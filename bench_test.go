@@ -441,6 +441,44 @@ func BenchmarkWireCodecs(b *testing.B) {
 	}
 }
 
+// BenchmarkWireCodecsFastPath measures the same probe-marshal +
+// reply-unmarshal round trip through the append/Into APIs with caller-held
+// buffers — the zero-allocation path the prober and simulator actually run.
+func BenchmarkWireCodecsFastPath(b *testing.B) {
+	src := mustAddr("10.0.0.1")
+	dst := mustAddr("192.0.2.9")
+	u := &pkt.UDP{SrcPort: 33434, DstPort: 33435, Payload: []byte("arest-tnt-probe")}
+	ub, _ := u.Marshal(src, dst)
+	probeIP := &pkt.IPv4{TTL: 6, Protocol: pkt.ProtoUDP, Src: src, Dst: dst, Payload: ub}
+	pw, _ := probeIP.Marshal()
+	obj, _ := pkt.NewMPLSExtension(mpls.Stack{{Label: 16005, TTL: 1}, {Label: 37000, TTL: 1}})
+	icmp := &pkt.ICMP{Type: pkt.ICMPTimeExceeded, Body: pw, Extensions: []pkt.ExtensionObject{obj}}
+	ib, _ := icmp.Marshal()
+	reply := &pkt.IPv4{TTL: 250, Protocol: pkt.ProtoICMP, Src: dst, Dst: src, Payload: ib}
+	rw, _ := reply.Marshal()
+	wire := make([]byte, 0, 128)
+	var rip pkt.IPv4
+	var m pkt.ICMP
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := probeIP.AppendMarshal(wire[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		wire = w
+		if err := pkt.UnmarshalIPv4Into(&rip, rw); err != nil {
+			b.Fatal(err)
+		}
+		if err := pkt.UnmarshalICMPInto(&m, rip.Payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := m.MPLSStack(); !ok {
+			b.Fatal("stack lost")
+		}
+	}
+}
+
 // BenchmarkLargeWorldBuild measures constructing and computing the control
 // planes of a large synthetic AS (SPF, LDP, SIDs).
 func BenchmarkLargeWorldBuild(b *testing.B) {

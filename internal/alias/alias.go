@@ -85,7 +85,7 @@ func Resolve(addrs []netip.Addr, p Prober, cfg Config) [][]netip.Addr {
 		ests[i] = &candidate{addr: addrs[i],
 			pathLen: int(probe.InferInitialTTL(s.ReplyTTL)) - int(s.ReplyTTL)}
 	})
-	var cands []candidate
+	cands := make([]candidate, 0, len(addrs))
 	for _, c := range ests {
 		if c != nil {
 			cands = append(cands, *c)
@@ -101,7 +101,7 @@ func Resolve(addrs []netip.Addr, p Prober, cfg Config) [][]netip.Addr {
 	// them — made the pair list depend on earlier outcomes; transitivity
 	// is now recovered from the union-find below instead.)
 	type pairTest struct{ i, j int }
-	var pairs []pairTest
+	pairs := make([]pairTest, 0, len(cands)*(len(cands)-1)/2)
 	pruned := 0
 	for i := 0; i < len(cands); i++ {
 		for j := i + 1; j < len(cands); j++ {

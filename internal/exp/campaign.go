@@ -168,7 +168,7 @@ func measureWithDeployment(rec asgen.Record, dep asgen.Deployment, cfg Config) (
 		flow        uint16
 	}
 	flows := max(1, cfg.FlowsPerTarget)
-	var jobs []traceJob
+	jobs := make([]traceJob, 0, len(w.VPs)*len(plan.Targets)*flows)
 	pm := probe.NewMetrics(reg)
 	tracers := make([]*probe.Tracer, len(w.VPs))
 	data.VPs = make([]netip.Addr, len(w.VPs))

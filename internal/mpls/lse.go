@@ -111,15 +111,29 @@ func (s Stack) Marshal() ([]byte, error) {
 	if len(s) == 0 {
 		return nil, nil
 	}
-	b := make([]byte, len(s)*LSESize)
+	return s.AppendMarshal(nil)
+}
+
+// AppendMarshal encodes the stack onto dst and returns the extended slice,
+// allocating only when dst lacks capacity. The appended bytes are
+// identical to Marshal's output (an empty stack appends nothing).
+func (s Stack) AppendMarshal(dst []byte) ([]byte, error) {
+	off := len(dst)
+	if cap(dst) >= off+len(s)*LSESize {
+		dst = dst[:off+len(s)*LSESize]
+	} else {
+		out := make([]byte, off+len(s)*LSESize)
+		copy(out, dst)
+		dst = out
+	}
 	for i, e := range s {
 		if !e.Valid() {
 			return nil, fmt.Errorf("%w: entry %d label=%d", ErrLabelRange, i, e.Label)
 		}
 		e.S = i == len(s)-1
-		e.putInto(b[i*LSESize:])
+		e.putInto(dst[off+i*LSESize:])
 	}
-	return b, nil
+	return dst, nil
 }
 
 // UnmarshalStack decodes entries until the bottom-of-stack flag is set.

@@ -1,0 +1,37 @@
+package netsim
+
+import (
+	"testing"
+
+	"arest/internal/testrace"
+)
+
+// Allocation budget for the hop-forward path: one Send through an SR
+// tunnel, expiring mid-LSP so the reply carries the full RFC 4950 quote —
+// the most allocation-heavy reply the simulator produces.
+//
+// The steady-state cost is the Delivery struct, its Path slice, and the
+// reply wire (caller-owned), plus whatever sendScratch the pool fails to
+// recycle during a GC; the budget leaves headroom for the latter so the
+// gate stays robust, while still catching any return to per-hop stack
+// cloning or per-reply intermediate buffers (which cost dozens per Send).
+func TestAllocBudgetSend(t *testing.T) {
+	if testrace.Enabled {
+		t.Skip("allocation counts are meaningless under -race instrumentation")
+	}
+	c := buildChain(t)
+	wire := udpProbe(c.vp, c.target, 4, 33434) // expires at an interior P router
+	got := testing.AllocsPerRun(500, func() {
+		d, err := c.net.Send(c.vp, wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Reply == nil {
+			t.Fatal("expected a time-exceeded reply")
+		}
+	})
+	const budget = 8
+	if got > budget {
+		t.Errorf("Send: %.1f allocs/op, budget %d", got, budget)
+	}
+}

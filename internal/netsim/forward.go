@@ -18,10 +18,21 @@ const (
 )
 
 // frame is a packet in flight: an IP packet under an optional label stack.
+// The stack is owned by the frame (scratch-backed or freshly built at the
+// ingress), so forwarding mutates it in place instead of copying per hop.
 type frame struct {
 	stack mpls.Stack
 	ip    *pkt.IPv4
 	mode  ttlMode
+}
+
+// popStack drops the top LSE in place (no copy; the frame owns the stack).
+func (f *frame) popStack() {
+	if len(f.stack) <= 1 {
+		f.stack = nil
+	} else {
+		f.stack = f.stack[1:]
+	}
 }
 
 // Delivery is the outcome of injecting one probe.
@@ -45,13 +56,21 @@ var (
 
 const maxSteps = 1024
 
+// pathHint pre-sizes Delivery.Path for the common intra-AS diameter.
+const pathHint = 16
+
 // Send injects the serialized IPv4 probe wire from the attached host with
 // source address src and simulates its journey. The reply (if any) is the
-// serialized IPv4 packet the host would capture.
+// serialized IPv4 packet the host would capture; it is freshly allocated
+// and owned by the caller. wire is only read during the call — Send does
+// not retain it.
 //
 // Send is safe for concurrent use after Compute (which establishes the
 // happens-before edge for all control-plane state); see the package
-// comment for the full concurrency model.
+// comment for the full concurrency model. All transient state (decoded
+// probe, label stacks, quote/reply buffers) comes from a sync.Pool and is
+// fully overwritten before use, so pooling never leaks one probe's bytes
+// into another's reply.
 func (n *Network) Send(src netip.Addr, wire []byte) (*Delivery, error) {
 	if !n.computed {
 		return nil, ErrNotComputed
@@ -60,26 +79,30 @@ func (n *Network) Send(src netip.Addr, wire []byte) (*Delivery, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownHost, src)
 	}
-	ip, err := pkt.UnmarshalIPv4(wire)
-	if err != nil {
+	s := sendScratchPool.Get().(*sendScratch)
+	defer sendScratchPool.Put(s)
+	if err := pkt.UnmarshalIPv4Into(&s.ip, wire); err != nil {
 		n.met.dropParse.Inc()
 		return nil, fmt.Errorf("netsim: bad probe: %w", err)
 	}
-	c := &sendCtx{
+	c := &s.ctx
+	*c = sendCtx{
 		n:         n,
-		flow:      flowHash(ip),
+		flow:      flowHash(&s.ip),
 		vpGateway: host.Gateway,
 		probeSrc:  src,
+		scr:       s,
 	}
-	owner, ok := n.Owner(ip.Dst)
+	owner, ok := n.Owner(s.ip.Dst)
 	if !ok {
 		n.met.dropNoRoute.Inc()
 		return &Delivery{}, nil // no route: probe vanishes
 	}
 	c.dstOwner = owner
 
-	f := &frame{ip: ip}
-	d := &Delivery{}
+	f := &s.frame
+	*f = frame{ip: &s.ip}
+	d := &Delivery{Path: make([]RouterID, 0, pathHint)}
 	cur := host.Gateway
 	prev := RouterID(-1)
 	for step := 0; step < maxSteps; step++ {
@@ -130,12 +153,17 @@ type sendCtx struct {
 	vpGateway   RouterID
 	probeSrc    netip.Addr
 	lastRetDist int
+	scr         *sendScratch
 }
 
 // process runs one router's worth of forwarding. It returns either the next
 // hop (done=false) or the final outcome (done=true, reply possibly nil).
 func (c *sendCtx) process(r *Router, prev RouterID, f *frame) (next RouterID, reply []byte, done bool) {
-	received := f.stack.Clone()
+	// Snapshot the stack as received into per-Send scratch: the RFC 4950
+	// quote must show the pre-processing LSEs while forwarding mutates the
+	// frame's stack in place.
+	received := append(c.scr.received[:0], f.stack...)
+	c.scr.received = received
 	rcvIPTTL := f.ip.TTL
 	inIface := c.inIface(r, prev)
 
@@ -155,7 +183,7 @@ func (c *sendCtx) process(r *Router, prev RouterID, f *frame) (next RouterID, re
 				e := c.n.routers[fec]
 				if e.ID == r.ID {
 					// Active segment completed at this node: pop.
-					f.stack = f.stack.Pop()
+					f.popStack()
 					c.popTTLAdjust(f, eff)
 					continue
 				}
@@ -166,12 +194,12 @@ func (c *sendCtx) process(r *Router, prev RouterID, f *frame) (next RouterID, re
 				}
 				nhr := c.n.routers[nh]
 				if c.n.SRPHPEnabled && nh == e.ID {
-					f.stack = f.stack.Pop()
+					f.popStack()
 					c.popTTLAdjust(f, eff)
 					return nh, nil, false
 				}
 				if out, ok := c.n.srLabelAt(nhr, e); ok {
-					f.stack = f.stack.Swap(out)
+					f.stack[0].Label = out
 					f.stack[0].TTL = eff
 					return nh, nil, false
 				}
@@ -180,12 +208,12 @@ func (c *sendCtx) process(r *Router, prev RouterID, f *frame) (next RouterID, re
 				// LDP binding toward the same FEC.
 				if nh == e.ID {
 					// LDP implicit null at the penultimate hop.
-					f.stack = f.stack.Pop()
+					f.popStack()
 					c.popTTLAdjust(f, eff)
 					return nh, nil, false
 				}
 				if out, ok := nhr.ldpOut[e.ID]; ok {
-					f.stack = f.stack.Swap(out)
+					f.stack[0].Label = out
 					f.stack[0].TTL = eff
 					return nh, nil, false
 				}
@@ -194,21 +222,21 @@ func (c *sendCtx) process(r *Router, prev RouterID, f *frame) (next RouterID, re
 			case labelService:
 				// Service SID terminating here: consume it and continue
 				// processing the rest of the packet locally.
-				f.stack = f.stack.Pop()
+				f.popStack()
 				c.popTTLAdjust(f, eff)
 				continue
 			case labelExplicitNull:
 				// Reserved label 0 (RFC 3032): pop and forward by the IP
 				// header (or by the next label, for robustness).
-				f.stack = f.stack.Pop()
+				f.popStack()
 				c.popTTLAdjust(f, eff)
 				continue
 			case labelELI:
 				// Entropy label indicator (RFC 6790): the ELI and the
 				// entropy label beneath it are consumed together.
-				f.stack = f.stack.Pop()
+				f.popStack()
 				if len(f.stack) > 0 {
-					f.stack = f.stack.Pop()
+					f.popStack()
 				}
 				c.popTTLAdjust(f, eff)
 				continue
@@ -217,13 +245,13 @@ func (c *sendCtx) process(r *Router, prev RouterID, f *frame) (next RouterID, re
 					c.n.met.dropLinkDown.Inc()
 					return 0, nil, true // adjacency segment over a dead link
 				}
-				f.stack = f.stack.Pop()
+				f.popStack()
 				c.popTTLAdjust(f, eff)
 				return nbr, nil, false
 			case labelLDP:
 				e := c.n.routers[fec]
 				if e.ID == r.ID {
-					f.stack = f.stack.Pop()
+					f.popStack()
 					c.popTTLAdjust(f, eff)
 					continue
 				}
@@ -238,17 +266,17 @@ func (c *sendCtx) process(r *Router, prev RouterID, f *frame) (next RouterID, re
 						if e.Profile.ExplicitNull {
 							// The egress advertised explicit null: swap
 							// to label 0 instead of popping.
-							f.stack = f.stack.Swap(mpls.LabelIPv4ExplicitNull)
+							f.stack[0].Label = mpls.LabelIPv4ExplicitNull
 							f.stack[0].TTL = eff
 							return nh, nil, false
 						}
 						// Penultimate-hop popping (implicit null).
-						f.stack = f.stack.Pop()
+						f.popStack()
 						c.popTTLAdjust(f, eff)
 						return nh, nil, false
 					}
 					if out, ok := nhr.ldpOut[e.ID]; ok {
-						f.stack = f.stack.Swap(out)
+						f.stack[0].Label = out
 						f.stack[0].TTL = eff
 						return nh, nil, false
 					}
@@ -259,7 +287,7 @@ func (c *sendCtx) process(r *Router, prev RouterID, f *frame) (next RouterID, re
 				// bindings mirroring node SIDs, so the frame continues on
 				// the neighbor's SR label for the same FEC.
 				if out, ok := c.n.srLabelAt(nhr, e); ok {
-					f.stack = f.stack.Swap(out)
+					f.stack[0].Label = out
 					f.stack[0].TTL = eff
 					return nh, nil, false
 				}
@@ -344,13 +372,14 @@ func (c *sendCtx) push(r *Router, egress *Router, f *frame, defaultNh RouterID) 
 
 	switch mode {
 	case ModeSR:
-		segs := SegmentList{{Node: egress.ID}}
+		c.scr.segBuf[0] = Segment{Node: egress.ID}
+		segs := SegmentList(c.scr.segBuf[:1])
 		if c.n.SRPolicy != nil {
 			if s := c.n.SRPolicy(r, egress.ID, f.ip.Dst, c.flow); len(s) > 0 {
 				segs = s
 			}
 		}
-		stack, ok := c.n.buildSRStack(r, segs, c.flow, lseTTL)
+		stack, ok := c.n.buildSRStack(c.scr.stackBuf[:0], r, segs, c.flow, lseTTL)
 		if !ok {
 			// Destination has no SID (LDP-only egress, no mapping server):
 			// fall back to LDP, but only if this router actually runs LDP —
@@ -360,6 +389,7 @@ func (c *sendCtx) push(r *Router, egress *Router, f *frame, defaultNh RouterID) 
 			}
 			return false, 0
 		}
+		c.scr.stackBuf = stack
 		// First segment may terminate at the next hop under PHP.
 		nh, ok2 := c.n.NextHop(r.ID, firstNodeOf(segs, egress.ID), c.flow)
 		if !ok2 {
@@ -389,27 +419,31 @@ func (c *sendCtx) pushLDP(r *Router, egress *Router, f *frame, lseTTL uint8) (bo
 	if !ok {
 		return false, 0
 	}
-	var inner *mpls.LSE
+	var inner mpls.LSE
+	haveInner := false
 	if c.n.LDPStackPolicy != nil {
 		if l, ok2 := c.n.LDPStackPolicy(r, egress.ID, f.ip.Dst); ok2 {
-			inner = &mpls.LSE{Label: l, TTL: lseTTL}
+			inner = mpls.LSE{Label: l, TTL: lseTTL}
+			haveInner = true
 		}
 	}
+	stack := c.scr.stackBuf[:0]
 	if nh == egress.ID {
 		// An adjacent egress advertised implicit null (no transport label)
 		// or explicit null (label 0); a service label, if any, still rides
 		// to the egress.
-		var stack mpls.Stack
 		if egress.Profile.ExplicitNull {
-			stack = mpls.Stack{{Label: mpls.LabelIPv4ExplicitNull, TTL: lseTTL}}
+			stack = append(stack, mpls.LSE{Label: mpls.LabelIPv4ExplicitNull, TTL: lseTTL})
 		}
-		if inner != nil {
-			stack = append(stack, *inner)
+		if haveInner {
+			stack = append(stack, inner)
 		}
 		if len(stack) == 0 {
 			return false, 0
 		}
-		f.stack = c.appendEntropy(r, egress.ID, f, stack, lseTTL)
+		stack = c.appendEntropy(r, egress.ID, f, stack, lseTTL)
+		c.scr.stackBuf = stack
+		f.stack = stack
 		return true, nh
 	}
 	nhr := c.n.routers[nh]
@@ -424,11 +458,13 @@ func (c *sendCtx) pushLDP(r *Router, egress *Router, f *frame, lseTTL uint8) (bo
 	} else {
 		return false, 0
 	}
-	f.stack = mpls.Stack{{Label: label, TTL: lseTTL}}
-	if inner != nil {
-		f.stack = append(f.stack, *inner)
+	stack = append(stack, mpls.LSE{Label: label, TTL: lseTTL})
+	if haveInner {
+		stack = append(stack, inner)
 	}
-	f.stack = c.appendEntropy(r, egress.ID, f, f.stack, lseTTL)
+	stack = c.appendEntropy(r, egress.ID, f, stack, lseTTL)
+	c.scr.stackBuf = stack
+	f.stack = stack
 	return true, nh
 }
 
@@ -492,14 +528,17 @@ func (c *sendCtx) nextIPID(r *Router) uint16 {
 	return r.ipIDBase + r.ipIDStride*uint16(cnt)
 }
 
-// quoteBytes rebuilds the original datagram as the replying router saw it.
-func quoteBytes(f *frame, rcvTTL uint8) []byte {
-	q := *f.ip
-	q.TTL = rcvTTL
-	b, err := q.Marshal()
+// quoteBytes rebuilds the original datagram as the replying router saw it,
+// serializing into per-Send scratch.
+func (c *sendCtx) quoteBytes(f *frame, rcvTTL uint8) []byte {
+	s := c.scr
+	s.qip = *f.ip
+	s.qip.TTL = rcvTTL
+	b, err := s.qip.AppendMarshal(s.quote[:0])
 	if err != nil {
 		return nil
 	}
+	s.quote = b
 	return b
 }
 
@@ -532,18 +571,27 @@ func (c *sendCtx) icmpLost(r *Router, f *frame) bool {
 	return float64(h%10000)/10000 < p
 }
 
+// icmpError builds a serialized ICMP error reply. All intermediate pieces
+// (quote, RFC 4950 object, ICMP message) live in per-Send scratch; the
+// only allocation is the returned reply wire, which the caller owns.
 func (c *sendCtx) icmpError(r *Router, src netip.Addr, typ, code uint8, f *frame, received mpls.Stack, rcvTTL uint8) []byte {
-	msg := &pkt.ICMP{Type: typ, Code: code, Body: quoteBytes(f, rcvTTL)}
+	s := c.scr
+	s.msg = pkt.ICMP{Type: typ, Code: code, Body: c.quoteBytes(f, rcvTTL)}
 	if r.Profile.RFC4950 && len(received) > 0 {
-		if obj, err := pkt.NewMPLSExtension(received); err == nil {
-			msg.Extensions = []pkt.ExtensionObject{obj}
+		if extb, err := received.AppendMarshal(s.extBuf[:0]); err == nil {
+			s.extBuf = extb
+			s.extObjs[0] = pkt.ExtensionObject{
+				Class: pkt.ClassMPLSLabelStack, CType: pkt.CTypeIncomingStack, Payload: extb,
+			}
+			s.msg.Extensions = s.extObjs[:1]
 		}
 	}
-	payload, err := msg.Marshal()
+	payload, err := s.msg.AppendMarshal(s.payload[:0])
 	if err != nil {
 		c.n.met.dropParse.Inc()
 		return nil
 	}
+	s.payload = payload
 	switch typ {
 	case pkt.ICMPTimeExceeded:
 		c.n.met.icmpTimeEx.Inc()
@@ -557,7 +605,7 @@ func (c *sendCtx) icmpError(r *Router, src netip.Addr, typ, code uint8, f *frame
 	if outTTL < 1 {
 		outTTL = 1
 	}
-	out := &pkt.IPv4{
+	s.out = pkt.IPv4{
 		TTL:      uint8(outTTL),
 		Protocol: pkt.ProtoICMP,
 		ID:       c.nextIPID(r),
@@ -565,7 +613,7 @@ func (c *sendCtx) icmpError(r *Router, src netip.Addr, typ, code uint8, f *frame
 		Dst:      f.ip.Src,
 		Payload:  payload,
 	}
-	b, err := out.Marshal()
+	b, err := s.out.AppendMarshal(make([]byte, 0, pkt.IPv4HeaderLen+len(payload)))
 	if err != nil {
 		return nil
 	}
@@ -608,16 +656,17 @@ func (c *sendCtx) echoReply(r *Router, f *frame) []byte {
 		c.n.met.dropSilent.Inc()
 		return nil
 	}
-	req, err := pkt.UnmarshalICMP(f.ip.Payload)
-	if err != nil || req.Type != pkt.ICMPEchoRequest {
+	s := c.scr
+	if err := pkt.UnmarshalICMPInto(&s.echo, f.ip.Payload); err != nil || s.echo.Type != pkt.ICMPEchoRequest {
 		c.n.met.dropParse.Inc()
 		return nil
 	}
-	rep := &pkt.ICMP{Type: pkt.ICMPEchoReply, ID: req.ID, Seq: req.Seq, Body: req.Body}
-	payload, err := rep.Marshal()
+	s.msg = pkt.ICMP{Type: pkt.ICMPEchoReply, ID: s.echo.ID, Seq: s.echo.Seq, Body: s.echo.Body}
+	payload, err := s.msg.AppendMarshal(s.payload[:0])
 	if err != nil {
 		return nil
 	}
+	s.payload = payload
 	ret := c.retDist(r)
 	c.lastRetDist = ret
 	outTTL := int(r.Profile.InitialTTLEchoReply) - ret
@@ -628,7 +677,7 @@ func (c *sendCtx) echoReply(r *Router, f *frame) []byte {
 	if _, ok := c.n.addrOwner[src]; !ok {
 		src = r.Loopback
 	}
-	out := &pkt.IPv4{
+	s.out = pkt.IPv4{
 		TTL:      uint8(outTTL),
 		Protocol: pkt.ProtoICMP,
 		ID:       c.nextIPID(r),
@@ -636,7 +685,7 @@ func (c *sendCtx) echoReply(r *Router, f *frame) []byte {
 		Dst:      f.ip.Src,
 		Payload:  payload,
 	}
-	b, err := out.Marshal()
+	b, err := s.out.AppendMarshal(make([]byte, 0, pkt.IPv4HeaderLen+len(payload)))
 	if err != nil {
 		c.n.met.dropParse.Inc()
 		return nil
@@ -649,27 +698,29 @@ func (c *sendCtx) echoReply(r *Router, f *frame) []byte {
 // for UDP probes to closed ports, echo replies for pings.
 func (c *sendCtx) hostReply(h *Host, gw *Router, f *frame) []byte {
 	const hostInitTTL = 64
+	s := c.scr
 	var payload []byte
 	switch f.ip.Protocol {
 	case pkt.ProtoUDP:
-		msg := &pkt.ICMP{Type: pkt.ICMPDestUnreachable, Code: pkt.CodePortUnreachable, Body: quoteBytes(f, f.ip.TTL)}
-		b, err := msg.Marshal()
+		s.msg = pkt.ICMP{Type: pkt.ICMPDestUnreachable, Code: pkt.CodePortUnreachable, Body: c.quoteBytes(f, f.ip.TTL)}
+		b, err := s.msg.AppendMarshal(s.payload[:0])
 		if err != nil {
 			return nil
 		}
+		s.payload = b
 		payload = b
 	case pkt.ProtoICMP:
-		req, err := pkt.UnmarshalICMP(f.ip.Payload)
-		if err != nil || req.Type != pkt.ICMPEchoRequest {
+		if err := pkt.UnmarshalICMPInto(&s.echo, f.ip.Payload); err != nil || s.echo.Type != pkt.ICMPEchoRequest {
 			c.n.met.dropParse.Inc()
 			return nil
 		}
-		rep := &pkt.ICMP{Type: pkt.ICMPEchoReply, ID: req.ID, Seq: req.Seq, Body: req.Body}
-		b, err := rep.Marshal()
+		s.msg = pkt.ICMP{Type: pkt.ICMPEchoReply, ID: s.echo.ID, Seq: s.echo.Seq, Body: s.echo.Body}
+		b, err := s.msg.AppendMarshal(s.payload[:0])
 		if err != nil {
 			c.n.met.dropParse.Inc()
 			return nil
 		}
+		s.payload = b
 		payload = b
 	default:
 		return nil
@@ -680,14 +731,14 @@ func (c *sendCtx) hostReply(h *Host, gw *Router, f *frame) []byte {
 	if outTTL < 1 {
 		outTTL = 1
 	}
-	out := &pkt.IPv4{
+	s.out = pkt.IPv4{
 		TTL:      uint8(outTTL),
 		Protocol: pkt.ProtoICMP,
 		Src:      h.Addr,
 		Dst:      f.ip.Src,
 		Payload:  payload,
 	}
-	b, err := out.Marshal()
+	b, err := s.out.AppendMarshal(make([]byte, 0, pkt.IPv4HeaderLen+len(payload)))
 	if err != nil {
 		c.n.met.dropParse.Inc()
 		return nil

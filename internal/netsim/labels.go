@@ -106,8 +106,10 @@ type Segment struct {
 // active. atFirst is the first router that will read the top label (the
 // ingress's next hop, or the ingress itself when it processes its own
 // push — we model the push as interpreted by the ingress's next hop).
-func (n *Network) buildSRStack(ingress *Router, segs SegmentList, flow uint64, ttl uint8) (mpls.Stack, bool) {
-	var stack mpls.Stack
+// The stack is appended onto dst (pass dst[:0] to reuse a scratch buffer);
+// on failure the partially appended contents are discarded by the caller.
+func (n *Network) buildSRStack(dst mpls.Stack, ingress *Router, segs SegmentList, flow uint64, ttl uint8) (mpls.Stack, bool) {
+	stack := dst
 	cur := ingress // router at which the *next* segment becomes active
 	for i, s := range segs {
 		switch {

@@ -1,0 +1,358 @@
+package pkt
+
+import (
+	"bytes"
+	"math/rand"
+	"net/netip"
+	"testing"
+
+	"arest/internal/mpls"
+)
+
+// The append-style fast path must be byte-identical to the legacy Marshal
+// API under every buffer condition that scratch reuse produces: nil dst,
+// a dst with a live prefix, and a dirty recycled buffer whose old contents
+// must never leak into the new encoding. Likewise the Into decoders must
+// yield the same message the copying decoders do.
+
+const equivRounds = 200
+
+func randV4(rng *rand.Rand) netip.Addr {
+	var a [4]byte
+	rng.Read(a[:])
+	return netip.AddrFrom4(a)
+}
+
+func randV6(rng *rand.Rand) netip.Addr {
+	var a [16]byte
+	rng.Read(a[:])
+	return netip.AddrFrom16(a)
+}
+
+func randBytes(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+// checkAppendEquiv verifies one message's append encoding against the
+// legacy output under the three buffer conditions. scratch is reused and
+// returned so successive calls exercise genuinely dirty buffers.
+func checkAppendEquiv(t *testing.T, want []byte, scratch []byte,
+	appendFn func(dst []byte) ([]byte, error)) []byte {
+	t.Helper()
+	got, err := appendFn(nil)
+	if err != nil {
+		t.Fatalf("AppendMarshal(nil): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("AppendMarshal(nil) differs from Marshal:\n got %x\nwant %x", got, want)
+	}
+	prefix := []byte{0xde, 0xad, 0xbe, 0xef}
+	got, err = appendFn(prefix)
+	if err != nil {
+		t.Fatalf("AppendMarshal(prefix): %v", err)
+	}
+	if !bytes.Equal(got[:4], prefix) {
+		t.Fatalf("AppendMarshal clobbered its prefix: %x", got[:4])
+	}
+	if !bytes.Equal(got[4:], want) {
+		t.Fatalf("AppendMarshal(prefix) suffix differs:\n got %x\nwant %x", got[4:], want)
+	}
+	// Dirty recycled buffer: poison whatever capacity is there, then
+	// append from length zero. Any stale byte showing through means an
+	// encoder skipped part of the region it claimed.
+	for i := range scratch[:cap(scratch)] {
+		scratch[:cap(scratch)][i] = 0xa5
+	}
+	got, err = appendFn(scratch[:0])
+	if err != nil {
+		t.Fatalf("AppendMarshal(dirty): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("AppendMarshal(dirty scratch) differs:\n got %x\nwant %x", got, want)
+	}
+	return got
+}
+
+func TestAppendMarshalEquivalenceIPv4(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	var scratch []byte
+	for i := 0; i < equivRounds; i++ {
+		p := &IPv4{
+			TTL:      uint8(1 + rng.Intn(255)),
+			Protocol: uint8(rng.Intn(256)),
+			ID:       uint16(rng.Intn(1 << 16)),
+			DontFrag: rng.Intn(2) == 0,
+			Src:      randV4(rng),
+			Dst:      randV4(rng),
+			Payload:  randBytes(rng, rng.Intn(64)),
+		}
+		want, err := p.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		scratch = checkAppendEquiv(t, want, scratch, p.AppendMarshal)
+	}
+}
+
+func TestAppendMarshalEquivalenceUDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(402))
+	var scratch []byte
+	for i := 0; i < equivRounds; i++ {
+		src, dst := randV4(rng), randV4(rng)
+		u := &UDP{
+			SrcPort: uint16(rng.Intn(1 << 16)),
+			DstPort: uint16(rng.Intn(1 << 16)),
+			Payload: randBytes(rng, rng.Intn(64)),
+		}
+		want, err := u.Marshal(src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scratch = checkAppendEquiv(t, want, scratch, func(b []byte) ([]byte, error) {
+			return u.AppendMarshal(b, src, dst)
+		})
+	}
+}
+
+// randICMP builds a random echo or error message; error messages quote a
+// valid serialized IPv4 datagram and half of them carry an RFC 4950 stack.
+func randICMP(t *testing.T, rng *rand.Rand) *ICMP {
+	t.Helper()
+	if rng.Intn(2) == 0 {
+		typ := uint8(ICMPEchoRequest)
+		if rng.Intn(2) == 0 {
+			typ = ICMPEchoReply
+		}
+		return &ICMP{Type: typ, ID: uint16(rng.Intn(1 << 16)),
+			Seq: uint16(rng.Intn(1 << 16)), Body: randBytes(rng, rng.Intn(48))}
+	}
+	quoted := &IPv4{TTL: 1, Protocol: ProtoUDP, ID: uint16(rng.Intn(1 << 16)),
+		Src: randV4(rng), Dst: randV4(rng), Payload: randBytes(rng, 8+rng.Intn(24))}
+	qb, err := quoted.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &ICMP{Type: ICMPTimeExceeded, Code: CodeTTLExceeded, Body: qb}
+	if rng.Intn(2) == 0 {
+		m.Type, m.Code = ICMPDestUnreachable, CodePortUnreachable
+	}
+	if rng.Intn(2) == 0 {
+		stack := make(mpls.Stack, 1+rng.Intn(4))
+		for j := range stack {
+			stack[j] = mpls.LSE{Label: uint32(16 + rng.Intn(1<<20-16)),
+				TC: uint8(rng.Intn(8)), TTL: uint8(rng.Intn(256))}
+		}
+		obj, err := NewMPLSExtension(stack)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Extensions = []ExtensionObject{obj}
+	}
+	return m
+}
+
+func icmpEqual(a, b *ICMP) bool {
+	if a.Type != b.Type || a.Code != b.Code || a.ID != b.ID || a.Seq != b.Seq {
+		return false
+	}
+	if !bytes.Equal(a.Body, b.Body) || len(a.Extensions) != len(b.Extensions) {
+		return false
+	}
+	for i := range a.Extensions {
+		if a.Extensions[i].Class != b.Extensions[i].Class ||
+			a.Extensions[i].CType != b.Extensions[i].CType ||
+			!bytes.Equal(a.Extensions[i].Payload, b.Extensions[i].Payload) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAppendMarshalEquivalenceICMP(t *testing.T) {
+	rng := rand.New(rand.NewSource(403))
+	var scratch []byte
+	var into ICMP
+	for i := 0; i < equivRounds; i++ {
+		m := randICMP(t, rng)
+		want, err := m.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		scratch = checkAppendEquiv(t, want, scratch, m.AppendMarshal)
+
+		legacy, err := UnmarshalICMP(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := UnmarshalICMPInto(&into, want); err != nil {
+			t.Fatalf("UnmarshalICMPInto: %v", err)
+		}
+		if !icmpEqual(legacy, &into) {
+			t.Fatalf("Into decode differs from legacy:\nlegacy %+v\n  into %+v", legacy, &into)
+		}
+	}
+}
+
+func TestAppendMarshalEquivalenceICMPv6(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	var scratch []byte
+	var into ICMPv6
+	for i := 0; i < equivRounds; i++ {
+		src, dst := randV6(rng), randV6(rng)
+		var m *ICMPv6
+		if rng.Intn(2) == 0 {
+			typ := uint8(ICMPv6EchoRequest)
+			if rng.Intn(2) == 0 {
+				typ = ICMPv6EchoReply
+			}
+			m = &ICMPv6{Type: typ, ID: uint16(rng.Intn(1 << 16)),
+				Seq: uint16(rng.Intn(1 << 16)), Body: randBytes(rng, rng.Intn(48))}
+		} else {
+			quoted := &IPv6{NextHeader: ProtoICMPv6, HopLimit: 1,
+				Src: randV6(rng), Dst: randV6(rng), Payload: randBytes(rng, 8+rng.Intn(24))}
+			qb, err := quoted.Marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			m = &ICMPv6{Type: ICMPv6TimeExceeded, Body: qb}
+			if rng.Intn(2) == 0 {
+				stack := mpls.Stack{{Label: uint32(16 + rng.Intn(1<<19)), TTL: uint8(rng.Intn(256))}}
+				obj, err := NewMPLSExtension(stack)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m.Extensions = []ExtensionObject{obj}
+			}
+		}
+		want, err := m.Marshal(src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scratch = checkAppendEquiv(t, want, scratch, func(b []byte) ([]byte, error) {
+			return m.AppendMarshal(b, src, dst)
+		})
+
+		legacy, err := UnmarshalICMPv6(src, dst, want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := UnmarshalICMPv6Into(&into, src, dst, want); err != nil {
+			t.Fatalf("UnmarshalICMPv6Into: %v", err)
+		}
+		if legacy.Type != into.Type || legacy.Code != into.Code ||
+			legacy.ID != into.ID || legacy.Seq != into.Seq ||
+			!bytes.Equal(legacy.Body, into.Body) ||
+			len(legacy.Extensions) != len(into.Extensions) {
+			t.Fatalf("Into decode differs from legacy:\nlegacy %+v\n  into %+v", legacy, &into)
+		}
+	}
+}
+
+func TestAppendMarshalEquivalenceIPv6AndSRH(t *testing.T) {
+	rng := rand.New(rand.NewSource(405))
+	var scratch, scratch2 []byte
+	var intoIP IPv6
+	var intoSRH SRH
+	for i := 0; i < equivRounds; i++ {
+		p := &IPv6{
+			TrafficClass: uint8(rng.Intn(256)),
+			FlowLabel:    uint32(rng.Intn(1 << 20)),
+			NextHeader:   uint8(rng.Intn(256)),
+			HopLimit:     uint8(rng.Intn(256)),
+			Src:          randV6(rng),
+			Dst:          randV6(rng),
+			Payload:      randBytes(rng, rng.Intn(64)),
+		}
+		want, err := p.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		scratch = checkAppendEquiv(t, want, scratch, p.AppendMarshal)
+		if err := UnmarshalIPv6Into(&intoIP, want); err != nil {
+			t.Fatal(err)
+		}
+		legacy, err := UnmarshalIPv6(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if legacy.Src != intoIP.Src || legacy.Dst != intoIP.Dst ||
+			!bytes.Equal(legacy.Payload, intoIP.Payload) {
+			t.Fatalf("IPv6 Into decode differs from legacy")
+		}
+
+		nseg := 1 + rng.Intn(5)
+		h := &SRH{NextHeader: ProtoICMPv6, SegmentsLeft: uint8(rng.Intn(nseg + 1)),
+			Segments: make([]netip.Addr, nseg)}
+		for j := range h.Segments {
+			h.Segments[j] = randV6(rng)
+		}
+		wantSRH, err := h.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		scratch2 = checkAppendEquiv(t, wantSRH, scratch2, h.AppendMarshal)
+		n, err := UnmarshalSRHInto(&intoSRH, wantSRH)
+		if err != nil || n != len(wantSRH) {
+			t.Fatalf("UnmarshalSRHInto: n=%d err=%v", n, err)
+		}
+		legacySRH, n2, err := UnmarshalSRH(wantSRH)
+		if err != nil || n2 != n {
+			t.Fatalf("UnmarshalSRH: n=%d err=%v", n2, err)
+		}
+		if legacySRH.SegmentsLeft != intoSRH.SegmentsLeft ||
+			len(legacySRH.Segments) != len(intoSRH.Segments) {
+			t.Fatalf("SRH Into decode differs from legacy")
+		}
+		for j := range legacySRH.Segments {
+			if legacySRH.Segments[j] != intoSRH.Segments[j] {
+				t.Fatalf("SRH segment %d differs", j)
+			}
+		}
+	}
+}
+
+func TestAppendMarshalEquivalenceMPLSStack(t *testing.T) {
+	rng := rand.New(rand.NewSource(406))
+	var scratch []byte
+	for i := 0; i < equivRounds; i++ {
+		stack := make(mpls.Stack, 1+rng.Intn(6))
+		for j := range stack {
+			stack[j] = mpls.LSE{Label: uint32(rng.Intn(1 << 20)),
+				TC: uint8(rng.Intn(8)), TTL: uint8(rng.Intn(256))}
+		}
+		want, err := stack.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		scratch = checkAppendEquiv(t, want, scratch, stack.AppendMarshal)
+	}
+}
+
+// The Into decoders alias their input; the legacy wrappers must not. A
+// caller-visible difference here would let a recycled reply buffer rewrite
+// history inside an already-returned packet.
+func TestUnmarshalIntoAliasesLegacyCopies(t *testing.T) {
+	p := &IPv4{TTL: 9, Protocol: ProtoUDP, Src: netip.MustParseAddr("10.0.0.1"),
+		Dst: netip.MustParseAddr("10.0.0.2"), Payload: []byte{1, 2, 3, 4}}
+	wire, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := UnmarshalIPv4(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var into IPv4
+	if err := UnmarshalIPv4Into(&into, wire); err != nil {
+		t.Fatal(err)
+	}
+	wire[IPv4HeaderLen] = 0xff
+	if into.Payload[0] != 0xff {
+		t.Fatal("UnmarshalIPv4Into should alias the input buffer")
+	}
+	if legacy.Payload[0] != 1 {
+		t.Fatal("UnmarshalIPv4 must own its payload copy")
+	}
+}

@@ -62,124 +62,140 @@ func (m *ICMP) IsError() bool {
 // emitted in RFC 4884 form: the original datagram padded to 128 bytes, the
 // length field set, and a checksummed extension structure appended.
 func (m *ICMP) Marshal() ([]byte, error) {
+	return m.AppendMarshal(nil)
+}
+
+// AppendMarshal serializes the message onto dst and returns the extended
+// slice, allocating only when dst lacks capacity. The appended bytes are
+// identical to Marshal's output; every byte of the appended region is
+// written, so dst may be a recycled scratch buffer.
+func (m *ICMP) AppendMarshal(dst []byte) ([]byte, error) {
+	off := len(dst)
 	var b []byte
 	switch {
 	case m.Type == ICMPEchoRequest || m.Type == ICMPEchoReply:
-		b = make([]byte, icmpHeaderLen+len(m.Body))
-		binary.BigEndian.PutUint16(b[4:], m.ID)
-		binary.BigEndian.PutUint16(b[6:], m.Seq)
-		copy(b[icmpHeaderLen:], m.Body)
+		var o int
+		b, o = grow(dst, icmpHeaderLen+len(m.Body))
+		binary.BigEndian.PutUint16(b[o+4:], m.ID)
+		binary.BigEndian.PutUint16(b[o+6:], m.Seq)
+		copy(b[o+icmpHeaderLen:], m.Body)
 	case m.IsError():
-		orig := m.Body
 		if len(m.Extensions) > 0 {
-			padded := make([]byte, origDatagramPadLen)
-			if len(orig) > origDatagramPadLen {
-				orig = orig[:origDatagramPadLen]
-			}
-			copy(padded, orig)
-			ext, err := marshalExtensions(m.Extensions)
+			var o int
+			b, o = grow(dst, icmpHeaderLen)
+			b[o+4] = 0
+			b[o+5] = origDatagramPadLen / 4 // RFC 4884 length field, 32-bit words
+			b[o+6], b[o+7] = 0, 0
+			b = appendPaddedOriginal(b, m.Body)
+			var err error
+			b, err = appendExtensions(b, m.Extensions)
 			if err != nil {
 				return nil, err
 			}
-			b = make([]byte, icmpHeaderLen+len(padded)+len(ext))
-			b[5] = origDatagramPadLen / 4 // RFC 4884 length field, 32-bit words
-			copy(b[icmpHeaderLen:], padded)
-			copy(b[icmpHeaderLen+len(padded):], ext)
 		} else {
-			b = make([]byte, icmpHeaderLen+len(orig))
-			copy(b[icmpHeaderLen:], orig)
+			var o int
+			b, o = grow(dst, icmpHeaderLen+len(m.Body))
+			b[o+4], b[o+5], b[o+6], b[o+7] = 0, 0, 0, 0
+			copy(b[o+icmpHeaderLen:], m.Body)
 		}
 	default:
 		return nil, fmt.Errorf("%w: unsupported ICMP type %d", ErrBadHeader, m.Type)
 	}
-	b[0] = m.Type
-	b[1] = m.Code
-	binary.BigEndian.PutUint16(b[2:], Checksum(b))
+	b[off] = m.Type
+	b[off+1] = m.Code
+	b[off+2], b[off+3] = 0, 0
+	binary.BigEndian.PutUint16(b[off+2:], Checksum(b[off:]))
 	return b, nil
 }
 
-func marshalExtensions(objs []ExtensionObject) ([]byte, error) {
-	n := extHeaderLen
-	for _, o := range objs {
-		n += objectHeaderLen + len(o.Payload)
-	}
-	b := make([]byte, n)
-	b[0] = ExtensionVersion << 4
-	off := extHeaderLen
-	for _, o := range objs {
-		olen := objectHeaderLen + len(o.Payload)
+// appendExtensions appends the RFC 4884 extension structure (version
+// header, checksum, objects) onto dst.
+func appendExtensions(dst []byte, objs []ExtensionObject) ([]byte, error) {
+	off := len(dst)
+	b, o := grow(dst, extHeaderLen)
+	b[o] = ExtensionVersion << 4
+	b[o+1], b[o+2], b[o+3] = 0, 0, 0
+	for i := range objs {
+		olen := objectHeaderLen + len(objs[i].Payload)
 		if olen > 0xffff {
 			return nil, fmt.Errorf("%w: object too large", ErrBadExtension)
 		}
-		binary.BigEndian.PutUint16(b[off:], uint16(olen))
-		b[off+2] = o.Class
-		b[off+3] = o.CType
-		copy(b[off+objectHeaderLen:], o.Payload)
-		off += olen
+		b, o = grow(b, olen)
+		binary.BigEndian.PutUint16(b[o:], uint16(olen))
+		b[o+2] = objs[i].Class
+		b[o+3] = objs[i].CType
+		copy(b[o+objectHeaderLen:], objs[i].Payload)
 	}
-	binary.BigEndian.PutUint16(b[2:], Checksum(b))
+	binary.BigEndian.PutUint16(b[off+2:], Checksum(b[off:]))
 	return b, nil
 }
 
 // UnmarshalICMP parses an ICMPv4 message, verifying the message checksum
-// and, when present, the RFC 4884 extension structure checksum.
+// and, when present, the RFC 4884 extension structure checksum. The
+// returned message owns its body and extension payloads.
 func UnmarshalICMP(b []byte) (*ICMP, error) {
+	m := new(ICMP)
+	if err := UnmarshalICMPInto(m, b); err != nil {
+		return nil, err
+	}
+	m.Body = append([]byte(nil), m.Body...)
+	for i := range m.Extensions {
+		m.Extensions[i].Payload = append([]byte(nil), m.Extensions[i].Payload...)
+	}
+	return m, nil
+}
+
+// UnmarshalICMPInto parses an ICMPv4 message into m without allocating
+// beyond m's own reusable storage: m.Body and every extension payload
+// alias b, and m.Extensions reuses its previous capacity. b must stay live
+// and unmodified for as long as m is in use. Verification matches
+// UnmarshalICMP.
+func UnmarshalICMPInto(m *ICMP, b []byte) error {
 	if len(b) < icmpHeaderLen {
-		return nil, ErrShortPacket
+		return ErrShortPacket
 	}
 	if Checksum(b) != 0 {
-		return nil, ErrBadChecksum
+		return ErrBadChecksum
 	}
-	m := &ICMP{Type: b[0], Code: b[1]}
+	ext := m.Extensions[:0]
+	*m = ICMP{Type: b[0], Code: b[1]}
 	switch {
 	case m.Type == ICMPEchoRequest || m.Type == ICMPEchoReply:
 		m.ID = binary.BigEndian.Uint16(b[4:])
 		m.Seq = binary.BigEndian.Uint16(b[6:])
-		m.Body = append([]byte(nil), b[icmpHeaderLen:]...)
+		m.Body = b[icmpHeaderLen:]
 	case m.IsError():
 		words := int(b[5])
 		rest := b[icmpHeaderLen:]
 		if words == 0 {
 			// No extensions signalled: everything is original datagram.
-			m.Body = append([]byte(nil), rest...)
-			return m, nil
+			m.Body = rest
+			return nil
 		}
 		origLen := words * 4
 		if origLen < origDatagramPadLen {
 			// RFC 4884: the original datagram field must be at least
 			// 128 bytes when the length attribute is used.
-			return nil, fmt.Errorf("%w: length field %d words", ErrBadExtension, words)
+			return fmt.Errorf("%w: length field %d words", ErrBadExtension, words)
 		}
 		if len(rest) < origLen {
-			return nil, fmt.Errorf("%w: original datagram truncated", ErrBadExtension)
+			return fmt.Errorf("%w: original datagram truncated", ErrBadExtension)
 		}
 		m.Body = trimOriginal(rest[:origLen])
-		ext := rest[origLen:]
-		objs, err := unmarshalExtensions(ext)
+		objs, err := appendUnmarshaledExtensions(ext, rest[origLen:])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		m.Extensions = objs
 	default:
-		return nil, fmt.Errorf("%w: unsupported ICMP type %d", ErrBadHeader, m.Type)
+		return fmt.Errorf("%w: unsupported ICMP type %d", ErrBadHeader, m.Type)
 	}
-	return m, nil
+	return nil
 }
 
-// trimOriginal strips RFC 4884 zero padding from a quoted datagram by
-// re-reading the quoted IPv4 total length. If the quote is not parseable
-// the padded field is returned as-is.
-func trimOriginal(b []byte) []byte {
-	if len(b) >= IPv4HeaderLen && b[0]>>4 == 4 {
-		total := int(binary.BigEndian.Uint16(b[2:]))
-		if total >= IPv4HeaderLen && total <= len(b) {
-			return append([]byte(nil), b[:total]...)
-		}
-	}
-	return append([]byte(nil), b...)
-}
-
-func unmarshalExtensions(b []byte) ([]ExtensionObject, error) {
+// appendUnmarshaledExtensions parses an RFC 4884 extension structure,
+// appending the objects onto dst. Object payloads alias b.
+func appendUnmarshaledExtensions(dst []ExtensionObject, b []byte) ([]ExtensionObject, error) {
 	if len(b) < extHeaderLen {
 		return nil, fmt.Errorf("%w: structure truncated", ErrBadExtension)
 	}
@@ -189,7 +205,7 @@ func unmarshalExtensions(b []byte) ([]ExtensionObject, error) {
 	if binary.BigEndian.Uint16(b[2:]) != 0 && Checksum(b) != 0 {
 		return nil, fmt.Errorf("%w: bad extension checksum", ErrBadExtension)
 	}
-	var objs []ExtensionObject
+	objs := dst
 	off := extHeaderLen
 	for off < len(b) {
 		if len(b)-off < objectHeaderLen {
@@ -202,7 +218,7 @@ func unmarshalExtensions(b []byte) ([]ExtensionObject, error) {
 		objs = append(objs, ExtensionObject{
 			Class:   b[off+2],
 			CType:   b[off+3],
-			Payload: append([]byte(nil), b[off+objectHeaderLen:off+olen]...),
+			Payload: b[off+objectHeaderLen : off+olen],
 		})
 		off += olen
 	}

@@ -38,95 +38,110 @@ func (m *ICMPv6) IsError() bool {
 // RFC 4884 form — for ICMPv6 the length attribute sits in the first octet
 // of the unused field and counts 8-octet units.
 func (m *ICMPv6) Marshal(src, dst netip.Addr) ([]byte, error) {
-	if !src.Is6() || !dst.Is6() {
+	return m.AppendMarshal(nil, src, dst)
+}
+
+// AppendMarshal serializes the message onto dst and returns the extended
+// slice, allocating only when dst lacks capacity. The appended bytes are
+// identical to Marshal's output.
+func (m *ICMPv6) AppendMarshal(dst []byte, src, dstAddr netip.Addr) ([]byte, error) {
+	if !src.Is6() || !dstAddr.Is6() {
 		return nil, fmt.Errorf("%w: ICMPv6 needs IPv6 endpoints", ErrBadHeader)
 	}
+	off := len(dst)
 	var b []byte
 	switch {
 	case m.Type == ICMPv6EchoRequest || m.Type == ICMPv6EchoReply:
-		b = make([]byte, icmpHeaderLen+len(m.Body))
-		binary.BigEndian.PutUint16(b[4:], m.ID)
-		binary.BigEndian.PutUint16(b[6:], m.Seq)
-		copy(b[icmpHeaderLen:], m.Body)
+		var o int
+		b, o = grow(dst, icmpHeaderLen+len(m.Body))
+		binary.BigEndian.PutUint16(b[o+4:], m.ID)
+		binary.BigEndian.PutUint16(b[o+6:], m.Seq)
+		copy(b[o+icmpHeaderLen:], m.Body)
 	case m.IsError():
-		orig := m.Body
 		if len(m.Extensions) > 0 {
-			padded := make([]byte, origDatagramPadLen)
-			if len(orig) > origDatagramPadLen {
-				orig = orig[:origDatagramPadLen]
-			}
-			copy(padded, orig)
-			ext, err := marshalExtensions(m.Extensions)
+			var o int
+			b, o = grow(dst, icmpHeaderLen)
+			b[o+4] = origDatagramPadLen / 8 // RFC 4884: 8-octet units for ICMPv6
+			b[o+5], b[o+6], b[o+7] = 0, 0, 0
+			b = appendPaddedOriginal(b, m.Body)
+			var err error
+			b, err = appendExtensions(b, m.Extensions)
 			if err != nil {
 				return nil, err
 			}
-			b = make([]byte, icmpHeaderLen+len(padded)+len(ext))
-			b[4] = origDatagramPadLen / 8 // RFC 4884: 8-octet units for ICMPv6
-			copy(b[icmpHeaderLen:], padded)
-			copy(b[icmpHeaderLen+len(padded):], ext)
 		} else {
-			b = make([]byte, icmpHeaderLen+len(orig))
-			copy(b[icmpHeaderLen:], orig)
+			var o int
+			b, o = grow(dst, icmpHeaderLen+len(m.Body))
+			b[o+4], b[o+5], b[o+6], b[o+7] = 0, 0, 0, 0
+			copy(b[o+icmpHeaderLen:], m.Body)
 		}
 	default:
 		return nil, fmt.Errorf("%w: unsupported ICMPv6 type %d", ErrBadHeader, m.Type)
 	}
-	b[0] = m.Type
-	b[1] = m.Code
-	binary.BigEndian.PutUint16(b[2:], icmp6Checksum(src, dst, b))
+	b[off] = m.Type
+	b[off+1] = m.Code
+	b[off+2], b[off+3] = 0, 0
+	binary.BigEndian.PutUint16(b[off+2:], icmp6Checksum(src, dstAddr, b[off:]))
 	return b, nil
 }
 
 // UnmarshalICMPv6 parses an ICMPv6 message, verifying the pseudo-header
-// checksum and any RFC 4884 extension structure.
+// checksum and any RFC 4884 extension structure. The returned message owns
+// its body and extension payloads.
 func UnmarshalICMPv6(src, dst netip.Addr, b []byte) (*ICMPv6, error) {
-	if len(b) < icmpHeaderLen {
-		return nil, ErrShortPacket
+	m := new(ICMPv6)
+	if err := UnmarshalICMPv6Into(m, src, dst, b); err != nil {
+		return nil, err
 	}
-	if icmp6Checksum(src, dst, b) != 0 {
-		return nil, ErrBadChecksum
-	}
-	m := &ICMPv6{Type: b[0], Code: b[1]}
-	switch {
-	case m.Type == ICMPv6EchoRequest || m.Type == ICMPv6EchoReply:
-		m.ID = binary.BigEndian.Uint16(b[4:])
-		m.Seq = binary.BigEndian.Uint16(b[6:])
-		m.Body = append([]byte(nil), b[icmpHeaderLen:]...)
-	case m.IsError():
-		units := int(b[4])
-		rest := b[icmpHeaderLen:]
-		if units == 0 {
-			m.Body = append([]byte(nil), rest...)
-			return m, nil
-		}
-		origLen := units * 8
-		if origLen < origDatagramPadLen {
-			return nil, fmt.Errorf("%w: length field %d units", ErrBadExtension, units)
-		}
-		if len(rest) < origLen {
-			return nil, fmt.Errorf("%w: original datagram truncated", ErrBadExtension)
-		}
-		m.Body = trimOriginalV6(rest[:origLen])
-		objs, err := unmarshalExtensions(rest[origLen:])
-		if err != nil {
-			return nil, err
-		}
-		m.Extensions = objs
-	default:
-		return nil, fmt.Errorf("%w: unsupported ICMPv6 type %d", ErrBadHeader, m.Type)
+	m.Body = append([]byte(nil), m.Body...)
+	for i := range m.Extensions {
+		m.Extensions[i].Payload = append([]byte(nil), m.Extensions[i].Payload...)
 	}
 	return m, nil
 }
 
-// trimOriginalV6 strips RFC 4884 padding from a quoted IPv6 datagram.
-func trimOriginalV6(b []byte) []byte {
-	if len(b) >= IPv6HeaderLen && b[0]>>4 == 6 {
-		total := IPv6HeaderLen + int(binary.BigEndian.Uint16(b[4:]))
-		if total >= IPv6HeaderLen && total <= len(b) {
-			return append([]byte(nil), b[:total]...)
-		}
+// UnmarshalICMPv6Into parses an ICMPv6 message into m without allocating
+// beyond m's own reusable storage: m.Body and extension payloads alias b,
+// and m.Extensions reuses its previous capacity. Verification matches
+// UnmarshalICMPv6.
+func UnmarshalICMPv6Into(m *ICMPv6, src, dst netip.Addr, b []byte) error {
+	if len(b) < icmpHeaderLen {
+		return ErrShortPacket
 	}
-	return append([]byte(nil), b...)
+	if icmp6Checksum(src, dst, b) != 0 {
+		return ErrBadChecksum
+	}
+	ext := m.Extensions[:0]
+	*m = ICMPv6{Type: b[0], Code: b[1]}
+	switch {
+	case m.Type == ICMPv6EchoRequest || m.Type == ICMPv6EchoReply:
+		m.ID = binary.BigEndian.Uint16(b[4:])
+		m.Seq = binary.BigEndian.Uint16(b[6:])
+		m.Body = b[icmpHeaderLen:]
+	case m.IsError():
+		units := int(b[4])
+		rest := b[icmpHeaderLen:]
+		if units == 0 {
+			m.Body = rest
+			return nil
+		}
+		origLen := units * 8
+		if origLen < origDatagramPadLen {
+			return fmt.Errorf("%w: length field %d units", ErrBadExtension, units)
+		}
+		if len(rest) < origLen {
+			return fmt.Errorf("%w: original datagram truncated", ErrBadExtension)
+		}
+		m.Body = trimOriginal(rest[:origLen])
+		objs, err := appendUnmarshaledExtensions(ext, rest[origLen:])
+		if err != nil {
+			return err
+		}
+		m.Extensions = objs
+	default:
+		return fmt.Errorf("%w: unsupported ICMPv6 type %d", ErrBadHeader, m.Type)
+	}
+	return nil
 }
 
 // MPLSStack extracts the RFC 4950 label stack object, if present — 6PE

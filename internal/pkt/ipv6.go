@@ -29,6 +29,13 @@ type IPv6 struct {
 
 // Marshal serializes the packet. IPv6 has no header checksum.
 func (p *IPv6) Marshal() ([]byte, error) {
+	return p.AppendMarshal(nil)
+}
+
+// AppendMarshal serializes the packet onto dst and returns the extended
+// slice, allocating only when dst lacks capacity. The appended bytes are
+// identical to Marshal's output.
+func (p *IPv6) AppendMarshal(dst []byte) ([]byte, error) {
 	if !p.Src.Is6() || !p.Dst.Is6() {
 		return nil, fmt.Errorf("%w: src/dst must be IPv6 addresses", ErrBadHeader)
 	}
@@ -38,41 +45,53 @@ func (p *IPv6) Marshal() ([]byte, error) {
 	if len(p.Payload) > 0xffff {
 		return nil, fmt.Errorf("%w: payload too large", ErrBadHeader)
 	}
-	b := make([]byte, IPv6HeaderLen+len(p.Payload))
-	binary.BigEndian.PutUint32(b, 6<<28|uint32(p.TrafficClass)<<20|p.FlowLabel)
-	binary.BigEndian.PutUint16(b[4:], uint16(len(p.Payload)))
-	b[6] = p.NextHeader
-	b[7] = p.HopLimit
-	src, dst := p.Src.As16(), p.Dst.As16()
-	copy(b[8:24], src[:])
-	copy(b[24:40], dst[:])
-	copy(b[IPv6HeaderLen:], p.Payload)
+	b, o := grow(dst, IPv6HeaderLen+len(p.Payload))
+	binary.BigEndian.PutUint32(b[o:], 6<<28|uint32(p.TrafficClass)<<20|p.FlowLabel)
+	binary.BigEndian.PutUint16(b[o+4:], uint16(len(p.Payload)))
+	b[o+6] = p.NextHeader
+	b[o+7] = p.HopLimit
+	src, dst16 := p.Src.As16(), p.Dst.As16()
+	copy(b[o+8:o+24], src[:])
+	copy(b[o+24:o+40], dst16[:])
+	copy(b[o+IPv6HeaderLen:], p.Payload)
 	return b, nil
 }
 
-// UnmarshalIPv6 parses an IPv6 packet.
+// UnmarshalIPv6 parses an IPv6 packet. The returned packet owns its
+// payload.
 func UnmarshalIPv6(b []byte) (*IPv6, error) {
+	p := new(IPv6)
+	if err := UnmarshalIPv6Into(p, b); err != nil {
+		return nil, err
+	}
+	p.Payload = append([]byte(nil), p.Payload...)
+	return p, nil
+}
+
+// UnmarshalIPv6Into parses an IPv6 packet into p without allocating:
+// p.Payload aliases b.
+func UnmarshalIPv6Into(p *IPv6, b []byte) error {
 	if len(b) < IPv6HeaderLen {
-		return nil, ErrShortPacket
+		return ErrShortPacket
 	}
 	first := binary.BigEndian.Uint32(b)
 	if first>>28 != 6 {
-		return nil, ErrBadVersion
+		return ErrBadVersion
 	}
 	plen := int(binary.BigEndian.Uint16(b[4:]))
 	if IPv6HeaderLen+plen > len(b) {
-		return nil, fmt.Errorf("%w: payload length %d of %d bytes", ErrBadHeader, plen, len(b)-IPv6HeaderLen)
+		return fmt.Errorf("%w: payload length %d of %d bytes", ErrBadHeader, plen, len(b)-IPv6HeaderLen)
 	}
-	p := &IPv6{
+	*p = IPv6{
 		TrafficClass: uint8(first >> 20),
 		FlowLabel:    first & 0xfffff,
 		NextHeader:   b[6],
 		HopLimit:     b[7],
 		Src:          netip.AddrFrom16([16]byte(b[8:24])),
 		Dst:          netip.AddrFrom16([16]byte(b[24:40])),
+		Payload:      b[IPv6HeaderLen : IPv6HeaderLen+plen],
 	}
-	p.Payload = append([]byte(nil), b[IPv6HeaderLen:IPv6HeaderLen+plen]...)
-	return p, nil
+	return nil
 }
 
 func (p *IPv6) String() string {
@@ -97,6 +116,13 @@ const srhRoutingType = 4 // SRH routing type (RFC 8754)
 
 // Marshal serializes the SRH. LastEntry is derived from the segment list.
 func (h *SRH) Marshal() ([]byte, error) {
+	return h.AppendMarshal(nil)
+}
+
+// AppendMarshal serializes the SRH onto dst and returns the extended
+// slice, allocating only when dst lacks capacity. The appended bytes are
+// identical to Marshal's output.
+func (h *SRH) AppendMarshal(dst []byte) ([]byte, error) {
 	if len(h.Segments) == 0 || len(h.Segments) > 255 {
 		return nil, fmt.Errorf("%w: SRH needs 1..255 segments", ErrBadHeader)
 	}
@@ -107,17 +133,17 @@ func (h *SRH) Marshal() ([]byte, error) {
 	}
 	// Hdr Ext Len: length in 8-octet units, not including the first 8.
 	hdrLen := len(h.Segments) * 2
-	b := make([]byte, 8+len(h.Segments)*16)
-	b[0] = h.NextHeader
-	b[1] = uint8(hdrLen)
-	b[2] = srhRoutingType
-	b[3] = h.SegmentsLeft
-	b[4] = uint8(len(h.Segments) - 1)
-	b[5] = h.Flags
-	binary.BigEndian.PutUint16(b[6:], h.Tag)
+	b, o := grow(dst, 8+len(h.Segments)*16)
+	b[o] = h.NextHeader
+	b[o+1] = uint8(hdrLen)
+	b[o+2] = srhRoutingType
+	b[o+3] = h.SegmentsLeft
+	b[o+4] = uint8(len(h.Segments) - 1)
+	b[o+5] = h.Flags
+	binary.BigEndian.PutUint16(b[o+6:], h.Tag)
 	for i, s := range h.Segments {
 		a := s.As16()
-		copy(b[8+i*16:], a[:])
+		copy(b[o+8+i*16:], a[:])
 	}
 	return b, nil
 }
@@ -125,21 +151,34 @@ func (h *SRH) Marshal() ([]byte, error) {
 // UnmarshalSRH parses a Segment Routing Header from the front of b,
 // returning the header and the number of bytes consumed.
 func UnmarshalSRH(b []byte) (*SRH, int, error) {
+	h := new(SRH)
+	n, err := UnmarshalSRHInto(h, b)
+	if err != nil {
+		return nil, n, err
+	}
+	return h, n, nil
+}
+
+// UnmarshalSRHInto parses a Segment Routing Header from the front of b
+// into h, reusing h.Segments' capacity, and returns the number of bytes
+// consumed.
+func UnmarshalSRHInto(h *SRH, b []byte) (int, error) {
 	if len(b) < 8 {
-		return nil, 0, ErrShortPacket
+		return 0, ErrShortPacket
 	}
 	if b[2] != srhRoutingType {
-		return nil, 0, fmt.Errorf("%w: routing type %d is not SRH", ErrBadHeader, b[2])
+		return 0, fmt.Errorf("%w: routing type %d is not SRH", ErrBadHeader, b[2])
 	}
 	total := 8 + int(b[1])*8
 	if len(b) < total {
-		return nil, 0, fmt.Errorf("%w: SRH truncated", ErrBadHeader)
+		return 0, fmt.Errorf("%w: SRH truncated", ErrBadHeader)
 	}
 	nseg := int(b[4]) + 1
 	if 8+nseg*16 > total {
-		return nil, 0, fmt.Errorf("%w: %d segments exceed header length", ErrBadHeader, nseg)
+		return 0, fmt.Errorf("%w: %d segments exceed header length", ErrBadHeader, nseg)
 	}
-	h := &SRH{
+	segs := h.Segments[:0]
+	*h = SRH{
 		NextHeader:   b[0],
 		SegmentsLeft: b[3],
 		LastEntry:    b[4],
@@ -147,12 +186,13 @@ func UnmarshalSRH(b []byte) (*SRH, int, error) {
 		Tag:          binary.BigEndian.Uint16(b[6:]),
 	}
 	if int(h.SegmentsLeft) > nseg {
-		return nil, 0, fmt.Errorf("%w: segments left %d of %d", ErrBadHeader, h.SegmentsLeft, nseg)
+		return 0, fmt.Errorf("%w: segments left %d of %d", ErrBadHeader, h.SegmentsLeft, nseg)
 	}
 	for i := 0; i < nseg; i++ {
-		h.Segments = append(h.Segments, netip.AddrFrom16([16]byte(b[8+i*16:8+(i+1)*16])))
+		segs = append(segs, netip.AddrFrom16([16]byte(b[8+i*16:8+(i+1)*16])))
 	}
-	return h, total, nil
+	h.Segments = segs
+	return total, nil
 }
 
 // ActiveSegment returns the segment currently steering the packet.

@@ -19,43 +19,65 @@ type UDP struct {
 // Marshal serializes the datagram with a checksum over the pseudo-header
 // (src, dst, protocol, UDP length).
 func (u *UDP) Marshal(src, dst netip.Addr) ([]byte, error) {
+	return u.AppendMarshal(nil, src, dst)
+}
+
+// AppendMarshal serializes the datagram onto dst and returns the extended
+// slice, allocating only when dst lacks capacity. The appended bytes are
+// identical to Marshal's output.
+func (u *UDP) AppendMarshal(dst []byte, src, dstAddr netip.Addr) ([]byte, error) {
 	total := UDPHeaderLen + len(u.Payload)
 	if total > 0xffff {
 		return nil, fmt.Errorf("%w: UDP payload too large", ErrBadHeader)
 	}
-	b := make([]byte, total)
-	binary.BigEndian.PutUint16(b[0:], u.SrcPort)
-	binary.BigEndian.PutUint16(b[2:], u.DstPort)
-	binary.BigEndian.PutUint16(b[4:], uint16(total))
-	copy(b[UDPHeaderLen:], u.Payload)
-	ck := udpChecksum(src, dst, b)
+	b, o := grow(dst, total)
+	binary.BigEndian.PutUint16(b[o:], u.SrcPort)
+	binary.BigEndian.PutUint16(b[o+2:], u.DstPort)
+	binary.BigEndian.PutUint16(b[o+4:], uint16(total))
+	b[o+6] = 0
+	b[o+7] = 0
+	copy(b[o+UDPHeaderLen:], u.Payload)
+	ck := udpChecksum(src, dstAddr, b[o:])
 	if ck == 0 {
 		ck = 0xffff // RFC 768: transmitted as all-ones when computed zero
 	}
-	binary.BigEndian.PutUint16(b[6:], ck)
+	binary.BigEndian.PutUint16(b[o+6:], ck)
 	return b, nil
 }
 
 // UnmarshalUDP parses a UDP datagram and verifies its checksum against the
 // pseudo-header. A zero checksum field (checksum disabled) is accepted.
+// The returned datagram owns its payload.
 func UnmarshalUDP(src, dst netip.Addr, b []byte) (*UDP, error) {
+	u := new(UDP)
+	if err := UnmarshalUDPInto(u, src, dst, b); err != nil {
+		return nil, err
+	}
+	u.Payload = append([]byte(nil), u.Payload...)
+	return u, nil
+}
+
+// UnmarshalUDPInto parses a UDP datagram into u without allocating:
+// u.Payload aliases b. Verification matches UnmarshalUDP.
+func UnmarshalUDPInto(u *UDP, src, dst netip.Addr, b []byte) error {
 	if len(b) < UDPHeaderLen {
-		return nil, ErrShortPacket
+		return ErrShortPacket
 	}
 	ulen := int(binary.BigEndian.Uint16(b[4:]))
 	if ulen < UDPHeaderLen || ulen > len(b) {
-		return nil, fmt.Errorf("%w: UDP length %d of %d bytes", ErrBadHeader, ulen, len(b))
+		return fmt.Errorf("%w: UDP length %d of %d bytes", ErrBadHeader, ulen, len(b))
 	}
 	if binary.BigEndian.Uint16(b[6:]) != 0 {
 		if udpChecksum(src, dst, b[:ulen]) != 0 {
-			return nil, ErrBadChecksum
+			return ErrBadChecksum
 		}
 	}
-	return &UDP{
+	*u = UDP{
 		SrcPort: binary.BigEndian.Uint16(b[0:]),
 		DstPort: binary.BigEndian.Uint16(b[2:]),
-		Payload: append([]byte(nil), b[UDPHeaderLen:ulen]...),
-	}, nil
+		Payload: b[UDPHeaderLen:ulen],
+	}
+	return nil
 }
 
 // udpChecksum folds the pseudo-header and the datagram bytes. When called

@@ -1,0 +1,63 @@
+package probe
+
+import (
+	"testing"
+
+	"arest/internal/netsim"
+)
+
+// Round-trip benchmarks over the simulator: probe construction, forwarding,
+// reply construction, and reply decoding — the whole wire path the
+// allocation work targets. Run with -benchmem; allocs/op is the headline
+// number the BENCH_6.json baseline tracks.
+
+func BenchmarkTraceRoundTrip(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		m    netsim.TunnelMode
+	}{{"sr", netsim.ModeSR}, {"ldp", netsim.ModeLDP}, {"ip", netsim.ModeIP}} {
+		b.Run(mode.name, func(b *testing.B) {
+			tn := buildBench(b, mode.m)
+			tr := tn.tracer()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := tr.Trace(tn.target, uint16(i%4))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Reached() {
+					b.Fatalf("halt = %v", res.Halt)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkProbeOnceRoundTrip(b *testing.B) {
+	tn := buildBench(b, netsim.ModeSR)
+	tr := tn.tracer()
+	tr.Reveal = false
+	s := probeScratchPool.Get().(*probeScratch)
+	defer probeScratchPool.Put(s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hop, err := tr.probeOnce(s, tn.target, 4, 33434, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !hop.Responded() {
+			b.Fatal("silent hop")
+		}
+	}
+}
+
+// buildBench mirrors the test fixture without a *testing.T.
+func buildBench(b *testing.B, mode netsim.TunnelMode) *testNet {
+	b.Helper()
+	// build only uses t for Helper/Fatal on construction, which cannot
+	// fail for the canonical chain; adapt via a throwaway T-like shim is
+	// not possible, so inline the topology through the shared builder.
+	return buildNet(mode, true, true)
+}

@@ -27,6 +27,11 @@ type testNet struct {
 
 func build(t *testing.T, mode netsim.TunnelMode, propagate, rfc4950 bool) *testNet {
 	t.Helper()
+	return buildNet(mode, propagate, rfc4950)
+}
+
+// buildNet is the testing.TB-free core of build, shared with benchmarks.
+func buildNet(mode netsim.TunnelMode, propagate, rfc4950 bool) *testNet {
 	n := netsim.New(21)
 	prof := netsim.DefaultProfile(mpls.VendorCisco)
 	prof.TTLPropagate = propagate

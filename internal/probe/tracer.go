@@ -3,6 +3,7 @@ package probe
 import (
 	"fmt"
 	"net/netip"
+	"sync"
 
 	"arest/internal/netsim"
 	"arest/internal/pkt"
@@ -11,6 +12,12 @@ import (
 // Conn abstracts the raw-socket boundary: one probe out, at most one reply
 // back, both as serialized IPv4 packets, plus the measured round-trip time
 // in milliseconds (zero when no reply arrived).
+//
+// Ownership: wire is only valid for the duration of the call — the tracer
+// reuses the buffer for the next probe, so implementations must not retain
+// it. The returned reply, conversely, passes to the tracer, which may hold
+// references into it (quoted label stacks); implementations must hand back
+// a buffer they will not reuse or mutate.
 type Conn interface {
 	Exchange(src netip.Addr, wire []byte) (reply []byte, rttMs float64, err error)
 }
@@ -46,6 +53,36 @@ const (
 	MethodICMP
 )
 
+// Probe payload contents, shared across all probes (never mutated).
+var (
+	probePayload = []byte("arest-tnt-probe")
+	pingPayload  = []byte("arest-ping")
+	ipidPayload  = []byte("arest-ipid")
+)
+
+// probeScratch bundles the per-call transient state of one trace, ping, or
+// IP-ID sample: packets under construction, their wire buffers, and decoded
+// replies. It lives in a package-level pool rather than on the Tracer so a
+// single Tracer stays safe for concurrent use (the alias resolver shares
+// one across its workers).
+//
+// The pool sits outside the determinism contract (DESIGN.md §11): every
+// field is fully overwritten before it is read — whole-struct assignments,
+// [:0] reslices before appends — so probe bytes depend only on the probe's
+// coordinates, never on which scratch the pool returns.
+type probeScratch struct {
+	payload []byte   // serialized probe payload (UDP datagram or ICMP echo)
+	wire    []byte   // serialized probe IP packet
+	ip      pkt.IPv4 // probe under construction
+	echo    pkt.ICMP // echo request under construction
+	udp     pkt.UDP  // UDP datagram under construction
+	rip     pkt.IPv4 // decoded reply IP header (payload aliases the reply)
+	rm      pkt.ICMP // decoded reply ICMP (body/extensions alias the reply)
+	qip     pkt.IPv4 // decoded quoted original datagram
+}
+
+var probeScratchPool = sync.Pool{New: func() any { return new(probeScratch) }}
+
 // Tracer is a Paris traceroute engine with TNT extensions.
 type Tracer struct {
 	Conn Conn
@@ -77,7 +114,8 @@ type Tracer struct {
 // (VP, destination, flow, TTL, attempt), so one Tracer may run traces,
 // pings, and IP-ID samples from any number of goroutines concurrently, and
 // a retry of the same probe still carries a fresh IP-ID (rate-limited
-// routers draw a fresh loss coin per IP-ID).
+// routers draw a fresh loss coin per IP-ID). Scratch buffers come from a
+// package pool per call, never from the Tracer itself.
 func NewTracer(conn Conn, vp netip.Addr) *Tracer {
 	return &Tracer{Conn: conn, VP: vp, MaxTTL: 32, MaxGaps: 3, BasePort: 33434, Reveal: true, Retries: 2}
 }
@@ -131,6 +169,8 @@ const loopRunLen = 3
 // then keep the path stable); distinct flow IDs map to distinct UDP
 // destination ports within the traceroute range (see flowPort).
 func (t *Tracer) Trace(dst netip.Addr, flowID uint16) (*Trace, error) {
+	s := probeScratchPool.Get().(*probeScratch)
+	defer probeScratchPool.Put(s)
 	tr := &Trace{VP: t.VP, Dst: dst, FlowID: flowID, Halt: HaltMaxTTL}
 	dport := t.flowPort(flowID)
 	gaps := 0
@@ -139,15 +179,15 @@ func (t *Tracer) Trace(dst netip.Addr, flowID uint16) (*Trace, error) {
 	run := 0
 sweep:
 	for ttl := 1; ttl <= t.MaxTTL; ttl++ {
-		hop, err := t.probeOnce(dst, uint8(ttl), dport, 0)
+		hop, err := t.probeOnce(s, dst, uint8(ttl), dport, 0)
 		for retry := 0; err == nil && !hop.Responded() && retry < t.Retries; retry++ {
 			t.Metrics.countRetry()
-			hop, err = t.probeOnce(dst, uint8(ttl), dport, retry+1)
+			hop, err = t.probeOnce(s, dst, uint8(ttl), dport, retry+1)
 		}
 		if err != nil {
 			return nil, err
 		}
-		tr.Hops = append(tr.Hops, *hop)
+		tr.Hops = append(tr.Hops, hop)
 		if !hop.Responded() {
 			t.Metrics.countGap()
 			gaps++
@@ -192,56 +232,54 @@ sweep:
 
 // probeOnce sends a single probe (UDP or ICMP echo, per Method) and parses
 // the reply into a Hop. attempt distinguishes retries of the same hop so
-// each retry carries a distinct IP-ID.
-func (t *Tracer) probeOnce(dst netip.Addr, ttl uint8, dport uint16, attempt int) (*Hop, error) {
-	var payload []byte
+// each retry carries a distinct IP-ID. All construction and decoding goes
+// through s; the returned Hop owns nothing that aliases s (Hop.Stack is
+// decoded fresh from the reply).
+func (t *Tracer) probeOnce(s *probeScratch, dst netip.Addr, ttl uint8, dport uint16, attempt int) (Hop, error) {
+	var err error
 	proto := uint8(pkt.ProtoUDP)
 	switch t.Method {
 	case MethodICMP:
 		// Paris semantics for ICMP: the identifier is the flow key, so it
 		// derives from dport; the sequence varies per probe.
-		m := &pkt.ICMP{Type: pkt.ICMPEchoRequest, ID: dport, Seq: uint16(ttl), Body: []byte("arest-tnt-probe")}
-		mb, err := m.Marshal()
+		s.echo = pkt.ICMP{Type: pkt.ICMPEchoRequest, ID: dport, Seq: uint16(ttl), Body: probePayload}
+		s.payload, err = s.echo.AppendMarshal(s.payload[:0])
 		if err != nil {
-			return nil, fmt.Errorf("probe: %w", err)
+			return Hop{}, fmt.Errorf("probe: %w", err)
 		}
-		payload = mb
 		proto = pkt.ProtoICMP
 	default:
-		u := &pkt.UDP{SrcPort: 33434, DstPort: dport, Payload: []byte("arest-tnt-probe")}
-		ub, err := u.Marshal(t.VP, dst)
+		s.udp = pkt.UDP{SrcPort: 33434, DstPort: dport, Payload: probePayload}
+		s.payload, err = s.udp.AppendMarshal(s.payload[:0], t.VP, dst)
 		if err != nil {
-			return nil, fmt.Errorf("probe: %w", err)
+			return Hop{}, fmt.Errorf("probe: %w", err)
 		}
-		payload = ub
 	}
-	ip := &pkt.IPv4{TTL: ttl, Protocol: proto, ID: t.probeID(dst, dport, ttl, attempt),
-		Src: t.VP, Dst: dst, Payload: payload}
-	wire, err := ip.Marshal()
+	s.ip = pkt.IPv4{TTL: ttl, Protocol: proto, ID: t.probeID(dst, dport, ttl, attempt),
+		Src: t.VP, Dst: dst, Payload: s.payload}
+	s.wire, err = s.ip.AppendMarshal(s.wire[:0])
 	if err != nil {
-		return nil, fmt.Errorf("probe: %w", err)
+		return Hop{}, fmt.Errorf("probe: %w", err)
 	}
 	t.Metrics.countSent(t.Method)
-	reply, rtt, err := t.Conn.Exchange(t.VP, wire)
+	reply, rtt, err := t.Conn.Exchange(t.VP, s.wire)
 	if err != nil {
-		return nil, fmt.Errorf("probe: %w", err)
+		return Hop{}, fmt.Errorf("probe: %w", err)
 	}
-	hop := &Hop{TTL: int(ttl)}
+	hop := Hop{TTL: int(ttl)}
 	if reply == nil {
 		return hop, nil
 	}
-	rip, err := pkt.UnmarshalIPv4(reply)
-	if err != nil {
+	if err := pkt.UnmarshalIPv4Into(&s.rip, reply); err != nil {
 		// The IP header itself is mangled: no responder address to keep.
 		t.Metrics.countDecodeError()
 		return hop, nil
 	}
-	hop.Addr = rip.Src
-	hop.ReplyTTL = rip.TTL
+	hop.Addr = s.rip.Src
+	hop.ReplyTTL = s.rip.TTL
 	hop.RTT = rtt
 	t.Metrics.countReply(rtt)
-	m, err := pkt.UnmarshalICMP(rip.Payload)
-	if err != nil {
+	if err := pkt.UnmarshalICMPInto(&s.rm, s.rip.Payload); err != nil {
 		// Something answered but its ICMP payload fails strict parsing
 		// (bad checksum, malformed RFC 4884 structure, …). Discarding the
 		// observation would convert a responsive hop into a gap and burn
@@ -251,13 +289,15 @@ func (t *Tracer) probeOnce(dst netip.Addr, ttl uint8, dport uint16, attempt int)
 		t.Metrics.countDecodeError()
 		return hop, nil
 	}
-	hop.ICMPType = m.Type
-	hop.ICMPCode = m.Code
-	if s, ok := m.MPLSStack(); ok {
-		hop.Stack = s
+	hop.ICMPType = s.rm.Type
+	hop.ICMPCode = s.rm.Code
+	if st, ok := s.rm.MPLSStack(); ok {
+		hop.Stack = st
 	}
-	if q, err := m.QuotedIPv4(); err == nil {
-		hop.QTTL = q.TTL
+	if s.rm.IsError() {
+		if err := pkt.UnmarshalIPv4QuotedInto(&s.qip, s.rm.Body); err == nil {
+			hop.QTTL = s.qip.TTL
+		}
 	}
 	return hop, nil
 }
@@ -265,36 +305,36 @@ func (t *Tracer) probeOnce(dst netip.Addr, ttl uint8, dport uint16, attempt int)
 // Ping sends one ICMP echo request and reports the received reply TTL,
 // which TTL fingerprinting combines with the time-exceeded reply TTL.
 func (t *Tracer) Ping(dst netip.Addr, id uint16) (replyTTL uint8, ok bool, err error) {
-	m := &pkt.ICMP{Type: pkt.ICMPEchoRequest, ID: id, Seq: 1, Body: []byte("arest-ping")}
-	mb, err := m.Marshal()
+	s := probeScratchPool.Get().(*probeScratch)
+	defer probeScratchPool.Put(s)
+	s.echo = pkt.ICMP{Type: pkt.ICMPEchoRequest, ID: id, Seq: 1, Body: pingPayload}
+	s.payload, err = s.echo.AppendMarshal(s.payload[:0])
 	if err != nil {
 		return 0, false, err
 	}
-	ip := &pkt.IPv4{TTL: 64, Protocol: pkt.ProtoICMP, ID: id, Src: t.VP, Dst: dst, Payload: mb}
-	wire, err := ip.Marshal()
+	s.ip = pkt.IPv4{TTL: 64, Protocol: pkt.ProtoICMP, ID: id, Src: t.VP, Dst: dst, Payload: s.payload}
+	s.wire, err = s.ip.AppendMarshal(s.wire[:0])
 	if err != nil {
 		return 0, false, err
 	}
 	t.Metrics.countPing()
-	reply, _, err := t.Conn.Exchange(t.VP, wire)
+	reply, _, err := t.Conn.Exchange(t.VP, s.wire)
 	if err != nil || reply == nil {
 		return 0, false, err
 	}
-	rip, err := pkt.UnmarshalIPv4(reply)
-	if err != nil {
+	if err := pkt.UnmarshalIPv4Into(&s.rip, reply); err != nil {
 		t.Metrics.countDecodeError()
 		return 0, false, nil
 	}
-	rm, err := pkt.UnmarshalICMP(rip.Payload)
-	if err != nil {
+	if err := pkt.UnmarshalICMPInto(&s.rm, s.rip.Payload); err != nil {
 		t.Metrics.countDecodeError()
 		return 0, false, nil
 	}
-	if rm.Type != pkt.ICMPEchoReply {
+	if s.rm.Type != pkt.ICMPEchoReply {
 		return 0, false, nil
 	}
 	t.Metrics.countPingReply()
-	return rip.TTL, true, nil
+	return s.rip.TTL, true, nil
 }
 
 // InferInitialTTL rounds a received TTL up to the nearest common initial
@@ -331,28 +371,30 @@ type IPIDSample struct {
 // counter. seq distinguishes successive samples of the same address so
 // each carries a distinct probe IP-ID.
 func (t *Tracer) SampleIPID(dst netip.Addr, seq uint32) (IPIDSample, bool, error) {
+	s := probeScratchPool.Get().(*probeScratch)
+	defer probeScratchPool.Put(s)
 	dport := t.flowPort(200)
-	u := &pkt.UDP{SrcPort: 33434, DstPort: dport, Payload: []byte("arest-ipid")}
-	ub, err := u.Marshal(t.VP, dst)
+	s.udp = pkt.UDP{SrcPort: 33434, DstPort: dport, Payload: ipidPayload}
+	var err error
+	s.payload, err = s.udp.AppendMarshal(s.payload[:0], t.VP, dst)
 	if err != nil {
 		return IPIDSample{}, false, err
 	}
 	id := t.probeID(dst, dport, uint8(seq>>16), int(uint16(seq)))
-	ip := &pkt.IPv4{TTL: 64, Protocol: pkt.ProtoUDP, ID: id, Src: t.VP, Dst: dst, Payload: ub}
-	wire, err := ip.Marshal()
+	s.ip = pkt.IPv4{TTL: 64, Protocol: pkt.ProtoUDP, ID: id, Src: t.VP, Dst: dst, Payload: s.payload}
+	s.wire, err = s.ip.AppendMarshal(s.wire[:0])
 	if err != nil {
 		return IPIDSample{}, false, err
 	}
 	t.Metrics.countIPIDSample()
-	reply, _, err := t.Conn.Exchange(t.VP, wire)
+	reply, _, err := t.Conn.Exchange(t.VP, s.wire)
 	if err != nil || reply == nil {
 		return IPIDSample{}, false, err
 	}
-	rip, err := pkt.UnmarshalIPv4(reply)
-	if err != nil {
+	if err := pkt.UnmarshalIPv4Into(&s.rip, reply); err != nil {
 		t.Metrics.countDecodeError()
 		return IPIDSample{}, false, nil
 	}
 	t.Metrics.countIPIDReply()
-	return IPIDSample{ID: rip.ID, ReplyTTL: rip.TTL}, true, nil
+	return IPIDSample{ID: s.rip.ID, ReplyTTL: s.rip.TTL}, true, nil
 }

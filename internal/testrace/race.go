@@ -1,0 +1,10 @@
+//go:build !race
+
+// Package testrace reports whether the race detector is active, so
+// allocation-budget tests can skip themselves: -race instruments
+// allocations and shadow memory in ways that make testing.AllocsPerRun
+// counts meaningless.
+package testrace
+
+// Enabled is true when the binary was built with -race.
+const Enabled = false
