@@ -34,6 +34,8 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size for every pipeline stage (0 = GOMAXPROCS, 1 = sequential)")
 	outDir := flag.String("o", "", "write each experiment to <dir>/<id>.txt instead of stdout")
 	snapshotDir := flag.String("snapshot", "", "snapshot/resume mode: persist per-AS archive shards under <dir> and skip ASes whose shard is already complete")
+	maxASFailures := flag.Int("max-as-failures", 0, "tolerate up to this many failed ASes before exiting non-zero (-1 = unlimited); failed ASes are always reported and excluded from analysis")
+	maxTraceFailures := flag.Int("max-trace-failures", 0, "per-AS budget of traces that may fail with a probe error before the AS is quarantined (-1 = unlimited)")
 	metricsOut := flag.String("metrics", "", "export campaign metrics to <file> (.json = JSON, else summary table, - = stdout)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
@@ -88,6 +90,7 @@ func main() {
 	cfg.MaxTargets = *targets
 	cfg.MaxRouters = *maxRouters
 	cfg.Workers = *workers
+	cfg.MaxTraceFailures = *maxTraceFailures
 	var reg *obs.Registry
 	if *metricsOut != "" {
 		reg = obs.New()
@@ -118,6 +121,9 @@ func main() {
 	if err != nil {
 		fatalf("campaign: %v", err)
 	}
+	for _, f := range c.Failed {
+		fmt.Fprintf(os.Stderr, "failed: %s\n", f)
+	}
 	total := 0
 	for _, r := range c.ASes {
 		total += r.TracesSent
@@ -145,6 +151,13 @@ func main() {
 			fatalf("write %s: %v", path, err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+
+	// The failure policy decides the exit code only after every surviving
+	// AS's output (and the metrics export) has been rendered: a partially
+	// failed campaign still delivers everything it measured.
+	if n := len(c.Failed); *maxASFailures >= 0 && n > *maxASFailures {
+		fatalf("%d AS(es) failed, budget %d (-max-as-failures)", n, *maxASFailures)
 	}
 }
 

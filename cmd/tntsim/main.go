@@ -35,6 +35,8 @@ func main() {
 	list := flag.Bool("list", false, "list the AS catalogue and exit")
 	metricsOut := flag.String("metrics", "", "export campaign metrics to <file> (.json = JSON, else summary table, - = stdout)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	maxTraceFailures := flag.Int("max-trace-failures", 0, "budget of traces that may fail with a probe error before the AS counts as failed (-1 = unlimited)")
+	maxASFailures := flag.Int("max-as-failures", 0, "0 = exit non-zero when the AS exceeds its trace-failure budget; >=1 = tolerate it (the archive is written either way)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -69,6 +71,7 @@ func main() {
 	cfg.NumVPs = *vps
 	cfg.MaxTargets = *targets
 	cfg.FlowsPerTarget = *flows
+	cfg.MaxTraceFailures = *maxTraceFailures
 	var reg *obs.Registry
 	if *metricsOut != "" {
 		reg = obs.New()
@@ -78,6 +81,15 @@ func main() {
 	data, err := exp.MeasureAS(rec, cfg)
 	if err != nil {
 		fatalf("campaign failed: %v", err)
+	}
+	// The trace-failure budget never suppresses the archive: a degraded
+	// measurement is still evidence, and the written shard replays its
+	// accept/quarantine decision deterministically. The verdict only
+	// decides the exit code, below.
+	budgetErr := cfg.TraceBudgetErr(data)
+	if d := data.Degraded; d != nil {
+		fmt.Fprintf(os.Stderr, "degraded: %d/%d traces failed with probe errors\n",
+			d.FailedTraces, d.TotalTraces)
 	}
 
 	w := os.Stdout
@@ -119,6 +131,10 @@ func main() {
 		if *metricsOut != "-" {
 			fmt.Fprint(os.Stderr, snap.Summary())
 		}
+	}
+	if budgetErr != nil && *maxASFailures < 1 {
+		fatalf("AS#%d %s quarantined: %v (raise -max-as-failures or -max-trace-failures to tolerate)",
+			rec.ID, rec.Name, budgetErr)
 	}
 }
 

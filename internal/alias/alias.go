@@ -5,6 +5,7 @@
 package alias
 
 import (
+	"fmt"
 	"net/netip"
 	"sort"
 
@@ -66,7 +67,17 @@ type candidate struct {
 // cfg.Workers: every probe's bytes are a pure function of (address, seq),
 // and the conflict-ordered schedule replays the sequential probe order on
 // every shared counter.
-func Resolve(addrs []netip.Addr, p Prober, cfg Config) [][]netip.Addr {
+//
+// A transport error from the Prober is not a non-response: an errored
+// sample means the measurement channel failed, and treating it as "silent
+// router" would silently mispartition routers. Errored candidates and
+// pairs are recorded distinctly (alias.sample_errors / alias.pairs.errored
+// counters), excluded from the partition rather than folded into it, and
+// reported through the returned error — deterministically, as the first
+// error in index order — alongside the partition of the probes that did
+// succeed. Callers that need a trustworthy partition must treat a non-nil
+// error as fatal for the measurement.
+func Resolve(addrs []netip.Addr, p Prober, cfg Config) ([][]netip.Addr, error) {
 	if cfg.Rounds == 0 {
 		cfg = DefaultConfig()
 	}
@@ -77,14 +88,30 @@ func Resolve(addrs []netip.Addr, p Prober, cfg Config) [][]netip.Addr {
 	// only on each probe's own bytes, never on counter values, so the
 	// fan-out needs no ordering.
 	ests := make([]*candidate, len(addrs))
+	estErrs := make([]error, len(addrs))
 	par.ForEach(workers, len(addrs), func(i int) {
 		s, ok, err := p.SampleIPID(addrs[i], uint32(i))
-		if err != nil || !ok {
+		if err != nil {
+			estErrs[i] = err
+			return
+		}
+		if !ok {
 			return
 		}
 		ests[i] = &candidate{addr: addrs[i],
 			pathLen: int(probe.InferInitialTTL(s.ReplyTTL)) - int(s.ReplyTTL)}
 	})
+	sampleErrs := uint64(0)
+	var firstErr error
+	for i, e := range estErrs {
+		if e == nil {
+			continue
+		}
+		sampleErrs++
+		if firstErr == nil {
+			firstErr = fmt.Errorf("estimate %s: %w", addrs[i], e)
+		}
+	}
 	cands := make([]candidate, 0, len(addrs))
 	for _, c := range ests {
 		if c != nil {
@@ -94,6 +121,7 @@ func Resolve(addrs []netip.Addr, p Prober, cfg Config) [][]netip.Addr {
 	sort.Slice(cands, func(i, j int) bool { return cands[i].addr.Less(cands[j].addr) })
 	cfg.Metrics.Counter("alias", "candidates").Add(uint64(len(addrs)))
 	cfg.Metrics.Counter("alias", "responsive").Add(uint64(len(cands)))
+	cfg.Metrics.Counter("alias", "sample_errors").Add(sampleErrs)
 
 	// Pair stage: the APPLE-pruned pair list is built up front, in
 	// lexicographic order, so the probing schedule is static. (The
@@ -156,14 +184,34 @@ func Resolve(addrs []netip.Addr, p Prober, cfg Config) [][]netip.Addr {
 		}
 	}
 	aliased := make([]bool, len(pairs))
+	pairErrs := make([]error, len(pairs))
 	par.ConflictOrdered(workers, len(pairs),
 		func(t int) []uint64 {
 			return []uint64{counterKey(cands[pairs[t].i].addr), counterKey(cands[pairs[t].j].addr)}
 		},
 		func(t int) {
-			aliased[t] = sharedCounter(cands[pairs[t].i].addr, cands[pairs[t].j].addr,
+			ok, err := sharedCounter(cands[pairs[t].i].addr, cands[pairs[t].j].addr,
 				p, cfg, seqBase(t))
+			if err != nil {
+				// An errored pair is neither aliased nor refuted: it is
+				// excluded from the union-find and surfaced to the caller.
+				pairErrs[t] = err
+				return
+			}
+			aliased[t] = ok
 		})
+	pairErrCount := uint64(0)
+	for t, e := range pairErrs {
+		if e == nil {
+			continue
+		}
+		pairErrCount++
+		if firstErr == nil {
+			firstErr = fmt.Errorf("pair (%s, %s): %w",
+				cands[pairs[t].i].addr, cands[pairs[t].j].addr, e)
+		}
+	}
+	cfg.Metrics.Counter("alias", "pairs.errored").Add(pairErrCount)
 
 	// Union-find over the recorded outcomes (order-independent: union is
 	// commutative on the final partition).
@@ -200,23 +248,30 @@ func Resolve(addrs []netip.Addr, p Prober, cfg Config) [][]netip.Addr {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i][0].Less(out[j][0]) })
-	return out
+	if n := sampleErrs + pairErrCount; n > 0 {
+		return out, fmt.Errorf("alias: %d probe errors (first: %w)", n, firstErr)
+	}
+	return out, nil
 }
 
 // sharedCounter runs the monotonic bounds test: interleave samples of the
 // two addresses; a shared counter yields a strictly increasing sequence
 // with small steps, while independent counters almost surely violate the
 // bound at some step. seqBase numbers the samples within the resolution
-// run's global sequence space.
-func sharedCounter(a, b netip.Addr, p Prober, cfg Config, seqBase uint32) bool {
+// run's global sequence space. A transport error is returned as such: it
+// says nothing about whether the counters are shared.
+func sharedCounter(a, b netip.Addr, p Prober, cfg Config, seqBase uint32) (bool, error) {
 	var seq []uint16
 	k := seqBase
 	for r := 0; r < cfg.Rounds; r++ {
 		for _, addr := range []netip.Addr{a, b} {
 			s, ok, err := p.SampleIPID(addr, k)
 			k++
-			if err != nil || !ok {
-				return false
+			if err != nil {
+				return false, fmt.Errorf("sample %s: %w", addr, err)
+			}
+			if !ok {
+				return false, nil
 			}
 			seq = append(seq, s.ID)
 		}
@@ -224,8 +279,8 @@ func sharedCounter(a, b netip.Addr, p Prober, cfg Config, seqBase uint32) bool {
 	for i := 1; i < len(seq); i++ {
 		step := seq[i] - seq[i-1] // uint16 arithmetic handles wraparound
 		if step == 0 || step > cfg.MaxStep {
-			return false
+			return false, nil
 		}
 	}
-	return true
+	return true, nil
 }

@@ -1,0 +1,112 @@
+package alias
+
+import (
+	"errors"
+	"net/netip"
+	"reflect"
+	"strings"
+	"testing"
+
+	"arest/internal/obs"
+	"arest/internal/probe"
+)
+
+var errTransport = errors.New("socket gone")
+
+// errProber wraps a fakeProber and fails samples of one address, starting
+// at a configurable sequence number (so a test can let the estimation
+// stage succeed and break only the pair stage).
+type errProber struct {
+	inner    *fakeProber
+	bad      netip.Addr
+	afterSeq uint32
+}
+
+func (e *errProber) SampleIPID(dst netip.Addr, seq uint32) (probe.IPIDSample, bool, error) {
+	if dst == e.bad && seq >= e.afterSeq {
+		return probe.IPIDSample{}, false, errTransport
+	}
+	return e.inner.SampleIPID(dst, seq)
+}
+
+// aliasCounter reads one "alias" stage counter from the registry snapshot.
+func aliasCounter(reg *obs.Registry, name string) uint64 {
+	return reg.Snapshot().Deterministic().Counters["alias."+name]
+}
+
+func TestResolveSurfacesEstimationErrors(t *testing.T) {
+	// Two addresses share a counter; a third errors on every sample. The
+	// partition of the healthy probes must still come back, alongside an
+	// error naming the failure — never a silent "unresponsive" downgrade.
+	ctr := uint16(100)
+	f := &fakeProber{
+		ids:  map[netip.Addr]*uint16{a("10.0.0.1"): &ctr, a("10.0.0.2"): &ctr},
+		step: map[netip.Addr]uint16{a("10.0.0.1"): 5, a("10.0.0.2"): 5},
+		ttl:  map[netip.Addr]uint8{},
+	}
+	reg := obs.New()
+	cfg := DefaultConfig()
+	cfg.Metrics = reg
+	sets, err := Resolve([]netip.Addr{a("10.0.0.1"), a("10.0.0.2"), a("10.0.0.3")},
+		&errProber{inner: f, bad: a("10.0.0.3")}, cfg)
+	if err == nil {
+		t.Fatal("Resolve swallowed the sample error")
+	}
+	if !errors.Is(err, errTransport) {
+		t.Errorf("err = %v, want it to wrap the transport error", err)
+	}
+	if !strings.Contains(err.Error(), "estimate 10.0.0.3") {
+		t.Errorf("err = %v, want it to name the errored candidate", err)
+	}
+	want := [][]netip.Addr{{a("10.0.0.1"), a("10.0.0.2")}}
+	if !reflect.DeepEqual(sets, want) {
+		t.Errorf("sets = %v, want %v (healthy pair still resolved)", sets, want)
+	}
+	if got := aliasCounter(reg, "sample_errors"); got != 1 {
+		t.Errorf("sample_errors = %d, want 1", got)
+	}
+}
+
+func TestResolveExcludesErroredPairs(t *testing.T) {
+	// All three candidates pass estimation; the third then errors in the
+	// pair stage (its sequence numbers start at len(addrs)). Pairs touching
+	// it must be excluded from the union-find — not treated as refuted or
+	// aliased — while the healthy pair still resolves.
+	ctr, ctr3 := uint16(100), uint16(200)
+	addrs := []netip.Addr{a("10.0.0.1"), a("10.0.0.2"), a("10.0.0.3")}
+	f := &fakeProber{
+		ids: map[netip.Addr]*uint16{
+			a("10.0.0.1"): &ctr, a("10.0.0.2"): &ctr, a("10.0.0.3"): &ctr3},
+		step: map[netip.Addr]uint16{
+			a("10.0.0.1"): 5, a("10.0.0.2"): 5, a("10.0.0.3"): 5},
+		ttl: map[netip.Addr]uint8{},
+	}
+	reg := obs.New()
+	cfg := DefaultConfig()
+	cfg.Metrics = reg
+	sets, err := Resolve(addrs,
+		&errProber{inner: f, bad: a("10.0.0.3"), afterSeq: uint32(len(addrs))}, cfg)
+	if err == nil {
+		t.Fatal("Resolve swallowed the pair errors")
+	}
+	if !errors.Is(err, errTransport) {
+		t.Errorf("err = %v, want it to wrap the transport error", err)
+	}
+	// The first errored pair in index order is (10.0.0.1, 10.0.0.3).
+	if !strings.Contains(err.Error(), "pair (10.0.0.1, 10.0.0.3)") {
+		t.Errorf("err = %v, want the first errored pair named deterministically", err)
+	}
+	if !strings.Contains(err.Error(), "2 probe errors") {
+		t.Errorf("err = %v, want the total errored-probe count", err)
+	}
+	want := [][]netip.Addr{{a("10.0.0.1"), a("10.0.0.2")}}
+	if !reflect.DeepEqual(sets, want) {
+		t.Errorf("sets = %v, want %v", sets, want)
+	}
+	if got := aliasCounter(reg, "pairs.errored"); got != 2 {
+		t.Errorf("pairs.errored = %d, want 2", got)
+	}
+	if got := aliasCounter(reg, "sample_errors"); got != 0 {
+		t.Errorf("sample_errors = %d, want 0", got)
+	}
+}

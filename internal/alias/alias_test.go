@@ -12,6 +12,17 @@ import (
 
 func a(s string) netip.Addr { return netip.MustParseAddr(s) }
 
+// mustResolve runs Resolve and fails the test on probe errors — none of
+// the fault-free fixtures should produce any.
+func mustResolve(t *testing.T, addrs []netip.Addr, p Prober, cfg Config) [][]netip.Addr {
+	t.Helper()
+	sets, err := Resolve(addrs, p, cfg)
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	return sets
+}
+
 // meshNet builds a small AS whose routers each have several interfaces, so
 // alias resolution has real work to do.
 func meshNet(t *testing.T) (*netsim.Network, *probe.Tracer, []*netsim.Router) {
@@ -48,7 +59,7 @@ func TestResolveFindsTrueAliases(t *testing.T) {
 			truth[ifaceAddr] = r.ID
 		}
 	}
-	sets := Resolve(cands, tc, DefaultConfig())
+	sets := mustResolve(t, cands, tc, DefaultConfig())
 	if len(sets) == 0 {
 		t.Fatal("no alias sets found")
 	}
@@ -83,7 +94,7 @@ func TestResolveRejectsNonAliases(t *testing.T) {
 	for _, r := range rs {
 		cands = append(cands, r.Loopback)
 	}
-	sets := Resolve(cands, tc, DefaultConfig())
+	sets := mustResolve(t, cands, tc, DefaultConfig())
 	if len(sets) != 0 {
 		t.Errorf("false aliases: %v", sets)
 	}
@@ -92,7 +103,7 @@ func TestResolveRejectsNonAliases(t *testing.T) {
 func TestResolveSkipsUnresponsive(t *testing.T) {
 	_, tc, rs := meshNet(t)
 	cands := []netip.Addr{rs[0].Loopback, a("203.0.113.99")}
-	sets := Resolve(cands, tc, DefaultConfig())
+	sets := mustResolve(t, cands, tc, DefaultConfig())
 	if len(sets) != 0 {
 		t.Errorf("sets = %v", sets)
 	}
@@ -127,7 +138,7 @@ func TestSharedCounterWraparound(t *testing.T) {
 		step: map[netip.Addr]uint16{a("10.0.0.1"): 5, a("10.0.0.2"): 5},
 		ttl:  map[netip.Addr]uint8{},
 	}
-	sets := Resolve([]netip.Addr{a("10.0.0.1"), a("10.0.0.2")}, f, DefaultConfig())
+	sets := mustResolve(t, []netip.Addr{a("10.0.0.1"), a("10.0.0.2")}, f, DefaultConfig())
 	if len(sets) != 1 || len(sets[0]) != 2 {
 		t.Errorf("wraparound aliases missed: %v", sets)
 	}
@@ -142,7 +153,7 @@ func TestAPPLEPruning(t *testing.T) {
 		step: map[netip.Addr]uint16{a("10.0.0.1"): 5, a("10.0.0.2"): 5},
 		ttl:  map[netip.Addr]uint8{a("10.0.0.1"): 250, a("10.0.0.2"): 200},
 	}
-	sets := Resolve([]netip.Addr{a("10.0.0.1"), a("10.0.0.2")}, f, DefaultConfig())
+	sets := mustResolve(t, []netip.Addr{a("10.0.0.1"), a("10.0.0.2")}, f, DefaultConfig())
 	if len(sets) != 0 {
 		t.Errorf("APPLE pruning failed: %v", sets)
 	}
@@ -169,7 +180,7 @@ func TestResolveParallelMatchesSequential(t *testing.T) {
 			}
 			return uint64(r.ID), true
 		}
-		return Resolve(cands, tc, cfg)
+		return mustResolve(t, cands, tc, cfg)
 	}
 	seq := run(1)
 	parl := run(8)
@@ -188,7 +199,7 @@ func TestVelocityBoundRejectsFastCounter(t *testing.T) {
 		step: map[netip.Addr]uint16{a("10.0.0.1"): 3, a("10.0.0.2"): 3},
 		ttl:  map[netip.Addr]uint8{},
 	}
-	sets := Resolve([]netip.Addr{a("10.0.0.1"), a("10.0.0.2")}, f, DefaultConfig())
+	sets := mustResolve(t, []netip.Addr{a("10.0.0.1"), a("10.0.0.2")}, f, DefaultConfig())
 	if len(sets) != 0 {
 		t.Errorf("independent counters aliased: %v", sets)
 	}

@@ -50,6 +50,7 @@ const (
 	TypeAliasSet    Type = 5 // one resolved alias set
 	TypeBorder      Type = 6 // one bdrmap owner annotation
 	TypeSREnabled   Type = 7 // one ground-truth SR-enabled interface
+	TypeDegraded    Type = 8 // measurement degradation summary (at most one)
 	TypeEnd         Type = 0x7f
 )
 
@@ -69,6 +70,8 @@ func (t Type) String() string {
 		return "border"
 	case TypeSREnabled:
 		return "sr-enabled"
+	case TypeDegraded:
+		return "degraded"
 	case TypeEnd:
 		return "end"
 	default:

@@ -286,3 +286,38 @@ func TestStreamingReaderSeesAllRecords(t *testing.T) {
 		t.Errorf("post-trailer Next: %v, want io.EOF", err)
 	}
 }
+
+func TestDegradedRoundTrip(t *testing.T) {
+	// A degraded campaign — an error-halted trace with its failure fields
+	// plus the Degraded summary record — must survive the archive codec
+	// bit-stably, so a replayed Detect (and the trace-failure budget) sees
+	// exactly the degradation the live measurement saw.
+	d := fixtureData()
+	d.PerVP[1] = []*probe.Trace{{
+		VP:  addr("172.16.1.1"),
+		Dst: addr("100.1.0.9"),
+		Hops: []probe.Hop{
+			{TTL: 1, Addr: addr("10.1.0.1"), RTT: 0.5, ICMPType: 11, ReplyTTL: 253},
+		},
+		Halt:       probe.HaltError,
+		Err:        "probe: injected fault",
+		RevealErrs: []string{"dpr 10.1.0.3: aux trace: injected fault"},
+	}}
+	d.Degraded = &Degraded{FailedTraces: 1, TotalTraces: 3, ByVP: []int{0, 1}}
+
+	raw := encode(t, d)
+	got, err := ReadData(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, d) {
+		t.Errorf("degraded roundtrip diverged:\n got %+v\nwant %+v", got, d)
+	}
+	tr := got.PerVP[1][0]
+	if !tr.Failed() || tr.Err != "probe: injected fault" || len(tr.RevealErrs) != 1 {
+		t.Errorf("failure fields lost in roundtrip: %+v", tr)
+	}
+	if again := encode(t, got); !bytes.Equal(again, raw) {
+		t.Error("re-encoding decoded degraded data diverged from original bytes")
+	}
+}

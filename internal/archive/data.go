@@ -84,6 +84,23 @@ type SREnabledRecord struct {
 	Addr netip.Addr `json:"addr"`
 }
 
+// Degraded summarizes measurement failures the campaign absorbed: traces
+// that halted with probe.HaltError instead of completing. It is written
+// only when at least one trace failed, so fault-free archives are
+// byte-identical to those of writers predating the record, and it rides
+// inside the archive so a replayed Detect sees exactly the degradation the
+// live measurement saw — including re-deriving the same accept/reject
+// decision under a trace-failure budget (see exp.Config.MaxTraceFailures).
+type Degraded struct {
+	// FailedTraces counts traces with Halt == HaltError, across all VPs.
+	FailedTraces int `json:"failed_traces"`
+	// TotalTraces is the campaign's total trace count, failed included.
+	TotalTraces int `json:"total_traces"`
+	// ByVP counts failed traces per vantage point, indexed like Data.VPs.
+	// A slice, not a map: record payloads must encode canonically.
+	ByVP []int `json:"by_vp,omitempty"`
+}
+
 // Data is one AS's campaign, wholly resident: what Measure produces and
 // what Annotate/Detect consume. WriteData/ReadData round-trip it through
 // the record stream losslessly.
@@ -96,6 +113,8 @@ type Data struct {
 	Aliases   [][]netip.Addr
 	Borders   map[netip.Addr]int
 	SREnabled []netip.Addr // sorted
+	// Degraded is non-nil iff the measurement absorbed trace failures.
+	Degraded *Degraded
 }
 
 // Traces flattens all vantage points' traces in VP order.
@@ -165,6 +184,11 @@ func WriteData(w io.Writer, d *Data) error {
 	}
 	for _, a := range d.SREnabled {
 		if err := aw.writeRecord(TypeSREnabled, SREnabledRecord{Addr: a}); err != nil {
+			return err
+		}
+	}
+	if d.Degraded != nil {
+		if err := aw.writeRecord(TypeDegraded, d.Degraded); err != nil {
 			return err
 		}
 	}
@@ -265,6 +289,15 @@ func ReadData(r io.Reader) (*Data, error) {
 				return nil, err
 			}
 			d.SREnabled = append(d.SREnabled, rec.Addr)
+		case TypeDegraded:
+			if d.Degraded != nil {
+				return nil, fmt.Errorf("%w: duplicate degraded record", ErrCorrupt)
+			}
+			var rec Degraded
+			if err := decode(body, &rec); err != nil {
+				return nil, err
+			}
+			d.Degraded = &rec
 		default:
 			// Unknown record types are skipped, not fatal: a v1 reader can
 			// cross archives produced by a writer with additive extensions.

@@ -144,7 +144,10 @@ func TestAnnotateAgainstWorldOracle(t *testing.T) {
 		cands = append(cands, addr)
 	}
 	tc := probe.NewTracer(probe.NetsimConn{Net: w.Net}, w.VPs[0])
-	sets := alias.Resolve(cands, tc, alias.DefaultConfig())
+	sets, err := alias.Resolve(cands, tc, alias.DefaultConfig())
+	if err != nil {
+		t.Fatalf("alias.Resolve: %v", err)
+	}
 	ann := Annotate(traces, rib, sets)
 
 	total, correct := 0, 0

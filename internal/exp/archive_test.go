@@ -204,17 +204,36 @@ func TestShardPath(t *testing.T) {
 }
 
 // TestRunShardedReportsUnreadableShard ensures a shard failing for a
-// non-format reason (here: it is a directory) surfaces as an error rather
-// than a silent re-measure.
+// non-format reason (here: it is a directory) surfaces as a contained,
+// stage-attributed failure rather than a silent re-measure — and no
+// longer takes the rest of the campaign down with it.
 func TestRunShardedReportsUnreadableShard(t *testing.T) {
-	recs := testRecords(t, 2)
+	recs := testRecords(t, 2, 15)
 	dir := t.TempDir()
 	if err := os.MkdirAll(ShardPath(dir, recs[0]), 0o755); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := RunSharded(recs, testCfg(), dir); err == nil {
-		t.Error("directory-shaped shard did not error")
-	} else if got := fmt.Sprint(err); got == "" {
+	c, statuses, err := RunSharded(recs, testCfg(), dir)
+	if err != nil {
+		t.Fatalf("RunSharded: %v", err)
+	}
+	if len(c.Failed) != 1 {
+		t.Fatalf("Failed = %v, want exactly the directory-shaped shard", c.Failed)
+	}
+	f := c.Failed[0]
+	if f.Record.ID != recs[0].ID {
+		t.Errorf("failed AS#%d, want AS#%d", f.Record.ID, recs[0].ID)
+	}
+	if f.Stage != StageArchive {
+		t.Errorf("failure stage %v, want StageArchive", f.Stage)
+	}
+	if fmt.Sprint(f.Err) == "" {
 		t.Error("empty error")
+	}
+	if statuses[0] != ShardFailed {
+		t.Errorf("statuses[0] = %v, want ShardFailed", statuses[0])
+	}
+	if len(c.ASes) != 1 || c.ASes[0].Record.ID != recs[1].ID {
+		t.Errorf("healthy AS did not complete: %v", c.ASes)
 	}
 }

@@ -64,6 +64,19 @@ type Config struct {
 	// wall-clock time and are excluded from that contract. A nil registry
 	// costs only nil checks.
 	Metrics *obs.Registry
+	// MaxTraceFailures is the per-AS budget of traces that may halt with
+	// probe.HaltError before the AS is quarantined: 0 (the default)
+	// tolerates none, a negative value tolerates any number. The budget is
+	// applied to the archived degradation record (TraceBudgetErr), so a
+	// replayed shard re-derives the live run's accept/quarantine decision.
+	MaxTraceFailures int
+	// WrapConn, when non-nil, wraps each vantage point's probe connection
+	// before measurement — the fault-injection seam. It receives the
+	// catalogue record and VP index (VP addresses repeat across ASes, so
+	// the address alone cannot target one AS's VP). The wrapper must keep
+	// Exchange deterministic in the probe bytes for the determinism
+	// contract to hold; probe.FaultConn does.
+	WrapConn func(rec asgen.Record, vpIndex int, conn probe.Conn) probe.Conn
 }
 
 // workers resolves the configured concurrency bound.
@@ -170,11 +183,20 @@ func measureWithDeployment(rec asgen.Record, dep asgen.Deployment, cfg Config) (
 	flows := max(1, cfg.FlowsPerTarget)
 	jobs := make([]traceJob, 0, len(w.VPs)*len(plan.Targets)*flows)
 	pm := probe.NewMetrics(reg)
+	// conn builds one vantage point's probe connection, threading it
+	// through the fault-injection seam when configured.
+	conn := func(vpIdx int) probe.Conn {
+		var c probe.Conn = probe.NetsimConn{Net: w.Net}
+		if cfg.WrapConn != nil {
+			c = cfg.WrapConn(rec, vpIdx, c)
+		}
+		return c
+	}
 	tracers := make([]*probe.Tracer, len(w.VPs))
 	data.VPs = make([]netip.Addr, len(w.VPs))
 	data.PerVP = make([][]*probe.Trace, len(w.VPs))
 	for vpIdx, vp := range w.VPs {
-		tracers[vpIdx] = probe.NewTracer(probe.NetsimConn{Net: w.Net}, vp)
+		tracers[vpIdx] = probe.NewTracer(conn(vpIdx), vp)
 		tracers[vpIdx].Metrics = pm
 		slot := 0
 		for _, tgt := range plan.Shuffled(vpIdx) {
@@ -200,6 +222,10 @@ func measureWithDeployment(rec asgen.Record, dep asgen.Deployment, cfg Config) (
 		data.PerVP[j.vpIdx][j.slot] = tr
 	})
 	traceDone()
+	// Trace probe failures are fail-soft (recorded as HaltError traces, see
+	// probe.Tracer.Trace), so a surviving job error is a non-probe failure
+	// and still aborts the AS — a single errored job must not leave a nil
+	// trace slot behind.
 	for _, err := range jobErrs {
 		if err != nil {
 			return nil, err
@@ -207,9 +233,32 @@ func measureWithDeployment(rec asgen.Record, dep asgen.Deployment, cfg Config) (
 	}
 	traces := data.Traces()
 
+	// Degradation accounting: traces the sweep had to halt with an error.
+	// The record rides in the archive so replays see the same degradation,
+	// and it is written only when failures occurred — a fault-free
+	// measurement's archive bytes are unchanged.
+	byVP := make([]int, len(data.PerVP))
+	failedTraces := 0
+	for vpIdx, ts := range data.PerVP {
+		for _, tr := range ts {
+			if tr.Failed() {
+				failedTraces++
+				byVP[vpIdx]++
+			}
+		}
+	}
+	if failedTraces > 0 {
+		data.Degraded = &archive.Degraded{
+			FailedTraces: failedTraces,
+			TotalTraces:  len(traces),
+			ByVP:         byVP,
+		}
+		reg.Counter("exp", "traces.failed").Add(uint64(failedTraces))
+	}
+
 	// Fingerprinting: TTL signatures need echo probes; the SNMPv3 dataset
 	// is the (simulated) public one.
-	pinger := probe.NewTracer(probe.NetsimConn{Net: w.Net}, w.VPs[0])
+	pinger := probe.NewTracer(conn(0), w.VPs[0])
 	pinger.Metrics = pm
 	reg.Time("exp", "stage.fingerprint", func() {
 		data.TTL = fingerprint.CollectTTL(traces, pinger, workers, reg)
@@ -247,9 +296,16 @@ func measureWithDeployment(rec asgen.Record, dep asgen.Deployment, cfg Config) (
 			}
 			return uint64(r.ID), true
 		}
+		var aliasErr error
 		reg.Time("exp", "stage.alias", func() {
-			data.Aliases = alias.Resolve(cands, pinger, acfg)
+			data.Aliases, aliasErr = alias.Resolve(cands, pinger, acfg)
 		})
+		if aliasErr != nil {
+			// An errored alias partition cannot be trusted (an errored
+			// probe is not a silent router), and bdrmap consumes it next —
+			// so alias probe errors are AS-fatal, not degradation.
+			return nil, fmt.Errorf("alias resolution: %w", aliasErr)
+		}
 		if len(data.Aliases) == 0 {
 			data.Aliases = nil // canonical empty form for archive roundtrips
 		}
@@ -325,16 +381,24 @@ func Detect(data *archive.Data, cfg Config) (*ASResult, error) {
 }
 
 // RunAS executes the full staged pipeline for one catalogue record:
-// Measure, then Annotate+Detect over the in-memory campaign data. The
-// archive stage is a pass-through here; writing the data out and replaying
-// it through Detect yields a deep-equal result (the roundtrip-equivalence
-// test pins this).
+// Measure, then Annotate+Detect over the in-memory campaign data, with the
+// trace-failure budget applied in between. The archive stage is a
+// pass-through here; writing the data out and replaying it through Detect
+// yields a deep-equal result (the roundtrip-equivalence test pins this).
+// Errors carry their pipeline stage (StageError).
 func RunAS(rec asgen.Record, cfg Config) (*ASResult, error) {
 	data, err := MeasureAS(rec, cfg)
 	if err != nil {
+		return nil, stageErr(StageMeasure, err)
+	}
+	if err := cfg.TraceBudgetErr(data); err != nil {
 		return nil, err
 	}
-	return Detect(data, cfg)
+	res, err := Detect(data, cfg)
+	if err != nil {
+		return nil, stageErr(StageDetect, err)
+	}
+	return res, nil
 }
 
 // runASWithDeployment runs measure+detect against an explicit deployment
@@ -342,15 +406,25 @@ func RunAS(rec asgen.Record, cfg Config) (*ASResult, error) {
 func runASWithDeployment(rec asgen.Record, dep asgen.Deployment, cfg Config) (*ASResult, error) {
 	data, err := measureWithDeployment(rec, dep, cfg)
 	if err != nil {
+		return nil, stageErr(StageMeasure, err)
+	}
+	if err := cfg.TraceBudgetErr(data); err != nil {
 		return nil, err
 	}
-	return Detect(data, cfg)
+	res, err := Detect(data, cfg)
+	if err != nil {
+		return nil, stageErr(StageDetect, err)
+	}
+	return res, nil
 }
 
-// Campaign is a full multi-AS run.
+// Campaign is a full multi-AS run. ASes holds the successful analyses in
+// catalogue order; Failed holds the quarantined ASes (also in catalogue
+// order) with the stage and error that took each one down.
 type Campaign struct {
-	Cfg  Config
-	ASes []*ASResult
+	Cfg    Config
+	ASes   []*ASResult
+	Failed []ASFailure
 }
 
 // Run executes the campaign over the given catalogue records. Records with
@@ -358,6 +432,12 @@ type Campaign struct {
 // the coverage filter of Sec. 5. Per-AS pipelines are independent (each AS
 // is its own world), so they run concurrently; results keep catalogue
 // order and the output is bit-identical to a sequential run.
+//
+// Failures are contained per AS: an errored AS lands in Campaign.Failed
+// with its stage and error, and every other AS's result is identical to a
+// run without the fault. The error return is reserved for campaign-level
+// failures and is nil even when ASes failed — callers apply their own
+// policy over Failed (the CLIs expose it as -max-as-failures).
 func Run(records []asgen.Record, cfg Config) (*Campaign, error) {
 	kept := keptRecords(records)
 	results := make([]*ASResult, len(kept))
@@ -369,11 +449,22 @@ func Run(records []asgen.Record, cfg Config) (*Campaign, error) {
 	c := &Campaign{Cfg: cfg}
 	for i, rec := range kept {
 		if errs[i] != nil {
-			return nil, fmt.Errorf("AS#%d %s: %w", rec.ID, rec.Name, errs[i])
+			c.Failed = append(c.Failed, ASFailure{Record: rec, Stage: FailureStage(errs[i]), Err: errs[i]})
+			continue
 		}
 		c.ASes = append(c.ASes, results[i])
 	}
+	countASFailures(cfg.Metrics, len(c.Failed))
 	return c, nil
+}
+
+// countASFailures records quarantined-AS accounting; failure counts are a
+// pure function of the catalogue and the (deterministic) faults, so the
+// counter sits inside the determinism contract.
+func countASFailures(reg *obs.Registry, n int) {
+	if n > 0 {
+		reg.Counter("exp", "ases.failed").Add(uint64(n))
+	}
 }
 
 // keptRecords applies the Sec. 5 coverage filter.

@@ -1,0 +1,120 @@
+// Typed failures for the staged pipeline: which stage broke, what broke,
+// and how much degradation a measurement may absorb before the AS is
+// quarantined. Containment is per AS — one AS's failure never aborts the
+// campaign (see Run/RunSharded) — and deterministic: the same faults yield
+// the same Failed list, stages, and error strings at any worker count.
+package exp
+
+import (
+	"errors"
+	"fmt"
+
+	"arest/internal/archive"
+	"arest/internal/asgen"
+)
+
+// Stage names one step of the Measure → Archive → Detect pipeline, for
+// failure attribution.
+type Stage int
+
+const (
+	// StageMeasure covers world building, the trace sweep, fingerprint
+	// probing, alias resolution, and bdrmap annotation.
+	StageMeasure Stage = iota
+	// StageArchive covers shard write, readback, and decoding.
+	StageArchive
+	// StageDetect covers annotation and AReST analysis.
+	StageDetect
+)
+
+func (s Stage) String() string {
+	switch s {
+	case StageMeasure:
+		return "measure"
+	case StageArchive:
+		return "archive"
+	case StageDetect:
+		return "detect"
+	default:
+		return "?"
+	}
+}
+
+// StageError attributes an error to the pipeline stage that raised it.
+type StageError struct {
+	Stage Stage
+	Err   error
+}
+
+func (e *StageError) Error() string { return fmt.Sprintf("%s: %v", e.Stage, e.Err) }
+
+// Unwrap exposes the underlying error to errors.Is/As chains.
+func (e *StageError) Unwrap() error { return e.Err }
+
+// stageErr wraps err with its stage, preserving an existing attribution:
+// an error that already carries a StageError keeps the innermost stage.
+func stageErr(s Stage, err error) error {
+	if err == nil {
+		return nil
+	}
+	var se *StageError
+	if errors.As(err, &se) {
+		return err
+	}
+	return &StageError{Stage: s, Err: err}
+}
+
+// FailureStage reports which stage err is attributed to, defaulting to
+// StageMeasure for unattributed errors (measurement is the only stage that
+// talks to the world, so untyped errors are almost always its).
+func FailureStage(err error) Stage {
+	var se *StageError
+	if errors.As(err, &se) {
+		return se.Stage
+	}
+	return StageMeasure
+}
+
+// TraceBudgetError reports a measurement whose failed-trace count exceeded
+// the configured budget: the shard holds usable (degraded) data, but the
+// policy quarantines the AS rather than analyzing it.
+type TraceBudgetError struct {
+	// Failed and Total are the degraded measurement's trace accounting.
+	Failed, Total int
+	// Budget is the Config.MaxTraceFailures that was exceeded.
+	Budget int
+}
+
+func (e *TraceBudgetError) Error() string {
+	return fmt.Sprintf("%d of %d traces failed, budget %d", e.Failed, e.Total, e.Budget)
+}
+
+// ASFailure is one quarantined AS of a campaign: the catalogue record, the
+// stage that failed, and the error. The campaign's other ASes are
+// unaffected — their results are identical to a run without this AS's
+// fault.
+type ASFailure struct {
+	Record asgen.Record
+	Stage  Stage
+	Err    error
+}
+
+func (f ASFailure) String() string {
+	return fmt.Sprintf("AS#%d %s: %s: %v", f.Record.ID, f.Record.Name, f.Stage, f.Err)
+}
+
+// TraceBudgetErr applies the trace-failure budget to a measurement: nil
+// when d's degradation (if any) is within MaxTraceFailures, a
+// StageMeasure-attributed TraceBudgetError otherwise. It is a pure
+// function of the archived Data, so replaying a degraded shard re-derives
+// the exact accept/quarantine decision of the live run.
+func (c Config) TraceBudgetErr(d *archive.Data) error {
+	if d.Degraded == nil || c.MaxTraceFailures < 0 || d.Degraded.FailedTraces <= c.MaxTraceFailures {
+		return nil
+	}
+	return stageErr(StageMeasure, &TraceBudgetError{
+		Failed: d.Degraded.FailedTraces,
+		Total:  d.Degraded.TotalTraces,
+		Budget: c.MaxTraceFailures,
+	})
+}

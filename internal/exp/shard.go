@@ -28,7 +28,25 @@ const (
 	// ShardResumed: a complete shard existed and was replayed without
 	// re-measuring.
 	ShardResumed
+	// ShardFailed: the AS was quarantined (see Campaign.Failed). Its shard
+	// may still exist on disk — a measurement over the trace-failure
+	// budget is persisted before the budget verdict, so the degraded
+	// evidence survives and a resume re-derives the same failure.
+	ShardFailed
 )
+
+func (s ShardStatus) String() string {
+	switch s {
+	case ShardMeasured:
+		return "measured"
+	case ShardResumed:
+		return "resumed"
+	case ShardFailed:
+		return "failed"
+	default:
+		return "?"
+	}
+}
 
 // RunSharded executes the campaign in snapshot/resume mode: each AS's
 // measurement is persisted as a per-AS archive shard under dir, and a
@@ -38,8 +56,13 @@ const (
 // shard on disk (never of in-memory measurement state).
 //
 // A shard that is missing, truncated (interrupted writer), or corrupt is
-// re-measured and atomically rewritten; statuses (parallel to the returned
-// campaign's ASes) say which path each AS took.
+// re-measured and atomically rewritten; statuses (parallel to the kept
+// catalogue records, successful or not) say which path each AS took.
+//
+// Failures are contained per AS, as in Run: an errored AS gets status
+// ShardFailed and lands in Campaign.Failed, the rest of the campaign
+// completes, and the error return is reserved for campaign-level failures
+// (the snapshot directory itself).
 func RunSharded(records []asgen.Record, cfg Config, dir string) (*Campaign, []ShardStatus, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("snapshot dir: %w", err)
@@ -55,21 +78,30 @@ func RunSharded(records []asgen.Record, cfg Config, dir string) (*Campaign, []Sh
 	c := &Campaign{Cfg: cfg}
 	for i, rec := range kept {
 		if errs[i] != nil {
-			return nil, nil, fmt.Errorf("AS#%d %s: %w", rec.ID, rec.Name, errs[i])
+			statuses[i] = ShardFailed
+			c.Failed = append(c.Failed, ASFailure{Record: rec, Stage: FailureStage(errs[i]), Err: errs[i]})
+			continue
 		}
 		c.ASes = append(c.ASes, results[i])
 	}
+	countASFailures(cfg.Metrics, len(c.Failed))
 	return c, statuses, nil
 }
 
-// runShard loads-or-measures one AS's shard and analyzes it.
+// runShard loads-or-measures one AS's shard and analyzes it. Errors carry
+// their pipeline stage; the trace-failure budget is applied to the shard
+// as read from disk on both paths, so a degraded shard fails (or passes)
+// identically whether it was just measured or resumed from an earlier run.
 func runShard(rec asgen.Record, cfg Config, dir string) (*ASResult, ShardStatus, error) {
 	path := ShardPath(dir, rec)
 	data, err := archive.ReadFile(path)
 	switch {
 	case err == nil:
+		if berr := cfg.TraceBudgetErr(data); berr != nil {
+			return nil, 0, berr
+		}
 		res, derr := Detect(data, cfg)
-		return res, ShardResumed, derr
+		return res, ShardResumed, stageErr(StageDetect, derr)
 	case errors.Is(err, fs.ErrNotExist),
 		errors.Is(err, archive.ErrTruncated),
 		errors.Is(err, archive.ErrCorrupt),
@@ -77,22 +109,29 @@ func runShard(rec asgen.Record, cfg Config, dir string) (*ASResult, ShardStatus,
 		// Fall through to re-measure: the shard never finished (or was
 		// damaged); WriteFile's temp+rename keeps this crash-safe too.
 	default:
-		return nil, 0, fmt.Errorf("shard %s: %w", path, err)
+		return nil, 0, stageErr(StageArchive, fmt.Errorf("shard %s: %w", path, err))
 	}
 
 	data, err = MeasureAS(rec, cfg)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, stageErr(StageMeasure, err)
 	}
+	// Persist the shard before the budget verdict: a measurement over
+	// budget is still evidence, and writing it first means a resume reads
+	// the same degraded data and re-derives the same quarantine decision
+	// instead of silently re-measuring.
 	if err := archive.WriteFile(path, data); err != nil {
-		return nil, 0, fmt.Errorf("shard %s: %w", path, err)
+		return nil, 0, stageErr(StageArchive, fmt.Errorf("shard %s: %w", path, err))
 	}
 	// Analyze the written-then-read shard, not the in-memory measurement:
 	// every campaign output then provably flows through the archive codec.
 	data, err = archive.ReadFile(path)
 	if err != nil {
-		return nil, 0, fmt.Errorf("shard %s: readback: %w", path, err)
+		return nil, 0, stageErr(StageArchive, fmt.Errorf("shard %s: readback: %w", path, err))
+	}
+	if err := cfg.TraceBudgetErr(data); err != nil {
+		return nil, 0, err
 	}
 	res, err := Detect(data, cfg)
-	return res, ShardMeasured, err
+	return res, ShardMeasured, stageErr(StageDetect, err)
 }

@@ -1,0 +1,193 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"arest/internal/lint"
+)
+
+// ErrAuditPackages are the measurement packages whose discarded errors the
+// noerrdrop analyzer audits: the two layers that talk to a probe.Conn,
+// where a swallowed transport error silently becomes a wrong measurement
+// (an errored probe recorded as an unresponsive router). Swallowing was
+// exactly the bug class behind the fail-soft campaign work; this analyzer
+// keeps it from growing back.
+var ErrAuditPackages = []string{
+	"arest/internal/probe",
+	"arest/internal/alias",
+}
+
+// NoErrDrop builds the noerrdrop analyzer: within the audited packages, a
+// call whose result set contains an error must not be discarded. Two
+// findings:
+//
+//   - a call statement (including go/defer) whose callee returns an error
+//     that nothing consumes;
+//   - an assignment that lands an error result in the blank identifier.
+//
+// Audited exceptions carry a file-level //arest:allow noerrdrop directive
+// with a written reason (e.g. fmt.Fprintf to a strings.Builder, which is
+// documented never to fail).
+func NoErrDrop(packages []string) *lint.Analyzer {
+	audited := map[string]bool{}
+	for _, p := range packages {
+		audited[p] = true
+	}
+	return &lint.Analyzer{
+		Name: "noerrdrop",
+		Doc:  "forbid discarded error returns in the probe and alias measurement layers",
+		Run: func(pass *lint.Pass) error {
+			if !audited[pass.Pkg.Path()] {
+				return nil
+			}
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.ExprStmt:
+						reportDroppedCall(pass, n.X)
+					case *ast.GoStmt:
+						reportDroppedCall(pass, n.Call)
+					case *ast.DeferStmt:
+						reportDroppedCall(pass, n.Call)
+					case *ast.AssignStmt:
+						reportBlankErr(pass, n)
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+}
+
+// reportDroppedCall flags expr when it is a call whose results include an
+// error, used as a bare statement: every result, the error among them, is
+// discarded.
+func reportDroppedCall(pass *lint.Pass, expr ast.Expr) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if errs := errResultCount(pass, call); errs > 0 {
+		pass.Report(call.Pos(),
+			"result of %s contains an error that is silently discarded; handle it, record it distinctly, or add a file-level //arest:allow noerrdrop with the audit reason",
+			calleeLabel(call))
+	}
+}
+
+// reportBlankErr flags assignments that discard an error result into the
+// blank identifier, e.g. `v, _ := f()` where f's second result is an
+// error. Only call results are audited: `_ = err` on an existing value is
+// an explicit, visible decision, while `_` against a fresh call result is
+// the silent variant this analyzer exists for.
+func reportBlankErr(pass *lint.Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		// Tuple form: v, _ := f().
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		components := resultTypes(callType(pass, call))
+		if len(components) != len(as.Lhs) {
+			return
+		}
+		for i, lhs := range as.Lhs {
+			if isBlank(lhs) && isErrorType(components[i]) {
+				reportBlank(pass, lhs.Pos(), call)
+			}
+		}
+		return
+	}
+	// n:n form: _, _ = v, f().
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		if !isBlank(as.Lhs[i]) {
+			continue
+		}
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if c := resultTypes(callType(pass, call)); len(c) == 1 && isErrorType(c[0]) {
+			reportBlank(pass, as.Lhs[i].Pos(), call)
+		}
+	}
+}
+
+func reportBlank(pass *lint.Pass, pos token.Pos, call *ast.CallExpr) {
+	pass.Report(pos,
+		"error result of %s assigned to _; handle it, record it distinctly, or add a file-level //arest:allow noerrdrop with the audit reason",
+		calleeLabel(call))
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// callType returns the call expression's type, nil when untracked.
+func callType(pass *lint.Pass, call *ast.CallExpr) types.Type {
+	if tv, ok := pass.Info.Types[call]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// errResultCount reports how many of call's results are of type error.
+func errResultCount(pass *lint.Pass, call *ast.CallExpr) int {
+	tv, ok := pass.Info.Types[call]
+	if !ok {
+		return 0
+	}
+	n := 0
+	for _, t := range resultTypes(tv.Type) {
+		if isErrorType(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// resultTypes flattens a call's result type: a tuple's components, or the
+// single type itself (nil for a void call).
+func resultTypes(t types.Type) []types.Type {
+	switch t := t.(type) {
+	case nil:
+		return nil
+	case *types.Tuple:
+		out := make([]types.Type, t.Len())
+		for i := 0; i < t.Len(); i++ {
+			out[i] = t.At(i).Type()
+		}
+		return out
+	default:
+		return []types.Type{t}
+	}
+}
+
+// errorType is the universe error interface.
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errorType)
+}
+
+// calleeLabel renders the callee for diagnostics: pkg.Fn, recv.Method, or
+// a generic fallback for indirect calls.
+func calleeLabel(call *ast.CallExpr) string {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		if x, ok := ast.Unparen(fn.X).(*ast.Ident); ok {
+			return x.Name + "." + fn.Sel.Name
+		}
+		return fn.Sel.Name
+	default:
+		return "call"
+	}
+}

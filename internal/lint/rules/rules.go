@@ -4,7 +4,7 @@
 // instruments). The framework they run on is internal/lint; the CLI is
 // cmd/arestlint.
 //
-// The four analyzers and the prose rule each one pins:
+// The five analyzers and the prose rule each one pins:
 //
 //	nowallclock   §7/§8 — determinism-contract packages never read the
 //	              wall clock directly; timing flows through the
@@ -18,6 +18,9 @@
 //	nilsafe       §8 — every exported method on the obs instruments
 //	              starts with a nil-receiver guard, so a nil registry
 //	              stays a zero-cost no-op.
+//	noerrdrop     §12 — the probe and alias measurement layers never
+//	              discard an error return: a swallowed transport error
+//	              silently becomes a wrong measurement.
 package rules
 
 import "arest/internal/lint"
@@ -53,5 +56,6 @@ func All() []*lint.Analyzer {
 		NoGlobalRand(),
 		MapOrder(),
 		NilSafe(ObsPackage, ObsInstrumentTypes),
+		NoErrDrop(ErrAuditPackages),
 	}
 }

@@ -69,6 +69,25 @@ func TestMapOrderSuppressed(t *testing.T) {
 	lint.RunWantTest(t, newLoader(t), testdata(t, "maporder", "suppressed"), "arestlint.test/maporder/suppressed", MapOrder())
 }
 
+func TestNoErrDrop(t *testing.T) {
+	const path = "arestlint.test/noerrdrop/a"
+	an := NoErrDrop(append([]string{path}, ErrAuditPackages...))
+	lint.RunWantTest(t, newLoader(t), testdata(t, "noerrdrop", "a"), path, an)
+}
+
+func TestNoErrDropOutsideAudit(t *testing.T) {
+	// Same analyzer config, but the loaded package is not in the audited
+	// set: its discarded errors stay legal.
+	an := NoErrDrop(ErrAuditPackages)
+	lint.RunWantTest(t, newLoader(t), testdata(t, "noerrdrop", "outside"), "arestlint.test/noerrdrop/outside", an)
+}
+
+func TestNoErrDropSuppressed(t *testing.T) {
+	const path = "arestlint.test/noerrdrop/suppressed"
+	an := NoErrDrop([]string{path})
+	lint.RunWantTest(t, newLoader(t), testdata(t, "noerrdrop", "suppressed"), path, an)
+}
+
 func TestNilSafe(t *testing.T) {
 	const path = "arestlint.test/nilsafe/a"
 	an := NilSafe(path, []string{"Counter", "Registry"})

@@ -1,0 +1,13 @@
+// Package outside is noerrdrop testdata loaded under an import path that
+// is NOT in the audited set: discarded errors here are some other
+// package's problem.
+package outside
+
+import "errors"
+
+func mayFail() error { return errors.New("x") }
+
+func drops() {
+	mayFail()
+	_, _ = 1, mayFail()
+}

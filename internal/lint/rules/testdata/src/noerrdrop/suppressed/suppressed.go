@@ -1,0 +1,17 @@
+// Package suppressed is noerrdrop testdata: an audited package whose
+// discarded errors are excused by a justified //arest:allow directive, so
+// the harness expects zero findings.
+package suppressed
+
+import (
+	"fmt"
+	"strings"
+)
+
+//arest:allow noerrdrop this testdata package stands in for Fprintf-to-strings.Builder rendering code, whose Write never returns a non-nil error
+
+func render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "x=%d", 7)
+	return b.String()
+}

@@ -1,0 +1,87 @@
+package probe
+
+import (
+	"reflect"
+	"testing"
+
+	"arest/internal/mpls"
+)
+
+// Boundary cases of ClassifyTunnels over hand-built traces: shapes the
+// simulator rigs do not naturally produce.
+
+// respHop builds a responding plain hop with a flat return path, so no RTLA
+// jump is implied between consecutive hops.
+func respHop(ttl int, addr string) Hop {
+	return Hop{TTL: ttl, Addr: a(addr), RTT: 1, ICMPType: 11, ReplyTTL: 250}
+}
+
+func TestClassifyImplicitStaircaseBrokenByGap(t *testing.T) {
+	// qTTL staircase 1,2 then an unresponsive hop, then 4,5: the gap must
+	// terminate the implicit run, and the post-gap hops (whose qTTLs do not
+	// restart at 2) must not found a new one.
+	h1 := respHop(1, "10.0.0.1")
+	h1.QTTL = 1
+	h2 := respHop(2, "10.0.0.2")
+	h2.QTTL = 2
+	h4 := respHop(4, "10.0.0.4")
+	h4.QTTL = 4
+	h5 := respHop(5, "10.0.0.5")
+	h5.QTTL = 5
+	tr := &Trace{Hops: []Hop{h1, h2, {TTL: 3}, h4, h5}, Halt: HaltMaxTTL}
+
+	got := ClassifyTunnels(tr)
+	want := []Tunnel{{Start: 0, End: 1, Type: TunnelImplicit}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("tunnels = %+v, want %+v", got, want)
+	}
+}
+
+func TestClassifyRevealedRunTerminatesTrace(t *testing.T) {
+	// The revealed run is the tail of the trace — no ending hop follows.
+	// Classification must still emit the tunnel (invisible: no LSE evidence)
+	// without reading past the final hop.
+	r1 := respHop(2, "10.0.0.2")
+	r1.Revealed = true
+	r2 := respHop(3, "10.0.0.3")
+	r2.Revealed = true
+	tr := &Trace{Hops: []Hop{respHop(1, "10.0.0.1"), r1, r2}, Halt: HaltGaps}
+
+	got := ClassifyTunnels(tr)
+	want := []Tunnel{{Start: 1, End: 2, Type: TunnelInvisible, HiddenLen: 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("tunnels = %+v, want %+v", got, want)
+	}
+}
+
+func TestClassifyRevealedRunOpaqueEndingHop(t *testing.T) {
+	// A revealed run whose ending hop quotes a pipe-model LSE is an opaque
+	// tunnel, and the ending hop is included in its range.
+	r1 := respHop(2, "10.0.0.2")
+	r1.Revealed = true
+	r2 := respHop(3, "10.0.0.3")
+	r2.Revealed = true
+	end := respHop(4, "10.0.0.4")
+	end.Stack = mpls.Stack{{Label: 16004, S: true, TTL: 253}}
+	tr := &Trace{Hops: []Hop{respHop(1, "10.0.0.1"), r1, r2, end}, Halt: HaltReached}
+
+	got := ClassifyTunnels(tr)
+	want := []Tunnel{{Start: 1, End: 3, Type: TunnelOpaque, HiddenLen: 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("tunnels = %+v, want %+v", got, want)
+	}
+}
+
+func TestClassifyOpaqueEndingHopHiddenLen(t *testing.T) {
+	// An opaque ending hop with no revelation available: the hidden length
+	// comes entirely from the quoted LSE TTL (255 - TTL).
+	end := respHop(2, "10.0.0.2")
+	end.Stack = mpls.Stack{{Label: 16002, S: true, TTL: 252}}
+	tr := &Trace{Hops: []Hop{respHop(1, "10.0.0.1"), end, respHop(3, "10.0.0.3")}, Halt: HaltReached}
+
+	got := ClassifyTunnels(tr)
+	want := []Tunnel{{Start: 1, End: 1, Type: TunnelOpaque, HiddenLen: 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("tunnels = %+v, want %+v", got, want)
+	}
+}

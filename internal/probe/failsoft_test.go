@@ -1,0 +1,234 @@
+package probe
+
+import (
+	"errors"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"arest/internal/netsim"
+	"arest/internal/obs"
+)
+
+// metricsFor binds a fresh registry to the tracer and returns a counter
+// lookup over its deterministic snapshot section.
+func metricsFor(tc *Tracer) func(name string) uint64 {
+	reg := obs.New()
+	tc.Metrics = NewMetrics(reg)
+	return func(name string) uint64 {
+		return reg.Snapshot().Deterministic().Counters["probe."+name]
+	}
+}
+
+func TestTracePersistentFaultHaltsWithError(t *testing.T) {
+	tn := build(t, netsim.ModeIP, true, true)
+	tc := NewTracer(FaultConn{Conn: NetsimConn{Net: tn.net}}, tn.vp)
+	count := metricsFor(tc)
+
+	tr, err := tc.Trace(tn.target, 0)
+	if err != nil {
+		t.Fatalf("Trace returned an error despite fail-soft contract: %v", err)
+	}
+	if !tr.Failed() || tr.Halt != HaltError {
+		t.Fatalf("halt = %v, want error\n%s", tr.Halt, tr)
+	}
+	if !strings.Contains(tr.Err, "injected fault") {
+		t.Errorf("Err = %q, want the injected error text", tr.Err)
+	}
+	if len(tr.Hops) != 0 {
+		t.Errorf("hops = %d, want 0 (first TTL never completed)", len(tr.Hops))
+	}
+	if len(tr.RevealErrs) != 0 {
+		t.Errorf("RevealErrs = %v on an error-halted trace (revelation must be skipped)", tr.RevealErrs)
+	}
+	// One initial attempt plus the full retry budget, all errored.
+	if got := count("exchange_errors"); got != uint64(1+tc.Retries) {
+		t.Errorf("exchange_errors = %d, want %d", got, 1+tc.Retries)
+	}
+	if got := count("retries"); got != uint64(tc.Retries) {
+		t.Errorf("retries = %d, want %d", got, tc.Retries)
+	}
+	if got := count("halt.error"); got != 1 {
+		t.Errorf("halt.error = %d, want 1", got)
+	}
+	if got := count("reveal.triggers"); got != 0 {
+		t.Errorf("reveal.triggers = %d, want 0 (revelation skipped on HaltError)", got)
+	}
+}
+
+func TestTraceFaultKeepsMeasuredHops(t *testing.T) {
+	tn := build(t, netsim.ModeIP, true, true)
+	// Fail every probe with TTL >= 3: the sweep measures hops 1 and 2, then
+	// the transport dies. The IPv4 TTL sits at byte 8 of the wire header.
+	fc := FaultConn{Conn: NetsimConn{Net: tn.net},
+		Match: func(src netip.Addr, wire []byte) bool { return wire[8] >= 3 }}
+	tc := NewTracer(fc, tn.vp)
+	count := metricsFor(tc)
+
+	tr, err := tc.Trace(tn.target, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Halt != HaltError {
+		t.Fatalf("halt = %v, want error\n%s", tr.Halt, tr)
+	}
+	if len(tr.Hops) != 2 {
+		t.Fatalf("kept hops = %d, want 2\n%s", len(tr.Hops), tr)
+	}
+	for i, h := range tr.Hops {
+		if !h.Responded() || h.TTL != i+1 {
+			t.Errorf("kept hop %d = %+v, want a responding hop at TTL %d", i, h, i+1)
+		}
+	}
+	if got := count("exchange_errors"); got != uint64(1+tc.Retries) {
+		t.Errorf("exchange_errors = %d, want %d (only TTL 3 errored)", got, 1+tc.Retries)
+	}
+}
+
+// flakyConn fails the first exchange for each probe TTL and passes the
+// rest through: a transient fault that a retry budget should absorb.
+type flakyConn struct {
+	conn Conn
+	seen map[uint8]int
+}
+
+func (c *flakyConn) Exchange(src netip.Addr, wire []byte) ([]byte, float64, error) {
+	ttl := wire[8]
+	c.seen[ttl]++
+	if c.seen[ttl] == 1 {
+		return nil, 0, ErrInjected
+	}
+	return c.conn.Exchange(src, wire)
+}
+
+func TestTraceTransientFaultHealedByRetries(t *testing.T) {
+	tn := build(t, netsim.ModeIP, true, true)
+	tc := NewTracer(&flakyConn{conn: NetsimConn{Net: tn.net}, seen: map[uint8]int{}}, tn.vp)
+	count := metricsFor(tc)
+
+	tr, err := tc.Trace(tn.target, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Reached() {
+		t.Fatalf("halt = %v, want reached — retries must absorb transient faults\n%s", tr.Halt, tr)
+	}
+	if tr.Err != "" {
+		t.Errorf("Err = %q on a healed trace", tr.Err)
+	}
+	if len(tr.Hops) != 7 {
+		t.Fatalf("hops = %d, want 7\n%s", len(tr.Hops), tr)
+	}
+	// Exactly one errored attempt and one retry per TTL probed.
+	if ex, re := count("exchange_errors"), count("retries"); ex != 7 || re != 7 {
+		t.Errorf("exchange_errors = %d, retries = %d, want 7 each", ex, re)
+	}
+	if got := count("halt.error"); got != 0 {
+		t.Errorf("halt.error = %d, want 0", got)
+	}
+}
+
+func TestTraceRevealAuxFaultRecorded(t *testing.T) {
+	// Opaque tunnel (pipe + RFC4950): revelation triggers a DPR trace toward
+	// the ending hop's interface address. Fail exactly the probes whose
+	// destination is not the main target — the auxiliary sweep — so the main
+	// trace survives while every revelation attempt dies.
+	tn := build(t, netsim.ModeSR, false, true)
+	fc := FaultConn{Conn: NetsimConn{Net: tn.net},
+		Match: func(src netip.Addr, wire []byte) bool {
+			return netip.AddrFrom4([4]byte(wire[16:20])) != tn.target
+		}}
+	tc := NewTracer(fc, tn.vp)
+	count := metricsFor(tc)
+
+	tr, err := tc.Trace(tn.target, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Reached() {
+		t.Fatalf("main trace did not survive aux faults: halt = %v\n%s", tr.Halt, tr)
+	}
+	for _, h := range tr.Hops {
+		if h.Revealed {
+			t.Errorf("hop %s revealed despite failing DPR", h.Addr)
+		}
+	}
+	if len(tr.RevealErrs) == 0 {
+		t.Fatal("no RevealErrs recorded for the failed DPR")
+	}
+	for _, e := range tr.RevealErrs {
+		if !strings.Contains(e, "injected fault") {
+			t.Errorf("RevealErrs entry %q does not carry the injected error", e)
+		}
+	}
+	if got := count("reveal.errors"); got != uint64(len(tr.RevealErrs)) {
+		t.Errorf("reveal.errors = %d, want %d (one per RevealErrs entry)", got, len(tr.RevealErrs))
+	}
+	if got := count("reveal.hops"); got != 0 {
+		t.Errorf("reveal.hops = %d, want 0", got)
+	}
+	// The trace still classifies: the opaque ending-hop LSE carries the
+	// hidden length even when revelation is unavailable.
+	tuns := ClassifyTunnels(tr)
+	if len(tuns) != 1 || tuns[0].Type != TunnelOpaque || tuns[0].HiddenLen != 3 {
+		t.Errorf("tunnels = %+v, want one opaque with HiddenLen 3", tuns)
+	}
+}
+
+// TestRevealedTTLsContiguous pins the splice renumbering: revealed hops
+// fill the gap after their predecessor and the tail shifts by the revealed
+// count, so hop TTLs are exactly 1..len(Hops) across the augmented trace.
+func TestRevealedTTLsContiguous(t *testing.T) {
+	for _, tt := range []struct {
+		name    string
+		rfc4950 bool
+	}{
+		{"opaque", true},
+		{"invisible", false},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			tn := build(t, netsim.ModeSR, false, tt.rfc4950)
+			tr, err := tn.tracer().Trace(tn.target, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			revealed := 0
+			for i, h := range tr.Hops {
+				if h.Revealed {
+					revealed++
+				}
+				if h.TTL != i+1 {
+					t.Errorf("hop %d has TTL %d, want %d\n%s", i, h.TTL, i+1, tr)
+				}
+			}
+			if revealed != 3 {
+				t.Fatalf("revealed hops = %d, want 3\n%s", revealed, tr)
+			}
+		})
+	}
+}
+
+func TestPingAndSampleIPIDPropagateErrors(t *testing.T) {
+	tn := build(t, netsim.ModeIP, true, true)
+	tc := NewTracer(FaultConn{Conn: NetsimConn{Net: tn.net}}, tn.vp)
+	count := metricsFor(tc)
+
+	if _, ok, err := tc.Ping(tn.pe1.Loopback, 7); !errors.Is(err, ErrInjected) || ok {
+		t.Errorf("Ping: ok=%v err=%v, want the injected error surfaced", ok, err)
+	}
+	if _, ok, err := tc.SampleIPID(tn.pe1.Loopback, 0); !errors.Is(err, ErrInjected) || ok {
+		t.Errorf("SampleIPID: ok=%v err=%v, want the injected error surfaced", ok, err)
+	}
+	if got := count("exchange_errors"); got != 2 {
+		t.Errorf("exchange_errors = %d, want 2", got)
+	}
+}
+
+func TestFaultConnCustomError(t *testing.T) {
+	sentinel := errors.New("interface down")
+	fc := FaultConn{Conn: nil, Err: sentinel}
+	_, _, err := fc.Exchange(netip.MustParseAddr("172.16.0.1"), make([]byte, 20))
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want the configured sentinel", err)
+	}
+}

@@ -1,0 +1,45 @@
+package probe
+
+import (
+	"errors"
+	"net/netip"
+)
+
+// ErrInjected is the default error a FaultConn returns for matched
+// exchanges. Tests assert on it with errors.Is through the tracer's
+// wrapping.
+var ErrInjected = errors.New("injected fault")
+
+// FaultConn wraps a Conn and fails selected exchanges, the error-path
+// counterpart of netsim.SetNextHopOverride: where the override mutates the
+// simulated world, FaultConn breaks the measurement channel itself (a
+// dying raw socket, a VM losing its interface). It makes fail-soft
+// behavior provable under deterministic injected faults.
+//
+// Match inspects the outbound probe (source address and serialized IPv4
+// packet) and reports whether this exchange should fail; a nil Match fails
+// every exchange. The wire buffer is only valid for the duration of the
+// call, per the Conn contract — Match must not retain it. Matching is a
+// pure function of the probe bytes, so injected faults land on the same
+// probes at any worker count and the determinism contract holds on the
+// failure path too.
+type FaultConn struct {
+	Conn Conn
+	// Match selects which exchanges fail; nil means all of them.
+	Match func(src netip.Addr, wire []byte) bool
+	// Err is the injected error; nil means ErrInjected.
+	Err error
+}
+
+// Exchange implements Conn: matched probes fail with the injected error
+// (no reply, zero RTT); everything else passes through.
+func (f FaultConn) Exchange(src netip.Addr, wire []byte) ([]byte, float64, error) {
+	if f.Match == nil || f.Match(src, wire) {
+		err := f.Err
+		if err == nil {
+			err = ErrInjected
+		}
+		return nil, 0, err
+	}
+	return f.Conn.Exchange(src, wire)
+}

@@ -11,19 +11,22 @@ import "arest/internal/obs"
 type Metrics struct {
 	sentUDP   *obs.Counter
 	sentICMP  *obs.Counter
-	replies   *obs.Counter
-	retries   *obs.Counter
-	gaps      *obs.Counter
-	decodeErr *obs.Counter
+	replies     *obs.Counter
+	retries     *obs.Counter
+	gaps        *obs.Counter
+	decodeErr   *obs.Counter
+	exchangeErr *obs.Counter
 
 	revealTriggers *obs.Counter
 	revealSuccess  *obs.Counter
 	revealedHops   *obs.Counter
+	revealErr      *obs.Counter
 
 	haltReached *obs.Counter
 	haltGaps    *obs.Counter
 	haltMaxTTL  *obs.Counter
 	haltLoop    *obs.Counter
+	haltError   *obs.Counter
 
 	pings       *obs.Counter
 	pingReplies *obs.Counter
@@ -45,13 +48,16 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		retries:        reg.Counter("probe", "retries"),
 		gaps:           reg.Counter("probe", "gaps"),
 		decodeErr:      reg.Counter("probe", "decode_error"),
+		exchangeErr:    reg.Counter("probe", "exchange_errors"),
 		revealTriggers: reg.Counter("probe", "reveal.triggers"),
 		revealSuccess:  reg.Counter("probe", "reveal.successes"),
 		revealedHops:   reg.Counter("probe", "reveal.hops"),
+		revealErr:      reg.Counter("probe", "reveal.errors"),
 		haltReached:    reg.Counter("probe", "halt.reached"),
 		haltGaps:       reg.Counter("probe", "halt.gaps"),
 		haltMaxTTL:     reg.Counter("probe", "halt.max_ttl"),
 		haltLoop:       reg.Counter("probe", "halt.loop"),
+		haltError:      reg.Counter("probe", "halt.error"),
 		pings:          reg.Counter("probe", "pings"),
 		pingReplies:    reg.Counter("probe", "ping_replies"),
 		ipidSamples:    reg.Counter("probe", "ipid_samples"),
@@ -97,6 +103,18 @@ func (m *Metrics) countDecodeError() {
 	}
 }
 
+func (m *Metrics) countExchangeError() {
+	if m != nil {
+		m.exchangeErr.Inc()
+	}
+}
+
+func (m *Metrics) countRevealError() {
+	if m != nil {
+		m.revealErr.Inc()
+	}
+}
+
 func (m *Metrics) countHalt(r HaltReason) {
 	if m == nil {
 		return
@@ -110,6 +128,8 @@ func (m *Metrics) countHalt(r HaltReason) {
 		m.haltMaxTTL.Inc()
 	case HaltLoop:
 		m.haltLoop.Inc()
+	case HaltError:
+		m.haltError.Inc()
 	}
 }
 

@@ -2,6 +2,8 @@
 
 //arest:allow nowallclock RawConn is the live raw-socket prober: RTTs and receive deadlines are genuine wall-clock measurements of the real Internet, outside the simulator's determinism contract (DESIGN.md §7 covers the netsim backend; this backend is inherently nondeterministic)
 
+//arest:allow noerrdrop the discarded errors here are syscall.Close on teardown and error-unwind paths: the descriptors are being abandoned either way and Close has no recovery action; every measurement-carrying syscall error is propagated
+
 package probe
 
 import (

@@ -1,6 +1,9 @@
 package probe
 
-import "net/netip"
+import (
+	"fmt"
+	"net/netip"
+)
 
 // opaqueTTLFloor is the quoted-LSE TTL above which a label quote can only
 // come from a pipe-model tunnel (LSE TTL initialized to 255 at the ingress
@@ -14,6 +17,16 @@ const opaqueTTLFloor = 200
 // interface prefixes carry no LDP/SR FEC, so those probes are forwarded as
 // plain IP and expose the tunnel interior — without LSEs, exactly as the
 // paper notes for invisible tunnels.
+//
+// Revealed hops are renumbered into the gap they fill (a.TTL+1, a.TTL+2, …)
+// and every hop after the splice is shifted by the revealed count, so hop
+// TTLs stay strictly increasing and consistent with hop indexes across the
+// augmented trace.
+//
+// A failed auxiliary trace does not fail the main one: the failure is
+// recorded in tr.RevealErrs (and counted) and revelation moves on, so a
+// trace with a broken DPR path still carries its measured hops — merely
+// flagged that hidden content may remain unrevealed.
 func (t *Tracer) reveal(tr *Trace) {
 	visible := make(map[netip.Addr]bool)
 	for i := range tr.Hops {
@@ -39,20 +52,29 @@ func (t *Tracer) reveal(tr *Trace) {
 		if suspected == 0 {
 			continue
 		}
-		hidden := t.directPathRevelation(b.Addr, visible)
+		hidden, err := t.directPathRevelation(b.Addr, visible)
 		t.Metrics.countReveal(true, len(hidden))
+		if err != nil {
+			t.Metrics.countRevealError()
+			tr.RevealErrs = append(tr.RevealErrs, fmt.Sprintf("dpr %s: %v", b.Addr, err))
+			continue
+		}
 		if len(hidden) == 0 {
 			continue
 		}
 		for j := range hidden {
 			hidden[j].Revealed = true
-			hidden[j].TTL = a.TTL // shares the gap between a and b
+			hidden[j].TTL = a.TTL + 1 + j // fills the gap between a and b
 			visible[hidden[j].Addr] = true
 		}
 		spliced := make([]Hop, 0, len(tr.Hops)+len(hidden))
 		spliced = append(spliced, tr.Hops[:i+1]...)
 		spliced = append(spliced, hidden...)
 		spliced = append(spliced, tr.Hops[i+1:]...)
+		// Shift the tail past the splice so TTLs stay strictly increasing.
+		for k := i + 1 + len(hidden); k < len(spliced); k++ {
+			spliced[k].TTL += len(hidden)
+		}
 		tr.Hops = spliced
 		i += len(hidden) // continue after the spliced region
 	}
@@ -60,13 +82,27 @@ func (t *Tracer) reveal(tr *Trace) {
 
 // directPathRevelation traces toward the trigger address and returns the
 // responding hops that precede it and are not already visible in the main
-// trace: the hidden tunnel interior.
-func (t *Tracer) directPathRevelation(trigger netip.Addr, visible map[netip.Addr]bool) []Hop {
+// trace: the hidden tunnel interior. A transport failure of the auxiliary
+// trace is returned as an error — distinct from "the path holds no new
+// hops" (nil, nil) — so the caller can record that revelation was disabled
+// rather than silently classifying on an unrevealed trace.
+func (t *Tracer) directPathRevelation(trigger netip.Addr, visible map[netip.Addr]bool) ([]Hop, error) {
+	// The auxiliary tracer deliberately keeps Retries at zero, as the
+	// original DPR implementation did: giving aux traces a retry budget
+	// would change fault-free probe sequences (each retry draws a fresh
+	// rate-limiter coin) and with them every pinned campaign result.
+	// Transport errors in the aux sweep therefore surface immediately.
 	aux := &Tracer{Conn: t.Conn, VP: t.VP, MaxTTL: t.MaxTTL, MaxGaps: t.MaxGaps,
 		BasePort: t.BasePort, Reveal: false, Metrics: t.Metrics}
 	tr, err := aux.Trace(trigger, 0)
-	if err != nil || !tr.Reached() {
-		return nil
+	if err != nil {
+		return nil, err
+	}
+	if tr.Failed() {
+		return nil, fmt.Errorf("aux trace: %s", tr.Err)
+	}
+	if !tr.Reached() {
+		return nil, nil
 	}
 	// Locate the trigger in the auxiliary trace, then collect the
 	// contiguous run of new hops immediately before it.
@@ -78,16 +114,16 @@ func (t *Tracer) directPathRevelation(trigger netip.Addr, visible map[netip.Addr
 		}
 	}
 	if end <= 0 {
-		return nil
+		return nil, nil
 	}
 	start := end
 	for start > 0 && tr.Hops[start-1].Responded() && !visible[tr.Hops[start-1].Addr] {
 		start--
 	}
 	if start == end {
-		return nil
+		return nil, nil
 	}
 	out := make([]Hop, end-start)
 	copy(out, tr.Hops[start:end])
-	return out
+	return out, nil
 }

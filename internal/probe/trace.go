@@ -7,6 +7,8 @@
 // the engine exercises exactly the codec path a raw-socket tool would.
 package probe
 
+//arest:allow noerrdrop the only discarded errors in this file are fmt.Fprintf into a strings.Builder, whose Write is documented to always return a nil error; String renders diagnostics and carries no measurement
+
 import (
 	"fmt"
 	"net/netip"
@@ -60,6 +62,11 @@ const (
 	HaltMaxTTL
 	// HaltLoop: a forwarding loop was detected.
 	HaltLoop
+	// HaltError: a probe exchange failed after exhausting the retry
+	// budget. The trace keeps every hop measured before the failure and
+	// records the error text in Trace.Err; it is a degraded observation,
+	// not an aborted one.
+	HaltError
 )
 
 func (r HaltReason) String() string {
@@ -72,6 +79,8 @@ func (r HaltReason) String() string {
 		return "max-ttl"
 	case HaltLoop:
 		return "loop"
+	case HaltError:
+		return "error"
 	default:
 		return "?"
 	}
@@ -84,7 +93,19 @@ type Trace struct {
 	FlowID uint16     `json:"flow_id"`
 	Hops   []Hop      `json:"hops"`
 	Halt   HaltReason `json:"halt"`
+	// Err is the transport error that halted the sweep when Halt ==
+	// HaltError, empty otherwise. It is recorded as text so a trace —
+	// including its failure — survives an archive round-trip unchanged.
+	Err string `json:"err,omitempty"`
+	// RevealErrs records auxiliary-trace failures during TNT revelation:
+	// a failed DPR leaves the main sweep intact but marks that hidden
+	// content may exist that could not be revealed (classification may
+	// undercount tunnels). One entry per failed trigger, in hop order.
+	RevealErrs []string `json:"reveal_errs,omitempty"`
 }
+
+// Failed reports whether the trace was halted by a transport error.
+func (t *Trace) Failed() bool { return t.Halt == HaltError }
 
 // Addrs returns the responding hop addresses in path order.
 func (t *Trace) Addrs() []netip.Addr {

@@ -168,6 +168,13 @@ const loopRunLen = 3
 // 5-tuple is held constant across the TTL sweep (per-flow load balancers
 // then keep the path stable); distinct flow IDs map to distinct UDP
 // destination ports within the traceroute range (see flowPort).
+//
+// Trace is fail-soft: a probe exchange error consumes the same retry
+// budget as a silent hop, and an error that survives the budget halts the
+// sweep with HaltError and the error text on the trace — every hop
+// measured before the failure is kept. The error return is reserved for
+// future non-probe failures and is always nil today; callers decide
+// whether a degraded trace is acceptable via Trace.Failed.
 func (t *Tracer) Trace(dst netip.Addr, flowID uint16) (*Trace, error) {
 	s := probeScratchPool.Get().(*probeScratch)
 	defer probeScratchPool.Put(s)
@@ -180,12 +187,14 @@ func (t *Tracer) Trace(dst netip.Addr, flowID uint16) (*Trace, error) {
 sweep:
 	for ttl := 1; ttl <= t.MaxTTL; ttl++ {
 		hop, err := t.probeOnce(s, dst, uint8(ttl), dport, 0)
-		for retry := 0; err == nil && !hop.Responded() && retry < t.Retries; retry++ {
+		for retry := 0; (err != nil || !hop.Responded()) && retry < t.Retries; retry++ {
 			t.Metrics.countRetry()
 			hop, err = t.probeOnce(s, dst, uint8(ttl), dport, retry+1)
 		}
 		if err != nil {
-			return nil, err
+			tr.Halt = HaltError
+			tr.Err = err.Error()
+			break sweep
 		}
 		tr.Hops = append(tr.Hops, hop)
 		if !hop.Responded() {
@@ -224,7 +233,9 @@ sweep:
 		}
 	}
 	t.Metrics.countHalt(tr.Halt)
-	if t.Reveal {
+	// A trace halted by a transport error skips revelation: its Conn just
+	// failed repeatedly, so auxiliary traces would only burn more probes.
+	if t.Reveal && tr.Halt != HaltError {
 		t.reveal(tr)
 	}
 	return tr, nil
@@ -264,6 +275,7 @@ func (t *Tracer) probeOnce(s *probeScratch, dst netip.Addr, ttl uint8, dport uin
 	t.Metrics.countSent(t.Method)
 	reply, rtt, err := t.Conn.Exchange(t.VP, s.wire)
 	if err != nil {
+		t.Metrics.countExchangeError()
 		return Hop{}, fmt.Errorf("probe: %w", err)
 	}
 	hop := Hop{TTL: int(ttl)}
@@ -319,8 +331,12 @@ func (t *Tracer) Ping(dst netip.Addr, id uint16) (replyTTL uint8, ok bool, err e
 	}
 	t.Metrics.countPing()
 	reply, _, err := t.Conn.Exchange(t.VP, s.wire)
-	if err != nil || reply == nil {
+	if err != nil {
+		t.Metrics.countExchangeError()
 		return 0, false, err
+	}
+	if reply == nil {
+		return 0, false, nil
 	}
 	if err := pkt.UnmarshalIPv4Into(&s.rip, reply); err != nil {
 		t.Metrics.countDecodeError()
@@ -388,8 +404,12 @@ func (t *Tracer) SampleIPID(dst netip.Addr, seq uint32) (IPIDSample, bool, error
 	}
 	t.Metrics.countIPIDSample()
 	reply, _, err := t.Conn.Exchange(t.VP, s.wire)
-	if err != nil || reply == nil {
+	if err != nil {
+		t.Metrics.countExchangeError()
 		return IPIDSample{}, false, err
+	}
+	if reply == nil {
+		return IPIDSample{}, false, nil
 	}
 	if err := pkt.UnmarshalIPv4Into(&s.rip, reply); err != nil {
 		t.Metrics.countDecodeError()
