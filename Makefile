@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint arestlint race check bench bench-json fuzz
+.PHONY: build test vet lint arestlint race check bench bench-json fuzz experiments-output
 
 build:
 	$(GO) build ./...
@@ -47,12 +47,18 @@ check: vet lint race
 bench:
 	$(GO) test -run 'Benchmark' -bench . -benchmem ./...
 
-# Machine-readable baseline: records the sweep into BENCH_6.json under
+# Machine-readable baseline: records the sweep into BENCH_8.json under
 # LABEL (default "post"), replacing any previous run with the same label.
-# Compare runs with: jq '.runs[] | {label, probe: (.results[] | select(.name=="BenchmarkProbe"))}' BENCH_6.json
+# Compare runs with: jq '.runs[] | {label, probe: (.results[] | select(.name=="BenchmarkProbe"))}' BENCH_8.json
 LABEL ?= post
 bench-json:
-	$(GO) test -run 'Benchmark' -bench . -benchmem ./... | $(GO) run ./cmd/benchjson -label $(LABEL) -o BENCH_6.json
+	$(GO) test -run 'Benchmark' -bench . -benchmem ./... | $(GO) run ./cmd/benchjson -label $(LABEL) -o BENCH_8.json
+
+# The committed transcript every number in EXPERIMENTS.md was read from.
+# The campaign is fully seeded, so this is byte-reproducible; CI regenerates
+# it and fails on drift (stale-artifact check).
+experiments-output:
+	$(GO) run ./cmd/experiments > experiments_output.txt
 
 # Short deterministic fuzz pass over the archive codec seeds plus a minute
 # of mutation.

@@ -1,10 +1,12 @@
 // Command arest runs the AReST detection methodology over a stored
 // campaign and reports detected SR-MPLS segments, per-flag statistics,
-// and interworking tunnels. The input format is sniffed: an
-// arest.archive.v1 record stream (as cmd/tntsim now emits) replays the
-// full campaign — traces plus the archived fingerprint and bdrmap
-// annotations; the legacy JSON-Lines trace format still works and
-// analyzes bare traces.
+// and interworking tunnels. The input format is sniffed: an arest.archive
+// record stream (as cmd/tntsim emits) replays the full campaign — traces
+// plus the archived fingerprint and bdrmap annotations. A v2 archive is
+// analyzed as a one-pass stream, traces folded in fixed-size batches, so
+// memory stays bounded by the report state rather than the campaign size;
+// a v1 archive (side data after the traces) is materialized first. The
+// legacy JSON-Lines trace format still works and analyzes bare traces.
 //
 // Usage:
 //
@@ -21,7 +23,6 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"net/netip"
 	"os"
 	"strings"
@@ -36,6 +37,182 @@ import (
 	"arest/internal/probe"
 	"arest/internal/tracestore"
 )
+
+// analyzeBatch bounds the traces in flight between input decode and report
+// accumulation. Fixed (never derived from the worker count) so batch
+// boundaries and all reporting are identical at any concurrency.
+const analyzeBatch = 256
+
+// analysis accumulates the whole report one trace at a time: each batch
+// fans out across the worker pool into index slots, then reporting walks
+// the slots in input order — output is identical at every worker count and
+// independent of whether traces arrive from a stream or a materialized
+// campaign.
+type analysis struct {
+	det     *core.Detector
+	ann     *fingerprint.Annotator
+	asOf    func(netip.Addr) int
+	workers int
+	reg     *obs.Registry
+	verbose bool
+	enc     *json.Encoder // non-nil in -json mode
+
+	traces       int
+	tracesWithSR int
+	flagCounts   map[core.Flag]int
+	patterns     map[core.Pattern]int
+
+	batch   []*probe.Trace
+	paths   []*core.Path
+	results []*core.Result
+	err     error
+}
+
+func newAnalysis(det *core.Detector, workers int, reg *obs.Registry) *analysis {
+	return &analysis{
+		det:        det,
+		workers:    workers,
+		reg:        reg,
+		flagCounts: map[core.Flag]int{},
+		patterns:   map[core.Pattern]int{},
+		batch:      make([]*probe.Trace, 0, analyzeBatch),
+		paths:      make([]*core.Path, analyzeBatch),
+		results:    make([]*core.Result, analyzeBatch),
+	}
+}
+
+func (a *analysis) add(tr *probe.Trace) {
+	a.batch = append(a.batch, tr)
+	if len(a.batch) == analyzeBatch {
+		a.flush()
+	}
+}
+
+func (a *analysis) flush() {
+	n := len(a.batch)
+	if n == 0 {
+		return
+	}
+	done := a.reg.Span("core", "stage.analyze").Start()
+	par.ForEach(a.workers, n, func(i int) {
+		a.paths[i] = core.BuildPath(a.batch[i], a.ann, a.asOf)
+		a.results[i] = a.det.Analyze(a.paths[i])
+	})
+	done()
+	for i := 0; i < n; i++ {
+		a.report(a.batch[i], a.paths[i], a.results[i])
+		a.paths[i], a.results[i] = nil, nil
+	}
+	a.batch = a.batch[:0]
+}
+
+// report folds one analyzed trace into the counters and, when configured,
+// emits its verbose segment lines or JSON report in input order.
+func (a *analysis) report(tr *probe.Trace, p *core.Path, res *core.Result) {
+	a.traces++
+	if res.HasSR() {
+		a.tracesWithSR++
+	}
+	if a.reg != nil {
+		a.reg.Counter("core", "traces").Inc()
+		if res.HasSR() {
+			a.reg.Counter("core", "traces_with_sr").Inc()
+		}
+		a.reg.Counter("core", "segments").Add(uint64(len(res.Segments)))
+		for _, s := range res.Segments {
+			a.reg.Counter("core", "flag."+s.Flag.String()).Inc()
+		}
+	}
+	for _, s := range res.Segments {
+		a.flagCounts[s.Flag]++
+		if a.verbose {
+			fmt.Printf("%s -> %s  %-4s stars=%d label=%d hops=%d", tr.VP, tr.Dst,
+				s.Flag, s.Flag.Stars(), s.Label, s.Len())
+			if s.SuffixMatch {
+				fmt.Print(" (suffix)")
+			}
+			fmt.Println()
+			for k := s.Start; k <= s.End; k++ {
+				fmt.Printf("    %-15s %s\n", p.Hops[k].Addr, p.Hops[k].Stack)
+			}
+		}
+	}
+	for _, tun := range res.Tunnels() {
+		a.patterns[tun.Pattern]++
+		if a.reg != nil {
+			a.reg.Counter("core", "pattern."+string(tun.Pattern)).Inc()
+		}
+	}
+	if a.enc != nil && a.err == nil {
+		a.err = a.enc.Encode(core.NewReport(res))
+	}
+}
+
+// campaignVisitor folds a v2 archive straight into the analysis: side
+// records accumulate annotation state, sealed (with any CLI fingerprint
+// overrides merged in) when the first trace arrives.
+type campaignVisitor struct {
+	an                *analysis
+	meta              tracestore.Meta
+	snmp, ttl         map[netip.Addr]mpls.Vendor
+	overSNMP, overTTL map[netip.Addr]mpls.Vendor
+	borders           map[netip.Addr]int
+	sealed            bool
+}
+
+func (v *campaignVisitor) Meta(m archive.Meta) error {
+	v.meta = tracestore.Meta{ASN: m.Record.ASN, Name: m.Record.Name, Seed: m.Seed}
+	return nil
+}
+
+func (v *campaignVisitor) VP(archive.VPRecord) error {
+	v.meta.VPs++
+	return nil
+}
+
+func (v *campaignVisitor) Fingerprint(rec archive.FingerprintRecord) error {
+	switch rec.Source {
+	case archive.SourceSNMP:
+		v.snmp[rec.Addr] = rec.Vendor
+	case archive.SourceTTL:
+		v.ttl[rec.Addr] = rec.Vendor
+	}
+	return nil
+}
+
+// AliasSet, SREnabled, Degraded: measurement-side records the detection
+// report does not consume.
+func (v *campaignVisitor) AliasSet(archive.AliasSetRecord) error   { return nil }
+func (v *campaignVisitor) SREnabled(archive.SREnabledRecord) error { return nil }
+func (v *campaignVisitor) Degraded(archive.Degraded) error         { return nil }
+
+func (v *campaignVisitor) Border(rec archive.BorderRecord) error {
+	v.borders[rec.Addr] = rec.ASN
+	return nil
+}
+
+func (v *campaignVisitor) Trace(rec archive.TraceRecord) error {
+	if !v.sealed {
+		v.seal()
+	}
+	v.an.add(rec.Trace)
+	return nil
+}
+
+func (v *campaignVisitor) seal() {
+	v.sealed = true
+	for a, vend := range v.overSNMP {
+		v.snmp[a] = vend
+	}
+	for a, vend := range v.overTTL {
+		v.ttl[a] = vend
+	}
+	v.an.ann = fingerprint.NewAnnotator(v.snmp, v.ttl)
+	if len(v.borders) > 0 {
+		borders := v.borders
+		v.an.asOf = func(a netip.Addr) int { return borders[a] }
+	}
+}
 
 func main() {
 	in := flag.String("i", "", "input trace file (JSON lines; default stdin)")
@@ -69,59 +246,96 @@ func main() {
 		defer f.Close()
 		r = f
 	}
-	meta, traces, snmp, ttl, asOf, err := loadCampaign(r)
-	if err != nil {
-		fatalf("read traces: %v", err)
-	}
-	if len(traces) == 0 {
-		fatalf("no traces in input")
-	}
 
 	// CLI-supplied fingerprints override archived annotations.
+	fsnmp := map[netip.Addr]mpls.Vendor{}
+	fttl := map[netip.Addr]mpls.Vendor{}
 	if *fpFile != "" {
-		fsnmp, fttl, err := loadFingerprints(*fpFile)
+		var err error
+		fsnmp, fttl, err = loadFingerprints(*fpFile)
 		if err != nil {
 			fatalf("fingerprints: %v", err)
 		}
-		for a, v := range fsnmp {
-			snmp[a] = v
-		}
-		for a, v := range fttl {
-			ttl[a] = v
-		}
 	}
-	ann := fingerprint.NewAnnotator(snmp, ttl)
 
 	det := core.NewDetector()
 	det.SuffixMatching = !*noSuffix
+	an := newAnalysis(det, par.Workers(*workers), reg)
+	an.verbose = *verbose
+	if *jsonOut {
+		an.enc = json.NewEncoder(os.Stdout)
+	}
 
-	// Analyze is a pure function of each trace, so the passes fan out into
-	// index-addressed slices; all reporting below walks them in input
-	// order, keeping the output identical at any worker count.
-	paths := make([]*core.Path, len(traces))
-	results := make([]*core.Result, len(traces))
-	analyzeDone := reg.Span("core", "stage.analyze").Start()
-	par.ForEach(par.Workers(*workers), len(traces), func(i int) {
-		paths[i] = core.BuildPath(traces[i], ann, asOf)
-		results[i] = det.Analyze(paths[i])
-	})
-	analyzeDone()
-	if reg != nil {
-		// Flag accounting: pure functions of the result set, schedule-
-		// independent at any worker count.
-		reg.Counter("core", "traces").Add(uint64(len(traces)))
-		for _, res := range results {
-			if res.HasSR() {
-				reg.Counter("core", "traces_with_sr").Inc()
+	// Sniff the input format and drive the analysis. A v2 archive streams;
+	// a v1 archive or a JSONL tracestore is materialized and replayed
+	// through the identical accumulator.
+	br := bufio.NewReader(r)
+	var meta tracestore.Meta
+	if archive.Sniff(br) {
+		ar, err := archive.NewReader(br)
+		if err != nil {
+			fatalf("read traces: %v", err)
+		}
+		if ar.Version() >= 2 {
+			v := &campaignVisitor{
+				an:       an,
+				snmp:     map[netip.Addr]mpls.Vendor{},
+				ttl:      map[netip.Addr]mpls.Vendor{},
+				overSNMP: fsnmp,
+				overTTL:  fttl,
+				borders:  map[netip.Addr]int{},
 			}
-			reg.Counter("core", "segments").Add(uint64(len(res.Segments)))
-			for _, s := range res.Segments {
-				reg.Counter("core", "flag."+s.Flag.String()).Inc()
+			if err := archive.StreamRecords(ar, v); err != nil {
+				fatalf("read traces: %v", err)
 			}
-			for _, tun := range res.Tunnels() {
-				reg.Counter("core", "pattern."+string(tun.Pattern)).Inc()
+			meta = v.meta
+		} else {
+			data, err := archive.ReadFrom(ar)
+			if err != nil {
+				fatalf("read traces: %v", err)
+			}
+			meta = tracestore.Meta{
+				ASN:  data.Meta.Record.ASN,
+				Name: data.Meta.Record.Name,
+				Seed: data.Meta.Seed,
+				VPs:  len(data.VPs),
+			}
+			for a, v := range fsnmp {
+				data.SNMP[a] = v
+			}
+			for a, v := range fttl {
+				data.TTL[a] = v
+			}
+			an.ann = fingerprint.NewAnnotator(data.SNMP, data.TTL)
+			if len(data.Borders) > 0 {
+				borders := data.Borders
+				an.asOf = func(a netip.Addr) int { return borders[a] }
+			}
+			for _, tr := range data.Traces() {
+				an.add(tr)
 			}
 		}
+	} else {
+		var traces []*probe.Trace
+		var err error
+		meta, traces, err = tracestore.Read(br)
+		if err != nil {
+			fatalf("read traces: %v", err)
+		}
+		an.ann = fingerprint.NewAnnotator(fsnmp, fttl)
+		for _, tr := range traces {
+			an.add(tr)
+		}
+	}
+	an.flush()
+	if an.err != nil {
+		fatalf("encode report: %v", an.err)
+	}
+	if an.traces == 0 {
+		fatalf("no traces in input")
+	}
+
+	if reg != nil {
 		snap := reg.Snapshot()
 		if err := snap.ExportFile(*metricsOut); err != nil {
 			fatalf("metrics: %v", err)
@@ -132,96 +346,32 @@ func main() {
 	}
 
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		for _, res := range results {
-			if err := enc.Encode(core.NewReport(res)); err != nil {
-				fatalf("encode report: %v", err)
-			}
-		}
 		return
 	}
 
-	flagCounts := map[core.Flag]int{}
-	patterns := map[core.Pattern]int{}
-	tracesWithSR := 0
-	for i, tr := range traces {
-		p := paths[i]
-		res := results[i]
-		if res.HasSR() {
-			tracesWithSR++
-		}
-		for _, s := range res.Segments {
-			flagCounts[s.Flag]++
-			if *verbose {
-				fmt.Printf("%s -> %s  %-4s stars=%d label=%d hops=%d", tr.VP, tr.Dst,
-					s.Flag, s.Flag.Stars(), s.Label, s.Len())
-				if s.SuffixMatch {
-					fmt.Print(" (suffix)")
-				}
-				fmt.Println()
-				for k := s.Start; k <= s.End; k++ {
-					fmt.Printf("    %-15s %s\n", p.Hops[k].Addr, p.Hops[k].Stack)
-				}
-			}
-		}
-		for _, tun := range res.Tunnels() {
-			patterns[tun.Pattern]++
-		}
-	}
-
 	if meta.Name != "" {
-		fmt.Printf("campaign: %s (AS%d), %d traces\n\n", meta.Name, meta.ASN, len(traces))
+		fmt.Printf("campaign: %s (AS%d), %d traces\n\n", meta.Name, meta.ASN, an.traces)
 	} else {
-		fmt.Printf("%d traces\n\n", len(traces))
+		fmt.Printf("%d traces\n\n", an.traces)
 	}
 	t := eval.Table{Title: "AReST detection summary", Headers: []string{"Flag", "Stars", "Segments"}}
 	total := 0
 	for _, f := range core.AllFlags {
-		t.AddRow(f.String(), strings.Repeat("*", f.Stars()), flagCounts[f])
-		total += flagCounts[f]
+		t.AddRow(f.String(), strings.Repeat("*", f.Stars()), an.flagCounts[f])
+		total += an.flagCounts[f]
 	}
 	fmt.Print(t.Render())
 	fmt.Printf("total segments: %d; traces with strong SR evidence: %d/%d\n\n",
-		total, tracesWithSR, len(traces))
+		total, an.tracesWithSR, an.traces)
 
 	pt := eval.Table{Title: "Tunnel structure", Headers: []string{"Pattern", "Tunnels"}}
 	for _, p := range []core.Pattern{core.PatternFullSR, core.PatternFullLDP, core.PatternSRLDP,
 		core.PatternLDPSR, core.PatternLDPSRLDP, core.PatternSRLDPSR, core.PatternOther} {
-		if patterns[p] > 0 {
-			pt.AddRow(string(p), patterns[p])
+		if an.patterns[p] > 0 {
+			pt.AddRow(string(p), an.patterns[p])
 		}
 	}
 	fmt.Print(pt.Render())
-}
-
-// loadCampaign sniffs the input format and loads the stored campaign. For
-// an arest.archive.v1 stream it returns the traces together with the
-// archived side-channels — fingerprint annotations and bdrmap owners — so
-// detection replays with the same context the measurement campaign had.
-// For legacy JSON Lines it returns bare traces. The vendor maps are always
-// non-nil so callers can merge overrides into them.
-func loadCampaign(r io.Reader) (meta tracestore.Meta, traces []*probe.Trace,
-	snmp, ttl map[netip.Addr]mpls.Vendor, asOf func(netip.Addr) int, err error) {
-	br := bufio.NewReader(r)
-	if archive.Sniff(br) {
-		data, err := archive.ReadData(br)
-		if err != nil {
-			return tracestore.Meta{}, nil, nil, nil, nil, err
-		}
-		meta = tracestore.Meta{
-			ASN:  data.Meta.Record.ASN,
-			Name: data.Meta.Record.Name,
-			Seed: data.Meta.Seed,
-			VPs:  len(data.VPs),
-		}
-		if len(data.Borders) > 0 {
-			borders := data.Borders
-			asOf = func(a netip.Addr) int { return borders[a] }
-		}
-		return meta, data.Traces(), data.SNMP, data.TTL, asOf, nil
-	}
-	meta, traces, err = tracestore.Read(br)
-	return meta, traces, map[netip.Addr]mpls.Vendor{}, map[netip.Addr]mpls.Vendor{}, nil, err
 }
 
 // loadFingerprints parses "addr vendor [snmp|ttl]" lines.

@@ -32,6 +32,7 @@ func main() {
 	maxRouters := flag.Int("max-routers", 60, "per-AS topology cap")
 	seed := flag.Int64("seed", 20250405, "campaign seed")
 	workers := flag.Int("workers", 0, "worker pool size for every pipeline stage (0 = GOMAXPROCS, 1 = sequential)")
+	analyzeWorkers := flag.Int("analyze-workers", 0, "worker pool size for the per-shard analysis fold (0 = same as -workers); lets a replay analyze many shards concurrently with a few workers each")
 	outDir := flag.String("o", "", "write each experiment to <dir>/<id>.txt instead of stdout")
 	snapshotDir := flag.String("snapshot", "", "snapshot/resume mode: persist per-AS archive shards under <dir> and skip ASes whose shard is already complete")
 	maxASFailures := flag.Int("max-as-failures", 0, "tolerate up to this many failed ASes before exiting non-zero (-1 = unlimited); failed ASes are always reported and excluded from analysis")
@@ -90,6 +91,7 @@ func main() {
 	cfg.MaxTargets = *targets
 	cfg.MaxRouters = *maxRouters
 	cfg.Workers = *workers
+	cfg.AnalyzeWorkers = *analyzeWorkers
 	cfg.MaxTraceFailures = *maxTraceFailures
 	var reg *obs.Registry
 	if *metricsOut != "" {

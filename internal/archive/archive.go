@@ -4,10 +4,10 @@
 // one AS's full campaign — metadata, per-VP traces, fingerprint
 // annotations, alias sets, bdrmap borders, and simulator ground truth.
 //
-// The on-disk format, "arest.archive.v1", is a magic line followed by a
-// sequence of framed records and a mandatory end trailer:
+// The on-disk format is a magic line followed by a sequence of framed
+// records and a mandatory end trailer:
 //
-//	magic   "arest.archive.v1\n"            (17 bytes)
+//	magic   "arest.archive.v1\n" or "arest.archive.v2\n"  (17 bytes)
 //	record  type    uint8
 //	        length  uint32 big-endian        (payload bytes)
 //	        payload JSON                     (schema fixed per type)
@@ -17,9 +17,17 @@
 //	        counts; a stream without it is truncated (an interrupted
 //	        writer), which readers report as ErrTruncated.
 //
+// v1 and v2 share the framing and record schemas; they differ only in
+// canonical record order. v1 interleaves traces before the annotation
+// records; v2 moves all side data (fingerprints, aliases, borders, ground
+// truth, degradation) ahead of the trace run, so a one-pass streaming
+// consumer can seal its annotation state before the first trace arrives.
+// Readers accept both.
+//
 // Writer and Reader stream one record at a time, so a campaign never needs
-// to be wholly resident; the Data aggregate in data.go is a convenience
-// for pipelines that do want everything in memory.
+// to be wholly resident; Stream in stream.go folds records into a Visitor
+// one at a time, and the Data aggregate in data.go is a convenience for
+// pipelines that do want everything in memory.
 package archive
 
 import (
@@ -36,6 +44,11 @@ import (
 // `cat` of an archive from gluing into a terminal line and gives format
 // sniffers an unambiguous 17-byte prefix.
 const Magic = "arest.archive.v1\n"
+
+// MagicV2 opens every v2 archive (same framing as v1, side data before
+// traces). Deliberately the same length as Magic so sniffing and version
+// detection read one fixed-size prefix.
+const MagicV2 = "arest.archive.v2\n"
 
 // Type tags one framed record.
 type Type uint8
@@ -85,8 +98,9 @@ func (t Type) String() string {
 const MaxPayload = 1 << 26
 
 var (
-	// ErrBadMagic reports a stream that does not start with Magic.
-	ErrBadMagic = errors.New("archive: bad magic (not an arest.archive.v1 stream)")
+	// ErrBadMagic reports a stream that starts with neither Magic nor
+	// MagicV2.
+	ErrBadMagic = errors.New("archive: bad magic (not an arest.archive stream)")
 	// ErrCorrupt reports a CRC mismatch or malformed frame.
 	ErrCorrupt = errors.New("archive: corrupt record")
 	// ErrTruncated reports a stream that ended without the end trailer —
@@ -96,7 +110,7 @@ var (
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// Writer emits one v1 archive. Records are framed and checksummed as they
+// Writer emits one archive. Records are framed and checksummed as they
 // are written; Close appends the end trailer. A Writer is not safe for
 // concurrent use.
 type Writer struct {
@@ -107,10 +121,18 @@ type Writer struct {
 	err     error
 }
 
-// NewWriter writes the magic and returns a streaming record writer.
-func NewWriter(w io.Writer) (*Writer, error) {
+// NewWriter writes the v1 magic and returns a streaming record writer.
+// Record order is the caller's responsibility; WriteData produces the
+// canonical order for each version.
+func NewWriter(w io.Writer) (*Writer, error) { return newWriterVersion(w, 1) }
+
+func newWriterVersion(w io.Writer, version int) (*Writer, error) {
+	magic := Magic
+	if version == 2 {
+		magic = MagicV2
+	}
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(Magic); err != nil {
+	if _, err := bw.WriteString(magic); err != nil {
 		return nil, fmt.Errorf("archive: write magic: %w", err)
 	}
 	return &Writer{bw: bw}, nil
@@ -184,16 +206,18 @@ func (w *Writer) Close() error {
 	return w.bw.Flush()
 }
 
-// Reader streams records out of a v1 archive.
+// Reader streams records out of a v1 or v2 archive.
 type Reader struct {
 	br      *bufio.Reader
+	version int
 	records int
 	traces  int
 	done    bool
 	offset  int64
 }
 
-// NewReader checks the magic and returns a streaming record reader.
+// NewReader checks the magic and returns a streaming record reader. Both
+// container versions are accepted; Version reports which one was found.
 func NewReader(r io.Reader) (*Reader, error) {
 	br, ok := r.(*bufio.Reader)
 	if !ok {
@@ -203,11 +227,20 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
 	}
-	if string(magic[:]) != Magic {
+	version := 0
+	switch string(magic[:]) {
+	case Magic:
+		version = 1
+	case MagicV2:
+		version = 2
+	default:
 		return nil, ErrBadMagic
 	}
-	return &Reader{br: br, offset: int64(len(Magic))}, nil
+	return &Reader{br: br, version: version, offset: int64(len(Magic))}, nil
 }
+
+// Version returns the container version (1 or 2) declared by the magic.
+func (r *Reader) Version() int { return r.version }
 
 // Next returns the next record's type and raw JSON payload. It returns
 // io.EOF after the end trailer has been consumed, ErrTruncated if the

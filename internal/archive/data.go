@@ -25,7 +25,7 @@ import (
 // the measurement knobs that shaped the probing. It carries everything a
 // replay needs so analysis never reaches back into the generator.
 type Meta struct {
-	Format         string           `json:"format"` // always "arest.archive.v1"
+	Format         string           `json:"format"` // FormatV1 or FormatV2; selects the record order WriteData emits
 	Record         asgen.Record     `json:"record"`
 	Dep            asgen.Deployment `json:"dep"`
 	Seed           int64            `json:"seed"`
@@ -34,8 +34,24 @@ type Meta struct {
 	FlowsPerTarget int              `json:"flows_per_target"`
 }
 
-// FormatV1 is the Meta.Format value of this package's format.
-const FormatV1 = "arest.archive.v1"
+// FormatV1 and FormatV2 are the accepted Meta.Format values. The format
+// declared in the meta record must match the container magic; WriteData
+// derives the magic (and the canonical record order) from it.
+const (
+	FormatV1 = "arest.archive.v1"
+	FormatV2 = "arest.archive.v2"
+)
+
+// formatVersion maps a Meta.Format value to its container version.
+func formatVersion(format string) (int, error) {
+	switch format {
+	case FormatV1:
+		return 1, nil
+	case FormatV2:
+		return 2, nil
+	}
+	return 0, fmt.Errorf("archive: unknown meta format %q", format)
+}
 
 // VPRecord declares one vantage point and how many trace records follow
 // for it (readers use the count for preallocation; the end trailer is the
@@ -138,12 +154,19 @@ func sortedAddrs[V any](m map[netip.Addr]V) []netip.Addr {
 }
 
 // WriteData streams the whole campaign into w in the canonical record
-// order: meta, VPs, traces (grouped per VP), fingerprints (snmp then ttl,
-// each address-sorted), alias sets, borders, ground truth, end trailer.
-// The canonical order makes byte-identical re-encoding possible, which the
-// golden-file test pins.
+// order of the version d.Meta.Format declares. v1: meta, VPs, traces
+// (grouped per VP), fingerprints (snmp then ttl, each address-sorted),
+// alias sets, borders, ground truth, degradation, end trailer. v2 moves
+// everything after the VPs ahead of the traces, so a streaming consumer
+// has all annotation state before the first trace. Either way the order
+// is canonical — byte-identical re-encoding is possible, which the
+// golden-file tests pin.
 func WriteData(w io.Writer, d *Data) error {
-	aw, err := NewWriter(w)
+	version, err := formatVersion(d.Meta.Format)
+	if err != nil {
+		return err
+	}
+	aw, err := newWriterVersion(w, version)
 	if err != nil {
 		return err
 	}
@@ -155,6 +178,25 @@ func WriteData(w io.Writer, d *Data) error {
 			return err
 		}
 	}
+	if version == 1 {
+		if err := writeTraces(aw, d); err != nil {
+			return err
+		}
+		if err := writeSideData(aw, d); err != nil {
+			return err
+		}
+	} else {
+		if err := writeSideData(aw, d); err != nil {
+			return err
+		}
+		if err := writeTraces(aw, d); err != nil {
+			return err
+		}
+	}
+	return aw.Close()
+}
+
+func writeTraces(aw *Writer, d *Data) error {
 	for i, ts := range d.PerVP {
 		for _, tr := range ts {
 			if err := aw.writeRecord(TypeTrace, TraceRecord{VPIndex: i, Trace: tr}); err != nil {
@@ -162,6 +204,10 @@ func WriteData(w io.Writer, d *Data) error {
 			}
 		}
 	}
+	return nil
+}
+
+func writeSideData(aw *Writer, d *Data) error {
 	for _, src := range []struct {
 		src FingerprintSource
 		m   map[netip.Addr]mpls.Vendor
@@ -192,121 +238,95 @@ func WriteData(w io.Writer, d *Data) error {
 			return err
 		}
 	}
-	return aw.Close()
+	return nil
 }
 
-// ReadData drains a v1 archive into a Data. It fails with ErrTruncated on
+// ReadData drains an archive into a Data. It fails with ErrTruncated on
 // a stream missing its end trailer and ErrCorrupt on checksum or schema
 // violations, so callers can distinguish "interrupted writer" from
-// "damaged file".
+// "damaged file". It is a thin client of the streaming fold in stream.go.
 func ReadData(r io.Reader) (*Data, error) {
 	ar, err := NewReader(r)
 	if err != nil {
 		return nil, err
 	}
+	return ReadFrom(ar)
+}
+
+// ReadFrom drains an already-opened record stream into a Data.
+func ReadFrom(ar *Reader) (*Data, error) {
 	d := &Data{
 		SNMP:    map[netip.Addr]mpls.Vendor{},
 		TTL:     map[netip.Addr]mpls.Vendor{},
 		Borders: map[netip.Addr]int{},
 	}
-	sawMeta := false
-	for {
-		t, body, err := ar.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, err
-		}
-		if t == TypeEnd {
-			break
-		}
-		if !sawMeta && t != TypeMeta {
-			return nil, fmt.Errorf("%w: first record is %s, want meta", ErrCorrupt, t)
-		}
-		switch t {
-		case TypeMeta:
-			if sawMeta {
-				return nil, fmt.Errorf("%w: duplicate meta record", ErrCorrupt)
-			}
-			if err := decode(body, &d.Meta); err != nil {
-				return nil, err
-			}
-			if d.Meta.Format != FormatV1 {
-				return nil, fmt.Errorf("%w: meta format %q, want %q", ErrCorrupt, d.Meta.Format, FormatV1)
-			}
-			sawMeta = true
-		case TypeVP:
-			var rec VPRecord
-			if err := decode(body, &rec); err != nil {
-				return nil, err
-			}
-			if rec.Index != len(d.VPs) {
-				return nil, fmt.Errorf("%w: vp record index %d, want %d", ErrCorrupt, rec.Index, len(d.VPs))
-			}
-			d.VPs = append(d.VPs, rec.Addr)
-			d.PerVP = append(d.PerVP, make([]*probe.Trace, 0, rec.Traces))
-		case TypeTrace:
-			var rec TraceRecord
-			if err := decode(body, &rec); err != nil {
-				return nil, err
-			}
-			if rec.VPIndex < 0 || rec.VPIndex >= len(d.PerVP) {
-				return nil, fmt.Errorf("%w: trace references unknown vp %d", ErrCorrupt, rec.VPIndex)
-			}
-			if rec.Trace == nil {
-				return nil, fmt.Errorf("%w: trace record without trace body", ErrCorrupt)
-			}
-			d.PerVP[rec.VPIndex] = append(d.PerVP[rec.VPIndex], rec.Trace)
-		case TypeFingerprint:
-			var rec FingerprintRecord
-			if err := decode(body, &rec); err != nil {
-				return nil, err
-			}
-			switch rec.Source {
-			case SourceSNMP:
-				d.SNMP[rec.Addr] = rec.Vendor
-			case SourceTTL:
-				d.TTL[rec.Addr] = rec.Vendor
-			default:
-				return nil, fmt.Errorf("%w: fingerprint source %q", ErrCorrupt, rec.Source)
-			}
-		case TypeAliasSet:
-			var rec AliasSetRecord
-			if err := decode(body, &rec); err != nil {
-				return nil, err
-			}
-			d.Aliases = append(d.Aliases, rec.Addrs)
-		case TypeBorder:
-			var rec BorderRecord
-			if err := decode(body, &rec); err != nil {
-				return nil, err
-			}
-			d.Borders[rec.Addr] = rec.ASN
-		case TypeSREnabled:
-			var rec SREnabledRecord
-			if err := decode(body, &rec); err != nil {
-				return nil, err
-			}
-			d.SREnabled = append(d.SREnabled, rec.Addr)
-		case TypeDegraded:
-			if d.Degraded != nil {
-				return nil, fmt.Errorf("%w: duplicate degraded record", ErrCorrupt)
-			}
-			var rec Degraded
-			if err := decode(body, &rec); err != nil {
-				return nil, err
-			}
-			d.Degraded = &rec
-		default:
-			// Unknown record types are skipped, not fatal: a v1 reader can
-			// cross archives produced by a writer with additive extensions.
-		}
-	}
-	if !sawMeta {
-		return nil, fmt.Errorf("%w: no meta record", ErrCorrupt)
+	if err := StreamRecords(ar, &dataVisitor{d: d}); err != nil {
+		return nil, err
 	}
 	return d, nil
+}
+
+// maxTracePrealloc caps the per-VP slice capacity taken from the untrusted
+// VPRecord.Traces count: a forged or corrupt count may not force a giant
+// up-front allocation (or a panic, for a negative count). The slice still
+// grows on demand past the cap; the end trailer remains the integrity
+// check on the real counts.
+const maxTracePrealloc = 4096
+
+// dataVisitor folds validated records into a wholly-resident Data.
+type dataVisitor struct{ d *Data }
+
+func (v *dataVisitor) Meta(m Meta) error {
+	v.d.Meta = m
+	return nil
+}
+
+func (v *dataVisitor) VP(rec VPRecord) error {
+	n := rec.Traces
+	if n < 0 {
+		n = 0
+	}
+	if n > maxTracePrealloc {
+		n = maxTracePrealloc
+	}
+	v.d.VPs = append(v.d.VPs, rec.Addr)
+	v.d.PerVP = append(v.d.PerVP, make([]*probe.Trace, 0, n))
+	return nil
+}
+
+func (v *dataVisitor) Trace(rec TraceRecord) error {
+	v.d.PerVP[rec.VPIndex] = append(v.d.PerVP[rec.VPIndex], rec.Trace)
+	return nil
+}
+
+func (v *dataVisitor) Fingerprint(rec FingerprintRecord) error {
+	switch rec.Source {
+	case SourceSNMP:
+		v.d.SNMP[rec.Addr] = rec.Vendor
+	case SourceTTL:
+		v.d.TTL[rec.Addr] = rec.Vendor
+	}
+	return nil
+}
+
+func (v *dataVisitor) AliasSet(rec AliasSetRecord) error {
+	v.d.Aliases = append(v.d.Aliases, rec.Addrs)
+	return nil
+}
+
+func (v *dataVisitor) Border(rec BorderRecord) error {
+	v.d.Borders[rec.Addr] = rec.ASN
+	return nil
+}
+
+func (v *dataVisitor) SREnabled(rec SREnabledRecord) error {
+	v.d.SREnabled = append(v.d.SREnabled, rec.Addr)
+	return nil
+}
+
+func (v *dataVisitor) Degraded(rec Degraded) error {
+	v.d.Degraded = &rec
+	return nil
 }
 
 func decode(body []byte, into any) error {
@@ -349,13 +369,13 @@ func ReadFile(path string) (*Data, error) {
 	return ReadData(bufio.NewReader(f))
 }
 
-// Sniff reports whether br's next bytes are a v1 archive, without
-// consuming them. It lets cmd/arest accept both the binary format and the
-// legacy JSONL tracestore behind one flag.
+// Sniff reports whether br's next bytes are an archive (either version),
+// without consuming them. It lets cmd/arest accept both the binary format
+// and the legacy JSONL tracestore behind one flag.
 func Sniff(br *bufio.Reader) bool {
 	head, err := br.Peek(len(Magic))
 	if err != nil {
 		return false
 	}
-	return bytes.Equal(head, []byte(Magic))
+	return bytes.Equal(head, []byte(Magic)) || bytes.Equal(head, []byte(MagicV2))
 }

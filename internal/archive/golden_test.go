@@ -11,7 +11,10 @@ import (
 
 var update = flag.Bool("update", false, "rewrite golden files")
 
-const goldenPath = "testdata/golden_v1.arest"
+const (
+	goldenPath   = "testdata/golden_v1.arest"
+	goldenPathV2 = "testdata/golden_v2.arest"
+)
 
 // TestGoldenV1 pins the on-disk bytes of format v1. If it fails after a
 // code change, the change altered the serialization of existing archives —
@@ -43,6 +46,36 @@ func TestGoldenV1(t *testing.T) {
 	// ...and encoding the fixture must reproduce the golden bytes exactly.
 	if !bytes.Equal(raw, golden) {
 		t.Errorf("encoder output changed: %d bytes, golden %d bytes; the v1 format is frozen",
+			len(raw), len(golden))
+	}
+}
+
+// TestGoldenV2 pins the on-disk bytes of format v2 the same way. A failure
+// after a code change means existing v2 archives would re-encode
+// differently — that needs a v3, not a golden refresh.
+func TestGoldenV2(t *testing.T) {
+	raw := encode(t, fixtureDataV2())
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPathV2), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPathV2, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	golden, err := os.ReadFile(goldenPathV2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadData(bytes.NewReader(golden))
+	if err != nil {
+		t.Fatalf("golden archive no longer decodes: %v", err)
+	}
+	if want := fixtureDataV2(); !reflect.DeepEqual(got, want) {
+		t.Errorf("golden decode diverged from fixture:\n got %+v\nwant %+v", got, want)
+	}
+	if !bytes.Equal(raw, golden) {
+		t.Errorf("encoder output changed: %d bytes, golden %d bytes; the v2 format is frozen",
 			len(raw), len(golden))
 	}
 }

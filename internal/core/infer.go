@@ -38,6 +38,12 @@ func InferSRGB(results []*Result) (SRGBEstimate, bool) {
 			}
 		}
 	}
+	return InferSRGBLabels(labelSet)
+}
+
+// InferSRGBLabels runs the same estimate over an already-collected set of
+// sequence-flagged labels, for callers that fold results incrementally.
+func InferSRGBLabels(labelSet map[uint32]bool) (SRGBEstimate, bool) {
 	if len(labelSet) < minSRGBSamples {
 		return SRGBEstimate{}, false
 	}

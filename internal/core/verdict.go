@@ -49,6 +49,13 @@ func Judge(results []*Result, externallyConfirmed bool) Verdict {
 			}
 		}
 	}
+	return JudgeCounts(strong, lso, externallyConfirmed)
+}
+
+// JudgeCounts applies the same interpretive framework to pre-aggregated
+// segment counts, for callers that fold results incrementally and retain
+// only per-flag tallies.
+func JudgeCounts(strong, lso int, externallyConfirmed bool) Verdict {
 	switch {
 	case strong > 0 && (externallyConfirmed || lso > 0):
 		return VerdictCorroborated

@@ -1,7 +1,11 @@
+// Aggregate queries for one AS: every table and figure row the experiments
+// consume, computed from the folded Agg (agg.go). These are pure reads —
+// the per-trace work already happened inside the Detect fold — and none of
+// them touch the retained PerVP/Paths/Results, so they are identical in
+// compact and retained mode.
 package exp
 
 import (
-	"net/netip"
 	"sort"
 
 	"arest/internal/core"
@@ -14,17 +18,15 @@ import (
 // FlagCounts tallies detected segments per flag (Fig. 8's numerator).
 func (r *ASResult) FlagCounts() map[core.Flag]int {
 	out := map[core.Flag]int{}
-	for _, res := range r.Results {
-		for _, s := range res.Segments {
-			out[s.Flag]++
-		}
+	for f, n := range r.Agg.Flags {
+		out[f] = n
 	}
 	return out
 }
 
 // FlagShares normalizes FlagCounts to proportions (Fig. 8).
 func (r *ASResult) FlagShares() map[core.Flag]float64 {
-	counts := r.FlagCounts()
+	counts := r.Agg.Flags
 	total := 0
 	for _, n := range counts {
 		total += n
@@ -41,8 +43,8 @@ func (r *ASResult) FlagShares() map[core.Flag]float64 {
 
 // HasStrongSR reports whether the AS shows any strong SR evidence.
 func (r *ASResult) HasStrongSR() bool {
-	for _, res := range r.Results {
-		if res.HasSR() {
+	for f, n := range r.Agg.Flags {
+		if f.Strong() && n > 0 {
 			return true
 		}
 	}
@@ -51,8 +53,8 @@ func (r *ASResult) HasStrongSR() bool {
 
 // HasAnySR reports whether any flag (including LSO) fired.
 func (r *ASResult) HasAnySR() bool {
-	for _, res := range r.Results {
-		if len(res.Segments) > 0 {
+	for _, n := range r.Agg.Flags {
+		if n > 0 {
 			return true
 		}
 	}
@@ -62,110 +64,77 @@ func (r *ASResult) HasAnySR() bool {
 // AreaTraceShares returns the fraction of the AS's paths touching each
 // area (Fig. 10a). A path can contribute to several areas.
 func (r *ASResult) AreaTraceShares() map[core.Area]float64 {
-	counts := map[core.Area]int{}
-	for _, res := range r.Results {
-		for _, a := range []core.Area{core.AreaSR, core.AreaMPLS, core.AreaIP} {
-			if res.HitsArea(a) {
-				counts[a]++
-			}
-		}
-	}
 	out := map[core.Area]float64{}
-	if len(r.Results) == 0 {
+	if r.Agg.PathsInAS == 0 {
 		return out
 	}
-	for a, n := range counts {
-		out[a] = float64(n) / float64(len(r.Results))
+	for a, n := range r.Agg.AreaTraces {
+		out[a] = float64(n) / float64(r.Agg.PathsInAS)
 	}
 	return out
 }
 
 // AreaInterfaceCounts returns the number of distinct interfaces attributed
 // to each area (Fig. 10b); an interface seen in several areas counts in
-// the strongest one (SR > MPLS > IP).
+// the strongest one (SR > MPLS > IP) — the fold keeps the running maximum
+// per address.
 func (r *ASResult) AreaInterfaceCounts() map[core.Area]int {
-	best := map[netip.Addr]core.Area{}
-	for _, res := range r.Results {
-		for i, h := range res.Path.Hops {
-			a := res.Areas[i]
-			if cur, ok := best[h.Addr]; !ok || a > cur {
-				best[h.Addr] = a
-			}
-		}
-	}
 	out := map[core.Area]int{}
-	for _, a := range best {
-		out[a]++
+	for _, ifc := range r.Agg.Ifaces {
+		out[ifc.Area]++
 	}
 	return out
 }
 
 // DistinctIPs counts distinct interfaces observed inside the AS.
 func (r *ASResult) DistinctIPs() int {
-	seen := map[netip.Addr]bool{}
-	for _, p := range r.Paths {
-		for i := range p.Hops {
-			seen[p.Hops[i].Addr] = true
-		}
-	}
-	return len(seen)
+	return len(r.Agg.Ifaces)
 }
 
 // TunnelPatterns tallies interworking chaining patterns (Fig. 11) across
 // the AS's labeled tunnels.
 func (r *ASResult) TunnelPatterns() map[core.Pattern]int {
 	out := map[core.Pattern]int{}
-	for _, res := range r.Results {
-		for _, t := range res.Tunnels() {
-			out[t.Pattern]++
-		}
+	for p, n := range r.Agg.Patterns {
+		out[p] = n
 	}
 	return out
 }
 
 // CloudSizes returns the LDP and SR cloud sizes inside interworking
-// tunnels (Fig. 12).
+// tunnels (Fig. 12), in ascending size order (the fold keeps histograms,
+// not occurrence order; every consumer sorts or averages anyway).
 func (r *ASResult) CloudSizes() (ldp, sr []int) {
-	for _, res := range r.Results {
-		for _, t := range res.Tunnels() {
-			if !t.Interworking() {
-				continue
-			}
-			for _, cl := range t.Clouds {
-				if cl.Kind == core.CloudSR {
-					sr = append(sr, cl.Len)
-				} else {
-					ldp = append(ldp, cl.Len)
-				}
-			}
+	return expandHist(r.Agg.CloudLDP), expandHist(r.Agg.CloudSR)
+}
+
+// expandHist unrolls a size histogram into a sorted multiset.
+func expandHist(h map[int]int) []int {
+	var keys []int
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var out []int
+	for _, k := range keys {
+		for i := 0; i < h[k]; i++ {
+			out = append(out, k)
 		}
 	}
-	return ldp, sr
+	return out
 }
 
 // StackDepthDist returns the distribution of LSE stack depths over hops in
 // strong-flag segments (strong=true) or over classic-MPLS/LSO hops
 // (strong=false) — Fig. 9a and 9b.
 func (r *ASResult) StackDepthDist(strong bool) map[int]int {
+	src := r.Agg.StackOther
+	if strong {
+		src = r.Agg.StackStrong
+	}
 	out := map[int]int{}
-	for _, res := range r.Results {
-		inStrong := make([]bool, len(res.Path.Hops))
-		for _, s := range res.Segments {
-			if s.Flag.Strong() {
-				for k := s.Start; k <= s.End; k++ {
-					inStrong[k] = true
-				}
-			}
-		}
-		for i := range res.Path.Hops {
-			h := &res.Path.Hops[i]
-			if !h.HasStack() {
-				continue
-			}
-			if inStrong[i] == strong {
-				out[h.Stack.Depth()]++
-			}
-		}
+	for d, n := range src {
+		out[d] = n
 	}
 	return out
 }
@@ -174,12 +143,8 @@ func (r *ASResult) StackDepthDist(strong bool) map[int]int {
 // by visibility class (Fig. 13a).
 func (r *ASResult) TunnelTypeCounts() map[probe.TunnelType]int {
 	out := map[probe.TunnelType]int{}
-	for _, v := range r.PerVP {
-		for _, tr := range v.Traces {
-			for _, t := range probe.ClassifyTunnels(tr) {
-				out[t.Type]++
-			}
-		}
+	for t, n := range r.Agg.TunnelTypes {
+		out[t] = n
 	}
 	return out
 }
@@ -187,35 +152,18 @@ func (r *ASResult) TunnelTypeCounts() map[probe.TunnelType]int {
 // ExplicitPathShare is the fraction of paths showing at least one explicit
 // tunnel (Fig. 13b).
 func (r *ASResult) ExplicitPathShare() float64 {
-	total, with := 0, 0
-	for _, v := range r.PerVP {
-		for _, tr := range v.Traces {
-			total++
-			if probe.HasExplicitTunnel(tr) {
-				with++
-			}
-		}
-	}
-	if total == 0 {
+	if r.Agg.Traces == 0 {
 		return 0
 	}
-	return float64(with) / float64(total)
+	return float64(r.Agg.ExplicitPaths) / float64(r.Agg.Traces)
 }
 
 // FingerprintSourceCounts returns how many of the AS's observed interfaces
 // were identified per technique (Fig. 14).
 func (r *ASResult) FingerprintSourceCounts() map[fingerprint.Source]int {
 	out := map[fingerprint.Source]int{}
-	seen := map[netip.Addr]bool{}
-	for _, p := range r.Paths {
-		for i := range p.Hops {
-			h := &p.Hops[i]
-			if seen[h.Addr] {
-				continue
-			}
-			seen[h.Addr] = true
-			out[h.Source]++
-		}
+	for _, ifc := range r.Agg.Ifaces {
+		out[ifc.Source]++
 	}
 	return out
 }
@@ -224,16 +172,11 @@ func (r *ASResult) FingerprintSourceCounts() map[fingerprint.Source]int {
 // (Fig. 15's heatmap row for this AS).
 func (r *ASResult) VendorCounts() map[mpls.Vendor]int {
 	out := map[mpls.Vendor]int{}
-	seen := map[netip.Addr]bool{}
-	for _, p := range r.Paths {
-		for i := range p.Hops {
-			h := &p.Hops[i]
-			if seen[h.Addr] || h.Source != fingerprint.SourceSNMP {
-				continue
-			}
-			seen[h.Addr] = true
-			out[h.Vendor]++
+	for _, ifc := range r.Agg.Ifaces {
+		if ifc.Source != fingerprint.SourceSNMP {
+			continue
 		}
+		out[ifc.Vendor]++
 	}
 	return out
 }
@@ -255,35 +198,25 @@ var LabelBuckets = []struct {
 // LabelRangeHist counts observed 20-bit labels per bucket (Fig. 16).
 func (r *ASResult) LabelRangeHist() map[string]int {
 	out := map[string]int{}
-	for _, p := range r.Paths {
-		for i := range p.Hops {
-			for _, e := range p.Hops[i].Stack {
-				for _, b := range LabelBuckets {
-					if b.R.Contains(e.Label) {
-						out[b.Name]++
-						break
-					}
-				}
-			}
-		}
+	for b, n := range r.Agg.Labels {
+		out[b] = n
 	}
 	return out
 }
 
 // VPAccumulation returns the cumulative count of unique hop addresses as
-// vantage points are added in order (Fig. 17).
+// vantage points are added in order (Fig. 17), reconstructed from each
+// responder's first-observing VP index.
 func (r *ASResult) VPAccumulation() []int {
-	seen := map[netip.Addr]bool{}
-	var out []int
-	for _, v := range r.PerVP {
-		for _, tr := range v.Traces {
-			for i := range tr.Hops {
-				if tr.Hops[i].Responded() {
-					seen[tr.Hops[i].Addr] = true
-				}
-			}
-		}
-		out = append(out, len(seen))
+	if r.Agg.NumVPs == 0 {
+		return nil
+	}
+	out := make([]int, r.Agg.NumVPs)
+	for _, v := range r.Agg.FirstVP {
+		out[v]++
+	}
+	for i := 1; i < len(out); i++ {
+		out[i] += out[i-1]
 	}
 	return out
 }
@@ -291,47 +224,20 @@ func (r *ASResult) VPAccumulation() []int {
 // GroundTruth scores AReST's per-flag segment inferences against the
 // simulator's ground truth (Table 3): a segment is a true positive when
 // every hop belongs to an SR-enabled router, a false positive otherwise.
-// False negatives count SR interfaces that were observed with labels but
-// never covered by any flag. The truth set is the archived SREnabled
-// export, so the score is computable offline from a replayed archive.
+// False negatives count SR interfaces that were observed with labels in
+// transit but never covered by any flag, attributed to the catch-all CO
+// row (the flag that should have caught sequences). The truth set is the
+// archived SREnabled export, so the score is computable offline from a
+// replayed archive.
 func (r *ASResult) GroundTruth() map[core.Flag]eval.Confusion {
 	out := map[core.Flag]eval.Confusion{}
-	flaggedAddrs := map[netip.Addr]bool{}
-	for _, res := range r.Results {
-		for _, s := range res.Segments {
-			c := out[s.Flag]
-			allSR := true
-			for k := s.Start; k <= s.End; k++ {
-				h := &res.Path.Hops[k]
-				flaggedAddrs[h.Addr] = true
-				if !r.SREnabled[h.Addr] {
-					allSR = false
-				}
-			}
-			if allSR {
-				c.TP++
-			} else {
-				c.FP++
-			}
-			out[s.Flag] = c
-		}
+	for f, c := range r.Agg.Confusion {
+		out[f] = c
 	}
-	// FN accounting: labeled SR interfaces never flagged, attributed to
-	// the catch-all CO row (the flag that should have caught sequences).
 	fn := 0
-	seen := map[netip.Addr]bool{}
-	for _, p := range r.Paths {
-		for i := range p.Hops {
-			h := &p.Hops[i]
-			// Terminal hops are the destination's own reply, not classified
-			// transit observations; they cannot be false negatives.
-			if seen[h.Addr] || !h.HasStack() || h.Terminal {
-				continue
-			}
-			seen[h.Addr] = true
-			if r.SREnabled[h.Addr] && !flaggedAddrs[h.Addr] {
-				fn++
-			}
+	for addr, ifc := range r.Agg.Ifaces {
+		if ifc.LabeledTransit && r.SREnabled[addr] && !ifc.Flagged {
+			fn++
 		}
 	}
 	c := out[core.FlagCO]
@@ -354,5 +260,19 @@ func SortedFlagKeys(m map[core.Flag]int) []core.Flag {
 // flags, LSO corroboration, and external confirmation combine into one
 // deployment verdict.
 func (r *ASResult) Verdict() core.Verdict {
-	return core.Judge(r.Results, r.Record.Claimed())
+	strong, lso := 0, 0
+	for f, n := range r.Agg.Flags {
+		if f.Strong() {
+			strong += n
+		} else if f == core.FlagLSO {
+			lso += n
+		}
+	}
+	return core.JudgeCounts(strong, lso, r.Record.Claimed())
+}
+
+// InferSRGB estimates the AS's configured SRGB from the labels of
+// sequence-flagged segments the fold collected (see core.InferSRGB).
+func (r *ASResult) InferSRGB() (core.SRGBEstimate, bool) {
+	return core.InferSRGBLabels(r.Agg.SeqLabels)
 }

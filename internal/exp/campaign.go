@@ -8,13 +8,17 @@
 //     archive.Data — the only value that crosses the storage boundary.
 //   - Archive (archive.WriteData / archive.ReadData) persists that value
 //     as a versioned, CRC-checked record stream; cmd/tntsim ends here.
-//   - Annotate + Detect (Detect) are a pure function of archive.Data: no
-//     *asgen.World, no netsim, no generator state. Vendor and owner
-//     annotations are applied per hop and AReST runs over the delimited
-//     paths. Live runs and archive replays share this exact code path, so
-//     their results are bit-identical by construction.
+//   - Annotate + Detect (Detect, DetectStream) are a pure function of the
+//     archived records: no *asgen.World, no netsim, no generator state.
+//     Both are fronts for one streaming fold (stream.go): side records
+//     seal the annotation state, then traces are analyzed in bounded
+//     batches and folded into a compact, mergeable Agg (agg.go).
+//     DetectStream runs straight off archive bytes without materializing
+//     the trace set; Detect replays an in-memory Data through the same
+//     record sequence, so live runs and archive replays are bit-identical
+//     by construction.
 //   - Aggregate (aggregates.go, experiments.go) regenerates every table
-//     and figure of the paper from the detect output.
+//     and figure of the paper as pure queries over the folded Agg.
 package exp
 
 import (
@@ -64,6 +68,16 @@ type Config struct {
 	// wall-clock time and are excluded from that contract. A nil registry
 	// costs only nil checks.
 	Metrics *obs.Registry
+	// AnalyzeWorkers, when non-zero, bounds the concurrency of the Detect
+	// fold's per-batch analysis independently of Workers (so a replay can
+	// analyze many shards concurrently, each with a few analysis workers).
+	// 0 falls back to Workers. Aggregates are identical at every value.
+	AnalyzeWorkers int
+	// KeepPaths opts into retained mode: ASResult additionally carries the
+	// per-VP traces, restricted paths, and per-path results. Off (the
+	// default), Detect's output is the compact Agg — O(results) memory —
+	// which every aggregate method is computed from either way.
+	KeepPaths bool
 	// MaxTraceFailures is the per-AS budget of traces that may halt with
 	// probe.HaltError before the AS is quarantined: 0 (the default)
 	// tolerates none, a negative value tolerates any number. The budget is
@@ -81,6 +95,14 @@ type Config struct {
 
 // workers resolves the configured concurrency bound.
 func (c Config) workers() int { return par.Workers(c.Workers) }
+
+// analyzeWorkers resolves the Detect-fold concurrency bound.
+func (c Config) analyzeWorkers() int {
+	if c.AnalyzeWorkers != 0 {
+		return par.Workers(c.AnalyzeWorkers)
+	}
+	return c.workers()
+}
 
 // DefaultConfig returns a laptop-scale campaign configuration.
 func DefaultConfig() Config {
@@ -109,21 +131,28 @@ type ASResult struct {
 	// Dep is the archived ground-truth deployment configuration (e.g. the
 	// provisioned SRGB the inference extension is validated against).
 	Dep        asgen.Deployment
-	PerVP      []VPTraces
 	Annotator  *fingerprint.Annotator
 	Annotation bdrmap.Annotation
 	// SREnabled is the simulator's exported ground truth: the interface
 	// addresses of SR-enabled routers inside the target AS.
 	SREnabled map[netip.Addr]bool
-	// Paths are the annotated traces restricted to the target AS
-	// (bdrmapIT delimitation), with their AReST results in parallel.
+	// Agg is the folded analysis: every aggregate the experiments consume,
+	// accumulated one trace at a time (see agg.go). It is always populated
+	// and is the only per-trace state Detect retains by default.
+	Agg *Agg
+	// PerVP, Paths, and Results are retained mode (Config.KeepPaths): the
+	// per-VP traces, the annotated traces restricted to the target AS
+	// (bdrmapIT delimitation), and their AReST results in parallel. All
+	// three are nil when KeepPaths is off.
+	PerVP   []VPTraces
 	Paths   []*core.Path
 	Results []*core.Result
 	// TracesSent counts probes-carrying traces issued for this AS.
 	TracesSent int
 }
 
-// Traces flattens all vantage points' traces.
+// Traces flattens all vantage points' traces (retained mode only; nil
+// without Config.KeepPaths).
 func (r *ASResult) Traces() []*probe.Trace {
 	var out []*probe.Trace
 	for _, v := range r.PerVP {
@@ -157,7 +186,7 @@ func measureWithDeployment(rec asgen.Record, dep asgen.Deployment, cfg Config) (
 
 	data := &archive.Data{
 		Meta: archive.Meta{
-			Format:         archive.FormatV1,
+			Format:         archive.FormatV2,
 			Record:         rec,
 			Dep:            dep,
 			Seed:           cfg.Seed,
@@ -330,54 +359,19 @@ func measureWithDeployment(rec asgen.Record, dep asgen.Deployment, cfg Config) (
 // delimited to the target AS, and AReST analyzes each path. It is a pure
 // function of data (plus the Workers/Metrics knobs), shared verbatim by
 // live runs and archive replays.
+//
+// It is a thin client of the streaming fold in stream.go: the in-memory
+// Data is replayed through the exact record sequence its v2 encoding would
+// contain, so Detect here and DetectStream over the encoded bytes are
+// deep-equal by construction.
 func Detect(data *archive.Data, cfg Config) (*ASResult, error) {
-	reg := cfg.Metrics
-	res := &ASResult{
-		Record:     data.Meta.Record,
-		Dep:        data.Meta.Dep,
-		Annotator:  fingerprint.NewAnnotator(data.SNMP, data.TTL),
-		Annotation: bdrmap.Annotation(data.Borders),
-		SREnabled:  make(map[netip.Addr]bool, len(data.SREnabled)),
+	done := cfg.Metrics.Span("exp", "stage.detect").Start()
+	defer done()
+	f := newFold(cfg, false)
+	if err := foldData(f, data); err != nil {
+		return nil, err
 	}
-	for _, a := range data.SREnabled {
-		res.SREnabled[a] = true
-	}
-	res.PerVP = make([]VPTraces, len(data.VPs))
-	for i, vp := range data.VPs {
-		res.PerVP[i] = VPTraces{VP: vp, Traces: data.PerVP[i]}
-	}
-	traces := data.Traces()
-	res.TracesSent = len(traces)
-
-	// Detection: Analyze is a pure function of the annotated path, so the
-	// per-trace passes fan out into index slots and compact in trace order.
-	busy := reg.Span("exp", "workers.busy")
-	det := core.NewDetector()
-	paths := make([]*core.Path, len(traces))
-	results := make([]*core.Result, len(traces))
-	reg.Counter("exp", "jobs.detect").Add(uint64(len(traces)))
-	detectDone := reg.Span("exp", "stage.detect").Start()
-	asn := data.Meta.Record.ASN
-	par.ForEach(cfg.workers(), len(traces), func(i int) {
-		defer busy.Start()()
-		p := core.BuildPath(traces[i], res.Annotator, res.Annotation.AsFunc())
-		sub := p.RestrictToAS(asn)
-		if len(sub.Hops) == 0 {
-			return
-		}
-		paths[i] = sub
-		results[i] = det.Analyze(sub)
-	})
-	detectDone()
-	for i := range traces {
-		if paths[i] == nil {
-			continue
-		}
-		res.Paths = append(res.Paths, paths[i])
-		res.Results = append(res.Results, results[i])
-	}
-	reg.Counter("exp", "paths").Add(uint64(len(res.Paths)))
-	return res, nil
+	return f.finish()
 }
 
 // RunAS executes the full staged pipeline for one catalogue record:
@@ -476,6 +470,23 @@ func keptRecords(records []asgen.Record) []asgen.Record {
 		}
 	}
 	return kept
+}
+
+// MergedAgg folds every AS's aggregate into one campaign-level Agg,
+// merging in catalogue (AS-ID) order. Merge is commutative, so the order
+// only matters for reading the code, not the result; campaign-wide
+// experiments (Figs. 11–12) consume this instead of walking retained
+// per-AS results.
+func (c *Campaign) MergedAgg() *Agg {
+	m := NewAgg()
+	for _, r := range c.ASes {
+		if r.Agg == nil {
+			continue
+		}
+		m.Merge(r.Agg)
+		c.Cfg.Metrics.Counter("exp", "agg.merges").Inc()
+	}
+	return m
 }
 
 // ByID returns the AS result with the given paper identifier.

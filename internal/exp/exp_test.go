@@ -20,6 +20,9 @@ func testCfg() Config {
 		FlowsPerTarget:    1,
 		AliasCandidateCap: 60,
 		MaxRouters:        22,
+		// Retained mode: several tests cross-check aggregates against the
+		// raw paths/results, which only exist when KeepPaths is on.
+		KeepPaths: true,
 	}
 }
 

@@ -247,12 +247,7 @@ func runFig10(c *Campaign) string {
 }
 
 func runFig11(c *Campaign) string {
-	patterns := map[core.Pattern]int{}
-	for _, r := range c.ASes {
-		for p, n := range r.TunnelPatterns() {
-			patterns[p] += n
-		}
-	}
+	patterns := c.MergedAgg().Patterns
 	full := patterns[core.PatternFullSR]
 	inter := 0
 	for p, n := range patterns {
@@ -279,12 +274,8 @@ func runFig11(c *Campaign) string {
 }
 
 func runFig12(c *Campaign) string {
-	var ldp, sr []int
-	for _, r := range c.ASes {
-		l, s := r.CloudSizes()
-		ldp = append(ldp, l...)
-		sr = append(sr, s...)
-	}
+	merged := c.MergedAgg()
+	ldp, sr := expandHist(merged.CloudLDP), expandHist(merged.CloudSR)
 	stats := func(xs []int) (n int, mean float64, med int) {
 		if len(xs) == 0 {
 			return 0, 0, 0
@@ -438,25 +429,10 @@ func ComputeHeadline(c *Campaign) Headline {
 				h.UnknownDetected++
 			}
 		}
-		for _, res := range r.Results {
-			for _, s := range res.Segments {
-				if s.Flag == core.FlagCVR || s.Flag == core.FlagCO {
-					seqSegs++
-					if s.SuffixMatch {
-						seqSuffix++
-					}
-				}
-				if !s.Flag.Strong() {
-					continue
-				}
-				for k := s.Start; k <= s.End; k++ {
-					srHops++
-					if res.Path.Hops[k].Fingerprinted() {
-						srHopsFP++
-					}
-				}
-			}
-		}
+		seqSegs += r.Agg.Flags[core.FlagCVR] + r.Agg.Flags[core.FlagCO]
+		seqSuffix += r.Agg.SeqSuffix
+		srHops += r.Agg.StrongHops
+		srHopsFP += r.Agg.StrongHopsFP
 	}
 	if srHops > 0 {
 		h.FingerprintedSRShare = float64(srHopsFP) / float64(srHops)
@@ -493,7 +469,7 @@ func runSRGBInference(c *Campaign) string {
 	t := eval.Table{Title: "Extension — inferred SRGB blocks",
 		Headers: []string{"AS", "Observed", "Inferred block", "Match", "Samples"}}
 	for _, r := range c.ASes {
-		est, ok := core.InferSRGB(r.Results)
+		est, ok := r.InferSRGB()
 		if !ok {
 			continue
 		}

@@ -109,12 +109,19 @@ func (f ASFailure) String() string {
 // function of the archived Data, so replaying a degraded shard re-derives
 // the exact accept/quarantine decision of the live run.
 func (c Config) TraceBudgetErr(d *archive.Data) error {
-	if d.Degraded == nil || c.MaxTraceFailures < 0 || d.Degraded.FailedTraces <= c.MaxTraceFailures {
+	return c.degradedBudgetErr(d.Degraded)
+}
+
+// degradedBudgetErr is the budget check over a bare degradation record, so
+// the streaming fold can apply it the moment the record arrives — before
+// any trace has been decoded.
+func (c Config) degradedBudgetErr(deg *archive.Degraded) error {
+	if deg == nil || c.MaxTraceFailures < 0 || deg.FailedTraces <= c.MaxTraceFailures {
 		return nil
 	}
 	return stageErr(StageMeasure, &TraceBudgetError{
-		Failed: d.Degraded.FailedTraces,
-		Total:  d.Degraded.TotalTraces,
+		Failed: deg.FailedTraces,
+		Total:  deg.TotalTraces,
 		Budget: c.MaxTraceFailures,
 	})
 }

@@ -94,14 +94,10 @@ func RunSharded(records []asgen.Record, cfg Config, dir string) (*Campaign, []Sh
 // identically whether it was just measured or resumed from an earlier run.
 func runShard(rec asgen.Record, cfg Config, dir string) (*ASResult, ShardStatus, error) {
 	path := ShardPath(dir, rec)
-	data, err := archive.ReadFile(path)
+	res, err := DetectStreamFile(path, cfg)
 	switch {
 	case err == nil:
-		if berr := cfg.TraceBudgetErr(data); berr != nil {
-			return nil, 0, berr
-		}
-		res, derr := Detect(data, cfg)
-		return res, ShardResumed, stageErr(StageDetect, derr)
+		return res, ShardResumed, nil
 	case errors.Is(err, fs.ErrNotExist),
 		errors.Is(err, archive.ErrTruncated),
 		errors.Is(err, archive.ErrCorrupt),
@@ -109,29 +105,39 @@ func runShard(rec asgen.Record, cfg Config, dir string) (*ASResult, ShardStatus,
 		// Fall through to re-measure: the shard never finished (or was
 		// damaged); WriteFile's temp+rename keeps this crash-safe too.
 	default:
-		return nil, 0, stageErr(StageArchive, fmt.Errorf("shard %s: %w", path, err))
+		return nil, 0, shardErr(path, err)
 	}
 
-	data, err = MeasureAS(rec, cfg)
+	data, err := MeasureAS(rec, cfg)
 	if err != nil {
 		return nil, 0, stageErr(StageMeasure, err)
 	}
 	// Persist the shard before the budget verdict: a measurement over
 	// budget is still evidence, and writing it first means a resume reads
 	// the same degraded data and re-derives the same quarantine decision
-	// instead of silently re-measuring.
+	// instead of silently re-measuring. The budget itself is applied by the
+	// streaming replay below, the moment the degradation record arrives.
 	if err := archive.WriteFile(path, data); err != nil {
 		return nil, 0, stageErr(StageArchive, fmt.Errorf("shard %s: %w", path, err))
 	}
-	// Analyze the written-then-read shard, not the in-memory measurement:
-	// every campaign output then provably flows through the archive codec.
-	data, err = archive.ReadFile(path)
+	// Analyze the written shard, not the in-memory measurement: every
+	// campaign output then provably flows through the archive codec — and
+	// through the same bounded-memory fold a resume would use.
+	res, err = DetectStreamFile(path, cfg)
 	if err != nil {
-		return nil, 0, stageErr(StageArchive, fmt.Errorf("shard %s: readback: %w", path, err))
+		return nil, 0, shardErr(path, err)
 	}
-	if err := cfg.TraceBudgetErr(data); err != nil {
-		return nil, 0, err
+	return res, ShardMeasured, nil
+}
+
+// shardErr attributes a streaming-replay error: a trace-budget verdict is
+// already a StageMeasure policy decision and passes through untouched (so
+// resumed and just-measured shards fail with identical errors); anything
+// else is an archive-stage failure tagged with the shard path.
+func shardErr(path string, err error) error {
+	var tbe *TraceBudgetError
+	if errors.As(err, &tbe) {
+		return err
 	}
-	res, err := Detect(data, cfg)
-	return res, ShardMeasured, stageErr(StageDetect, err)
+	return stageErr(StageArchive, fmt.Errorf("shard %s: %w", path, err))
 }

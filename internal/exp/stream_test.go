@@ -1,0 +1,390 @@
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"net/netip"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"arest/internal/archive"
+	"arest/internal/asgen"
+	"arest/internal/mpls"
+	"arest/internal/obs"
+	"arest/internal/probe"
+	"arest/internal/testrace"
+)
+
+// measureArchived measures one AS and returns both the in-memory campaign
+// and its v2 wire encoding, so tests can pin the materialized and streamed
+// Detect paths against each other.
+func measureArchived(t *testing.T, id int) (*archive.Data, []byte) {
+	t.Helper()
+	rec, ok := asgen.ByID(id)
+	if !ok {
+		t.Fatalf("record %d missing", id)
+	}
+	data, err := MeasureAS(rec, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := archive.WriteData(&buf, data); err != nil {
+		t.Fatal(err)
+	}
+	return data, buf.Bytes()
+}
+
+// TestDetectStreamMatchesDetect is the tentpole equivalence gate: folding
+// the encoded archive one record at a time must produce a result deep-equal
+// to the legacy materialized path, at every worker count and in both
+// retained and compact mode.
+func TestDetectStreamMatchesDetect(t *testing.T) {
+	for _, id := range []int{7, 46} { // full SR; ground-truth AS
+		data, raw := measureArchived(t, id)
+		for _, workers := range []int{1, 8} {
+			for _, keep := range []bool{false, true} {
+				name := fmt.Sprintf("as%d/workers%d/keep%v", id, workers, keep)
+				t.Run(name, func(t *testing.T) {
+					cfg := testCfg()
+					cfg.Workers = workers
+					cfg.KeepPaths = keep
+					legacy, err := Detect(data, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					streamed, err := DetectStream(bytes.NewReader(raw), cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(legacy, streamed) {
+						t.Errorf("DetectStream != Detect (workers=%d keep=%v)", workers, keep)
+						if !reflect.DeepEqual(legacy.Agg, streamed.Agg) {
+							t.Errorf("aggregates diverge: legacy %+v\nstreamed %+v", legacy.Agg, streamed.Agg)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestDetectStreamAnalyzeWorkersInvariant pins that the analysis fan-out
+// width changes nothing: the fold accumulates in stream order regardless of
+// how many workers analyzed each batch.
+func TestDetectStreamAnalyzeWorkersInvariant(t *testing.T) {
+	_, raw := measureArchived(t, 46)
+	var want *ASResult
+	for _, aw := range []int{1, 3, 8} {
+		cfg := testCfg()
+		cfg.AnalyzeWorkers = aw
+		got, err := DetectStream(bytes.NewReader(raw), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("AnalyzeWorkers=%d diverges from AnalyzeWorkers=1", aw)
+		}
+	}
+}
+
+// TestDetectStreamInstrumentationMatchesDetect requires the two Detect
+// fronts to emit bit-identical deterministic metrics: same record counter,
+// same batch boundaries, same in-flight gauge — the foldData drive must be
+// indistinguishable from the wire drive inside the determinism contract.
+func TestDetectStreamInstrumentationMatchesDetect(t *testing.T) {
+	data, raw := measureArchived(t, 46)
+
+	legacyReg := obs.New()
+	cfg := testCfg()
+	cfg.Metrics = legacyReg
+	if _, err := Detect(data, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	streamReg := obs.New()
+	cfg.Metrics = streamReg
+	if _, err := DetectStream(bytes.NewReader(raw), cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	legacySnap := legacyReg.Snapshot().Deterministic()
+	streamSnap := streamReg.Snapshot().Deterministic()
+	if !reflect.DeepEqual(legacySnap, streamSnap) {
+		for k, v := range legacySnap.Counters {
+			if streamSnap.Counters[k] != v {
+				t.Errorf("counter %s: %d (Detect) vs %d (DetectStream)", k, v, streamSnap.Counters[k])
+			}
+		}
+		for k, v := range streamSnap.Counters {
+			if _, ok := legacySnap.Counters[k]; !ok {
+				t.Errorf("counter %s: only in DetectStream (%d)", k, v)
+			}
+		}
+		t.Error("deterministic snapshots diverge between Detect and DetectStream")
+	}
+}
+
+// TestAggMergeMatchesSingleFold partitions one AS's traces across two folds
+// and requires the merged aggregate to be deep-equal to the single
+// sequential fold — the merge law that lets shards be analyzed
+// concurrently. Merging in either order must agree (commutativity).
+func TestAggMergeMatchesSingleFold(t *testing.T) {
+	data, _ := measureArchived(t, 46)
+	cfg := testCfg()
+	cfg.KeepPaths = false
+
+	whole, err := Detect(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Split round-robin inside each VP so both halves see every VP and an
+	// interleaved slice of its traces.
+	half := func(parity int) *archive.Data {
+		d := *data
+		d.PerVP = make([][]*probe.Trace, len(data.PerVP))
+		for i, ts := range data.PerVP {
+			d.PerVP[i] = []*probe.Trace{}
+			for j, tr := range ts {
+				if j%2 == parity {
+					d.PerVP[i] = append(d.PerVP[i], tr)
+				}
+			}
+		}
+		return &d
+	}
+	resA, err := Detect(half(0), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := Detect(half(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	merged := NewAgg()
+	merged.Merge(resA.Agg)
+	merged.Merge(resB.Agg)
+	if !reflect.DeepEqual(merged, whole.Agg) {
+		t.Errorf("merged partition aggregate != sequential fold:\nmerged %+v\nwhole  %+v", merged, whole.Agg)
+	}
+
+	reversed := NewAgg()
+	reversed.Merge(resB.Agg)
+	reversed.Merge(resA.Agg)
+	if !reflect.DeepEqual(reversed, merged) {
+		t.Error("Agg.Merge is not commutative on a real campaign")
+	}
+}
+
+// TestShardReplayMatchesLegacyDetect pins the acceptance criterion
+// end-to-end on disk: DetectStream over a written shard must be deep-equal
+// to the legacy materialized pipeline (ReadFile + Detect) over the same
+// shard.
+func TestShardReplayMatchesLegacyDetect(t *testing.T) {
+	data, _ := measureArchived(t, 7)
+	cfg := testCfg()
+	path := filepath.Join(t.TempDir(), "as7.arest")
+	if err := archive.WriteFile(path, data); err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := archive.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := Detect(onDisk, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := DetectStreamFile(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(legacy, streamed) {
+		t.Error("DetectStreamFile != Detect(archive.ReadFile(...)) over the same shard")
+	}
+}
+
+// TestRunShardedAnalyzeWorkersEquivalence replays a sharded campaign with a
+// different worker split (many shards in flight, narrow per-shard analysis)
+// and requires results identical to the sequential measuring run.
+func TestRunShardedAnalyzeWorkersEquivalence(t *testing.T) {
+	var recs []asgen.Record
+	for _, id := range []int{7, 46} {
+		r, ok := asgen.ByID(id)
+		if !ok {
+			t.Fatalf("record %d missing", id)
+		}
+		recs = append(recs, r)
+	}
+	dir := t.TempDir()
+
+	seqCfg := testCfg()
+	seqCfg.Workers = 1
+	seq, statuses, err := RunSharded(recs, seqCfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range statuses {
+		if s != ShardMeasured {
+			t.Fatalf("first run shard %d: status %v, want measured", i, s)
+		}
+	}
+
+	parCfg := testCfg()
+	parCfg.Workers = 4
+	parCfg.AnalyzeWorkers = 2
+	parl, statuses, err := RunSharded(recs, parCfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range statuses {
+		if s != ShardResumed {
+			t.Fatalf("replay shard %d: status %v, want resumed", i, s)
+		}
+	}
+	if !reflect.DeepEqual(seq.ASes, parl.ASes) {
+		t.Error("sharded replay with AnalyzeWorkers diverges from the measuring run")
+	}
+}
+
+// syntheticArchive fabricates a large v2 shard without running a campaign:
+// nTraces traces over a small address pool, every hop labeled, all owned by
+// the target AS. The pool keeps the true aggregate state tiny while the
+// wire form grows linearly, which is exactly the regime the memory-budget
+// gate needs.
+func syntheticArchive(t testing.TB, vps, nTraces, hops int) []byte {
+	t.Helper()
+	rec, ok := asgen.ByID(46)
+	if !ok {
+		t.Fatal("record 46 missing")
+	}
+	const poolSize = 64
+	pool := make([]netip.Addr, poolSize)
+	borders := map[netip.Addr]int{}
+	for i := range pool {
+		pool[i] = netip.AddrFrom4([4]byte{10, 1, byte(i / 256), byte(i % 256)})
+		borders[pool[i]] = rec.ASN
+	}
+	d := &archive.Data{
+		Meta:    archive.Meta{Format: archive.FormatV2, Record: rec, NumVPs: vps},
+		Borders: borders,
+		SNMP:    map[netip.Addr]mpls.Vendor{pool[0]: mpls.VendorCisco},
+		TTL:     map[netip.Addr]mpls.Vendor{},
+		PerVP:   make([][]*probe.Trace, vps),
+	}
+	for v := 0; v < vps; v++ {
+		d.VPs = append(d.VPs, netip.AddrFrom4([4]byte{192, 0, 2, byte(v + 1)}))
+	}
+	for i := 0; i < nTraces; i++ {
+		v := i % vps
+		tr := &probe.Trace{
+			VP:     d.VPs[v],
+			Dst:    pool[(i*7)%poolSize],
+			FlowID: uint16(i),
+		}
+		for h := 0; h < hops; h++ {
+			tr.Hops = append(tr.Hops, probe.Hop{
+				TTL:  h + 1,
+				Addr: pool[(i*3+h)%poolSize],
+				Stack: mpls.Stack{
+					{Label: uint32(16000 + (i+h)%100), TTL: 1},
+					{Label: uint32(1000 + h), S: true, TTL: 1},
+				},
+				QTTL: 1,
+			})
+		}
+		d.PerVP[v] = append(d.PerVP[v], tr)
+	}
+	var buf bytes.Buffer
+	if err := archive.WriteData(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestDetectStreamMemoryBudget is the streaming-replay memory gate: folding
+// a multi-megabyte shard in compact mode must leave a live heap bounded by
+// the aggregates, not by the archive size. The materialized path holds
+// O(input); the fold must stay an order of magnitude under it.
+func TestDetectStreamMemoryBudget(t *testing.T) {
+	if testrace.Enabled {
+		t.Skip("race instrumentation skews heap accounting")
+	}
+	raw := syntheticArchive(t, 4, 8000, 10)
+	if len(raw) < 2<<20 {
+		t.Fatalf("synthetic archive only %d bytes; too small to make the budget meaningful", len(raw))
+	}
+	cfg := testCfg()
+	cfg.KeepPaths = false
+
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	res, err := DetectStream(bytes.NewReader(raw), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	runtime.KeepAlive(res)
+
+	delta := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	budget := int64(len(raw)) / 8
+	t.Logf("archive %d bytes, live-heap delta %d bytes (budget %d)", len(raw), delta, budget)
+	if delta > budget {
+		t.Errorf("live heap grew %d bytes over a %d-byte archive; streaming fold is retaining input (budget %d)",
+			delta, len(raw), budget)
+	}
+	if res.Agg.Traces != 8000 {
+		t.Errorf("folded %d traces, want 8000", res.Agg.Traces)
+	}
+}
+
+// Analyze-throughput benchmarks: the streamed fold against the materialized
+// read-then-fold path, over the same synthetic shard bytes.
+func benchArchive(b *testing.B) []byte {
+	return syntheticArchive(b, 4, 2000, 10)
+}
+
+func BenchmarkDetectStream(b *testing.B) {
+	raw := benchArchive(b)
+	cfg := testCfg()
+	cfg.KeepPaths = false
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DetectStream(bytes.NewReader(raw), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDetectMaterialized(b *testing.B) {
+	raw := benchArchive(b)
+	cfg := testCfg()
+	cfg.KeepPaths = false
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := archive.ReadData(bytes.NewReader(raw))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Detect(data, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
