@@ -32,11 +32,12 @@ lint: arestlint
 		echo "lint: govulncheck not installed, skipping"; \
 	fi
 
-# Machine-checked determinism contract: nowallclock, noglobalrand,
-# maporder, nilsafe over every package (stdlib-only, exits non-zero on any
-# finding or unjustified suppression).
+# Machine-checked contracts: the nine analyzers of internal/lint/rules
+# (determinism, error accounting, mergeable folds, hot-path allocation,
+# lock copies, atomic mixing) over every package including _test.go files
+# (stdlib-only, exits non-zero on any finding or unjustified suppression).
 arestlint:
-	$(GO) run ./cmd/arestlint ./...
+	$(GO) run ./cmd/arestlint -tests ./...
 
 # CI entry point.
 check: vet lint race

@@ -1,23 +1,34 @@
-// Command arestlint machine-checks the repository's determinism contract
-// (DESIGN.md §7/§8) with the stdlib-only analyzers of internal/lint/rules:
+// Command arestlint machine-checks the repository's contracts (DESIGN.md
+// §7/§8/§11/§13) with the stdlib-only analyzers of internal/lint/rules:
 //
 //	nowallclock   no wall-clock reads in determinism-contract packages
 //	noglobalrand  no process-global math/rand, no wall-clock seeding
 //	maporder      no map iteration order reaching slices or output
 //	nilsafe       nil-receiver guards on every exported obs instrument method
+//	noerrdrop     no discarded error returns in the measurement layers
+//	foldcomplete  //arest:mergeable structs fully folded by Merge
+//	hotpathalloc  no allocation-forcing constructs in //arest:hotpath scopes
+//	nolockcopy    no by-value copies of lock- or atomic-bearing types
+//	atomicmix     no plain access to variables owned by sync/atomic
 //
 // Usage:
 //
-//	arestlint [-list] [./...]
+//	arestlint [-list] [-tests] [-json] [./...]
 //
 // With no arguments (or the literal "./..." pattern) it lints every
-// package of the enclosing module. A finding, a malformed or unused
-// //arest:allow directive, or a load failure makes the exit status
+// package of the enclosing module. -tests widens loading to _test.go
+// files (in-package and external test packages), where map-order and
+// wall-clock bugs can invalidate the equivalence tests themselves. -json
+// emits one JSON object per line (file, line, col, analyzer, message,
+// suppressed_by) including directive-suppressed findings for audit; the
+// exit status counts only unsuppressed ones. A finding, a malformed or
+// unused //arest:allow directive, or a load failure makes the exit status
 // non-zero, so `go run ./cmd/arestlint ./...` gates CI with no external
 // install.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,9 +42,22 @@ func main() {
 	os.Exit(run(os.Args[1:]))
 }
 
+// jsonDiag is the machine-readable diagnostic shape emitted by -json, one
+// object per line.
+type jsonDiag struct {
+	File         string `json:"file"`
+	Line         int    `json:"line"`
+	Col          int    `json:"col"`
+	Analyzer     string `json:"analyzer"`
+	Message      string `json:"message"`
+	SuppressedBy string `json:"suppressed_by,omitempty"`
+}
+
 func run(args []string) int {
 	fs := flag.NewFlagSet("arestlint", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list analyzers and exit")
+	tests := fs.Bool("tests", false, "also lint _test.go files (in-package and external test packages)")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON lines, including suppressed findings")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -55,6 +79,7 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "arestlint:", err)
 		return 2
 	}
+	loader.IncludeTests = *tests
 
 	var pkgs []*lint.Package
 	patterns := fs.Args()
@@ -95,21 +120,40 @@ func run(args []string) int {
 		}
 	}
 
-	runner := &lint.Runner{Analyzers: analyzers}
+	runner := &lint.Runner{Analyzers: analyzers, IncludeSuppressed: *jsonOut}
 	diags, err := runner.Run(pkgs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "arestlint:", err)
 		return 2
 	}
+	enc := json.NewEncoder(os.Stdout)
+	findings := 0
 	for _, d := range diags {
-		rel := d.Pos.String()
+		rel := d.Pos.Filename
 		if r, err := filepath.Rel(root, d.Pos.Filename); err == nil {
-			rel = fmt.Sprintf("%s:%d:%d", r, d.Pos.Line, d.Pos.Column)
+			rel = r
 		}
-		fmt.Printf("%s: [%s] %s\n", rel, d.Analyzer, d.Message)
+		if d.SuppressedBy == "" {
+			findings++
+		}
+		if *jsonOut {
+			if err := enc.Encode(jsonDiag{
+				File:         filepath.ToSlash(rel),
+				Line:         d.Pos.Line,
+				Col:          d.Pos.Column,
+				Analyzer:     d.Analyzer,
+				Message:      d.Message,
+				SuppressedBy: d.SuppressedBy,
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "arestlint:", err)
+				return 2
+			}
+			continue
+		}
+		fmt.Printf("%s:%d:%d: [%s] %s\n", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "arestlint: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "arestlint: %d finding(s) across %d package(s)\n", findings, len(pkgs))
 		return 1
 	}
 	return 0

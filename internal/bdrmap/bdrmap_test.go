@@ -2,6 +2,7 @@ package bdrmap
 
 import (
 	"net/netip"
+	"slices"
 	"testing"
 
 	"arest/internal/alias"
@@ -143,6 +144,7 @@ func TestAnnotateAgainstWorldOracle(t *testing.T) {
 	for addr := range seen {
 		cands = append(cands, addr)
 	}
+	slices.SortFunc(cands, netip.Addr.Compare)
 	tc := probe.NewTracer(probe.NetsimConn{Net: w.Net}, w.VPs[0])
 	sets, err := alias.Resolve(cands, tc, alias.DefaultConfig())
 	if err != nil {

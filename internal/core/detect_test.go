@@ -10,10 +10,14 @@ import (
 	"arest/internal/mpls"
 )
 
+// rng feeds the fixture builders: seeded, so the generated hop addresses
+// and labels are identical on every run.
+var rng = rand.New(rand.NewSource(42))
+
 // mkHop builds a hop carrying the given label stack (top first) with an
 // optional vendor annotation.
 func mkHop(vendor mpls.Vendor, labels ...uint32) Hop {
-	h := Hop{Addr: netip.MustParseAddr(fmt.Sprintf("10.0.%d.%d", rand.Intn(200), rand.Intn(250)+1)), Vendor: vendor}
+	h := Hop{Addr: netip.MustParseAddr(fmt.Sprintf("10.0.%d.%d", rng.Intn(200), rng.Intn(250)+1)), Vendor: vendor}
 	for _, l := range labels {
 		h.Stack = append(h.Stack, mpls.LSE{Label: l, TTL: 1})
 	}
@@ -283,7 +287,7 @@ func TestRevealedAndImplicitHopsAreMPLSArea(t *testing.T) {
 
 func TestInterworkingPatterns(t *testing.T) {
 	sr := func() Hop { return mkHop(mpls.VendorCisco, 16005) }
-	ldp := func() Hop { return mkHop(mpls.VendorUnknown, uint32(300000+rand.Intn(10000)*7)) }
+	ldp := func() Hop { return mkHop(mpls.VendorUnknown, uint32(300000+rng.Intn(10000)*7)) }
 
 	cases := []struct {
 		name string

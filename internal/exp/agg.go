@@ -37,6 +37,8 @@ type IfaceAgg struct {
 // same value (Merge); the aggregate methods on ASResult are pure queries
 // over it. The zero value is not ready: use NewAgg, which initializes every
 // map non-nil so folded and merged aggregates compare with DeepEqual.
+//
+//arest:mergeable
 type Agg struct {
 	// Traces counts every folded trace; PathsInAS counts those whose
 	// AS-restricted path was non-empty (the denominator of Fig. 10a).

@@ -62,11 +62,17 @@ func collectAllows(fset *token.FileSet, files []*ast.File, known map[string]bool
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
+				if verb, ok := unknownDirective(c.Text); ok {
+					report(c.Pos(), "unknown directive //arest:%s: the framework understands allow, mergeable, hotpath, coldpath", verb)
+					continue
+				}
 				if !strings.HasPrefix(c.Text, directivePrefix) {
 					continue
 				}
 				rest := strings.TrimPrefix(c.Text, directivePrefix)
-				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				// CRLF sources leave a trailing \r on line comments; treat it
+				// as the separator/terminator it is, not as directive text.
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' && rest[0] != '\r' {
 					continue // e.g. //arest:allowed — not our directive
 				}
 				name, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
@@ -90,4 +96,25 @@ func collectAllows(fset *token.FileSet, files []*ast.File, known map[string]bool
 		}
 	}
 	return allows, bad
+}
+
+// summary renders the directive for suppressed-diagnostic reporting:
+// where it sits and the written justification it carries.
+func (a *allowDirective) summary() string {
+	return fmt.Sprintf("%s:%d (%s)", a.pos.Filename, a.pos.Line, a.reason)
+}
+
+// unknownDirective reports a //arest: comment whose verb the framework
+// does not understand — a typo'd directive must fail the build, not
+// silently check nothing.
+func unknownDirective(text string) (verb string, unknown bool) {
+	rest, ok := strings.CutPrefix(text, "//arest:")
+	if !ok {
+		return "", false
+	}
+	verb = rest
+	if i := strings.IndexAny(rest, " \t\r"); i >= 0 {
+		verb = rest[:i]
+	}
+	return verb, verb != "" && !knownDirectives[verb]
 }

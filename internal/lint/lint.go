@@ -57,9 +57,18 @@ type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+
+	// SuppressedBy is empty for a live finding. When the Runner ran with
+	// IncludeSuppressed, findings silenced by an //arest:allow carry the
+	// directive's position and reason here ("file:line (reason)") so
+	// machine consumers (-json) can audit what the suppressions cover.
+	SuppressedBy string
 }
 
 func (d Diagnostic) String() string {
+	if d.SuppressedBy != "" {
+		return fmt.Sprintf("%s: [%s] %s (suppressed by %s)", d.Pos, d.Analyzer, d.Message, d.SuppressedBy)
+	}
 	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
 }
 
@@ -72,6 +81,12 @@ type Runner struct {
 	// default (false) reports an allow that suppressed nothing, so stale
 	// justifications cannot linger after the code they excused is gone.
 	KeepUnusedAllows bool
+
+	// IncludeSuppressed keeps findings silenced by //arest:allow in the
+	// result, with Diagnostic.SuppressedBy set to the directive's
+	// position and reason. They still mark the directive used and do not
+	// count toward the CLI's exit status.
+	IncludeSuppressed bool
 }
 
 // known returns the set of analyzer names a directive may reference.
@@ -93,6 +108,13 @@ func (r *Runner) Run(pkgs []*Package) ([]Diagnostic, error) {
 	for _, pkg := range pkgs {
 		allows, bad := collectAllows(pkg.Fset, pkg.Files, known)
 		diags = append(diags, bad...)
+		// Annotation directives (//arest:mergeable, hotpath, coldpath) are
+		// validated here, like allows, so a malformed annotation fails the
+		// build even when no analyzer consumes it.
+		_, hbad := CollectHotPaths(pkg.Fset, pkg.Files)
+		diags = append(diags, hbad...)
+		_, mbad := Mergeables(pkg.Fset, pkg.Files)
+		diags = append(diags, mbad...)
 		for _, a := range r.Analyzers {
 			pass := &Pass{
 				Analyzer: a,
@@ -105,6 +127,14 @@ func (r *Runner) Run(pkgs []*Package) ([]Diagnostic, error) {
 				p := pkg.Fset.Position(pos)
 				if al := allows.match(a.Name, p.Filename); al != nil {
 					al.used = true
+					if r.IncludeSuppressed {
+						diags = append(diags, Diagnostic{
+							Analyzer:     a.Name,
+							Pos:          p,
+							Message:      fmt.Sprintf(format, args...),
+							SuppressedBy: al.summary(),
+						})
+					}
 					return
 				}
 				diags = append(diags, Diagnostic{

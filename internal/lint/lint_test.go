@@ -146,6 +146,224 @@ var good = 1
 	}
 }
 
+// writeTestFiles materializes a multi-file package in a temp dir.
+func writeTestFiles(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestDuplicateAllowSecondUnused(t *testing.T) {
+	// Suppression consumes the first matching directive; a duplicate for
+	// the same analyzer in the same file stays unused and is reported,
+	// so stale double-suppressions cannot linger silently.
+	diags := runOn(t, `package p
+
+//arest:allow flagbad the first directive covers the finding
+
+//arest:allow flagbad the second is redundant
+
+var bad = 1
+`, &Runner{Analyzers: []*Analyzer{flagIdents()}})
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "unused //arest:allow") {
+		t.Fatalf("duplicate allow not reported as unused: %v", diags)
+	}
+	if diags[0].Pos.Line != 5 {
+		t.Errorf("unused report should name the second directive (line 5), got line %d", diags[0].Pos.Line)
+	}
+}
+
+func TestDirectiveAsLastLine(t *testing.T) {
+	// A directive on the file's final line — with no trailing newline —
+	// must still parse and suppress.
+	src := "package p\n\nvar bad = 1\n\n//arest:allow flagbad final line carries the suppression"
+	diags := runOn(t, src, &Runner{Analyzers: []*Analyzer{flagIdents()}})
+	if len(diags) != 0 {
+		t.Fatalf("last-line directive did not suppress: %v", diags)
+	}
+}
+
+func TestDirectiveCRLF(t *testing.T) {
+	// CRLF sources leave a trailing \r on line comments; the directive
+	// grammar must treat it as whitespace, not as part of the reason.
+	src := "package p\r\n\r\n//arest:allow flagbad crlf fixture keeps its reason\r\n\r\nvar bad = 1\r\n"
+	diags := runOn(t, src, &Runner{Analyzers: []*Analyzer{flagIdents()}})
+	if len(diags) != 0 {
+		t.Fatalf("CRLF directive did not suppress: %v", diags)
+	}
+}
+
+func TestUnknownDirectiveVerb(t *testing.T) {
+	// A typo'd verb must fail the build, not silently check nothing.
+	diags := runOn(t, `package p
+
+//arest:alow flagbad oops
+`, &Runner{Analyzers: []*Analyzer{flagIdents()}})
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "unknown directive //arest:alow") {
+		t.Fatalf("unknown verb not reported: %v", diags)
+	}
+}
+
+func TestIncludeSuppressed(t *testing.T) {
+	src := `package p
+
+//arest:allow flagbad fixture identifier is intentional
+
+var bad = 1
+`
+	diags := runOn(t, src, &Runner{Analyzers: []*Analyzer{flagIdents()}, IncludeSuppressed: true})
+	if len(diags) != 1 {
+		t.Fatalf("expected the suppressed finding back, got: %v", diags)
+	}
+	d := diags[0]
+	if d.SuppressedBy == "" || !strings.Contains(d.SuppressedBy, "fixture identifier is intentional") {
+		t.Errorf("SuppressedBy should carry the directive's reason, got %q", d.SuppressedBy)
+	}
+	if !strings.Contains(d.String(), "suppressed by") {
+		t.Errorf("String() should mark suppression: %s", d.String())
+	}
+}
+
+// TestTestsModeWidensLinting pins the -tests loader behavior: a finding
+// living in a _test.go file is invisible to a plain load and reported
+// under IncludeTests, and an //arest:allow in that test file both
+// suppresses it and participates in unused-allow accounting.
+func TestTestsModeWidensLinting(t *testing.T) {
+	run := func(files map[string]string, withTests bool) []Diagnostic {
+		t.Helper()
+		dir := writeTestFiles(t, files)
+		l := testLoader(t)
+		l.IncludeTests = withTests
+		pkg, err := l.LoadDir(dir, "linttest/tm")
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags, err := (&Runner{Analyzers: []*Analyzer{flagIdents()}}).Run([]*Package{pkg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return diags
+	}
+
+	finding := map[string]string{
+		"p.go":      "package p\n\nvar good = 1\n",
+		"p_test.go": "package p\n\nvar bad = 2\n",
+	}
+	if diags := run(finding, false); len(diags) != 0 {
+		t.Errorf("plain load saw the test file: %v", diags)
+	}
+	diags := run(finding, true)
+	if len(diags) != 1 || !strings.HasSuffix(diags[0].Pos.Filename, "p_test.go") {
+		t.Errorf("-tests load missed the test-file finding: %v", diags)
+	}
+
+	allowed := map[string]string{
+		"p.go":      "package p\n\nvar good = 1\n",
+		"p_test.go": "package p\n\n//arest:allow flagbad fixture name is intentional\n\nvar bad = 2\n",
+	}
+	if diags := run(allowed, true); len(diags) != 0 {
+		t.Errorf("test-file allow did not suppress under -tests: %v", diags)
+	}
+
+	unused := map[string]string{
+		"p.go":      "package p\n\nvar good = 1\n",
+		"p_test.go": "package p\n\n//arest:allow flagbad nothing trips it here\n",
+	}
+	if diags := run(unused, false); len(diags) != 0 {
+		t.Errorf("plain load should never see test-file directives: %v", diags)
+	}
+	diags = run(unused, true)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "unused //arest:allow") {
+		t.Errorf("-tests load missed the unused test-file allow: %v", diags)
+	}
+}
+
+// TestLoadXTestPackage exercises the external-test loader: the package
+// under test resolves from the fixture directory (test-augmented), and
+// the foo_test package comes back as its own lintable package.
+func TestLoadXTestPackage(t *testing.T) {
+	dir := writeTestFiles(t, map[string]string{
+		"p.go":      "package p\n\nfunc Answer() int { return 42 }\n",
+		"p_test.go": "package p\n\nconst fromInPkgTest = 1\n",
+		"p_x_test.go": `package p_test
+
+import "linttest/xt"
+
+var bad = p.Answer()
+`,
+	})
+	l := testLoader(t)
+	l.IncludeTests = true
+	xpkg, err := l.loadXTest("linttest/xt", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xpkg == nil || xpkg.Path != "linttest/xt_test" {
+		t.Fatalf("external test package not loaded: %+v", xpkg)
+	}
+	diags, err := (&Runner{Analyzers: []*Analyzer{flagIdents()}}).Run([]*Package{xpkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || !strings.HasSuffix(diags[0].Pos.Filename, "p_x_test.go") {
+		t.Errorf("analyzer did not run over the external test package: %v", diags)
+	}
+	if nox, err := l.loadXTest("linttest/nox", writeTestPkg(t, "package q\n")); err != nil || nox != nil {
+		t.Errorf("directory without external tests should load as nil, got %v, %v", nox, err)
+	}
+}
+
+// TestAnnotationValidationReported pins the framework-level validation of
+// the //arest:mergeable / hotpath / coldpath grammar: every malformed
+// placement is a build-failing diagnostic regardless of which analyzers
+// run.
+func TestAnnotationValidationReported(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"mergeable on function",
+			"package p\n\n//arest:mergeable\nfunc F() {}\n",
+			"marks struct types, not functions"},
+		{"mergeable on non-struct",
+			"package p\n\n//arest:mergeable\ntype T int\n",
+			"only struct types can be mergeable"},
+		{"mergeable on grouped declaration",
+			"package p\n\n//arest:mergeable\ntype (\n\tA struct{ N int }\n\tB struct{ M int }\n)\n",
+			"grouped declaration is ambiguous"},
+		{"bare hotpath outside function doc",
+			"package p\n\n//arest:hotpath\n\nvar x = 1\n",
+			"must sit in a function's doc comment"},
+		{"hotpath unknown scope",
+			"package p\n\n//arest:hotpath galaxy\nfunc F() {}\n",
+			"scope must be empty (this function), 'file', or 'package'"},
+		{"coldpath missing reason",
+			"package p\n\n//arest:hotpath file\n\n//arest:coldpath\nfunc F() {}\n",
+			"missing its written reason"},
+		{"coldpath outside hot scope",
+			"package p\n\n//arest:coldpath formatting helper\nfunc F() {}\n",
+			"excuses nothing"},
+		{"coldpath outside function doc",
+			"package p\n\n//arest:coldpath reason\n\nvar x = 1\n",
+			"//arest:coldpath must sit in a function's doc comment"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			diags := runOn(t, tc.src, &Runner{Analyzers: []*Analyzer{flagIdents()}})
+			for _, d := range diags {
+				if d.Analyzer == DirectiveAnalyzerName && strings.Contains(d.Message, tc.want) {
+					return
+				}
+			}
+			t.Errorf("no directive diagnostic containing %q; got: %v", tc.want, diags)
+		})
+	}
+}
+
 func TestLoadAllCoversModule(t *testing.T) {
 	l := testLoader(t)
 	pkgs, err := l.LoadAll()

@@ -40,6 +40,15 @@ type Loader struct {
 	// Module is the module path declared in go.mod.
 	Module string
 
+	// IncludeTests widens loading to _test.go files. In-package test
+	// files are type-checked together with the package they test (as a
+	// separate cached variant), and external test files (package foo_test)
+	// load as their own package. Imports BETWEEN packages always resolve
+	// to the unaugmented variant: in-package test files cannot add API
+	// that other packages consume, and resolving them unaugmented keeps
+	// test-only imports from creating spurious cycles.
+	IncludeTests bool
+
 	fset  *token.FileSet
 	std   types.Importer
 	cache map[string]*Package
@@ -141,14 +150,23 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 		if rel != "." {
 			ip = l.Module + "/" + filepath.ToSlash(rel)
 		}
-		pkg, err := l.load(ip, dir)
+		pkg, err := l.loadMode(ip, dir, l.IncludeTests)
 		if err != nil {
 			if _, ok := err.(*build.NoGoError); ok {
-				continue // test-only or empty directory
+				continue // empty directory (or test-only without -tests)
 			}
 			return nil, err
 		}
 		pkgs = append(pkgs, pkg)
+		if l.IncludeTests {
+			xpkg, err := l.loadXTest(ip, dir)
+			if err != nil {
+				return nil, err
+			}
+			if xpkg != nil {
+				pkgs = append(pkgs, xpkg)
+			}
+		}
 	}
 	return pkgs, nil
 }
@@ -156,43 +174,113 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 // LoadDir type-checks the single package in dir under the given import
 // path. dir may live outside the module root (the mutation tests exploit
 // this): its own files are parsed from dir while any intra-module imports
-// still resolve against the loader's root.
+// still resolve against the loader's root. Honours IncludeTests for the
+// package's own in-package test files.
 func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
-	return l.load(importPath, dir)
+	return l.loadMode(importPath, dir, l.IncludeTests)
 }
 
-// load parses and type-checks one directory as importPath, caching by
-// import path so diamond imports check once.
+// load is the import-resolution entry point: always the unaugmented
+// (non-test) variant, so package-to-package edges never run through test
+// files.
 func (l *Loader) load(importPath, dir string) (*Package, error) {
-	if p, ok := l.cache[importPath]; ok {
+	return l.loadMode(importPath, dir, false)
+}
+
+// loadMode parses and type-checks one directory as importPath, caching per
+// (import path, variant) so diamond imports check once. withTests folds
+// the in-package _test.go files into the package.
+func (l *Loader) loadMode(importPath, dir string, withTests bool) (*Package, error) {
+	key := importPath
+	if withTests {
+		key += " [tests]"
+	}
+	if p, ok := l.cache[key]; ok {
 		return p, nil
 	}
 	bp, err := build.Default.ImportDir(dir, 0)
 	if err != nil {
 		return nil, err
 	}
-	var files []*ast.File
-	for _, name := range bp.GoFiles {
-		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
-		if err != nil {
-			return nil, err
-		}
-		files = append(files, f)
+	names := bp.GoFiles
+	if withTests {
+		names = append(append([]string(nil), bp.GoFiles...), bp.TestGoFiles...)
 	}
-	info := &types.Info{
-		Types:      make(map[ast.Expr]types.TypeAndValue),
-		Defs:       make(map[*ast.Ident]types.Object),
-		Uses:       make(map[*ast.Ident]types.Object),
-		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	if len(names) == 0 {
+		// ImportDir reports test-only directories as buildable; without
+		// their test files there is nothing to check.
+		return nil, &build.NoGoError{Dir: dir}
 	}
+	files, err := l.parseFiles(dir, names)
+	if err != nil {
+		return nil, err
+	}
+	info := newInfo()
 	conf := types.Config{Importer: (*loaderImporter)(l)}
 	tpkg, err := conf.Check(importPath, l.fset, files, info)
 	if err != nil {
 		return nil, fmt.Errorf("typecheck %s: %w", importPath, err)
 	}
 	pkg := &Package{Path: importPath, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
-	l.cache[importPath] = pkg
+	l.cache[key] = pkg
 	return pkg, nil
+}
+
+// loadXTest loads dir's external test package (package foo_test) as its
+// own package named importPath_test, or nil when the directory has no
+// external test files. The base import path resolves to the test-augmented
+// variant — external tests may use identifiers that in-package test files
+// declare — while every other import stays unaugmented.
+func (l *Loader) loadXTest(importPath, dir string) (*Package, error) {
+	xpath := importPath + "_test"
+	if p, ok := l.cache[xpath]; ok {
+		return p, nil
+	}
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		if _, ok := err.(*build.NoGoError); ok {
+			return nil, nil
+		}
+		return nil, err
+	}
+	if len(bp.XTestGoFiles) == 0 {
+		return nil, nil
+	}
+	files, err := l.parseFiles(dir, bp.XTestGoFiles)
+	if err != nil {
+		return nil, err
+	}
+	info := newInfo()
+	conf := types.Config{Importer: &xtestImporter{l: l, base: importPath, baseDir: dir}}
+	tpkg, err := conf.Check(xpath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", xpath, err)
+	}
+	pkg := &Package{Path: xpath, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.cache[xpath] = pkg
+	return pkg, nil
+}
+
+// parseFiles parses the named files of one directory with comments.
+func (l *Loader) parseFiles(dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
 }
 
 // loaderImporter adapts the Loader into a types.Importer: module-local
@@ -216,4 +304,24 @@ func (li *loaderImporter) Import(path string) (*types.Package, error) {
 		return pkg.Types, nil
 	}
 	return l.std.Import(path)
+}
+
+// xtestImporter resolves imports for an external test package: the package
+// under test maps to its test-augmented variant, everything else goes
+// through the normal (unaugmented) resolution.
+type xtestImporter struct {
+	l       *Loader
+	base    string
+	baseDir string
+}
+
+func (xi *xtestImporter) Import(path string) (*types.Package, error) {
+	if path == xi.base {
+		pkg, err := xi.l.loadMode(xi.base, xi.baseDir, true)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return (*loaderImporter)(xi.l).Import(path)
 }

@@ -1,0 +1,32 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FieldRefs collects every struct field object referenced under root:
+// selector accesses (x.F, including through embedding and pointers) via
+// Info.Selections, and keyed composite-literal fields (T{F: v}) via
+// Info.Uses. This is the cross-function reference collector behind
+// foldcomplete: a field is "folded" if any inspected body mentions it by
+// either route.
+func FieldRefs(info *types.Info, root ast.Node, into map[*types.Var]bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[n]; ok && sel.Kind() == types.FieldVal {
+				if v, ok := sel.Obj().(*types.Var); ok {
+					into[v] = true
+				}
+			}
+		case *ast.KeyValueExpr:
+			if id, ok := n.Key.(*ast.Ident); ok {
+				if v, ok := info.Uses[id].(*types.Var); ok && v.IsField() {
+					into[v] = true
+				}
+			}
+		}
+		return true
+	})
+}

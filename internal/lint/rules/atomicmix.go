@@ -1,0 +1,176 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"arest/internal/lint"
+)
+
+// AtomicMix builds the atomicmix analyzer: under the concurrency model of
+// DESIGN.md §7, a word that is touched through the old-style sync/atomic
+// functions (atomic.AddUint64(&x, 1)) is owned by the atomic protocol —
+// a plain read or write of the same variable elsewhere in the package is
+// a data race the race detector only catches when the schedule cooperates.
+// The analyzer collects every variable and field whose address reaches an
+// atomic.Add*/Load*/Store*/Swap*/CompareAndSwap* call, then flags every
+// other (non-atomic) access to those objects in the package.
+//
+// When the address taken is an element (&xs[i]), the atomic protocol owns
+// the elements, not the slice header: plain element reads (xs[i], or
+// ranging with a value variable) are flagged, while len(xs), index-only
+// ranges, and reslicing stay legal.
+//
+// The new-style wrapper types (atomic.Uint64 and friends) need no check
+// here: they have no plain-access API, and copying them is nolockcopy's
+// department.
+func AtomicMix() *lint.Analyzer {
+	return &lint.Analyzer{
+		Name: "atomicmix",
+		Doc:  "forbid mixing sync/atomic access with plain access to the same variable",
+		Run:  runAtomicMix,
+	}
+}
+
+// atomicOp reports whether name is one of the address-taking sync/atomic
+// functions.
+func atomicOp(name string) bool {
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// atomicUse records how one object entered the atomic protocol.
+type atomicUse struct {
+	first   token.Position
+	indexed bool // address taken of an element (&xs[i]), not the whole variable
+}
+
+func runAtomicMix(pass *lint.Pass) error {
+	// Pass 1: objects whose address is passed to sync/atomic, and the
+	// identifier nodes sanctioned by appearing inside those calls.
+	atomicObjs := map[types.Object]*atomicUse{}
+	sanctioned := map[*ast.Ident]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := pass.CalleeIn(call)
+			if !ok || pkg != "sync/atomic" || !atomicOp(name) {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			ue, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || ue.Op != token.AND {
+				return true // address held in a pointer: out of structural reach
+			}
+			id, indexed := accessIdent(ue.X)
+			if id == nil {
+				return true
+			}
+			obj := pass.ObjectOf(id)
+			if obj == nil {
+				return true
+			}
+			if _, seen := atomicObjs[obj]; !seen {
+				atomicObjs[obj] = &atomicUse{first: pass.Fset.Position(call.Pos()), indexed: indexed}
+			}
+			// Sanction every identifier inside this call's argument list
+			// (the &x operand and any index expressions around it).
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if mid, ok := m.(*ast.Ident); ok {
+						sanctioned[mid] = true
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return nil
+	}
+
+	lookup := func(e ast.Expr) (*ast.Ident, *atomicUse) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok || sanctioned[id] {
+			return nil, nil
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil {
+			return nil, nil
+		}
+		return id, atomicObjs[obj]
+	}
+
+	// Pass 2: every other access to those objects is a mixed access. For
+	// element-atomic objects only element extraction counts.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				if id, use := lookup(n); use != nil && !use.indexed {
+					pass.Report(id.Pos(),
+						"%s is accessed with sync/atomic at %s but plainly here: racy mixed access (DESIGN.md §7)", id.Name, shortPos(use.first))
+				}
+			case *ast.IndexExpr:
+				if id, use := lookup(n.X); use != nil && use.indexed {
+					pass.Report(n.Pos(),
+						"elements of %s are accessed with sync/atomic at %s but plainly here: racy mixed access (DESIGN.md §7)", id.Name, shortPos(use.first))
+				}
+			case *ast.RangeStmt:
+				if n.Value == nil {
+					return true // index-only range reads no elements
+				}
+				if id, use := lookup(n.X); use != nil && use.indexed {
+					pass.Report(n.X.Pos(),
+						"ranging over %s copies elements accessed with sync/atomic at %s: racy mixed access (DESIGN.md §7)", id.Name, shortPos(use.first))
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// accessIdent resolves the operand of &x to the identifier naming the
+// variable or field being made atomic: x, s.f, a[i], s.f[i] all bottom out
+// in the field/variable identifier. indexed reports whether the address
+// was of an element rather than the variable itself.
+func accessIdent(e ast.Expr) (id *ast.Ident, indexed bool) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x, indexed
+		case *ast.SelectorExpr:
+			return x.Sel, indexed
+		case *ast.IndexExpr:
+			e = x.X
+			indexed = true
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil, false
+		}
+	}
+}
+
+// shortPos trims the position to file base name plus line for messages.
+func shortPos(p token.Position) string {
+	file := p.Filename
+	if i := strings.LastIndexByte(file, '/'); i >= 0 {
+		file = file[i+1:]
+	}
+	return file + ":" + strconv.Itoa(p.Line)
+}

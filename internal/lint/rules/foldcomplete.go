@@ -1,0 +1,160 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"arest/internal/lint"
+)
+
+// FoldComplete builds the foldcomplete analyzer: a struct marked
+// //arest:mergeable is a commutative accumulator (DESIGN.md §13 — the
+// streaming Detect fold), and the bug class it pins is "add a field,
+// forget the fold": a histogram added to exp.Agg but not to Agg.Merge
+// silently drops every shard's contribution after the first. The checks,
+// per marked struct:
+//
+//   - a Merge method must exist, and every field of the struct must be
+//     referenced somewhere in its body (selector access or composite-
+//     literal key);
+//   - every map-typed field must also be referenced on the zero/reset
+//     path — a New* constructor returning the struct or a Reset method —
+//     because writing through a forgotten nil map panics on the first
+//     merged record.
+//
+// Reference collection is structural, not flow-sensitive: mentioning the
+// field is what the analyzer can promise, which is exactly the tripwire
+// that catches the forgotten-field class.
+func FoldComplete() *lint.Analyzer {
+	return &lint.Analyzer{
+		Name: "foldcomplete",
+		Doc:  "every field of an //arest:mergeable struct must be folded by Merge and map fields initialized on the zero/reset path",
+		Run:  runFoldComplete,
+	}
+}
+
+func runFoldComplete(pass *lint.Pass) error {
+	marked, _ := lint.Mergeables(pass.Fset, pass.Files) // malformed directives reported by the Runner
+	for _, ts := range marked {
+		checkMergeable(pass, ts)
+	}
+	return nil
+}
+
+func checkMergeable(pass *lint.Pass, ts *ast.TypeSpec) {
+	tn, ok := pass.Info.Defs[ts.Name].(*types.TypeName)
+	if !ok {
+		return
+	}
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		return // Mergeables already rejected non-structs
+	}
+
+	merge := methodDecl(pass, tn, "Merge")
+	if merge == nil || merge.Body == nil {
+		pass.Report(ts.Pos(),
+			"//arest:mergeable struct %s has no Merge method to fold it (DESIGN.md §13)", ts.Name.Name)
+		return
+	}
+	mergeRefs := map[*types.Var]bool{}
+	lint.FieldRefs(pass.Info, merge.Body, mergeRefs)
+
+	zeroRefs := map[*types.Var]bool{}
+	for _, fd := range zeroPathDecls(pass, tn) {
+		lint.FieldRefs(pass.Info, fd.Body, zeroRefs)
+	}
+
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !mergeRefs[f] {
+			pass.Report(f.Pos(),
+				"field %s.%s is not folded by Merge: merged shards silently drop it (DESIGN.md §13)",
+				ts.Name.Name, f.Name())
+		}
+		if _, isMap := f.Type().Underlying().(*types.Map); isMap && !zeroRefs[f] {
+			pass.Report(f.Pos(),
+				"map field %s.%s is never initialized on the zero/reset path (New*/Reset): writes through it panic (DESIGN.md §13)",
+				ts.Name.Name, f.Name())
+		}
+	}
+}
+
+// methodDecl finds the declared method named name on tn's type (pointer or
+// value receiver) among the pass's files.
+func methodDecl(pass *lint.Pass, tn *types.TypeName, name string) *ast.FuncDecl {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Name.Name != name {
+				continue
+			}
+			if recvTypeName(pass, fd) == tn {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// recvTypeName resolves a method's receiver to its type name, or nil.
+func recvTypeName(pass *lint.Pass, fd *ast.FuncDecl) *types.TypeName {
+	fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return nil
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return named.Obj()
+}
+
+// zeroPathDecls returns the functions forming tn's zero/reset path: Reset
+// methods on the type, and package functions named New* whose results
+// include the type (by value or pointer).
+func zeroPathDecls(pass *lint.Pass, tn *types.TypeName) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Recv != nil {
+				if fd.Name.Name == "Reset" && recvTypeName(pass, fd) == tn {
+					out = append(out, fd)
+				}
+				continue
+			}
+			if !strings.HasPrefix(fd.Name.Name, "New") {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			res := fn.Type().(*types.Signature).Results()
+			for i := 0; i < res.Len(); i++ {
+				t := res.At(i).Type()
+				if p, ok := t.(*types.Pointer); ok {
+					t = p.Elem()
+				}
+				if named, ok := t.(*types.Named); ok && named.Obj() == tn {
+					out = append(out, fd)
+					break
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,253 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"arest/internal/lint"
+)
+
+// NoLockCopy builds the nolockcopy analyzer — home-grown copylocks for the
+// concurrency model of DESIGN.md §7: the obs instruments and netsim
+// routers carry sync.Mutex / sync.Map / atomic.Uint* state, and a by-value
+// copy forks that state (two goroutines lock different mutexes, counters
+// split silently). Flagged, for any type that transitively contains a
+// sync.* or sync/atomic value:
+//
+//   - value (non-pointer) method receivers and function parameters;
+//   - assignments and var initializers copying an existing value
+//     (identifier, selector, index, or dereference on the right-hand
+//     side — fresh composite literals are fine);
+//   - range statements whose element variable copies such a value;
+//   - returning a dereferenced value (return *r re-copies the locks).
+func NoLockCopy() *lint.Analyzer {
+	return &lint.Analyzer{
+		Name: "nolockcopy",
+		Doc:  "forbid by-value copies of types containing sync.* or sync/atomic values",
+		Run:  runNoLockCopy,
+	}
+}
+
+func runNoLockCopy(pass *lint.Pass) error {
+	lc := &lockCache{seen: map[types.Type]bool{}}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkFuncSig(pass, lc, fd)
+			if fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					checkAssignCopy(pass, lc, n)
+				case *ast.GenDecl:
+					checkVarCopy(pass, lc, n)
+				case *ast.RangeStmt:
+					checkRangeCopy(pass, lc, n)
+				case *ast.ReturnStmt:
+					checkReturnCopy(pass, lc, n)
+				case *ast.FuncLit:
+					checkFuncLitSig(pass, lc, n)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// lockCache memoizes containsLock over types (lock structures recur:
+// Registry holds maps of instruments holding atomics).
+type lockCache struct {
+	seen map[types.Type]bool
+}
+
+// containsLock reports whether t, passed or assigned by value, would copy
+// a sync.* or sync/atomic value.
+func (lc *lockCache) containsLock(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if v, ok := lc.seen[t]; ok {
+		return v
+	}
+	lc.seen[t] = false // break cycles; real answer stored below
+	v := lc.computeLock(t)
+	lc.seen[t] = v
+	return v
+}
+
+func (lc *lockCache) computeLock(t types.Type) bool {
+	switch t := t.(type) {
+	case *types.Named:
+		if obj := t.Obj(); obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync", "sync/atomic":
+				// Every exported sync/atomic type is copy-hostile
+				// (Mutex, WaitGroup, Pool, Map, Once, atomic.Uint64, ...).
+				// noCopy itself is unexported but only reachable through
+				// them.
+				return true
+			}
+		}
+		return lc.containsLock(t.Underlying())
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if lc.containsLock(t.Field(i).Type()) {
+				return true
+			}
+		}
+		return false
+	case *types.Array:
+		return lc.containsLock(t.Elem())
+	}
+	// Pointers, maps, slices, channels, interfaces, basics: copying the
+	// reference does not copy the lock.
+	return false
+}
+
+// lockName renders the offending type for messages.
+func lockName(t types.Type) string { return types.TypeString(t, nil) }
+
+// checkFuncSig flags value receivers and parameters of lock-bearing types.
+func checkFuncSig(pass *lint.Pass, lc *lockCache, fd *ast.FuncDecl) {
+	if fd.Recv != nil {
+		for _, field := range fd.Recv.List {
+			reportLockField(pass, lc, field, "method %s has a value receiver copying %s; use a pointer receiver", fd.Name.Name)
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			reportLockField(pass, lc, field, "parameter of %s copies %s by value; pass a pointer", fd.Name.Name)
+		}
+	}
+}
+
+// checkFuncLitSig flags lock-bearing value parameters of function
+// literals.
+func checkFuncLitSig(pass *lint.Pass, lc *lockCache, fl *ast.FuncLit) {
+	if fl.Type.Params == nil {
+		return
+	}
+	for _, field := range fl.Type.Params.List {
+		reportLockField(pass, lc, field, "parameter of %s copies %s by value; pass a pointer", "func literal")
+	}
+}
+
+func reportLockField(pass *lint.Pass, lc *lockCache, field *ast.Field, format, fname string) {
+	tv, ok := pass.Info.Types[field.Type]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+		return
+	}
+	if lc.containsLock(tv.Type) {
+		pass.Report(field.Pos(), format+" (DESIGN.md §7)", fname, lockName(tv.Type))
+	}
+}
+
+// copiesExisting reports whether rhs reads an existing value (rather than
+// constructing a fresh one): identifiers, selectors, index expressions and
+// dereferences copy; composite literals, calls and conversions do not
+// duplicate shared state.
+func copiesExisting(e ast.Expr) bool {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+// checkAssignCopy flags x := y / x = y where y is an existing lock-bearing
+// value.
+func checkAssignCopy(pass *lint.Pass, lc *lockCache, as *ast.AssignStmt) {
+	if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+		return
+	}
+	if len(as.Lhs) != len(as.Rhs) {
+		return // multi-value call form: the call built the values fresh
+	}
+	for i, rhs := range as.Rhs {
+		if !copiesExisting(rhs) {
+			continue
+		}
+		tv, ok := pass.Info.Types[rhs]
+		if !ok || tv.Type == nil || !lc.containsLock(tv.Type) {
+			continue
+		}
+		if id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident); ok && id.Name == "_" {
+			continue
+		}
+		pass.Report(as.Pos(),
+			"assignment copies %s by value; share it through a pointer (DESIGN.md §7)", lockName(tv.Type))
+	}
+}
+
+// checkVarCopy flags `var x = y` initializers copying lock-bearing values.
+func checkVarCopy(pass *lint.Pass, lc *lockCache, gd *ast.GenDecl) {
+	if gd.Tok != token.VAR {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, v := range vs.Values {
+			if !copiesExisting(v) {
+				continue
+			}
+			tv, ok := pass.Info.Types[v]
+			if !ok || tv.Type == nil || !lc.containsLock(tv.Type) {
+				continue
+			}
+			pass.Report(vs.Pos(),
+				"var initializer copies %s by value; share it through a pointer (DESIGN.md §7)", lockName(tv.Type))
+		}
+	}
+}
+
+// checkRangeCopy flags `for _, v := range xs` where the element variable
+// copies a lock-bearing value out of the container.
+func checkRangeCopy(pass *lint.Pass, lc *lockCache, rs *ast.RangeStmt) {
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if e == nil {
+			continue
+		}
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		// The := form defines the variable, so its type lives on the
+		// object (Defs), not in the expression type map.
+		obj := pass.ObjectOf(id)
+		if obj == nil || obj.Type() == nil || !lc.containsLock(obj.Type()) {
+			continue
+		}
+		pass.Report(e.Pos(),
+			"range variable %s copies %s per iteration; range over indices or pointers (DESIGN.md §7)", id.Name, lockName(obj.Type()))
+	}
+}
+
+// checkReturnCopy flags `return *p` where the dereference copies a
+// lock-bearing value out.
+func checkReturnCopy(pass *lint.Pass, lc *lockCache, ret *ast.ReturnStmt) {
+	for _, res := range ret.Results {
+		star, ok := ast.Unparen(res).(*ast.StarExpr)
+		if !ok {
+			continue
+		}
+		tv, ok := pass.Info.Types[star]
+		if !ok || tv.Type == nil || !lc.containsLock(tv.Type) {
+			continue
+		}
+		pass.Report(res.Pos(),
+			"return dereferences and copies %s; return the pointer (DESIGN.md §7)", lockName(tv.Type))
+	}
+}

@@ -4,7 +4,7 @@
 // instruments). The framework they run on is internal/lint; the CLI is
 // cmd/arestlint.
 //
-// The five analyzers and the prose rule each one pins:
+// The analyzers and the prose rule each one pins:
 //
 //	nowallclock   §7/§8 — determinism-contract packages never read the
 //	              wall clock directly; timing flows through the
@@ -21,6 +21,15 @@
 //	noerrdrop     §12 — the probe and alias measurement layers never
 //	              discard an error return: a swallowed transport error
 //	              silently becomes a wrong measurement.
+//	foldcomplete  §13 — every field of an //arest:mergeable struct is
+//	              folded by Merge and map fields are initialized on the
+//	              zero/reset path.
+//	hotpathalloc  §11 — no allocation-forcing constructs inside
+//	              //arest:hotpath scopes outside cold error paths.
+//	nolockcopy    §7 — no by-value copies of types containing sync.*
+//	              or sync/atomic values.
+//	atomicmix     §7 — a variable touched through sync/atomic is never
+//	              also accessed plainly in the same package.
 package rules
 
 import "arest/internal/lint"
@@ -57,5 +66,9 @@ func All() []*lint.Analyzer {
 		MapOrder(),
 		NilSafe(ObsPackage, ObsInstrumentTypes),
 		NoErrDrop(ErrAuditPackages),
+		FoldComplete(),
+		HotPathAlloc(),
+		NoLockCopy(),
+		AtomicMix(),
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"go/token"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 
@@ -94,6 +95,22 @@ func TestNilSafe(t *testing.T) {
 	lint.RunWantTest(t, newLoader(t), testdata(t, "nilsafe", "a"), path, an)
 }
 
+func TestFoldComplete(t *testing.T) {
+	lint.RunWantTest(t, newLoader(t), testdata(t, "foldcomplete", "a"), "arestlint.test/foldcomplete/a", FoldComplete())
+}
+
+func TestHotPathAlloc(t *testing.T) {
+	lint.RunWantTest(t, newLoader(t), testdata(t, "hotpathalloc", "a"), "arestlint.test/hotpathalloc/a", HotPathAlloc())
+}
+
+func TestNoLockCopy(t *testing.T) {
+	lint.RunWantTest(t, newLoader(t), testdata(t, "nolockcopy", "a"), "arestlint.test/nolockcopy/a", NoLockCopy())
+}
+
+func TestAtomicMix(t *testing.T) {
+	lint.RunWantTest(t, newLoader(t), testdata(t, "atomicmix", "a"), "arestlint.test/atomicmix/a", AtomicMix())
+}
+
 // TestRealTreeClean is the acceptance gate in test form: the production
 // analyzer set over every package of the module must report nothing, with
 // every //arest:allow directive both well-formed and actually used.
@@ -149,9 +166,14 @@ func TestNilGuardDeletionCaught(t *testing.T) {
 		file   string
 		method string
 	}
+	fnames := make([]string, 0, len(obsPkg.Files))
+	for fname := range obsPkg.Files {
+		fnames = append(fnames, fname)
+	}
+	sort.Strings(fnames)
 	var sites []site
-	for fname, f := range obsPkg.Files {
-		for _, decl := range f.Decls {
+	for _, fname := range fnames {
+		for _, decl := range obsPkg.Files[fname].Decls {
 			if m := guardedMethod(decl, names); m != "" {
 				sites = append(sites, site{fname, m})
 			}
@@ -295,16 +317,10 @@ func writeMutatedObs(t *testing.T, srcDir, dst, mutFile, method string, typeName
 	}
 }
 
-// TestWallClockInjectionCaught pins the other acceptance criterion:
-// adding a time.Now() call to internal/netsim makes arestlint fail. The
-// real netsim sources are copied verbatim next to one injected file.
-func TestWallClockInjectionCaught(t *testing.T) {
-	root, err := lint.FindModuleRoot(".")
-	if err != nil {
-		t.Fatal(err)
-	}
-	srcDir := filepath.Join(root, "internal", "netsim")
-	dir := t.TempDir()
+// copyGoFiles copies the non-test .go sources of the package in srcDir
+// into dst, so mutation tests can break a real package in isolation.
+func copyGoFiles(t *testing.T, srcDir, dst string) {
+	t.Helper()
 	entries, err := os.ReadDir(srcDir)
 	if err != nil {
 		t.Fatal(err)
@@ -317,10 +333,51 @@ func TestWallClockInjectionCaught(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(filepath.Join(dir, e.Name()), data, 0o644); err != nil {
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
 			t.Fatal(err)
 		}
 	}
+}
+
+// runAllOnMutation loads the mutated package copy in dir under its real
+// import path and runs the full production analyzer set over it.
+func runAllOnMutation(t *testing.T, dir, importPath string) []lint.Diagnostic {
+	t.Helper()
+	l := newLoader(t)
+	pkg, err := l.LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatalf("mutated %s no longer type-checks: %v", importPath, err)
+	}
+	runner := &lint.Runner{Analyzers: All()}
+	diags, err := runner.Run([]*lint.Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+// requireFinding asserts that one of the diagnostics comes from the named
+// analyzer and mentions fragment.
+func requireFinding(t *testing.T, diags []lint.Diagnostic, analyzer, fragment string) {
+	t.Helper()
+	for _, d := range diags {
+		if d.Analyzer == analyzer && strings.Contains(d.Message, fragment) {
+			return
+		}
+	}
+	t.Errorf("no %s finding mentioning %q; diagnostics: %v", analyzer, fragment, diags)
+}
+
+// TestWallClockInjectionCaught pins the other acceptance criterion:
+// adding a time.Now() call to internal/netsim makes arestlint fail. The
+// real netsim sources are copied verbatim next to one injected file.
+func TestWallClockInjectionCaught(t *testing.T) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	copyGoFiles(t, filepath.Join(root, "internal", "netsim"), dir)
 	inject := `package netsim
 
 import "time"
@@ -331,23 +388,136 @@ func wallClockDrift() time.Time { return time.Now() }
 	if err := os.WriteFile(filepath.Join(dir, "zz_mutation.go"), []byte(inject), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	l := newLoader(t)
-	pkg, err := l.LoadDir(dir, "arest/internal/netsim")
-	if err != nil {
-		t.Fatalf("mutated netsim no longer type-checks: %v", err)
-	}
-	runner := &lint.Runner{Analyzers: All()}
-	diags, err := runner.Run([]*lint.Package{pkg})
+	diags := runAllOnMutation(t, dir, "arest/internal/netsim")
+	requireFinding(t, diags, "nowallclock", "time.Now")
+}
+
+// TestMergeLineDeletionCaught mutates the real internal/exp package:
+// deleting one fold line from Agg.Merge must produce a foldcomplete
+// finding naming the dropped field. This pins the "add a field, forget
+// the fold" tripwire on the struct the annotation exists for.
+func TestMergeLineDeletionCaught(t *testing.T) {
+	root, err := lint.FindModuleRoot(".")
 	if err != nil {
 		t.Fatal(err)
 	}
-	found := false
-	for _, d := range diags {
-		if d.Analyzer == "nowallclock" && strings.Contains(d.Message, "time.Now") {
-			found = true
-		}
+	dir := t.TempDir()
+	copyGoFiles(t, filepath.Join(root, "internal", "exp"), dir)
+	agg := filepath.Join(dir, "agg.go")
+	data, err := os.ReadFile(agg)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if !found {
-		t.Errorf("injected time.Now() in netsim went undetected; diagnostics: %v", diags)
+	const foldLine = "\ta.Traces += o.Traces\n"
+	if !strings.Contains(string(data), foldLine) {
+		t.Fatalf("agg.go no longer contains %q; update the mutation target", foldLine)
 	}
+	mutated := strings.Replace(string(data), foldLine, "", 1)
+	if err := os.WriteFile(agg, []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags := runAllOnMutation(t, dir, "arest/internal/exp")
+	requireFinding(t, diags, "foldcomplete", "Agg.Traces is not folded by Merge")
+}
+
+// TestFieldInjectionCaught adds a map field to the real exp.Agg without
+// touching Merge or NewAgg: foldcomplete must report both the missing
+// fold and the missing zero-path initialization.
+func TestFieldInjectionCaught(t *testing.T) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	copyGoFiles(t, filepath.Join(root, "internal", "exp"), dir)
+	agg := filepath.Join(dir, "agg.go")
+	data, err := os.ReadFile(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const anchor = "type Agg struct {\n"
+	if !strings.Contains(string(data), anchor) {
+		t.Fatalf("agg.go no longer contains %q; update the mutation anchor", anchor)
+	}
+	mutated := strings.Replace(string(data), anchor, anchor+"\tZzHist map[string]uint64\n", 1)
+	if err := os.WriteFile(agg, []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags := runAllOnMutation(t, dir, "arest/internal/exp")
+	requireFinding(t, diags, "foldcomplete", "Agg.ZzHist is not folded by Merge")
+	requireFinding(t, diags, "foldcomplete", "Agg.ZzHist is never initialized on the zero/reset path")
+}
+
+// TestHotPathInjectionCaught injects a formatting helper into the real
+// internal/pkt package, whose //arest:hotpath package scope must sweep
+// the new function in and reject the fmt call.
+func TestHotPathInjectionCaught(t *testing.T) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	copyGoFiles(t, filepath.Join(root, "internal", "pkt"), dir)
+	inject := `package pkt
+
+import "fmt"
+
+// zzFormatLabel is the mutation: formatting on the zero-alloc wire path.
+func zzFormatLabel(v uint32) string { return fmt.Sprintf("label=%d", v) }
+`
+	if err := os.WriteFile(filepath.Join(dir, "zz_mutation.go"), []byte(inject), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags := runAllOnMutation(t, dir, "arest/internal/pkt")
+	requireFinding(t, diags, "hotpathalloc", "fmt.Sprintf")
+}
+
+// TestLockCopyInjectionCaught injects a by-value Registry copy into the
+// real internal/obs package: nolockcopy must reject the forked mutex.
+func TestLockCopyInjectionCaught(t *testing.T) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	copyGoFiles(t, filepath.Join(root, "internal", "obs"), dir)
+	inject := `package obs
+
+// zzSnapshot is the mutation: a by-value Registry copy forking its mutex.
+func zzSnapshot(r *Registry) Registry { return *r }
+`
+	if err := os.WriteFile(filepath.Join(dir, "zz_mutation.go"), []byte(inject), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags := runAllOnMutation(t, dir, "arest/internal/obs")
+	requireFinding(t, diags, "nolockcopy", "dereferences and copies")
+}
+
+// TestAtomicMixInjectionCaught injects mixed atomic/plain access to one
+// variable into the real internal/obs package: atomicmix must reject the
+// plain read.
+func TestAtomicMixInjectionCaught(t *testing.T) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	copyGoFiles(t, filepath.Join(root, "internal", "obs"), dir)
+	inject := `package obs
+
+import "sync/atomic"
+
+var zzWord uint64
+
+// zzBump and zzPeek are the mutation: atomic and plain access mixed on
+// one word.
+func zzBump() { atomic.AddUint64(&zzWord, 1) }
+
+func zzPeek() uint64 { return zzWord }
+`
+	if err := os.WriteFile(filepath.Join(dir, "zz_mutation.go"), []byte(inject), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags := runAllOnMutation(t, dir, "arest/internal/obs")
+	requireFinding(t, diags, "atomicmix", "zzWord is accessed with sync/atomic")
 }

@@ -1,0 +1,65 @@
+// Package a exercises atomicmix: a variable whose address reaches a
+// sync/atomic call is owned by the atomic protocol, and plain access to
+// it elsewhere in the package is a race. Element-level atomics
+// (&xs[i]) own the elements, not the container header.
+package a
+
+import "sync/atomic"
+
+var word uint64
+
+// incWord is the sanctioned atomic access that claims word.
+func incWord() { atomic.AddUint64(&word, 1) }
+
+// loadWord stays inside the protocol: legal.
+func loadWord() uint64 { return atomic.LoadUint64(&word) }
+
+// readPlain mixes a plain read in.
+func readPlain() uint64 {
+	return word // want `word is accessed with sync/atomic at a\.go:\d+ but plainly here`
+}
+
+// writePlain mixes a plain write in.
+func writePlain() {
+	word = 0 // want `word is accessed with sync/atomic`
+}
+
+var lanes [4]int32
+
+// bumpLane takes the address of one element: the elements become atomic,
+// the array header does not.
+func bumpLane(i int) { atomic.AddInt32(&lanes[i], 1) }
+
+// lenLanes reads only the header: legal.
+func lenLanes() int { return len(lanes) }
+
+// indexRange reads no elements: legal.
+func indexRange() int {
+	n := 0
+	for i := range lanes {
+		n += i
+	}
+	return n
+}
+
+// readLane extracts an element plainly.
+func readLane(i int) int32 {
+	return lanes[i] // want `elements of lanes are accessed with sync/atomic`
+}
+
+// sumLanes copies every element through the range value variable.
+func sumLanes() int32 {
+	var s int32
+	for _, v := range lanes { // want `ranging over lanes copies elements accessed with sync/atomic`
+		s += v
+	}
+	return s
+}
+
+var untouched uint64
+
+// plainOnly never enters the atomic protocol: plain access stays legal.
+func plainOnly() uint64 {
+	untouched++
+	return untouched
+}

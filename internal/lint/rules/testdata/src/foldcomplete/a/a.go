@@ -1,0 +1,76 @@
+// Package a exercises foldcomplete: mergeable accumulators whose Merge
+// folds everything (Good, ResetStyle) and ones that forget fields or
+// map initialization (Bad, NoMerge).
+package a
+
+// Good is a complete accumulator: every field folded, map initialized.
+//
+//arest:mergeable
+type Good struct {
+	N    int
+	Tags map[string]int
+}
+
+// NewGood builds a Good with its map ready.
+func NewGood() *Good { return &Good{Tags: map[string]int{}} }
+
+// Merge folds o into g.
+func (g *Good) Merge(o *Good) {
+	g.N += o.N
+	for k, v := range o.Tags {
+		g.Tags[k] += v
+	}
+}
+
+// ResetStyle initializes its map in Reset rather than a constructor.
+//
+//arest:mergeable
+type ResetStyle struct {
+	Seen map[string]bool
+}
+
+// Reset readies the accumulator for reuse.
+func (r *ResetStyle) Reset() { r.Seen = map[string]bool{} }
+
+// Merge folds o into r.
+func (r *ResetStyle) Merge(o *ResetStyle) {
+	for k := range o.Seen {
+		r.Seen[k] = true
+	}
+}
+
+// Bad forgets things: B is never folded and M is never made.
+//
+//arest:mergeable
+type Bad struct {
+	A int
+	B int            // want `field Bad\.B is not folded by Merge`
+	M map[string]int // want `map field Bad\.M is never initialized on the zero/reset path`
+}
+
+// NewBad forgets to allocate the map.
+func NewBad() *Bad { return &Bad{} }
+
+// Merge folds A and M but drops B.
+func (b *Bad) Merge(o *Bad) {
+	b.A += o.A
+	for k, v := range o.M {
+		b.M[k] += v
+	}
+}
+
+// NoMerge is marked mergeable but never folded at all.
+//
+//arest:mergeable
+type NoMerge struct { // want `struct NoMerge has no Merge method to fold it`
+	N int
+}
+
+// unmarked structs are the analyzer's no-op case: nothing folds them and
+// nothing is reported.
+type unmarked struct {
+	n int
+	m map[int]int
+}
+
+func useUnmarked(u *unmarked) int { return u.n + len(u.m) }

@@ -1,0 +1,18 @@
+// File-scope hot path: every function declared in this file is swept in
+// unless it opts out with a reasoned //arest:coldpath.
+//
+//arest:hotpath file
+
+package a
+
+// sweptIn carries no annotation of its own; the file scope covers it.
+func sweptIn(a, b string) string {
+	return a + b // want `string concatenation on the hot path`
+}
+
+// formatDebug is exempted with a written reason.
+//
+//arest:coldpath debug formatter exercised by tests only
+func formatDebug(a, b string) string {
+	return a + b
+}

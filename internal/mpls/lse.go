@@ -9,6 +9,11 @@
 //	+-------------------------------+-----+-+---------------+
 //	|            Label (20)         | TC  |S|    TTL (8)    |
 //	+-------------------------------+-----+-+---------------+
+//
+// Stack encode/decode runs once per simulated hop, so the package holds
+// the zero-allocation wire-path contract (DESIGN.md §11).
+//
+//arest:hotpath package
 package mpls
 
 import (
@@ -90,6 +95,8 @@ func UnmarshalLSE(b []byte) (LSE, error) {
 }
 
 // String renders the LSE in the conventional traceroute-style notation.
+//
+//arest:coldpath debug formatter, never on the wire path
 func (e LSE) String() string {
 	s := fmt.Sprintf("L=%d,TC=%d,S=%d,TTL=%d", e.Label, e.TC, b2i(e.S), e.TTL)
 	return s
@@ -229,6 +236,8 @@ func (s Stack) Equal(o Stack) bool {
 }
 
 // String renders the stack as "[top | ... | bottom]".
+//
+//arest:coldpath debug formatter, never on the wire path
 func (s Stack) String() string {
 	if len(s) == 0 {
 		return "[]"

@@ -1,3 +1,8 @@
+// This file is the per-packet forwarding engine: every probe of every
+// campaign runs through Send and process, so it holds the zero-allocation
+// wire-path contract (DESIGN.md §11).
+//
+//arest:hotpath file
 package netsim
 
 import (
@@ -125,26 +130,26 @@ func (n *Network) Send(src netip.Addr, wire []byte) (*Delivery, error) {
 // 5-tuple (ports for UDP, identifier for ICMP).
 func flowHash(ip *pkt.IPv4) uint64 {
 	h := uint64(17)
-	mix := func(v uint64) {
-		h = h*0x100000001b3 ^ v
-	}
 	s, d := ip.Src.As4(), ip.Dst.As4()
-	mix(uint64(s[0])<<24 | uint64(s[1])<<16 | uint64(s[2])<<8 | uint64(s[3]))
-	mix(uint64(d[0])<<24 | uint64(d[1])<<16 | uint64(d[2])<<8 | uint64(d[3]))
-	mix(uint64(ip.Protocol))
+	h = mixFlow(h, uint64(s[0])<<24|uint64(s[1])<<16|uint64(s[2])<<8|uint64(s[3]))
+	h = mixFlow(h, uint64(d[0])<<24|uint64(d[1])<<16|uint64(d[2])<<8|uint64(d[3]))
+	h = mixFlow(h, uint64(ip.Protocol))
 	if len(ip.Payload) >= 4 {
 		switch ip.Protocol {
 		case pkt.ProtoUDP:
-			mix(uint64(ip.Payload[0])<<24 | uint64(ip.Payload[1])<<16 |
-				uint64(ip.Payload[2])<<8 | uint64(ip.Payload[3]))
+			h = mixFlow(h, uint64(ip.Payload[0])<<24|uint64(ip.Payload[1])<<16|
+				uint64(ip.Payload[2])<<8|uint64(ip.Payload[3]))
 		case pkt.ProtoICMP:
 			if len(ip.Payload) >= 6 {
-				mix(uint64(ip.Payload[4])<<8 | uint64(ip.Payload[5])) // echo ID
+				h = mixFlow(h, uint64(ip.Payload[4])<<8|uint64(ip.Payload[5])) // echo ID
 			}
 		}
 	}
 	return h
 }
+
+// mixFlow folds one word into the FNV-style flow hash.
+func mixFlow(h, v uint64) uint64 { return h*0x100000001b3 ^ v }
 
 type sendCtx struct {
 	n           *Network

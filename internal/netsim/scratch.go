@@ -1,3 +1,7 @@
+// The pooled per-Send scratch: allocation here multiplies by every probe
+// sent, so the file holds the wire-path contract (DESIGN.md §11).
+//
+//arest:hotpath file
 package netsim
 
 import (

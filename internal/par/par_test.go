@@ -20,8 +20,8 @@ func TestForEachCoversAllIndexes(t *testing.T) {
 		n := 100
 		hits := make([]int32, n)
 		ForEach(workers, n, func(i int) { atomic.AddInt32(&hits[i], 1) })
-		for i, h := range hits {
-			if h != 1 {
+		for i := range hits {
+			if h := atomic.LoadInt32(&hits[i]); h != 1 {
 				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
 			}
 		}
@@ -70,8 +70,8 @@ func TestConflictOrderedRunsEveryTaskOnce(t *testing.T) {
 		ConflictOrdered(workers, n, func(i int) []uint64 {
 			return []uint64{0, uint64(1 + i)}
 		}, func(i int) { atomic.AddInt32(&hits[i], 1) })
-		for i, h := range hits {
-			if h != 1 {
+		for i := range hits {
+			if h := atomic.LoadInt32(&hits[i]); h != 1 {
 				t.Fatalf("workers=%d: task %d ran %d times", workers, i, h)
 			}
 		}
@@ -101,8 +101,8 @@ func TestConflictOrderedDuplicateAndEmptyKeys(t *testing.T) {
 		}
 		return []uint64{7, 7} // duplicate key must not self-deadlock
 	}, func(i int) { atomic.AddInt32(&hits[i], 1) })
-	for i, h := range hits {
-		if h != 1 {
+	for i := range hits {
+		if h := atomic.LoadInt32(&hits[i]); h != 1 {
 			t.Fatalf("task %d ran %d times", i, h)
 		}
 	}

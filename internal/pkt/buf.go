@@ -1,3 +1,8 @@
+// The pkt encoders and decoders are the innermost wire path — every
+// probe and reply round-trips through them — so the whole package holds
+// the zero-allocation contract (DESIGN.md §11).
+//
+//arest:hotpath package
 package pkt
 
 // grow extends dst by n bytes and returns the extended slice plus the

@@ -94,6 +94,7 @@ func UnmarshalIPv6Into(p *IPv6, b []byte) error {
 	return nil
 }
 
+//arest:coldpath debug formatter, never on the wire path
 func (p *IPv6) String() string {
 	return fmt.Sprintf("IPv6 %s -> %s next=%d hlim=%d len=%d",
 		p.Src, p.Dst, p.NextHeader, p.HopLimit, IPv6HeaderLen+len(p.Payload))

@@ -309,8 +309,8 @@ func TestPing(t *testing.T) {
 	if InferInitialTTL(ttl) != 255 {
 		t.Errorf("inferred initial TTL %d from %d, want 255", InferInitialTTL(ttl), ttl)
 	}
-	if _, ok, _ := tc.Ping(a("203.0.113.1"), 43); ok {
-		t.Error("ping to unrouted address succeeded")
+	if _, ok, err := tc.Ping(a("203.0.113.1"), 43); ok {
+		t.Errorf("ping to unrouted address succeeded (err=%v)", err)
 	}
 }
 
@@ -372,7 +372,10 @@ func TestTraceJSONRoundTrip(t *testing.T) {
 
 func TestTraceStringRendering(t *testing.T) {
 	tn := build(t, netsim.ModeSR, true, true)
-	tr, _ := tn.tracer().Trace(tn.target, 0)
+	tr, err := tn.tracer().Trace(tn.target, 0)
+	if err != nil {
+		t.Fatalf("Trace: %v", err)
+	}
 	s := tr.String()
 	if s == "" || len(s) < 50 {
 		t.Errorf("String too short: %q", s)

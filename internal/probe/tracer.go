@@ -1,3 +1,8 @@
+// The tracer's probe/exchange loop sits directly on the wire path: its
+// pooled scratch and stateless probe IDs are what keep Trace within its
+// alloc budget, so the file holds the contract (DESIGN.md §11).
+//
+//arest:hotpath file
 package probe
 
 import (
