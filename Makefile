@@ -1,12 +1,17 @@
 GO ?= go
 
+# Every test invocation carries an explicit wall-clock ceiling: a hung
+# campaign (the exact failure mode the stall watchdog exists for) fails the
+# suite with goroutine dumps instead of wedging make or CI forever.
+TEST_TIMEOUT ?= 10m
+
 .PHONY: build test vet lint arestlint race check bench bench-json fuzz experiments-output
 
 build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -timeout $(TEST_TIMEOUT) ./...
 
 vet:
 	$(GO) vet ./...
@@ -14,7 +19,7 @@ vet:
 # Race-enabled suite: includes the concurrent netsim.Send stress test and
 # the parallel-vs-sequential campaign equivalence tests.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout $(TEST_TIMEOUT) ./...
 
 # Static analysis beyond vet. arestlint (the in-tree determinism-contract
 # checker, DESIGN.md §10) always runs — it needs no external install.
@@ -46,14 +51,14 @@ check: vet lint race
 # wire-path allocation budgets (DESIGN.md §11) are regression-gated by
 # tests, but the B/op and allocs/op columns here are the numbers to watch.
 bench:
-	$(GO) test -run 'Benchmark' -bench . -benchmem ./...
+	$(GO) test -run 'Benchmark' -bench . -benchmem -timeout $(TEST_TIMEOUT) ./...
 
 # Machine-readable baseline: records the sweep into BENCH_8.json under
 # LABEL (default "post"), replacing any previous run with the same label.
 # Compare runs with: jq '.runs[] | {label, probe: (.results[] | select(.name=="BenchmarkProbe"))}' BENCH_8.json
 LABEL ?= post
 bench-json:
-	$(GO) test -run 'Benchmark' -bench . -benchmem ./... | $(GO) run ./cmd/benchjson -label $(LABEL) -o BENCH_8.json
+	$(GO) test -run 'Benchmark' -bench . -benchmem -timeout $(TEST_TIMEOUT) ./... | $(GO) run ./cmd/benchjson -label $(LABEL) -o BENCH_8.json
 
 # The committed transcript every number in EXPERIMENTS.md was read from.
 # The campaign is fully seeded, so this is byte-reproducible; CI regenerates
@@ -64,4 +69,4 @@ experiments-output:
 # Short deterministic fuzz pass over the archive codec seeds plus a minute
 # of mutation.
 fuzz:
-	$(GO) test ./internal/archive -run xxx -fuzz FuzzReadArchive -fuzztime 30s
+	$(GO) test -timeout $(TEST_TIMEOUT) ./internal/archive -run xxx -fuzz FuzzReadArchive -fuzztime 30s

@@ -6,6 +6,7 @@
 package arest
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"net/netip"
@@ -45,7 +46,7 @@ func benchCampaign(b *testing.B) *exp.Campaign {
 			r, _ := asgen.ByID(id)
 			recs = append(recs, r)
 		}
-		benchCamp, benchErr = exp.Run(recs, cfg)
+		benchCamp, benchErr = exp.Run(context.Background(), recs, cfg)
 	})
 	if benchErr != nil {
 		b.Fatal(benchErr)
@@ -63,7 +64,7 @@ func benchExperiment(b *testing.B, id string) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if out := e.Run(c); len(out) == 0 {
+		if out := e.Run(context.Background(), c); len(out) == 0 {
 			b.Fatal("empty output")
 		}
 	}
@@ -108,7 +109,7 @@ func BenchmarkCampaignAS(b *testing.B) {
 		AliasCandidateCap: 40, MaxRouters: 20}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.RunAS(rec, cfg); err != nil {
+		if _, err := exp.RunAS(context.Background(), rec, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -139,7 +140,7 @@ func BenchmarkCampaignParallel(b *testing.B) {
 				Workers: workers,
 			}
 			for i := 0; i < b.N; i++ {
-				if _, err := exp.Run(recs, cfg); err != nil {
+				if _, err := exp.Run(context.Background(), recs, cfg); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -162,7 +163,7 @@ func BenchmarkSendContention(b *testing.B) {
 		flow := uint16(0)
 		for pb.Next() {
 			flow++
-			if _, err := tc.Trace(tgt, flow%8); err != nil {
+			if _, err := tc.Trace(context.Background(), tgt, flow%8); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -218,7 +219,7 @@ func BenchmarkProbe(b *testing.B) {
 	tc := probe.NewTracer(probe.NetsimConn{Net: n}, vp)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tr, err := tc.Trace(tgt, 0)
+		tr, err := tc.Trace(context.Background(), tgt, 0)
 		if err != nil || !tr.Reached() {
 			b.Fatalf("trace failed: %v", err)
 		}
@@ -270,7 +271,7 @@ func visibilityLabeledHops(propagate, rfc4950 bool) int {
 	n.AddHost(tgt, last.ID)
 	n.Compute()
 	tc := probe.NewTracer(probe.NetsimConn{Net: n}, vp)
-	tr, err := tc.Trace(tgt, 0)
+	tr, err := tc.Trace(context.Background(), tgt, 0)
 	if err != nil {
 		return -1
 	}
@@ -399,7 +400,7 @@ func BenchmarkMultipathDiscovery(b *testing.B) {
 	b.ResetTimer()
 	var width int
 	for i := 0; i < b.N; i++ {
-		m, err := tc.DiscoverMultipath(tgt, 64)
+		m, err := tc.DiscoverMultipath(context.Background(), tgt, 64)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -506,7 +507,7 @@ func BenchmarkSendThroughput(b *testing.B) {
 	tgt := w.Targets[0]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := tc.Trace(tgt, uint16(i%8)); err != nil {
+		if _, err := tc.Trace(context.Background(), tgt, uint16(i%8)); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -16,13 +16,19 @@
 // The optional fingerprint file maps interface addresses to vendors, one
 // "addr vendor [snmp|ttl]" per line; its entries override any archived
 // annotations.
+//
+// Shutdown: the first SIGINT/SIGTERM cancels the analysis at the next
+// batch boundary and exits with status 3; a second signal aborts
+// immediately. -deadline bounds the run the same way.
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/netip"
 	"os"
 	"strings"
@@ -31,6 +37,7 @@ import (
 	"arest/internal/core"
 	"arest/internal/eval"
 	"arest/internal/fingerprint"
+	"arest/internal/lifecycle"
 	"arest/internal/mpls"
 	"arest/internal/obs"
 	"arest/internal/par"
@@ -47,14 +54,17 @@ const analyzeBatch = 256
 // fans out across the worker pool into index slots, then reporting walks
 // the slots in input order — output is identical at every worker count and
 // independent of whether traces arrive from a stream or a materialized
-// campaign.
+// campaign. A cancelled ctx aborts at the next batch boundary through the
+// sticky err, so an interrupted analysis never reports partial batches.
 type analysis struct {
+	ctx     context.Context
 	det     *core.Detector
 	ann     *fingerprint.Annotator
 	asOf    func(netip.Addr) int
 	workers int
 	reg     *obs.Registry
 	verbose bool
+	out     io.Writer
 	enc     *json.Encoder // non-nil in -json mode
 
 	traces       int
@@ -68,11 +78,13 @@ type analysis struct {
 	err     error
 }
 
-func newAnalysis(det *core.Detector, workers int, reg *obs.Registry) *analysis {
+func newAnalysis(ctx context.Context, det *core.Detector, workers int, reg *obs.Registry, out io.Writer) *analysis {
 	return &analysis{
+		ctx:        ctx,
 		det:        det,
 		workers:    workers,
 		reg:        reg,
+		out:        out,
 		flagCounts: map[core.Flag]int{},
 		patterns:   map[core.Pattern]int{},
 		batch:      make([]*probe.Trace, 0, analyzeBatch),
@@ -90,15 +102,19 @@ func (a *analysis) add(tr *probe.Trace) {
 
 func (a *analysis) flush() {
 	n := len(a.batch)
-	if n == 0 {
+	if n == 0 || a.err != nil {
 		return
 	}
 	done := a.reg.Span("core", "stage.analyze").Start()
-	par.ForEach(a.workers, n, func(i int) {
+	err := par.ForEach(a.ctx, a.workers, n, func(i int) {
 		a.paths[i] = core.BuildPath(a.batch[i], a.ann, a.asOf)
 		a.results[i] = a.det.Analyze(a.paths[i])
 	})
 	done()
+	if err != nil {
+		a.err = err
+		return
+	}
 	for i := 0; i < n; i++ {
 		a.report(a.batch[i], a.paths[i], a.results[i])
 		a.paths[i], a.results[i] = nil, nil
@@ -126,14 +142,14 @@ func (a *analysis) report(tr *probe.Trace, p *core.Path, res *core.Result) {
 	for _, s := range res.Segments {
 		a.flagCounts[s.Flag]++
 		if a.verbose {
-			fmt.Printf("%s -> %s  %-4s stars=%d label=%d hops=%d", tr.VP, tr.Dst,
+			fmt.Fprintf(a.out, "%s -> %s  %-4s stars=%d label=%d hops=%d", tr.VP, tr.Dst,
 				s.Flag, s.Flag.Stars(), s.Label, s.Len())
 			if s.SuffixMatch {
-				fmt.Print(" (suffix)")
+				fmt.Fprint(a.out, " (suffix)")
 			}
-			fmt.Println()
+			fmt.Fprintln(a.out)
 			for k := s.Start; k <= s.End; k++ {
-				fmt.Printf("    %-15s %s\n", p.Hops[k].Addr, p.Hops[k].Stack)
+				fmt.Fprintf(a.out, "    %-15s %s\n", p.Hops[k].Addr, p.Hops[k].Stack)
 			}
 		}
 	}
@@ -196,7 +212,9 @@ func (v *campaignVisitor) Trace(rec archive.TraceRecord) error {
 		v.seal()
 	}
 	v.an.add(rec.Trace)
-	return nil
+	// A cancelled (or otherwise failed) analysis aborts the stream at the
+	// next record instead of decoding the rest of the archive.
+	return v.an.err
 }
 
 func (v *campaignVisitor) seal() {
@@ -215,33 +233,63 @@ func (v *campaignVisitor) seal() {
 }
 
 func main() {
-	in := flag.String("i", "", "input trace file (JSON lines; default stdin)")
-	fpFile := flag.String("fingerprints", "", "vendor fingerprint file (addr vendor [snmp|ttl])")
-	verbose := flag.Bool("v", false, "print every detected segment")
-	jsonOut := flag.Bool("json", false, "emit one JSON report per trace instead of tables")
-	noSuffix := flag.Bool("no-suffix", false, "disable suffix-based label matching")
-	workers := flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS, 1 = sequential)")
-	metricsOut := flag.String("metrics", "", "export analysis metrics to <file> (.json = JSON, else summary table, - = stdout)")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
-	flag.Parse()
+	sigs, stopNotify := lifecycle.Notify()
+	defer stopNotify()
+	hard := func() {
+		fmt.Fprintln(os.Stderr, "arest: second signal: aborting immediately")
+		os.Exit(lifecycle.ExitFailure)
+	}
+	os.Exit(run(os.Args[1:], sigs, hard, os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is the testable body of the command (see cmd/experiments): signals
+// come from an injected channel and the exit status is returned.
+func run(argv []string, sigs <-chan os.Signal, hard func(), stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("arest", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("i", "", "input trace file (JSON lines; default stdin)")
+	fpFile := fs.String("fingerprints", "", "vendor fingerprint file (addr vendor [snmp|ttl])")
+	verbose := fs.Bool("v", false, "print every detected segment")
+	jsonOut := fs.Bool("json", false, "emit one JSON report per trace instead of tables")
+	noSuffix := fs.Bool("no-suffix", false, "disable suffix-based label matching")
+	workers := fs.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+	deadline := fs.Duration("deadline", 0, "wall-clock budget for the analysis; on expiry it drains like a first signal and exits with status 3")
+	metricsOut := fs.String("metrics", "", "export analysis metrics to <file> (.json = JSON, else summary table, - = stdout)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	if err := fs.Parse(argv); err != nil {
+		return lifecycle.ExitFailure
+	}
+	errorf := func(format string, args ...interface{}) int {
+		fmt.Fprintf(stderr, "arest: "+format+"\n", args...)
+		return lifecycle.ExitFailure
+	}
 
 	if *pprofAddr != "" {
 		addr, err := obs.ServePprof(*pprofAddr)
 		if err != nil {
-			fatalf("pprof: %v", err)
+			return errorf("pprof: %v", err)
 		}
-		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", addr)
+		fmt.Fprintf(stderr, "pprof listening on http://%s/debug/pprof/\n", addr)
 	}
 	var reg *obs.Registry
 	if *metricsOut != "" {
 		reg = obs.New()
 	}
 
-	r := os.Stdin
+	parent := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		parent, cancel = context.WithTimeout(parent, *deadline)
+		defer cancel()
+	}
+	ctx, stopSig := lifecycle.Context(parent, sigs, hard)
+	defer stopSig()
+
+	r := stdin
 	if *in != "" {
 		f, err := os.Open(*in)
 		if err != nil {
-			fatalf("open %s: %v", *in, err)
+			return errorf("open %s: %v", *in, err)
 		}
 		defer f.Close()
 		r = f
@@ -254,16 +302,16 @@ func main() {
 		var err error
 		fsnmp, fttl, err = loadFingerprints(*fpFile)
 		if err != nil {
-			fatalf("fingerprints: %v", err)
+			return errorf("fingerprints: %v", err)
 		}
 	}
 
 	det := core.NewDetector()
 	det.SuffixMatching = !*noSuffix
-	an := newAnalysis(det, par.Workers(*workers), reg)
+	an := newAnalysis(ctx, det, par.Workers(*workers), reg, stdout)
 	an.verbose = *verbose
 	if *jsonOut {
-		an.enc = json.NewEncoder(os.Stdout)
+		an.enc = json.NewEncoder(stdout)
 	}
 
 	// Sniff the input format and drive the analysis. A v2 archive streams;
@@ -274,7 +322,7 @@ func main() {
 	if archive.Sniff(br) {
 		ar, err := archive.NewReader(br)
 		if err != nil {
-			fatalf("read traces: %v", err)
+			return errorf("read traces: %v", err)
 		}
 		if ar.Version() >= 2 {
 			v := &campaignVisitor{
@@ -285,14 +333,16 @@ func main() {
 				overTTL:  fttl,
 				borders:  map[netip.Addr]int{},
 			}
-			if err := archive.StreamRecords(ar, v); err != nil {
-				fatalf("read traces: %v", err)
+			// A stream error with an.err set is the analysis aborting the
+			// stream (cancellation or encode failure) — handled below.
+			if err := archive.StreamRecords(ar, v); err != nil && an.err == nil {
+				return errorf("read traces: %v", err)
 			}
 			meta = v.meta
 		} else {
 			data, err := archive.ReadFrom(ar)
 			if err != nil {
-				fatalf("read traces: %v", err)
+				return errorf("read traces: %v", err)
 			}
 			meta = tracestore.Meta{
 				ASN:  data.Meta.Record.ASN,
@@ -320,7 +370,7 @@ func main() {
 		var err error
 		meta, traces, err = tracestore.Read(br)
 		if err != nil {
-			fatalf("read traces: %v", err)
+			return errorf("read traces: %v", err)
 		}
 		an.ann = fingerprint.NewAnnotator(fsnmp, fttl)
 		for _, tr := range traces {
@@ -329,30 +379,34 @@ func main() {
 	}
 	an.flush()
 	if an.err != nil {
-		fatalf("encode report: %v", an.err)
+		if lifecycle.Interrupted(an.err) {
+			fmt.Fprintf(stderr, "arest: interrupted: %v (partial report suppressed; re-run to analyze)\n", an.err)
+			return lifecycle.ExitInterrupted
+		}
+		return errorf("encode report: %v", an.err)
 	}
 	if an.traces == 0 {
-		fatalf("no traces in input")
+		return errorf("no traces in input")
 	}
 
 	if reg != nil {
 		snap := reg.Snapshot()
 		if err := snap.ExportFile(*metricsOut); err != nil {
-			fatalf("metrics: %v", err)
+			return errorf("metrics: %v", err)
 		}
 		if *metricsOut != "-" {
-			fmt.Fprint(os.Stderr, snap.Summary())
+			fmt.Fprint(stderr, snap.Summary())
 		}
 	}
 
 	if *jsonOut {
-		return
+		return lifecycle.ExitOK
 	}
 
 	if meta.Name != "" {
-		fmt.Printf("campaign: %s (AS%d), %d traces\n\n", meta.Name, meta.ASN, an.traces)
+		fmt.Fprintf(stdout, "campaign: %s (AS%d), %d traces\n\n", meta.Name, meta.ASN, an.traces)
 	} else {
-		fmt.Printf("%d traces\n\n", an.traces)
+		fmt.Fprintf(stdout, "%d traces\n\n", an.traces)
 	}
 	t := eval.Table{Title: "AReST detection summary", Headers: []string{"Flag", "Stars", "Segments"}}
 	total := 0
@@ -360,8 +414,8 @@ func main() {
 		t.AddRow(f.String(), strings.Repeat("*", f.Stars()), an.flagCounts[f])
 		total += an.flagCounts[f]
 	}
-	fmt.Print(t.Render())
-	fmt.Printf("total segments: %d; traces with strong SR evidence: %d/%d\n\n",
+	fmt.Fprint(stdout, t.Render())
+	fmt.Fprintf(stdout, "total segments: %d; traces with strong SR evidence: %d/%d\n\n",
 		total, an.tracesWithSR, an.traces)
 
 	pt := eval.Table{Title: "Tunnel structure", Headers: []string{"Pattern", "Tunnels"}}
@@ -371,7 +425,8 @@ func main() {
 			pt.AddRow(string(p), an.patterns[p])
 		}
 	}
-	fmt.Print(pt.Render())
+	fmt.Fprint(stdout, pt.Render())
+	return lifecycle.ExitOK
 }
 
 // loadFingerprints parses "addr vendor [snmp|ttl]" lines.
@@ -423,9 +478,4 @@ func loadFingerprints(path string) (snmp, ttl map[netip.Addr]mpls.Vendor, err er
 		}
 	}
 	return snmp, ttl, sc.Err()
-}
-
-func fatalf(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "arest: "+format+"\n", args...)
-	os.Exit(1)
 }

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"syscall"
+	"testing"
+
+	"arest/internal/lifecycle"
+)
+
+// smallArgs keeps CLI lifecycle tests fast: two small ASes, one cheap
+// experiment.
+func smallArgs(extra ...string) []string {
+	base := []string{
+		"-as", "2,15",
+		"-vps", "3",
+		"-targets", "8",
+		"-max-routers", "22",
+		"-exp", "table5",
+	}
+	return append(base, extra...)
+}
+
+// noHard fails the test if the second-signal abort hook ever fires.
+func noHard(t *testing.T) func() {
+	return func() { t.Error("hard abort invoked without a second signal") }
+}
+
+// TestFirstSignalInterruptsThenResumes is the CLI half of the shutdown
+// acceptance test: a signal interrupts the campaign with the distinct
+// resumable status, the snapshot directory stays resumable, and re-running
+// the identical command completes to output byte-identical to a run that
+// was never interrupted.
+func TestFirstSignalInterruptsThenResumes(t *testing.T) {
+	snapDir := filepath.Join(t.TempDir(), "snap")
+	argv := smallArgs("-snapshot", snapDir)
+
+	// Interrupted run: the signal is already queued, so the campaign drains
+	// immediately after starting.
+	sigs := make(chan os.Signal, 2)
+	sigs <- syscall.SIGINT
+	var stdout, stderr bytes.Buffer
+	if code := run(argv, sigs, noHard(t), &stdout, &stderr); code != lifecycle.ExitInterrupted {
+		t.Fatalf("exit = %d, want %d (resumable interrupt)\nstderr: %s", code, lifecycle.ExitInterrupted, stderr.String())
+	}
+	if !bytes.Contains(stderr.Bytes(), []byte("re-run the same command to resume")) {
+		t.Errorf("stderr does not point at the resume path:\n%s", stderr.String())
+	}
+
+	// Resume: the same command completes cleanly.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(argv, nil, noHard(t), &stdout, &stderr); code != lifecycle.ExitOK {
+		t.Fatalf("resume exit = %d, want 0\nstderr: %s", code, stderr.String())
+	}
+
+	// Baseline: an uninterrupted run in a fresh directory renders the same
+	// report and writes bit-identical shards.
+	baseDir := filepath.Join(t.TempDir(), "base")
+	var baseOut, baseErr bytes.Buffer
+	if code := run(smallArgs("-snapshot", baseDir), nil, noHard(t), &baseOut, &baseErr); code != lifecycle.ExitOK {
+		t.Fatalf("baseline exit = %d\nstderr: %s", code, baseErr.String())
+	}
+	if stdout.String() != baseOut.String() {
+		t.Error("resumed run rendered different output than an uninterrupted run")
+	}
+	ents, err := os.ReadDir(baseDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) == 0 {
+		t.Fatal("baseline wrote no shards")
+	}
+	for _, e := range ents {
+		a, err := os.ReadFile(filepath.Join(baseDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(snapDir, e.Name()))
+		if err != nil {
+			t.Fatalf("resumed dir missing shard %s: %v", e.Name(), err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("shard %s differs between baseline and resumed runs", e.Name())
+		}
+	}
+}
+
+// TestDeadlineExitsResumable: -deadline expiry drains like a first signal
+// and exits with the resumable status.
+func TestDeadlineExitsResumable(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(smallArgs("-deadline", "1ns"), nil, noHard(t), &stdout, &stderr)
+	if code != lifecycle.ExitInterrupted {
+		t.Fatalf("exit = %d, want %d\nstderr: %s", code, lifecycle.ExitInterrupted, stderr.String())
+	}
+	if !bytes.Contains(stderr.Bytes(), []byte("interrupted")) {
+		t.Errorf("stderr does not report the interrupt:\n%s", stderr.String())
+	}
+}
+
+// TestASBudgetQuarantinesEveryAS: the deterministic budget quarantines
+// (exit 1 under the default zero failure budget), it does not interrupt.
+func TestASBudgetQuarantinesEveryAS(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(smallArgs("-as-budget", "1"), nil, noHard(t), &stdout, &stderr)
+	if code != lifecycle.ExitFailure {
+		t.Fatalf("exit = %d, want 1 (quarantine, not interrupt)\nstderr: %s", code, stderr.String())
+	}
+	if !bytes.Contains(stderr.Bytes(), []byte("plan demands")) {
+		t.Errorf("stderr does not carry the budget verdict:\n%s", stderr.String())
+	}
+}
+
+// TestBadFlagExitsFailure: flag errors are plain failures, not interrupts.
+func TestBadFlagExitsFailure(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-definitely-not-a-flag"}, nil, noHard(t), &stdout, &stderr); code != lifecycle.ExitFailure {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+}

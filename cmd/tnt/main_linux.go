@@ -8,9 +8,15 @@
 // Requires CAP_NET_RAW (or root):
 //
 //	sudo tnt -t 192.0.2.1 [-maxttl 32] [-timeout 2s] [-mda] [-reveal]
+//
+// Shutdown: the first SIGINT/SIGTERM cancels the trace within one probe
+// exchange (the receive wait is sliced, so a quiet path cannot delay it)
+// and exits with status 3; a second signal aborts immediately. -deadline
+// bounds the whole run the same way.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -20,6 +26,7 @@ import (
 
 	"arest/internal/core"
 	"arest/internal/fingerprint"
+	"arest/internal/lifecycle"
 	"arest/internal/probe"
 )
 
@@ -27,6 +34,7 @@ func main() {
 	target := flag.String("t", "", "target IPv4 address")
 	maxTTL := flag.Int("maxttl", 32, "maximum TTL")
 	timeout := flag.Duration("timeout", 2*time.Second, "per-probe timeout")
+	deadline := flag.Duration("deadline", 0, "wall-clock budget for the whole run; on expiry the trace is cancelled and the exit status is 3")
 	flow := flag.Int("flow", 0, "Paris flow identifier")
 	mda := flag.Bool("mda", false, "run MDA-style multipath discovery instead of one trace")
 	maxFlows := flag.Int("mda-flows", 32, "flow budget for -mda")
@@ -46,6 +54,20 @@ func main() {
 		fatalf("resolve local address: %v", err)
 	}
 
+	sigs, stopNotify := lifecycle.Notify()
+	defer stopNotify()
+	parent := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		parent, cancel = context.WithTimeout(parent, *deadline)
+		defer cancel()
+	}
+	ctx, stopSig := lifecycle.Context(parent, sigs, func() {
+		fmt.Fprintln(os.Stderr, "tnt: second signal: aborting immediately")
+		os.Exit(lifecycle.ExitFailure)
+	})
+	defer stopSig()
+
 	tracer, conn, err := probe.NewRawTracer(src, *timeout)
 	if err != nil {
 		fatalf("%v (raw sockets need CAP_NET_RAW)", err)
@@ -55,9 +77,9 @@ func main() {
 	tracer.Reveal = *reveal
 
 	if *mda {
-		m, err := tracer.DiscoverMultipath(dst, *maxFlows)
+		m, err := tracer.DiscoverMultipath(ctx, dst, *maxFlows)
 		if err != nil {
-			fatalf("multipath: %v", err)
+			exitErr("multipath", err)
 		}
 		fmt.Printf("multipath to %s (%d flows):\n", dst, m.Flows)
 		for ttl := 1; ttl <= len(m.Hops); ttl++ {
@@ -71,9 +93,9 @@ func main() {
 		return
 	}
 
-	tr, err := tracer.Trace(dst, uint16(*flow))
+	tr, err := tracer.Trace(ctx, dst, uint16(*flow))
 	if err != nil {
-		fatalf("trace: %v", err)
+		exitErr("trace", err)
 	}
 	fmt.Print(tr)
 	for _, tun := range probe.ClassifyTunnels(tr) {
@@ -81,7 +103,10 @@ func main() {
 			tun.Type, tun.Start+1, tun.End+1, tun.HiddenLen)
 	}
 	if *arest {
-		ttl := fingerprint.CollectTTL([]*probe.Trace{tr}, tracer, 1, nil)
+		ttl, err := fingerprint.CollectTTL(ctx, []*probe.Trace{tr}, tracer, 1, nil)
+		if err != nil {
+			exitErr("fingerprint", err)
+		}
 		ann := fingerprint.NewAnnotator(nil, ttl)
 		res := core.NewDetector().Analyze(core.BuildPath(tr, ann, nil))
 		for _, s := range res.Segments {
@@ -92,6 +117,16 @@ func main() {
 			fmt.Println("AReST: no SR-MPLS signals")
 		}
 	}
+}
+
+// exitErr reports a stage failure, distinguishing a resumable interrupt
+// (signal or -deadline, exit 3) from a real error (exit 1).
+func exitErr(stage string, err error) {
+	fmt.Fprintf(os.Stderr, "tnt: %s: %v\n", stage, err)
+	if lifecycle.Interrupted(err) {
+		os.Exit(lifecycle.ExitInterrupted)
+	}
+	os.Exit(lifecycle.ExitFailure)
 }
 
 // localAddr discovers the local source address the kernel would use to

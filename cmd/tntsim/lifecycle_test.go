@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"arest/internal/lifecycle"
+)
+
+func smallArgs(extra ...string) []string {
+	base := []string{"-as", "2", "-vps", "3", "-targets", "8"}
+	return append(base, extra...)
+}
+
+func noHard(t *testing.T) func() {
+	return func() { t.Error("hard abort invoked without a second signal") }
+}
+
+// TestSignalSuppressesArchive: an interrupted measurement writes nothing —
+// the archive is produced only from a complete measurement — and exits
+// with the resumable status.
+func TestSignalSuppressesArchive(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "as2.arest")
+	sigs := make(chan os.Signal, 2)
+	sigs <- syscall.SIGTERM
+	var stdout, stderr bytes.Buffer
+	code := run(smallArgs("-o", out), sigs, noHard(t), &stdout, &stderr)
+	if code != lifecycle.ExitInterrupted {
+		t.Fatalf("exit = %d, want %d\nstderr: %s", code, lifecycle.ExitInterrupted, stderr.String())
+	}
+	if !bytes.Contains(stderr.Bytes(), []byte("no archive written")) {
+		t.Errorf("stderr does not explain the suppressed archive:\n%s", stderr.String())
+	}
+	if _, err := os.Stat(out); !os.IsNotExist(err) {
+		t.Errorf("interrupted run left an output file (stat err = %v)", err)
+	}
+}
+
+// TestASBudgetQuarantineFails: the deterministic budget is a quarantine
+// (plain failure), not an interrupt, and also writes no archive.
+func TestASBudgetQuarantineFails(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "as2.arest")
+	var stdout, stderr bytes.Buffer
+	code := run(smallArgs("-o", out, "-as-budget", "1"), nil, noHard(t), &stdout, &stderr)
+	if code != lifecycle.ExitFailure {
+		t.Fatalf("exit = %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	if !bytes.Contains(stderr.Bytes(), []byte("plan demands")) {
+		t.Errorf("stderr does not carry the budget verdict:\n%s", stderr.String())
+	}
+	if _, err := os.Stat(out); !os.IsNotExist(err) {
+		t.Errorf("quarantined run left an output file (stat err = %v)", err)
+	}
+}
+
+// TestCleanRunWritesArchive: without interference the archive lands on
+// disk and the exit status is zero.
+func TestCleanRunWritesArchive(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "as2.arest")
+	var stdout, stderr bytes.Buffer
+	if code := run(smallArgs("-o", out), nil, noHard(t), &stdout, &stderr); code != lifecycle.ExitOK {
+		t.Fatalf("exit = %d, want 0\nstderr: %s", code, stderr.String())
+	}
+	if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
+		t.Fatalf("archive missing or empty: %v", err)
+	}
+}

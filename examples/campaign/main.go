@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -36,7 +37,7 @@ func main() {
 	cfg.MaxRouters = 30
 
 	fmt.Printf("probing %d ASes from %d vantage points each...\n\n", len(records), cfg.NumVPs)
-	campaign, err := exp.Run(records, cfg)
+	campaign, err := exp.Run(context.Background(), records, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

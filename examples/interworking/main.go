@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 
@@ -63,7 +64,7 @@ func run(mappingServer bool) {
 	n.Compute()
 
 	tracer := probe.NewTracer(probe.NetsimConn{Net: n}, vp)
-	trace, err := tracer.Trace(target, 0)
+	trace, err := tracer.Trace(context.Background(), target, 0)
 	if err != nil {
 		panic(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 
@@ -45,14 +46,17 @@ func main() {
 	// 2. Probe: Paris traceroute with TNT revelation, over real
 	//    IPv4/UDP/ICMP bytes.
 	tracer := probe.NewTracer(probe.NetsimConn{Net: n}, vp)
-	trace, err := tracer.Trace(target, 0)
+	trace, err := tracer.Trace(context.Background(), target, 0)
 	if err != nil {
 		panic(err)
 	}
 	fmt.Println(trace)
 
 	// 3. Fingerprint the hops (TTL signatures + the SNMPv3 dataset).
-	ttl := fingerprint.CollectTTL([]*probe.Trace{trace}, tracer, 1, nil)
+	ttl, err := fingerprint.CollectTTL(context.Background(), []*probe.Trace{trace}, tracer, 1, nil)
+	if err != nil {
+		panic(err)
+	}
 	ann := fingerprint.NewAnnotator(fingerprint.SNMPDataset(n), ttl)
 
 	// 4. AReST: detect SR-MPLS segments.

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 
@@ -40,7 +41,7 @@ func main() {
 
 	tracer := probe.NewTracer(probe.NetsimConn{Net: n}, vp)
 	show := func(phase string) {
-		tr, err := tracer.Trace(target, 0)
+		tr, err := tracer.Trace(context.Background(), target, 0)
 		if err != nil {
 			panic(err)
 		}

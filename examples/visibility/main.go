@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 
@@ -58,7 +59,7 @@ func run(propagate, rfc4950 bool) {
 	// First without TNT revelation: what plain (MPLS-aware) traceroute sees.
 	plain := probe.NewTracer(probe.NetsimConn{Net: n}, vp)
 	plain.Reveal = false
-	tr, err := plain.Trace(target, 0)
+	tr, err := plain.Trace(context.Background(), target, 0)
 	if err != nil {
 		panic(err)
 	}
@@ -67,7 +68,7 @@ func run(propagate, rfc4950 bool) {
 
 	// Then with TNT revelation (DPR toward trigger interfaces).
 	tnt := probe.NewTracer(probe.NetsimConn{Net: n}, vp)
-	tr2, err := tnt.Trace(target, 0)
+	tr2, err := tnt.Trace(context.Background(), target, 0)
 	if err != nil {
 		panic(err)
 	}

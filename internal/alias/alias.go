@@ -5,6 +5,7 @@
 package alias
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"sort"
@@ -18,7 +19,7 @@ import (
 // it. seq distinguishes successive samples so each probe carries a distinct
 // IP-ID; implementations must be safe for concurrent use.
 type Prober interface {
-	SampleIPID(dst netip.Addr, seq uint32) (probe.IPIDSample, bool, error)
+	SampleIPID(ctx context.Context, dst netip.Addr, seq uint32) (probe.IPIDSample, bool, error)
 }
 
 // Config tunes the resolution pipeline.
@@ -77,7 +78,11 @@ type candidate struct {
 // error in index order — alongside the partition of the probes that did
 // succeed. Callers that need a trustworthy partition must treat a non-nil
 // error as fatal for the measurement.
-func Resolve(addrs []netip.Addr, p Prober, cfg Config) ([][]netip.Addr, error) {
+//
+// Cancelling ctx aborts resolution at the next sample boundary and returns
+// (nil, cause): a cancelled run yields no partition at all, never a partial
+// one that could be mistaken for "these probes went unanswered".
+func Resolve(ctx context.Context, addrs []netip.Addr, p Prober, cfg Config) ([][]netip.Addr, error) {
 	if cfg.Rounds == 0 {
 		cfg = DefaultConfig()
 	}
@@ -89,8 +94,8 @@ func Resolve(addrs []netip.Addr, p Prober, cfg Config) ([][]netip.Addr, error) {
 	// fan-out needs no ordering.
 	ests := make([]*candidate, len(addrs))
 	estErrs := make([]error, len(addrs))
-	par.ForEach(workers, len(addrs), func(i int) {
-		s, ok, err := p.SampleIPID(addrs[i], uint32(i))
+	fanErr := par.ForEach(ctx, workers, len(addrs), func(i int) {
+		s, ok, err := p.SampleIPID(ctx, addrs[i], uint32(i))
 		if err != nil {
 			estErrs[i] = err
 			return
@@ -101,6 +106,9 @@ func Resolve(addrs []netip.Addr, p Prober, cfg Config) ([][]netip.Addr, error) {
 		ests[i] = &candidate{addr: addrs[i],
 			pathLen: int(probe.InferInitialTTL(s.ReplyTTL)) - int(s.ReplyTTL)}
 	})
+	if fanErr != nil {
+		return nil, fanErr
+	}
 	sampleErrs := uint64(0)
 	var firstErr error
 	for i, e := range estErrs {
@@ -185,12 +193,12 @@ func Resolve(addrs []netip.Addr, p Prober, cfg Config) ([][]netip.Addr, error) {
 	}
 	aliased := make([]bool, len(pairs))
 	pairErrs := make([]error, len(pairs))
-	par.ConflictOrdered(workers, len(pairs),
+	pairFanErr := par.ConflictOrdered(ctx, workers, len(pairs),
 		func(t int) []uint64 {
 			return []uint64{counterKey(cands[pairs[t].i].addr), counterKey(cands[pairs[t].j].addr)}
 		},
 		func(t int) {
-			ok, err := sharedCounter(cands[pairs[t].i].addr, cands[pairs[t].j].addr,
+			ok, err := sharedCounter(ctx, cands[pairs[t].i].addr, cands[pairs[t].j].addr,
 				p, cfg, seqBase(t))
 			if err != nil {
 				// An errored pair is neither aliased nor refuted: it is
@@ -200,6 +208,9 @@ func Resolve(addrs []netip.Addr, p Prober, cfg Config) ([][]netip.Addr, error) {
 			}
 			aliased[t] = ok
 		})
+	if pairFanErr != nil {
+		return nil, pairFanErr
+	}
 	pairErrCount := uint64(0)
 	for t, e := range pairErrs {
 		if e == nil {
@@ -260,12 +271,12 @@ func Resolve(addrs []netip.Addr, p Prober, cfg Config) ([][]netip.Addr, error) {
 // bound at some step. seqBase numbers the samples within the resolution
 // run's global sequence space. A transport error is returned as such: it
 // says nothing about whether the counters are shared.
-func sharedCounter(a, b netip.Addr, p Prober, cfg Config, seqBase uint32) (bool, error) {
+func sharedCounter(ctx context.Context, a, b netip.Addr, p Prober, cfg Config, seqBase uint32) (bool, error) {
 	var seq []uint16
 	k := seqBase
 	for r := 0; r < cfg.Rounds; r++ {
 		for _, addr := range []netip.Addr{a, b} {
-			s, ok, err := p.SampleIPID(addr, k)
+			s, ok, err := p.SampleIPID(ctx, addr, k)
 			k++
 			if err != nil {
 				return false, fmt.Errorf("sample %s: %w", addr, err)

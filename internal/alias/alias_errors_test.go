@@ -1,6 +1,7 @@
 package alias
 
 import (
+	"context"
 	"errors"
 	"net/netip"
 	"reflect"
@@ -22,11 +23,11 @@ type errProber struct {
 	afterSeq uint32
 }
 
-func (e *errProber) SampleIPID(dst netip.Addr, seq uint32) (probe.IPIDSample, bool, error) {
+func (e *errProber) SampleIPID(ctx context.Context, dst netip.Addr, seq uint32) (probe.IPIDSample, bool, error) {
 	if dst == e.bad && seq >= e.afterSeq {
 		return probe.IPIDSample{}, false, errTransport
 	}
-	return e.inner.SampleIPID(dst, seq)
+	return e.inner.SampleIPID(ctx, dst, seq)
 }
 
 // aliasCounter reads one "alias" stage counter from the registry snapshot.
@@ -47,7 +48,7 @@ func TestResolveSurfacesEstimationErrors(t *testing.T) {
 	reg := obs.New()
 	cfg := DefaultConfig()
 	cfg.Metrics = reg
-	sets, err := Resolve([]netip.Addr{a("10.0.0.1"), a("10.0.0.2"), a("10.0.0.3")},
+	sets, err := Resolve(context.Background(), []netip.Addr{a("10.0.0.1"), a("10.0.0.2"), a("10.0.0.3")},
 		&errProber{inner: f, bad: a("10.0.0.3")}, cfg)
 	if err == nil {
 		t.Fatal("Resolve swallowed the sample error")
@@ -84,7 +85,7 @@ func TestResolveExcludesErroredPairs(t *testing.T) {
 	reg := obs.New()
 	cfg := DefaultConfig()
 	cfg.Metrics = reg
-	sets, err := Resolve(addrs,
+	sets, err := Resolve(context.Background(), addrs,
 		&errProber{inner: f, bad: a("10.0.0.3"), afterSeq: uint32(len(addrs))}, cfg)
 	if err == nil {
 		t.Fatal("Resolve swallowed the pair errors")

@@ -1,6 +1,7 @@
 package alias
 
 import (
+	"context"
 	"net/netip"
 	"reflect"
 	"testing"
@@ -16,7 +17,7 @@ func a(s string) netip.Addr { return netip.MustParseAddr(s) }
 // the fault-free fixtures should produce any.
 func mustResolve(t *testing.T, addrs []netip.Addr, p Prober, cfg Config) [][]netip.Addr {
 	t.Helper()
-	sets, err := Resolve(addrs, p, cfg)
+	sets, err := Resolve(context.Background(), addrs, p, cfg)
 	if err != nil {
 		t.Fatalf("Resolve: %v", err)
 	}
@@ -116,7 +117,7 @@ type fakeProber struct {
 	ttl  map[netip.Addr]uint8
 }
 
-func (f *fakeProber) SampleIPID(dst netip.Addr, seq uint32) (probe.IPIDSample, bool, error) {
+func (f *fakeProber) SampleIPID(ctx context.Context, dst netip.Addr, seq uint32) (probe.IPIDSample, bool, error) {
 	p, ok := f.ids[dst]
 	if !ok {
 		return probe.IPIDSample{}, false, nil

@@ -1,6 +1,7 @@
 package asgen
 
 import (
+	"context"
 	"testing"
 
 	"arest/internal/mpls"
@@ -150,7 +151,7 @@ func TestBuildWorldTraceable(t *testing.T) {
 	tc := probe.NewTracer(probe.NetsimConn{Net: w.Net}, w.VPs[0])
 	reached, labeled := 0, 0
 	for _, tgt := range w.Targets[:10] {
-		tr, err := tc.Trace(tgt, 0)
+		tr, err := tc.Trace(context.Background(), tgt, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -179,11 +180,11 @@ func TestBuildWorldDeterministic(t *testing.T) {
 	w2 := Build(rec, dep, 2, 3)
 	tc1 := probe.NewTracer(probe.NetsimConn{Net: w1.Net}, w1.VPs[0])
 	tc2 := probe.NewTracer(probe.NetsimConn{Net: w2.Net}, w2.VPs[0])
-	tr1, err := tc1.Trace(w1.Targets[0], 0)
+	tr1, err := tc1.Trace(context.Background(), w1.Targets[0], 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr2, err := tc2.Trace(w2.Targets[0], 0)
+	tr2, err := tc2.Trace(context.Background(), w2.Targets[0], 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +206,7 @@ func TestBuildESnetWorldBehaviour(t *testing.T) {
 	}
 	// Nothing answers pings, so TTL fingerprinting must come up empty.
 	tc := probe.NewTracer(probe.NetsimConn{Net: w.Net}, w.VPs[0])
-	tr, err := tc.Trace(w.Targets[0], 0)
+	tr, err := tc.Trace(context.Background(), w.Targets[0], 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +215,7 @@ func TestBuildESnetWorldBehaviour(t *testing.T) {
 			continue
 		}
 		if r, ok := w.Net.RouterByAddr(h.Addr); ok && r.ASN == rec.ASN {
-			if _, ok, _ := tc.Ping(h.Addr, 5); ok {
+			if _, ok, _ := tc.Ping(context.Background(), h.Addr, 5); ok {
 				t.Errorf("ESnet hop %s answered a ping", h.Addr)
 			}
 		}
@@ -229,7 +230,7 @@ func TestClassicStackPolicyProducesDepth2(t *testing.T) {
 	tc := probe.NewTracer(probe.NetsimConn{Net: w.Net}, w.VPs[0])
 	deep := 0
 	for _, tgt := range w.Targets {
-		tr, err := tc.Trace(tgt, 0)
+		tr, err := tc.Trace(context.Background(), tgt, 0)
 		if err != nil {
 			t.Fatal(err)
 		}

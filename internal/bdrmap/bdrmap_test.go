@@ -1,6 +1,7 @@
 package bdrmap
 
 import (
+	"context"
 	"net/netip"
 	"slices"
 	"testing"
@@ -128,7 +129,7 @@ func TestAnnotateAgainstWorldOracle(t *testing.T) {
 	for _, vp := range w.VPs {
 		tc := probe.NewTracer(probe.NetsimConn{Net: w.Net}, vp)
 		for _, tgt := range w.Targets {
-			tr, err := tc.Trace(tgt, 0)
+			tr, err := tc.Trace(context.Background(), tgt, 0)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -146,7 +147,7 @@ func TestAnnotateAgainstWorldOracle(t *testing.T) {
 	}
 	slices.SortFunc(cands, netip.Addr.Compare)
 	tc := probe.NewTracer(probe.NetsimConn{Net: w.Net}, w.VPs[0])
-	sets, err := alias.Resolve(cands, tc, alias.DefaultConfig())
+	sets, err := alias.Resolve(context.Background(), cands, tc, alias.DefaultConfig())
 	if err != nil {
 		t.Fatalf("alias.Resolve: %v", err)
 	}

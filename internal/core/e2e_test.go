@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"net/netip"
 	"testing"
 
@@ -38,7 +39,7 @@ func TestEndToEndSRDetection(t *testing.T) {
 	n.Compute()
 
 	tc := probe.NewTracer(probe.NetsimConn{Net: n}, vp)
-	tr, err := tc.Trace(tgt, 0)
+	tr, err := tc.Trace(context.Background(), tgt, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,10 @@ func TestEndToEndSRDetection(t *testing.T) {
 		t.Fatalf("trace did not reach: %s", tr)
 	}
 
-	ttl := fingerprint.CollectTTL([]*probe.Trace{tr}, tc, 1, nil)
+	ttl, err := fingerprint.CollectTTL(context.Background(), []*probe.Trace{tr}, tc, 1, nil)
+	if err != nil {
+		t.Fatalf("CollectTTL: %v", err)
+	}
 	snmp := fingerprint.SNMPDataset(n)
 	ann := fingerprint.NewAnnotator(snmp, ttl)
 
@@ -118,11 +122,14 @@ func TestEndToEndESnetScenario(t *testing.T) {
 	n.Compute()
 
 	tc := probe.NewTracer(probe.NetsimConn{Net: n}, vp)
-	tr, err := tc.Trace(tgt, 0)
+	tr, err := tc.Trace(context.Background(), tgt, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ttl := fingerprint.CollectTTL([]*probe.Trace{tr}, tc, 1, nil)
+	ttl, err := fingerprint.CollectTTL(context.Background(), []*probe.Trace{tr}, tc, 1, nil)
+	if err != nil {
+		t.Fatalf("CollectTTL: %v", err)
+	}
 	if len(ttl) != 0 {
 		t.Fatalf("TTL fingerprints despite no echo replies: %v", ttl)
 	}
@@ -177,7 +184,7 @@ func TestEndToEndInterworkingDetection(t *testing.T) {
 	n.Compute()
 
 	tc := probe.NewTracer(probe.NetsimConn{Net: n}, vp)
-	tr, err := tc.Trace(tgt, 0)
+	tr, err := tc.Trace(context.Background(), tgt, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

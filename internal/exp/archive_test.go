@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -39,7 +40,7 @@ func TestArchiveRoundtripEquivalence(t *testing.T) {
 		live := &Campaign{Cfg: cfg}
 		replayed := &Campaign{Cfg: cfg}
 		for _, rec := range recs {
-			data, err := MeasureAS(rec, cfg)
+			data, err := MeasureAS(context.Background(), rec, cfg)
 			if err != nil {
 				t.Fatalf("workers=%d AS#%d: measure: %v", workers, rec.ID, err)
 			}
@@ -56,11 +57,11 @@ func TestArchiveRoundtripEquivalence(t *testing.T) {
 				t.Fatalf("workers=%d AS#%d: archive.Data did not roundtrip", workers, rec.ID)
 			}
 
-			liveRes, err := Detect(data, cfg)
+			liveRes, err := Detect(context.Background(), data, cfg)
 			if err != nil {
 				t.Fatalf("workers=%d AS#%d: detect live: %v", workers, rec.ID, err)
 			}
-			replayRes, err := Detect(decoded, cfg)
+			replayRes, err := Detect(context.Background(), decoded, cfg)
 			if err != nil {
 				t.Fatalf("workers=%d AS#%d: detect replay: %v", workers, rec.ID, err)
 			}
@@ -74,7 +75,7 @@ func TestArchiveRoundtripEquivalence(t *testing.T) {
 		// Every table and figure of the paper must render byte-identically
 		// from the replayed campaign.
 		for _, e := range All {
-			a, b := e.Run(live), e.Run(replayed)
+			a, b := e.Run(context.Background(), live), e.Run(context.Background(), replayed)
 			if a != b {
 				t.Errorf("workers=%d: experiment %s rendered differently from replayed archives", workers, e.ID)
 			}
@@ -93,7 +94,7 @@ func TestSnapshotResume(t *testing.T) {
 	cfg.Workers = 4
 
 	baseDir := filepath.Join(t.TempDir(), "base")
-	baseline, statuses, err := RunSharded(recs, cfg, baseDir)
+	baseline, statuses, err := RunSharded(context.Background(), recs, cfg, baseDir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestSnapshotResume(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	resumed, statuses, err := RunSharded(recs, cfg, resumeDir)
+	resumed, statuses, err := RunSharded(context.Background(), recs, cfg, resumeDir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestSnapshotResume(t *testing.T) {
 		}
 	}
 	for _, e := range All {
-		if a, b := e.Run(baseline), e.Run(resumed); a != b {
+		if a, b := e.Run(context.Background(), baseline), e.Run(context.Background(), resumed); a != b {
 			t.Errorf("experiment %s rendered differently after resume", e.ID)
 		}
 	}
@@ -179,7 +180,7 @@ func TestSnapshotResume(t *testing.T) {
 	}
 
 	// A second resume over the now-complete dir replays everything.
-	again, statuses, err := RunSharded(recs, cfg, resumeDir)
+	again, statuses, err := RunSharded(context.Background(), recs, cfg, resumeDir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +214,7 @@ func TestRunShardedReportsUnreadableShard(t *testing.T) {
 	if err := os.MkdirAll(ShardPath(dir, recs[0]), 0o755); err != nil {
 		t.Fatal(err)
 	}
-	c, statuses, err := RunSharded(recs, testCfg(), dir)
+	c, statuses, err := RunSharded(context.Background(), recs, testCfg(), dir)
 	if err != nil {
 		t.Fatalf("RunSharded: %v", err)
 	}

@@ -22,9 +22,11 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"sort"
+	"time"
 
 	"arest/internal/alias"
 	"arest/internal/anaximander"
@@ -91,6 +93,72 @@ type Config struct {
 	// Exchange deterministic in the probe bytes for the determinism
 	// contract to hold; probe.FaultConn does.
 	WrapConn func(rec asgen.Record, vpIndex int, conn probe.Conn) probe.Conn
+	// MaxASTraces is the deterministic per-AS deadline: the largest planned
+	// trace count an AS may demand before it is quarantined (0 = unlimited).
+	// The budget is applied to the *plan* — before a single probe is sent —
+	// and re-derived from the archived VP records on replay, so live and
+	// resumed runs reach the same verdict (DESIGN.md §14). This is the
+	// inside-the-determinism-contract half of the deadline story; wall-clock
+	// deadlines live outside it (StallTimeout, and context deadlines at the
+	// CLIs).
+	MaxASTraces int
+	// StallTimeout arms the wall-clock watchdog: an AS whose pipeline makes
+	// no progress (no trace completion, no analysis batch, no stage
+	// boundary) for this long is cancelled and quarantined with a
+	// StallError, instead of hanging the campaign (0 = no watchdog). The
+	// watchdog runs on the obs clock and sits outside the determinism
+	// contract: it never fires in a healthy run, and when it fires the AS
+	// lands in Campaign.Failed through the same containment as any other
+	// stage error.
+	StallTimeout time.Duration
+	// Watchdog, when non-nil, supervises instead of a StallTimeout-started
+	// one — the test seam: tests inject a watchdog on a fake clock and
+	// drive Scan explicitly. The caller owns its scan schedule (Run/
+	// RunSharded do not call Start on an injected watchdog).
+	Watchdog *obs.Watchdog
+
+	// progress is the supervised heartbeat of the AS currently measured
+	// under this (per-AS) config copy; nil when unsupervised. Installed by
+	// supervised(), pulsed at every trace completion, analysis batch, and
+	// stage boundary.
+	progress *obs.Heartbeat
+}
+
+// beat records supervised progress; a no-op without a watchdog.
+func (c Config) beat() { c.progress.Beat() }
+
+// supervised derives one AS's execution context: when a watchdog is active
+// the AS gets a cancellable child context whose cancellation cause is a
+// StallError, plus a config copy carrying the registered heartbeat. finish
+// must be called when the AS's pipeline returns (it retires the heartbeat
+// and releases the context).
+func (c Config) supervised(ctx context.Context, wd *obs.Watchdog, rec asgen.Record) (context.Context, Config, func()) {
+	if wd == nil {
+		return ctx, c, func() {}
+	}
+	asCtx, cancel := context.WithCancelCause(ctx)
+	hb := wd.Register(fmt.Sprintf("as.%d", rec.ID), func() {
+		cancel(&StallError{ASID: rec.ID, Quiet: c.StallTimeout})
+	})
+	c.progress = hb
+	return asCtx, c, func() {
+		hb.Done()
+		cancel(nil)
+	}
+}
+
+// startWatchdog resolves the campaign's watchdog: the injected one (caller
+// drives its scans), a ticker-driven one when StallTimeout is set, or none.
+// stop halts the ticker goroutine (a no-op for injected/absent watchdogs).
+func (c Config) startWatchdog() (wd *obs.Watchdog, stop func()) {
+	if c.Watchdog != nil {
+		return c.Watchdog, func() {}
+	}
+	if c.StallTimeout <= 0 {
+		return nil, func() {}
+	}
+	wd = obs.NewWatchdog(c.Metrics, c.StallTimeout)
+	return wd, wd.Start(0)
 }
 
 // workers resolves the configured concurrency bound.
@@ -165,17 +233,24 @@ func (r *ASResult) Traces() []*probe.Trace {
 // derived deployment: the trace sweep, fingerprint echo probing, alias
 // pair probing, and bdrmap annotation, plus the ground-truth export. The
 // returned archive.Data is everything downstream analysis ever sees.
-func MeasureAS(rec asgen.Record, cfg Config) (*archive.Data, error) {
+//
+// Cancelling ctx aborts the measurement at the next trace/TTL boundary and
+// returns the cause; an aborted measurement yields no Data at all, so
+// nothing cancellation-shaped can reach the archive.
+func MeasureAS(ctx context.Context, rec asgen.Record, cfg Config) (*archive.Data, error) {
 	dep := asgen.DeploymentFor(rec, cfg.Seed)
 	if cfg.MaxRouters > 0 && dep.Routers > cfg.MaxRouters {
 		dep.Routers = cfg.MaxRouters
 	}
-	return measureWithDeployment(rec, dep, cfg)
+	return measureWithDeployment(ctx, rec, dep, cfg)
 }
 
 // measureWithDeployment measures against an explicit deployment (used by
 // the longitudinal extension to sweep SRFrac).
-func measureWithDeployment(rec asgen.Record, dep asgen.Deployment, cfg Config) (*archive.Data, error) {
+func measureWithDeployment(ctx context.Context, rec asgen.Record, dep asgen.Deployment, cfg Config) (*archive.Data, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, context.Cause(ctx)
+	}
 	reg := cfg.Metrics
 	asDone := reg.Span("exp", fmt.Sprintf("as.%d", rec.ID)).Start()
 	defer asDone()
@@ -237,20 +312,30 @@ func measureWithDeployment(rec asgen.Record, dep asgen.Deployment, cfg Config) (
 		data.VPs[vpIdx] = vp
 		data.PerVP[vpIdx] = make([]*probe.Trace, slot)
 	}
+	// Deterministic deadline: the budget is applied to the plan, before a
+	// single probe is sent. len(jobs) equals the archived trace count, so a
+	// replay re-derives this exact verdict from the shard alone.
+	if err := cfg.ASBudgetErr(len(jobs)); err != nil {
+		return nil, err
+	}
 	jobErrs := make([]error, len(jobs))
 	reg.Counter("exp", "jobs.trace").Add(uint64(len(jobs)))
 	traceDone := reg.Span("exp", "stage.trace").Start()
-	par.ForEach(workers, len(jobs), func(i int) {
+	sweepErr := par.ForEach(ctx, workers, len(jobs), func(i int) {
 		defer busy.Start()()
 		j := jobs[i]
-		tr, err := tracers[j.vpIdx].Trace(j.tgt, j.flow)
+		tr, err := tracers[j.vpIdx].Trace(ctx, j.tgt, j.flow)
 		if err != nil {
 			jobErrs[i] = fmt.Errorf("trace %s from %s: %w", j.tgt, w.VPs[j.vpIdx], err)
 			return
 		}
 		data.PerVP[j.vpIdx][j.slot] = tr
+		cfg.beat()
 	})
 	traceDone()
+	if sweepErr != nil {
+		return nil, sweepErr
+	}
 	// Trace probe failures are fail-soft (recorded as HaltError traces, see
 	// probe.Tracer.Trace), so a surviving job error is a non-probe failure
 	// and still aborts the AS — a single errored job must not leave a nil
@@ -285,14 +370,21 @@ func measureWithDeployment(rec asgen.Record, dep asgen.Deployment, cfg Config) (
 		reg.Counter("exp", "traces.failed").Add(uint64(failedTraces))
 	}
 
+	cfg.beat()
+
 	// Fingerprinting: TTL signatures need echo probes; the SNMPv3 dataset
 	// is the (simulated) public one.
 	pinger := probe.NewTracer(conn(0), w.VPs[0])
 	pinger.Metrics = pm
+	var fpErr error
 	reg.Time("exp", "stage.fingerprint", func() {
-		data.TTL = fingerprint.CollectTTL(traces, pinger, workers, reg)
+		data.TTL, fpErr = fingerprint.CollectTTL(ctx, traces, pinger, workers, reg)
 	})
+	if fpErr != nil {
+		return nil, fpErr
+	}
 	data.SNMP = fingerprint.SNMPDataset(w.Net)
+	cfg.beat()
 
 	// Alias resolution feeds bdrmap.
 	if cfg.AliasCandidateCap > 0 {
@@ -327,8 +419,13 @@ func measureWithDeployment(rec asgen.Record, dep asgen.Deployment, cfg Config) (
 		}
 		var aliasErr error
 		reg.Time("exp", "stage.alias", func() {
-			data.Aliases, aliasErr = alias.Resolve(cands, pinger, acfg)
+			data.Aliases, aliasErr = alias.Resolve(ctx, cands, pinger, acfg)
 		})
+		if aliasErr != nil && ctx.Err() != nil {
+			// A cancelled fan-out is an abort, not an untrusted partition:
+			// surface the cause so the AS is skipped, not quarantined.
+			return nil, context.Cause(ctx)
+		}
 		if aliasErr != nil {
 			// An errored alias partition cannot be trusted (an errored
 			// probe is not a silent router), and bdrmap consumes it next —
@@ -339,6 +436,7 @@ func measureWithDeployment(rec asgen.Record, dep asgen.Deployment, cfg Config) (
 			data.Aliases = nil // canonical empty form for archive roundtrips
 		}
 	}
+	cfg.beat()
 	data.Borders = bdrmap.Annotate(traces, rib, data.Aliases)
 
 	// Ground-truth export: every interface address of an SR-enabled router
@@ -364,10 +462,10 @@ func measureWithDeployment(rec asgen.Record, dep asgen.Deployment, cfg Config) (
 // Data is replayed through the exact record sequence its v2 encoding would
 // contain, so Detect here and DetectStream over the encoded bytes are
 // deep-equal by construction.
-func Detect(data *archive.Data, cfg Config) (*ASResult, error) {
+func Detect(ctx context.Context, data *archive.Data, cfg Config) (*ASResult, error) {
 	done := cfg.Metrics.Span("exp", "stage.detect").Start()
 	defer done()
-	f := newFold(cfg, false)
+	f := newFold(ctx, cfg, false)
 	if err := foldData(f, data); err != nil {
 		return nil, err
 	}
@@ -379,16 +477,17 @@ func Detect(data *archive.Data, cfg Config) (*ASResult, error) {
 // trace-failure budget applied in between. The archive stage is a
 // pass-through here; writing the data out and replaying it through Detect
 // yields a deep-equal result (the roundtrip-equivalence test pins this).
-// Errors carry their pipeline stage (StageError).
-func RunAS(rec asgen.Record, cfg Config) (*ASResult, error) {
-	data, err := MeasureAS(rec, cfg)
+// Errors carry their pipeline stage (StageError); a cancelled ctx surfaces
+// as its cause (see IsInterrupt), never as a stage fault.
+func RunAS(ctx context.Context, rec asgen.Record, cfg Config) (*ASResult, error) {
+	data, err := MeasureAS(ctx, rec, cfg)
 	if err != nil {
 		return nil, stageErr(StageMeasure, err)
 	}
 	if err := cfg.TraceBudgetErr(data); err != nil {
 		return nil, err
 	}
-	res, err := Detect(data, cfg)
+	res, err := Detect(ctx, data, cfg)
 	if err != nil {
 		return nil, stageErr(StageDetect, err)
 	}
@@ -397,15 +496,15 @@ func RunAS(rec asgen.Record, cfg Config) (*ASResult, error) {
 
 // runASWithDeployment runs measure+detect against an explicit deployment
 // (longitudinal extension).
-func runASWithDeployment(rec asgen.Record, dep asgen.Deployment, cfg Config) (*ASResult, error) {
-	data, err := measureWithDeployment(rec, dep, cfg)
+func runASWithDeployment(ctx context.Context, rec asgen.Record, dep asgen.Deployment, cfg Config) (*ASResult, error) {
+	data, err := measureWithDeployment(ctx, rec, dep, cfg)
 	if err != nil {
 		return nil, stageErr(StageMeasure, err)
 	}
 	if err := cfg.TraceBudgetErr(data); err != nil {
 		return nil, err
 	}
-	res, err := Detect(data, cfg)
+	res, err := Detect(ctx, data, cfg)
 	if err != nil {
 		return nil, stageErr(StageDetect, err)
 	}
@@ -432,24 +531,63 @@ type Campaign struct {
 // run without the fault. The error return is reserved for campaign-level
 // failures and is nil even when ASes failed — callers apply their own
 // policy over Failed (the CLIs expose it as -max-as-failures).
-func Run(records []asgen.Record, cfg Config) (*Campaign, error) {
+//
+// Cancelling ctx interrupts the campaign: in-flight ASes abort at their
+// next trace/TTL boundary and unstarted ones never begin. Interrupted ASes
+// are skipped — not quarantined — so the returned partial Campaign holds
+// only complete results and Run reports the cancellation cause. When
+// Config arms a watchdog (StallTimeout/Watchdog), a stalled AS is
+// cancelled individually and lands in Failed with a StallError while the
+// rest of the campaign proceeds.
+func Run(ctx context.Context, records []asgen.Record, cfg Config) (*Campaign, error) {
 	kept := keptRecords(records)
 	results := make([]*ASResult, len(kept))
 	errs := make([]error, len(kept))
-	par.ForEach(cfg.workers(), len(kept), func(i int) {
-		results[i], errs[i] = RunAS(kept[i], cfg)
+	wd, stopWD := cfg.startWatchdog()
+	defer stopWD()
+	fanErr := par.ForEach(ctx, cfg.workers(), len(kept), func(i int) {
+		asCtx, asCfg, finish := cfg.supervised(ctx, wd, kept[i])
+		defer finish()
+		results[i], errs[i] = RunAS(asCtx, kept[i], asCfg)
 	})
 
 	c := &Campaign{Cfg: cfg}
+	interrupted := 0
 	for i, rec := range kept {
-		if errs[i] != nil {
+		switch {
+		case errs[i] == nil && results[i] != nil:
+			c.ASes = append(c.ASes, results[i])
+		case errs[i] == nil:
+			// Never claimed before cancellation reached the pool.
+			interrupted++
+		case IsInterrupt(errs[i]) && ctx.Err() != nil:
+			// Campaign-level interrupt: a resumed run completes this AS
+			// identically, so recording it as Failed would make the failure
+			// list depend on interrupt timing.
+			interrupted++
+		default:
 			c.Failed = append(c.Failed, ASFailure{Record: rec, Stage: FailureStage(errs[i]), Err: errs[i]})
-			continue
 		}
-		c.ASes = append(c.ASes, results[i])
 	}
 	countASFailures(cfg.Metrics, len(c.Failed))
+	if fanErr != nil || interrupted > 0 {
+		countInterrupt(cfg.Metrics, interrupted)
+		if fanErr == nil {
+			fanErr = context.Cause(ctx)
+		}
+		return c, fanErr
+	}
 	return c, nil
+}
+
+// countInterrupt records campaign-interruption accounting: exp.cancelled
+// once per interrupted run, exp.shards.interrupted for every AS that was
+// skipped and left to a resume.
+func countInterrupt(reg *obs.Registry, skipped int) {
+	reg.Counter("exp", "cancelled").Inc()
+	if skipped > 0 {
+		reg.Counter("exp", "shards.interrupted").Add(uint64(skipped))
+	}
 }
 
 // countASFailures records quarantined-AS accounting; failure counts are a

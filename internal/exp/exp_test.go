@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"net/netip"
 	"strings"
 	"sync"
@@ -48,7 +49,7 @@ func testCampaign(t *testing.T) *Campaign {
 			}
 			recs = append(recs, r)
 		}
-		camp, campErr = Run(recs, testCfg())
+		camp, campErr = Run(context.Background(), recs, testCfg())
 	})
 	if campErr != nil {
 		t.Fatal(campErr)
@@ -80,7 +81,7 @@ func TestCampaignRuns(t *testing.T) {
 
 func TestCampaignSkipsExcluded(t *testing.T) {
 	rec, _ := asgen.ByID(1) // excluded for coverage
-	c, err := Run([]asgen.Record{rec}, testCfg())
+	c, err := Run(context.Background(), []asgen.Record{rec}, testCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +267,7 @@ func TestTunnelTypeCountsConsistent(t *testing.T) {
 func TestAllExperimentsRender(t *testing.T) {
 	c := testCampaign(t)
 	for _, e := range All {
-		out := e.Run(c)
+		out := e.Run(context.Background(), c)
 		if len(out) < 20 {
 			t.Errorf("experiment %s output too short: %q", e.ID, out)
 		}
@@ -303,7 +304,7 @@ func TestFlagSharesSumToOne(t *testing.T) {
 
 func TestTable5Scaled(t *testing.T) {
 	c := testCampaign(t)
-	out := runTable5(c)
+	out := runTable5(context.Background(), c)
 	if !strings.Contains(out, "ESnet") || !strings.Contains(out, "Microsoft") {
 		t.Errorf("table 5 missing rows:\n%s", out)
 	}
@@ -314,7 +315,7 @@ func TestLongitudinalAdoption(t *testing.T) {
 	cfg := testCfg()
 	cfg.NumVPs = 2
 	cfg.MaxTargets = 8
-	stats, err := RunLongitudinal(rec, 4, cfg)
+	stats, err := RunLongitudinal(context.Background(), rec, 4, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -385,7 +386,7 @@ func TestVerdictsMatchDeployments(t *testing.T) {
 }
 
 func TestTestbedScenariosAllPass(t *testing.T) {
-	outcomes, err := RunTestbed()
+	outcomes, err := RunTestbed(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -21,7 +22,10 @@ type Experiment struct {
 	// Paper summarizes what the paper reports, for the paper-vs-measured
 	// comparison in EXPERIMENTS.md.
 	Paper string
-	Run   func(c *Campaign) string
+	// Run renders the experiment from the campaign. ctx bounds experiments
+	// that probe beyond the campaign (testbed, longitudinal); pure table
+	// renderers ignore it.
+	Run func(ctx context.Context, c *Campaign) string
 }
 
 // All lists every experiment, in paper order.
@@ -69,7 +73,7 @@ var fig1Publications = []struct {
 	{2020, 97}, {2021, 108}, {2022, 117}, {2023, 128}, {2024, 142}, {2025, 39},
 }
 
-func runFig1(*Campaign) string {
+func runFig1(context.Context, *Campaign) string {
 	t := eval.Table{Title: "Fig. 1 — SR publications per year", Headers: []string{"Year", "Publications"}}
 	for _, p := range fig1Publications {
 		t.AddRow(p.Year, p.Count)
@@ -77,7 +81,7 @@ func runFig1(*Campaign) string {
 	return t.Render()
 }
 
-func runTable1(*Campaign) string {
+func runTable1(context.Context, *Campaign) string {
 	t := eval.Table{Title: "Table 1 — Default vendor SR label ranges", Headers: []string{"Range", "Usage"}}
 	t.AddRow(mpls.CiscoSRGB.String(), "Cisco default SRGB")
 	t.AddRow(mpls.CiscoSRLB.String(), "Cisco default SRLB")
@@ -88,7 +92,7 @@ func runTable1(*Campaign) string {
 	return t.Render()
 }
 
-func runFig5(*Campaign) string {
+func runFig5(context.Context, *Campaign) string {
 	rs := survey.Respondents()
 	var b strings.Builder
 	vt := eval.Table{Title: "Fig. 5a — SR-MPLS hardware vendors (share of respondents)",
@@ -129,7 +133,7 @@ func runFig5(*Campaign) string {
 	return b.String()
 }
 
-func runFig7(c *Campaign) string {
+func runFig7(_ context.Context, c *Campaign) string {
 	var b strings.Builder
 	for _, p := range []longitudinal.Platform{longitudinal.CAIDA, longitudinal.RIPEAtlas} {
 		t := eval.Table{Title: fmt.Sprintf("Fig. 7 — MPLS stack sizes over time (%s)", p),
@@ -146,7 +150,7 @@ func runFig7(c *Campaign) string {
 	return b.String()
 }
 
-func runTable3(c *Campaign) string {
+func runTable3(_ context.Context, c *Campaign) string {
 	r, ok := c.ByID(46)
 	if !ok {
 		return "AS#46 (ESnet) not in campaign\n"
@@ -188,7 +192,7 @@ func asLabel(r *ASResult) string {
 	return fmt.Sprintf("#%d %s (%s)%s", r.Record.ID, r.Record.Name, r.Record.Category, conf)
 }
 
-func runFig8(c *Campaign) string {
+func runFig8(_ context.Context, c *Campaign) string {
 	t := eval.Table{Title: "Fig. 8 — Proportion of SR segments per AReST flag",
 		Headers: []string{"AS", "CVR", "CO", "LSVR", "LVR", "LSO", "segments"}}
 	for _, r := range c.ASes {
@@ -204,7 +208,7 @@ func runFig8(c *Campaign) string {
 	return t.Render()
 }
 
-func runFig9(c *Campaign) string {
+func runFig9(_ context.Context, c *Campaign) string {
 	t := eval.Table{Title: "Fig. 9 — LSE stack sizes: strong-SR vs MPLS/LSO contexts",
 		Headers: []string{"AS", "SR d=1", "SR d>=2", "MPLS d=1", "MPLS d>=2"}}
 	for _, r := range c.ASes {
@@ -234,7 +238,7 @@ func runFig9(c *Campaign) string {
 	return t.Render()
 }
 
-func runFig10(c *Campaign) string {
+func runFig10(_ context.Context, c *Campaign) string {
 	t := eval.Table{Title: "Fig. 10 — SR / MPLS / IP areas per AS",
 		Headers: []string{"AS", "trace%SR", "trace%MPLS", "trace%IP", "ifaces SR", "ifaces MPLS", "ifaces IP"}}
 	for _, r := range c.ASes {
@@ -246,7 +250,7 @@ func runFig10(c *Campaign) string {
 	return t.Render()
 }
 
-func runFig11(c *Campaign) string {
+func runFig11(_ context.Context, c *Campaign) string {
 	patterns := c.MergedAgg().Patterns
 	full := patterns[core.PatternFullSR]
 	inter := 0
@@ -273,7 +277,7 @@ func runFig11(c *Campaign) string {
 	return b.String()
 }
 
-func runFig12(c *Campaign) string {
+func runFig12(_ context.Context, c *Campaign) string {
 	merged := c.MergedAgg()
 	ldp, sr := expandHist(merged.CloudLDP), expandHist(merged.CloudSR)
 	stats := func(xs []int) (n int, mean float64, med int) {
@@ -296,7 +300,7 @@ func runFig12(c *Campaign) string {
 	return t.Render()
 }
 
-func runFig13(c *Campaign) string {
+func runFig13(_ context.Context, c *Campaign) string {
 	t := eval.Table{Title: "Fig. 13 — MPLS tunnel visibility classes per AS",
 		Headers: []string{"AS", "explicit", "implicit", "opaque", "invisible", "paths w/ explicit"}}
 	for _, r := range c.ASes {
@@ -317,7 +321,7 @@ func runFig13(c *Campaign) string {
 	return t.Render()
 }
 
-func runFig14(c *Campaign) string {
+func runFig14(_ context.Context, c *Campaign) string {
 	t := eval.Table{Title: "Fig. 14 — Fingerprinting source per AS",
 		Headers: []string{"AS", "SNMPv3", "TTL", "none", "coverage"}}
 	for _, r := range c.ASes {
@@ -333,7 +337,7 @@ func runFig14(c *Campaign) string {
 	return t.Render()
 }
 
-func runFig15(c *Campaign) string {
+func runFig15(_ context.Context, c *Campaign) string {
 	vendors := []mpls.Vendor{mpls.VendorCisco, mpls.VendorJuniper, mpls.VendorHuawei,
 		mpls.VendorNokia, mpls.VendorLinux}
 	headers := []string{"AS"}
@@ -352,7 +356,7 @@ func runFig15(c *Campaign) string {
 	return t.Render()
 }
 
-func runFig16(c *Campaign) string {
+func runFig16(_ context.Context, c *Campaign) string {
 	headers := []string{"AS"}
 	for _, b := range LabelBuckets {
 		headers = append(headers, b.Name)
@@ -369,7 +373,7 @@ func runFig16(c *Campaign) string {
 	return t.Render()
 }
 
-func runFig17(c *Campaign) string {
+func runFig17(_ context.Context, c *Campaign) string {
 	t := eval.Table{Title: "Fig. 17 — Unique hops discovered as VPs are added",
 		Headers: []string{"AS", "per-VP cumulative share"}}
 	for _, r := range c.ASes {
@@ -387,7 +391,7 @@ func runFig17(c *Campaign) string {
 	return t.Render()
 }
 
-func runTable5(c *Campaign) string {
+func runTable5(_ context.Context, c *Campaign) string {
 	t := eval.Table{Title: "Table 5 — Per-AS campaign statistics (scaled)",
 		Headers: []string{"AS", "ASN", "Type", "Traces sent", "IPs discovered", "Cisco", "Survey"}}
 	for _, r := range c.ASes {
@@ -443,7 +447,7 @@ func ComputeHeadline(c *Campaign) Headline {
 	return h
 }
 
-func runHeadline(c *Campaign) string {
+func runHeadline(_ context.Context, c *Campaign) string {
 	h := ComputeHeadline(c)
 	var b strings.Builder
 	fmt.Fprintf(&b, "## Sec. 6.2 — headline numbers\n")
@@ -465,7 +469,7 @@ func runHeadline(c *Campaign) string {
 
 // runSRGBInference applies the SRGB-inference extension to every AS with
 // enough sequence-flag evidence.
-func runSRGBInference(c *Campaign) string {
+func runSRGBInference(_ context.Context, c *Campaign) string {
 	t := eval.Table{Title: "Extension — inferred SRGB blocks",
 		Headers: []string{"AS", "Observed", "Inferred block", "Match", "Samples"}}
 	for _, r := range c.ASes {
@@ -483,7 +487,7 @@ func runSRGBInference(c *Campaign) string {
 }
 
 // runVerdicts renders the per-AS interpretive verdicts of Sec. 6.3.
-func runVerdicts(c *Campaign) string {
+func runVerdicts(_ context.Context, c *Campaign) string {
 	t := eval.Table{Title: "Sec. 6.3 — per-AS deployment verdicts",
 		Headers: []string{"AS", "Verdict", "Strong segs", "LSO segs"}}
 	counts := map[core.Verdict]int{}

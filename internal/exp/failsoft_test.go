@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
@@ -44,13 +45,13 @@ func failsoftRecs(t *testing.T) []asgen.Record {
 // other AS's result is identical to a fault-free run.
 func TestRunContainsFaultyAS(t *testing.T) {
 	recs := failsoftRecs(t)
-	base, err := Run(recs, testCfg())
+	base, err := Run(context.Background(), recs, testCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg := testCfg()
 	cfg.WrapConn = faultOneVP(15, 1)
-	c, err := Run(recs, cfg)
+	c, err := Run(context.Background(), recs, cfg)
 	if err != nil {
 		t.Fatalf("campaign error despite per-AS containment: %v", err)
 	}
@@ -95,7 +96,7 @@ func TestToleratedFaultShardReplaysThroughDetect(t *testing.T) {
 	cfg.WrapConn = faultOneVP(15, 1)
 	cfg.MaxTraceFailures = -1
 
-	data, err := MeasureAS(rec, cfg)
+	data, err := MeasureAS(context.Background(), rec, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,11 +130,11 @@ func TestToleratedFaultShardReplaysThroughDetect(t *testing.T) {
 	if !reflect.DeepEqual(back, data) {
 		t.Fatal("degraded shard did not roundtrip deep-equal")
 	}
-	live, err := Detect(data, cfg)
+	live, err := Detect(context.Background(), data, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	replay, err := Detect(back, cfg)
+	replay, err := Detect(context.Background(), back, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestRunShardedFaultPersistsAndResumeRederives(t *testing.T) {
 	cfg := testCfg()
 	cfg.WrapConn = faultOneVP(15, 1)
 
-	c, statuses, err := RunSharded(recs, cfg, dir)
+	c, statuses, err := RunSharded(context.Background(), recs, cfg, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestRunShardedFaultPersistsAndResumeRederives(t *testing.T) {
 
 	// Resume without the fault: the quarantine decision must come from the
 	// shard on disk, not from a re-measurement.
-	c2, st2, err := RunSharded(recs, testCfg(), dir)
+	c2, st2, err := RunSharded(context.Background(), recs, testCfg(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +201,7 @@ func TestFaultyCampaignParallelMatchesSequential(t *testing.T) {
 		cfg.WrapConn = faultOneVP(15, 1)
 		regs[workers] = obs.New()
 		cfg.Metrics = regs[workers]
-		c, err := Run(recs, cfg)
+		c, err := Run(context.Background(), recs, cfg)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}

@@ -6,8 +6,10 @@
 package exp
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"arest/internal/archive"
 	"arest/internal/asgen"
@@ -101,6 +103,58 @@ type ASFailure struct {
 
 func (f ASFailure) String() string {
 	return fmt.Sprintf("AS#%d %s: %s: %v", f.Record.ID, f.Record.Name, f.Stage, f.Err)
+}
+
+// ASBudgetError reports an AS whose measurement plan demanded more traces
+// than the deterministic deadline allows (Config.MaxASTraces). The check
+// runs before any probe is sent, so a budget-quarantined AS costs nothing
+// and leaves nothing behind.
+type ASBudgetError struct {
+	// Planned is the trace count the plan called for; Budget the limit.
+	Planned, Budget int
+}
+
+func (e *ASBudgetError) Error() string {
+	return fmt.Sprintf("plan demands %d traces, budget %d", e.Planned, e.Budget)
+}
+
+// ASBudgetErr applies the deterministic per-AS trace budget to a planned
+// trace count: nil when the plan fits MaxASTraces, a StageMeasure-attributed
+// ASBudgetError otherwise. The planned count is a pure function of the
+// catalogue record and Config, and on replay it is re-derived by summing
+// the archived per-VP trace counts — so live runs and archive replays reach
+// the same accept/quarantine verdict.
+func (c Config) ASBudgetErr(planned int) error {
+	if c.MaxASTraces <= 0 || planned <= c.MaxASTraces {
+		return nil
+	}
+	return stageErr(StageMeasure, &ASBudgetError{Planned: planned, Budget: c.MaxASTraces})
+}
+
+// StallError is the cancellation cause the wall-clock watchdog installs
+// when an AS's pipeline stops making progress (Config.StallTimeout): the
+// AS is cancelled and quarantined, the campaign carries on. Unlike a
+// campaign-level interrupt (IsInterrupt), a stall is a per-AS failure and
+// lands in Campaign.Failed.
+type StallError struct {
+	// ASID is the catalogue identifier of the stalled AS.
+	ASID int
+	// Quiet is how long the AS went without a heartbeat before the
+	// watchdog fired.
+	Quiet time.Duration
+}
+
+func (e *StallError) Error() string {
+	return fmt.Sprintf("AS#%d stalled: no progress for %v", e.ASID, e.Quiet)
+}
+
+// IsInterrupt reports whether err is a campaign-level interruption —
+// context cancellation or deadline expiry — as opposed to a per-AS fault.
+// Interrupted ASes are *skipped*, not quarantined: a resumed run completes
+// them identically, so recording them as Failed would make the failure list
+// depend on interrupt timing.
+func IsInterrupt(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // TraceBudgetErr applies the trace-failure budget to a measurement: nil

@@ -1,0 +1,462 @@
+package exp
+
+//arest:allow nowallclock the time.After calls here are test hang guards around a deliberately stalled goroutine (the stall under test blocks on real channels); campaign-visible time still flows through the injected obs clock
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"arest/internal/archive"
+	"arest/internal/asgen"
+	"arest/internal/obs"
+	"arest/internal/probe"
+)
+
+// cancelAtAS returns a WrapConn seam that cancels ctx the moment the n-th
+// distinct AS (1-based) starts building its probe connections — i.e. at
+// the boundary after n-1 complete shards. Workers must be 1 so ASes start
+// in catalogue order.
+func cancelAtAS(n int, cancel context.CancelCauseFunc) func(asgen.Record, int, probe.Conn) probe.Conn {
+	seen := map[int]bool{}
+	return func(rec asgen.Record, vp int, c probe.Conn) probe.Conn {
+		if !seen[rec.ID] {
+			seen[rec.ID] = true
+			if len(seen) == n {
+				cancel(context.Canceled)
+			}
+		}
+		return c
+	}
+}
+
+// shardFiles lists the shard filenames present under dir.
+func shardFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+// TestCancelAtEveryShardBoundary is the cancellation acceptance test: a
+// campaign interrupted at every shard boundary leaves exactly the complete
+// shards on disk — byte-identical to an uninterrupted run's — counts the
+// interruption, and a resume over the same directory completes to a
+// campaign deep-equal to the uninterrupted baseline, with equal
+// deterministic metric snapshots between full replays of both directories.
+func TestCancelAtEveryShardBoundary(t *testing.T) {
+	recs := testRecords(t, 2, 15, 40)
+	mkCfg := func() Config {
+		cfg := testCfg()
+		cfg.Workers = 1 // sequential: the interrupt boundary is deterministic
+		return cfg
+	}
+
+	baseDir := filepath.Join(t.TempDir(), "base")
+	baseline, _, err := RunSharded(context.Background(), recs, mkCfg(), baseDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for k := 0; k < len(recs); k++ {
+		k := k
+		t.Run(fmt.Sprintf("boundary-%d", k), func(t *testing.T) {
+			dir := filepath.Join(t.TempDir(), "snap")
+			ctx, cancel := context.WithCancelCause(context.Background())
+			defer cancel(nil)
+			cfg := mkCfg()
+			cfg.WrapConn = cancelAtAS(k+1, cancel)
+			reg := obs.New()
+			cfg.Metrics = reg
+
+			c, statuses, err := RunSharded(ctx, recs, cfg, dir)
+			if !IsInterrupt(err) {
+				t.Fatalf("interrupted run returned %v, want an interrupt", err)
+			}
+			for i, s := range statuses {
+				want := ShardMeasured
+				if i >= k {
+					want = ShardInterrupted
+				}
+				if s != want {
+					t.Errorf("statuses[%d] = %v, want %v", i, s, want)
+				}
+			}
+			if len(c.Failed) != 0 {
+				t.Errorf("interrupt quarantined ASes: %v", c.Failed)
+			}
+
+			// Accounting: one cancelled campaign, every incomplete AS counted.
+			snap := reg.Snapshot()
+			if got := snap.Counters["exp.cancelled"]; got != 1 {
+				t.Errorf("exp.cancelled = %d, want 1", got)
+			}
+			if got := snap.Counters["exp.shards.interrupted"]; got != uint64(len(recs)-k) {
+				t.Errorf("exp.shards.interrupted = %d, want %d", got, len(recs)-k)
+			}
+
+			// Disk invariant: exactly the k complete shards, bit-identical to
+			// the baseline's.
+			if files := shardFiles(t, dir); len(files) != k {
+				t.Fatalf("shards on disk after interrupt at boundary %d: %v", k, files)
+			}
+			for i := 0; i < k; i++ {
+				got, err := os.ReadFile(ShardPath(dir, recs[i]))
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := os.ReadFile(ShardPath(baseDir, recs[i]))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("shard for AS#%d diverged from baseline bytes", recs[i].ID)
+				}
+			}
+
+			// The partial campaign holds only complete results.
+			if len(c.ASes) != k {
+				t.Fatalf("partial campaign has %d ASes, want %d", len(c.ASes), k)
+			}
+			for i := range c.ASes {
+				if !reflect.DeepEqual(c.ASes[i], baseline.ASes[i]) {
+					t.Errorf("partial AS#%d diverged from baseline", c.ASes[i].Record.ID)
+				}
+			}
+
+			// Resume: completes the remaining ASes and reproduces the
+			// baseline exactly.
+			resumed, st2, err := RunSharded(context.Background(), recs, mkCfg(), dir)
+			if err != nil {
+				t.Fatalf("resume: %v", err)
+			}
+			for i, s := range st2 {
+				want := ShardResumed
+				if i >= k {
+					want = ShardMeasured
+				}
+				if s != want {
+					t.Errorf("resume statuses[%d] = %v, want %v", i, s, want)
+				}
+			}
+			if !reflect.DeepEqual(resumed.ASes, baseline.ASes) {
+				t.Error("resumed campaign diverged from uninterrupted baseline")
+			}
+			for _, rec := range recs {
+				got, err := os.ReadFile(ShardPath(dir, rec))
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := os.ReadFile(ShardPath(baseDir, rec))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("resumed shard for AS#%d not byte-identical to baseline", rec.ID)
+				}
+			}
+
+			// Full replays of the baseline and the resumed directory must be
+			// indistinguishable down to the deterministic metric snapshot.
+			replay := func(dir string) obs.Snapshot {
+				cfg := mkCfg()
+				r := obs.New()
+				cfg.Metrics = r
+				c, st, err := RunSharded(context.Background(), recs, cfg, dir)
+				if err != nil {
+					t.Fatalf("replay %s: %v", dir, err)
+				}
+				for i, s := range st {
+					if s != ShardResumed {
+						t.Fatalf("replay %s: statuses[%d] = %v, want resumed", dir, i, s)
+					}
+				}
+				if !reflect.DeepEqual(c.ASes, baseline.ASes) {
+					t.Errorf("replay of %s diverged from baseline", dir)
+				}
+				return r.Snapshot().Deterministic()
+			}
+			if a, b := replay(baseDir), replay(dir); !reflect.DeepEqual(a, b) {
+				t.Error("deterministic metric snapshots diverged between baseline and resumed replays")
+			}
+		})
+	}
+}
+
+// stallConn blocks every exchange until the context is cancelled — the
+// hung-measurement fault for the watchdog test. entered is closed at the
+// first blocked exchange so the test can synchronize its scan.
+type stallConn struct {
+	entered chan struct{}
+	once    *sync.Once
+}
+
+func (s stallConn) Exchange(ctx context.Context, src netip.Addr, wire []byte) ([]byte, float64, error) {
+	s.once.Do(func() { close(s.entered) })
+	<-ctx.Done()
+	return nil, 0, context.Cause(ctx)
+}
+
+// TestWatchdogStallQuarantinesAS: an AS whose measurement stops making
+// progress is cancelled by the watchdog and quarantined with a StallError,
+// while every other AS completes untouched. The watchdog is injected on a
+// fake clock and scanned explicitly, so the test takes no wall-clock time.
+func TestWatchdogStallQuarantinesAS(t *testing.T) {
+	recs := testRecords(t, 2, 15, 28)
+	const stallAfter = 30 * time.Second
+
+	var mu sync.Mutex
+	now := time.Unix(0, 0)
+	reg := obs.New()
+	reg.SetClock(func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	})
+	wd := obs.NewWatchdog(reg, stallAfter)
+
+	entered := make(chan struct{})
+	cfg := testCfg()
+	cfg.Workers = 1
+	cfg.Metrics = reg
+	cfg.StallTimeout = stallAfter
+	cfg.Watchdog = wd
+	once := &sync.Once{}
+	cfg.WrapConn = func(rec asgen.Record, vp int, c probe.Conn) probe.Conn {
+		if rec.ID != 15 {
+			return c
+		}
+		return stallConn{entered: entered, once: once}
+	}
+
+	dir := t.TempDir()
+	type runOut struct {
+		c   *Campaign
+		st  []ShardStatus
+		err error
+	}
+	done := make(chan runOut, 1)
+	go func() {
+		c, st, err := RunSharded(context.Background(), recs, cfg, dir)
+		done <- runOut{c, st, err}
+	}()
+
+	// Wait for AS#15's measurement to block, then advance the fake clock
+	// past the stall window and scan: exactly one stall must fire.
+	select {
+	case <-entered:
+	case <-time.After(30 * time.Second):
+		t.Fatal("stalled exchange never started")
+	}
+	mu.Lock()
+	now = now.Add(stallAfter + time.Second)
+	mu.Unlock()
+	if stalls := wd.Scan(); stalls != 1 {
+		t.Errorf("Scan detected %d stalls, want 1", stalls)
+	}
+
+	var out runOut
+	select {
+	case out = <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("campaign did not return after the stall was cancelled")
+	}
+	if out.err != nil {
+		t.Fatalf("stall must be contained, got campaign error %v", out.err)
+	}
+	if len(out.c.Failed) != 1 || out.c.Failed[0].Record.ID != 15 {
+		t.Fatalf("Failed = %v, want exactly the stalled AS#15", out.c.Failed)
+	}
+	var se *StallError
+	if !errors.As(out.c.Failed[0].Err, &se) {
+		t.Fatalf("err = %v, want a StallError", out.c.Failed[0].Err)
+	}
+	if se.ASID != 15 || se.Quiet != stallAfter {
+		t.Errorf("StallError = %+v, want ASID 15 quiet %v", se, stallAfter)
+	}
+	if out.st[1] != ShardFailed {
+		t.Errorf("statuses[1] = %v, want ShardFailed", out.st[1])
+	}
+	// The stalled AS left no shard behind; the healthy ASes completed.
+	if _, err := os.Stat(ShardPath(dir, recs[1])); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("stalled AS left a shard on disk (stat err %v)", err)
+	}
+	if len(out.c.ASes) != 2 {
+		t.Fatalf("healthy ASes = %d, want 2", len(out.c.ASes))
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["watchdog.stalls"]; got != 1 {
+		t.Errorf("watchdog.stalls = %d, want 1", got)
+	}
+	if got := snap.Counters["watchdog.heartbeats"]; got == 0 {
+		t.Error("watchdog.heartbeats = 0, want progress pulses from the healthy ASes")
+	}
+	// A stall is a fault, not an interrupt: nothing may count as cancelled.
+	if got := snap.Counters["exp.cancelled"]; got != 0 {
+		t.Errorf("exp.cancelled = %d, want 0 for a contained stall", got)
+	}
+
+	// The healthy ASes must match a fault-free baseline.
+	base, _, err := RunSharded(context.Background(), testRecords(t, 2, 28), testCfg(), filepath.Join(t.TempDir(), "base"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range out.c.ASes {
+		if !reflect.DeepEqual(r, base.ASes[i]) {
+			t.Errorf("AS#%d diverged under AS#15's stall", r.Record.ID)
+		}
+	}
+}
+
+// TestASBudgetLiveAndReplaySameVerdict pins the deterministic deadline: an
+// AS whose plan demands more traces than MaxASTraces is quarantined before
+// probing, and a replay of an (unbudgeted) shard under the same budget
+// re-derives the identical verdict — same error type, same counts, same
+// string — from the archived VP records alone.
+func TestASBudgetLiveAndReplaySameVerdict(t *testing.T) {
+	rec := testRecords(t, 2)[0]
+	cfg := testCfg()
+
+	data, err := MeasureAS(context.Background(), rec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planned := 0
+	for _, vp := range data.PerVP {
+		planned += len(vp)
+	}
+	if planned == 0 {
+		t.Fatal("measurement planned no traces")
+	}
+
+	tight := cfg
+	tight.MaxASTraces = planned - 1
+
+	// Live verdict: quarantined before a single probe.
+	_, liveErr := MeasureAS(context.Background(), rec, tight)
+	var abe *ASBudgetError
+	if !errors.As(liveErr, &abe) {
+		t.Fatalf("live err = %v, want an ASBudgetError", liveErr)
+	}
+	if abe.Planned != planned || abe.Budget != planned-1 {
+		t.Errorf("live ASBudgetError = %+v, want planned %d budget %d", abe, planned, planned-1)
+	}
+	if FailureStage(liveErr) != StageMeasure {
+		t.Errorf("budget verdict at stage %v, want measure", FailureStage(liveErr))
+	}
+
+	// Replay verdict: the same budget over the archived shard, re-derived
+	// from the VP records without re-measuring.
+	path := filepath.Join(t.TempDir(), "as.arest")
+	if err := archive.WriteFile(path, data); err != nil {
+		t.Fatal(err)
+	}
+	_, replayErr := DetectStreamFile(context.Background(), path, tight)
+	var rbe *ASBudgetError
+	if !errors.As(replayErr, &rbe) {
+		t.Fatalf("replay err = %v, want an ASBudgetError", replayErr)
+	}
+	if *rbe != *abe {
+		t.Errorf("replay verdict %+v diverged from live verdict %+v", rbe, abe)
+	}
+	if liveErr.Error() != replayErr.Error() {
+		t.Errorf("verdict strings diverged:\nlive:   %s\nreplay: %s", liveErr, replayErr)
+	}
+
+	// A budget that fits the plan passes both paths.
+	loose := cfg
+	loose.MaxASTraces = planned
+	if _, err := MeasureAS(context.Background(), rec, loose); err != nil {
+		t.Errorf("live run rejected under a sufficient budget: %v", err)
+	}
+	if _, err := DetectStreamFile(context.Background(), path, loose); err != nil {
+		t.Errorf("replay rejected under a sufficient budget: %v", err)
+	}
+}
+
+// TestRunShardedBudgetQuarantine: under RunSharded the budget verdict is a
+// contained per-AS failure (ShardFailed), identical on a resume.
+func TestRunShardedBudgetQuarantine(t *testing.T) {
+	recs := testRecords(t, 2, 15)
+	cfg := testCfg()
+	cfg.MaxASTraces = 1 // every plan demands more
+	dir := t.TempDir()
+
+	c, statuses, err := RunSharded(context.Background(), recs, cfg, dir)
+	if err != nil {
+		t.Fatalf("budget faults must be contained, got %v", err)
+	}
+	if len(c.ASes) != 0 || len(c.Failed) != len(recs) {
+		t.Fatalf("ASes=%d Failed=%d, want every AS quarantined", len(c.ASes), len(c.Failed))
+	}
+	for i, f := range c.Failed {
+		var abe *ASBudgetError
+		if !errors.As(f.Err, &abe) {
+			t.Errorf("failure %d: %v, want an ASBudgetError", i, f.Err)
+		}
+		if statuses[i] != ShardFailed {
+			t.Errorf("statuses[%d] = %v, want ShardFailed", i, statuses[i])
+		}
+	}
+	if files := shardFiles(t, dir); len(files) != 0 {
+		t.Errorf("budget-quarantined ASes wrote shards: %v", files)
+	}
+
+	// The verdicts replay identically over the same (empty) directory.
+	c2, _, err := RunSharded(context.Background(), recs, cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.Failed {
+		if c.Failed[i].Err.Error() != c2.Failed[i].Err.Error() {
+			t.Errorf("failure %d diverged on re-run: %v vs %v", i, c.Failed[i].Err, c2.Failed[i].Err)
+		}
+	}
+}
+
+// TestRunInterruptSkipsNotFails pins the classification rule: an interrupt
+// must never appear in Campaign.Failed — the failure list would otherwise
+// depend on when the cancel landed.
+func TestRunInterruptSkipsNotFails(t *testing.T) {
+	recs := testRecords(t, 2, 15, 40)
+	ctx, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+	cfg := testCfg()
+	cfg.Workers = 1
+	cfg.WrapConn = cancelAtAS(2, cancel)
+	reg := obs.New()
+	cfg.Metrics = reg
+
+	c, err := Run(ctx, recs, cfg)
+	if !IsInterrupt(err) {
+		t.Fatalf("err = %v, want an interrupt", err)
+	}
+	if len(c.Failed) != 0 {
+		t.Errorf("Failed = %v, want none on interrupt", c.Failed)
+	}
+	if len(c.ASes) != 1 {
+		t.Errorf("ASes = %d, want the one AS completed before the cancel", len(c.ASes))
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["exp.cancelled"]; got != 1 {
+		t.Errorf("exp.cancelled = %d, want 1", got)
+	}
+	if got := snap.Counters["exp.shards.interrupted"]; got != 2 {
+		t.Errorf("exp.shards.interrupted = %d, want 2", got)
+	}
+}

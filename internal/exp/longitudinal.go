@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -26,9 +27,12 @@ type EpochStat struct {
 // across epochs — the longitudinal adoption analysis the paper leaves as
 // future work. Epoch e deploys SR on a growing contiguous region, with a
 // mapping server once both planes coexist.
-func RunLongitudinal(rec asgen.Record, epochs int, cfg Config) ([]EpochStat, error) {
+func RunLongitudinal(ctx context.Context, rec asgen.Record, epochs int, cfg Config) ([]EpochStat, error) {
 	var out []EpochStat
 	for e := 0; e < epochs; e++ {
+		if err := ctx.Err(); err != nil {
+			return nil, context.Cause(ctx)
+		}
 		dep := asgen.DeploymentFor(rec, cfg.Seed)
 		if cfg.MaxRouters > 0 && dep.Routers > cfg.MaxRouters {
 			dep.Routers = cfg.MaxRouters
@@ -41,7 +45,7 @@ func RunLongitudinal(rec asgen.Record, epochs int, cfg Config) ([]EpochStat, err
 		dep.PropagateProb = 1
 		dep.RFC4950Prob = 1
 
-		r, err := runASWithDeployment(rec, dep, cfg)
+		r, err := runASWithDeployment(ctx, rec, dep, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("epoch %d: %w", e, err)
 		}
@@ -83,11 +87,11 @@ func LongitudinalTable(rec asgen.Record, stats []EpochStat) string {
 	return b.String()
 }
 
-func runLongitudinalExp(c *Campaign) string {
+func runLongitudinalExp(ctx context.Context, c *Campaign) string {
 	rec, _ := asgen.ByID(28) // Bell Canada: a claimed transit AS
 	cfg := c.Cfg
 	cfg.NumVPs = max(2, cfg.NumVPs/2)
-	stats, err := RunLongitudinal(rec, 5, cfg)
+	stats, err := RunLongitudinal(ctx, rec, 5, cfg)
 	if err != nil {
 		return "longitudinal run failed: " + err.Error() + "\n"
 	}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -36,7 +37,7 @@ func TestCampaignParallelMatchesSequential(t *testing.T) {
 		cfg.Workers = workers
 		regs[workers] = obs.New()
 		cfg.Metrics = regs[workers]
-		c, err := Run(recs, cfg)
+		c, err := Run(context.Background(), recs, cfg)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io/fs"
@@ -33,6 +34,11 @@ const (
 	// budget is persisted before the budget verdict, so the degraded
 	// evidence survives and a resume re-derives the same failure.
 	ShardFailed
+	// ShardInterrupted: the campaign was cancelled before this AS's shard
+	// was complete. Nothing (or only a fully-written shard from a previous
+	// run) is on disk for it; a resumed campaign picks it up as if it had
+	// never been attempted.
+	ShardInterrupted
 )
 
 func (s ShardStatus) String() string {
@@ -43,6 +49,8 @@ func (s ShardStatus) String() string {
 		return "resumed"
 	case ShardFailed:
 		return "failed"
+	case ShardInterrupted:
+		return "interrupted"
 	default:
 		return "?"
 	}
@@ -63,7 +71,15 @@ func (s ShardStatus) String() string {
 // ShardFailed and lands in Campaign.Failed, the rest of the campaign
 // completes, and the error return is reserved for campaign-level failures
 // (the snapshot directory itself).
-func RunSharded(records []asgen.Record, cfg Config, dir string) (*Campaign, []ShardStatus, error) {
+//
+// Cancelling ctx interrupts the campaign and upholds the resume invariant:
+// shards are written atomically only after a complete measurement, so a
+// cancelled run leaves exactly the complete shards on disk — bit-identical
+// to an uninterrupted run's — and nothing else. Interrupted ASes get
+// status ShardInterrupted (not Failed); a resumed RunSharded over the same
+// dir completes them and yields a Campaign deep-equal to one that was
+// never interrupted.
+func RunSharded(ctx context.Context, records []asgen.Record, cfg Config, dir string) (*Campaign, []ShardStatus, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("snapshot dir: %w", err)
 	}
@@ -71,20 +87,39 @@ func RunSharded(records []asgen.Record, cfg Config, dir string) (*Campaign, []Sh
 	results := make([]*ASResult, len(kept))
 	statuses := make([]ShardStatus, len(kept))
 	errs := make([]error, len(kept))
-	par.ForEach(cfg.workers(), len(kept), func(i int) {
-		results[i], statuses[i], errs[i] = runShard(kept[i], cfg, dir)
+	wd, stopWD := cfg.startWatchdog()
+	defer stopWD()
+	fanErr := par.ForEach(ctx, cfg.workers(), len(kept), func(i int) {
+		asCtx, asCfg, finish := cfg.supervised(ctx, wd, kept[i])
+		defer finish()
+		results[i], statuses[i], errs[i] = runShard(asCtx, kept[i], asCfg, dir)
 	})
 
 	c := &Campaign{Cfg: cfg}
+	interrupted := 0
 	for i, rec := range kept {
-		if errs[i] != nil {
+		switch {
+		case errs[i] == nil && results[i] != nil:
+			c.ASes = append(c.ASes, results[i])
+		case errs[i] == nil:
+			statuses[i] = ShardInterrupted
+			interrupted++
+		case IsInterrupt(errs[i]) && ctx.Err() != nil:
+			statuses[i] = ShardInterrupted
+			interrupted++
+		default:
 			statuses[i] = ShardFailed
 			c.Failed = append(c.Failed, ASFailure{Record: rec, Stage: FailureStage(errs[i]), Err: errs[i]})
-			continue
 		}
-		c.ASes = append(c.ASes, results[i])
 	}
 	countASFailures(cfg.Metrics, len(c.Failed))
+	if fanErr != nil || interrupted > 0 {
+		countInterrupt(cfg.Metrics, interrupted)
+		if fanErr == nil {
+			fanErr = context.Cause(ctx)
+		}
+		return c, statuses, fanErr
+	}
 	return c, statuses, nil
 }
 
@@ -92,9 +127,14 @@ func RunSharded(records []asgen.Record, cfg Config, dir string) (*Campaign, []Sh
 // their pipeline stage; the trace-failure budget is applied to the shard
 // as read from disk on both paths, so a degraded shard fails (or passes)
 // identically whether it was just measured or resumed from an earlier run.
-func runShard(rec asgen.Record, cfg Config, dir string) (*ASResult, ShardStatus, error) {
+//
+// The cancellation invariant lives here: the shard write is atomic
+// (archive.WriteFile's temp+rename) and happens only after MeasureAS
+// returned a complete measurement, so an interrupt can never leave a
+// partial shard that a resume would mistake for evidence.
+func runShard(ctx context.Context, rec asgen.Record, cfg Config, dir string) (*ASResult, ShardStatus, error) {
 	path := ShardPath(dir, rec)
-	res, err := DetectStreamFile(path, cfg)
+	res, err := DetectStreamFile(ctx, path, cfg)
 	switch {
 	case err == nil:
 		return res, ShardResumed, nil
@@ -108,7 +148,7 @@ func runShard(rec asgen.Record, cfg Config, dir string) (*ASResult, ShardStatus,
 		return nil, 0, shardErr(path, err)
 	}
 
-	data, err := MeasureAS(rec, cfg)
+	data, err := MeasureAS(ctx, rec, cfg)
 	if err != nil {
 		return nil, 0, stageErr(StageMeasure, err)
 	}
@@ -123,20 +163,23 @@ func runShard(rec asgen.Record, cfg Config, dir string) (*ASResult, ShardStatus,
 	// Analyze the written shard, not the in-memory measurement: every
 	// campaign output then provably flows through the archive codec — and
 	// through the same bounded-memory fold a resume would use.
-	res, err = DetectStreamFile(path, cfg)
+	res, err = DetectStreamFile(ctx, path, cfg)
 	if err != nil {
 		return nil, 0, shardErr(path, err)
 	}
 	return res, ShardMeasured, nil
 }
 
-// shardErr attributes a streaming-replay error: a trace-budget verdict is
-// already a StageMeasure policy decision and passes through untouched (so
-// resumed and just-measured shards fail with identical errors); anything
-// else is an archive-stage failure tagged with the shard path.
+// shardErr attributes a streaming-replay error: a budget verdict (trace
+// failures or plan size) is already a StageMeasure policy decision and
+// passes through untouched (so resumed and just-measured shards fail with
+// identical errors), and an interrupt passes through so cancellation never
+// masquerades as a damaged shard; anything else is an archive-stage
+// failure tagged with the shard path.
 func shardErr(path string, err error) error {
 	var tbe *TraceBudgetError
-	if errors.As(err, &tbe) {
+	var abe *ASBudgetError
+	if errors.As(err, &tbe) || errors.As(err, &abe) || IsInterrupt(err) {
 		return err
 	}
 	return stageErr(StageArchive, fmt.Errorf("shard %s: %w", path, err))

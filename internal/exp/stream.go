@@ -10,6 +10,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/netip"
@@ -38,9 +39,12 @@ const analyzeBatch = 256
 // AnalyzeWorkers and then accumulates the slots in stream order.
 type fold struct {
 	cfg Config
-	// applyBudget: apply the trace-failure budget when the degradation
-	// record arrives (DetectStream); the legacy Detect contract leaves the
-	// budget to its callers.
+	// ctx bounds the fold's lifetime: flush's fan-out aborts at the next
+	// trace boundary when it is cancelled, and the fold surfaces the cause.
+	ctx context.Context
+	// applyBudget: apply the trace-failure and plan budgets when their
+	// records arrive (DetectStream); the legacy Detect contract leaves the
+	// budgets to its callers.
 	applyBudget bool
 
 	res  *ASResult
@@ -48,6 +52,12 @@ type fold struct {
 	det  *core.Detector
 	busy *obs.Span
 	asn  int
+
+	// planned sums the per-VP trace counts as VP records arrive; once the
+	// VP run ends, planBudgetErr re-derives the live run's MaxASTraces
+	// verdict from it (the sum equals the live plan's job count).
+	planned     int
+	planChecked bool
 
 	// Side state accumulated before the first trace, then sealed into the
 	// result's annotator and owner annotation.
@@ -60,9 +70,10 @@ type fold struct {
 	results []*core.Result // analysis slots, indexed like batch
 }
 
-func newFold(cfg Config, applyBudget bool) *fold {
+func newFold(ctx context.Context, cfg Config, applyBudget bool) *fold {
 	return &fold{
 		cfg:         cfg,
+		ctx:         ctx,
 		applyBudget: applyBudget,
 		res:         &ASResult{SREnabled: map[netip.Addr]bool{}},
 		agg:         NewAgg(),
@@ -85,10 +96,26 @@ func (f *fold) record() { f.cfg.Metrics.Counter("exp", "stream.records").Inc() }
 // fold, so they are a container-order violation.
 func (f *fold) sideRecord(kind string) error {
 	f.record()
+	if err := f.planBudgetErr(); err != nil {
+		return err
+	}
 	if f.sealed {
 		return fmt.Errorf("%w: %s record after traces in a one-pass fold", archive.ErrCorrupt, kind)
 	}
 	return nil
+}
+
+// planBudgetErr applies the deterministic per-AS trace budget to the
+// archived plan, once, as soon as the VP run has ended (the first non-VP
+// record, or finish for a VP-only archive). The summed per-VP trace counts
+// equal the live plan's job count, so a resumed shard re-derives the exact
+// verdict a fresh measurement would reach — before any trace is decoded.
+func (f *fold) planBudgetErr() error {
+	if !f.applyBudget || f.planChecked {
+		return nil
+	}
+	f.planChecked = true
+	return f.cfg.ASBudgetErr(f.planned)
 }
 
 func (f *fold) Meta(m archive.Meta) error {
@@ -101,6 +128,7 @@ func (f *fold) Meta(m archive.Meta) error {
 
 func (f *fold) VP(rec archive.VPRecord) error {
 	f.record()
+	f.planned += rec.Traces
 	f.agg.NumVPs++
 	if f.cfg.KeepPaths {
 		f.res.PerVP = append(f.res.PerVP, VPTraces{VP: rec.Addr, Traces: []*probe.Trace{}})
@@ -155,12 +183,15 @@ func (f *fold) Degraded(rec archive.Degraded) error {
 
 func (f *fold) Trace(rec archive.TraceRecord) error {
 	f.record()
+	if err := f.planBudgetErr(); err != nil {
+		return err
+	}
 	if !f.sealed {
 		f.seal()
 	}
 	f.batch = append(f.batch, rec)
 	if len(f.batch) == analyzeBatch {
-		f.flush()
+		return f.flush()
 	}
 	return nil
 }
@@ -176,18 +207,20 @@ func (f *fold) seal() {
 // flush analyzes the pending batch concurrently, then accumulates the
 // slots in stream order. All cross-trace state mutation happens here, on
 // the fold's goroutine, so the fold is race-free by construction and its
-// aggregates are independent of the worker count.
-func (f *fold) flush() {
+// aggregates are independent of the worker count. A cancelled fold aborts
+// with the cause before accumulating anything from the interrupted batch —
+// a partial batch never reaches the aggregates.
+func (f *fold) flush() error {
 	n := len(f.batch)
 	if n == 0 {
-		return
+		return nil
 	}
 	reg := f.cfg.Metrics
 	reg.Counter("exp", "jobs.detect").Add(uint64(n))
 	reg.Counter("exp", "stream.batches").Inc()
 	reg.Gauge("exp", "stream.inflight").SetMax(uint64(n))
 	asOf := f.res.Annotation.AsFunc()
-	par.ForEach(f.cfg.analyzeWorkers(), n, func(i int) {
+	if err := par.ForEach(f.ctx, f.cfg.analyzeWorkers(), n, func(i int) {
 		defer f.busy.Start()()
 		p := core.BuildPath(f.batch[i].Trace, f.res.Annotator, asOf)
 		sub := p.RestrictToAS(f.asn)
@@ -195,7 +228,9 @@ func (f *fold) flush() {
 			return
 		}
 		f.results[i] = f.det.Analyze(sub)
-	})
+	}); err != nil {
+		return err
+	}
 	inAS := 0
 	for i := 0; i < n; i++ {
 		rec := f.batch[i]
@@ -214,11 +249,18 @@ func (f *fold) flush() {
 	}
 	reg.Counter("exp", "paths").Add(uint64(inAS))
 	f.batch = f.batch[:0]
+	f.cfg.beat() // one unit of supervised progress per analyzed batch
+	return nil
 }
 
 // finish drains the final partial batch and returns the completed result.
 func (f *fold) finish() (*ASResult, error) {
-	f.flush()
+	if err := f.planBudgetErr(); err != nil {
+		return nil, err
+	}
+	if err := f.flush(); err != nil {
+		return nil, err
+	}
 	if !f.sealed {
 		f.seal() // archive with zero traces
 	}
@@ -235,7 +277,7 @@ func (f *fold) finish() (*ASResult, error) {
 // cannot be folded one-pass; it is materialized (O(input) memory, the old
 // behavior) and folded from the Data. Either way the result is deep-equal
 // to Detect over the materialized archive.
-func DetectStream(r io.Reader, cfg Config) (*ASResult, error) {
+func DetectStream(ctx context.Context, r io.Reader, cfg Config) (*ASResult, error) {
 	ar, err := archive.NewReader(r)
 	if err != nil {
 		return nil, err
@@ -245,15 +287,18 @@ func DetectStream(r io.Reader, cfg Config) (*ASResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := cfg.ASBudgetErr(len(data.Traces())); err != nil {
+			return nil, err
+		}
 		if err := cfg.TraceBudgetErr(data); err != nil {
 			return nil, err
 		}
-		return Detect(data, cfg)
+		return Detect(ctx, data, cfg)
 	}
 	reg := cfg.Metrics
 	done := reg.Span("exp", "stage.detect").Start()
 	defer done()
-	f := newFold(cfg, true)
+	f := newFold(ctx, cfg, true)
 	if err := archive.StreamRecords(ar, f); err != nil {
 		return nil, err
 	}
@@ -261,13 +306,13 @@ func DetectStream(r io.Reader, cfg Config) (*ASResult, error) {
 }
 
 // DetectStreamFile is DetectStream over one shard on disk.
-func DetectStreamFile(path string, cfg Config) (*ASResult, error) {
+func DetectStreamFile(ctx context.Context, path string, cfg Config) (*ASResult, error) {
 	file, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer file.Close()
-	return DetectStream(file, cfg)
+	return DetectStream(ctx, file, cfg)
 }
 
 // foldData drives a fold from an in-memory archive.Data, emitting exactly

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"net/netip"
 	"path/filepath"
@@ -26,7 +27,7 @@ func measureArchived(t *testing.T, id int) (*archive.Data, []byte) {
 	if !ok {
 		t.Fatalf("record %d missing", id)
 	}
-	data, err := MeasureAS(rec, testCfg())
+	data, err := MeasureAS(context.Background(), rec, testCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,11 +52,11 @@ func TestDetectStreamMatchesDetect(t *testing.T) {
 					cfg := testCfg()
 					cfg.Workers = workers
 					cfg.KeepPaths = keep
-					legacy, err := Detect(data, cfg)
+					legacy, err := Detect(context.Background(), data, cfg)
 					if err != nil {
 						t.Fatal(err)
 					}
-					streamed, err := DetectStream(bytes.NewReader(raw), cfg)
+					streamed, err := DetectStream(context.Background(), bytes.NewReader(raw), cfg)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -80,7 +81,7 @@ func TestDetectStreamAnalyzeWorkersInvariant(t *testing.T) {
 	for _, aw := range []int{1, 3, 8} {
 		cfg := testCfg()
 		cfg.AnalyzeWorkers = aw
-		got, err := DetectStream(bytes.NewReader(raw), cfg)
+		got, err := DetectStream(context.Background(), bytes.NewReader(raw), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -104,13 +105,13 @@ func TestDetectStreamInstrumentationMatchesDetect(t *testing.T) {
 	legacyReg := obs.New()
 	cfg := testCfg()
 	cfg.Metrics = legacyReg
-	if _, err := Detect(data, cfg); err != nil {
+	if _, err := Detect(context.Background(), data, cfg); err != nil {
 		t.Fatal(err)
 	}
 
 	streamReg := obs.New()
 	cfg.Metrics = streamReg
-	if _, err := DetectStream(bytes.NewReader(raw), cfg); err != nil {
+	if _, err := DetectStream(context.Background(), bytes.NewReader(raw), cfg); err != nil {
 		t.Fatal(err)
 	}
 
@@ -140,7 +141,7 @@ func TestAggMergeMatchesSingleFold(t *testing.T) {
 	cfg := testCfg()
 	cfg.KeepPaths = false
 
-	whole, err := Detect(data, cfg)
+	whole, err := Detect(context.Background(), data, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,11 +161,11 @@ func TestAggMergeMatchesSingleFold(t *testing.T) {
 		}
 		return &d
 	}
-	resA, err := Detect(half(0), cfg)
+	resA, err := Detect(context.Background(), half(0), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resB, err := Detect(half(1), cfg)
+	resB, err := Detect(context.Background(), half(1), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,16 +200,16 @@ func TestShardReplayMatchesLegacyDetect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	legacy, err := Detect(onDisk, cfg)
+	legacy, err := Detect(context.Background(), onDisk, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	streamed, err := DetectStreamFile(path, cfg)
+	streamed, err := DetectStreamFile(context.Background(), path, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(legacy, streamed) {
-		t.Error("DetectStreamFile != Detect(archive.ReadFile(...)) over the same shard")
+		t.Error("DetectStreamFile != Detect(context.Background(), archive.ReadFile(...)) over the same shard")
 	}
 }
 
@@ -228,7 +229,7 @@ func TestRunShardedAnalyzeWorkersEquivalence(t *testing.T) {
 
 	seqCfg := testCfg()
 	seqCfg.Workers = 1
-	seq, statuses, err := RunSharded(recs, seqCfg, dir)
+	seq, statuses, err := RunSharded(context.Background(), recs, seqCfg, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +242,7 @@ func TestRunShardedAnalyzeWorkersEquivalence(t *testing.T) {
 	parCfg := testCfg()
 	parCfg.Workers = 4
 	parCfg.AnalyzeWorkers = 2
-	parl, statuses, err := RunSharded(recs, parCfg, dir)
+	parl, statuses, err := RunSharded(context.Background(), recs, parCfg, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,7 +330,7 @@ func TestDetectStreamMemoryBudget(t *testing.T) {
 	var before runtime.MemStats
 	runtime.ReadMemStats(&before)
 
-	res, err := DetectStream(bytes.NewReader(raw), cfg)
+	res, err := DetectStream(context.Background(), bytes.NewReader(raw), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -365,7 +366,7 @@ func BenchmarkDetectStream(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := DetectStream(bytes.NewReader(raw), cfg); err != nil {
+		if _, err := DetectStream(context.Background(), bytes.NewReader(raw), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -383,7 +384,7 @@ func BenchmarkDetectMaterialized(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := Detect(data, cfg); err != nil {
+		if _, err := Detect(context.Background(), data, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 
@@ -139,16 +140,19 @@ type TestbedOutcome struct {
 
 // RunTestbed executes every scenario: trace, fingerprint, analyze, and
 // compare the dominant flag against the expectation.
-func RunTestbed() ([]TestbedOutcome, error) {
+func RunTestbed(ctx context.Context) ([]TestbedOutcome, error) {
 	var out []TestbedOutcome
 	for _, sc := range TestbedScenarios() {
 		n, vp, tgt := sc.Build()
 		tc := probe.NewTracer(probe.NetsimConn{Net: n}, vp)
-		tr, err := tc.Trace(tgt, 0)
+		tr, err := tc.Trace(ctx, tgt, 0)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", sc.Name, err)
 		}
-		ttl := fingerprint.CollectTTL([]*probe.Trace{tr}, tc, 1, nil)
+		ttl, err := fingerprint.CollectTTL(ctx, []*probe.Trace{tr}, tc, 1, nil)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", sc.Name, err)
+		}
 		ann := fingerprint.NewAnnotator(fingerprint.SNMPDataset(n), ttl)
 		res := core.NewDetector().Analyze(core.BuildPath(tr, ann, nil))
 		counts := map[core.Flag]int{}
@@ -173,8 +177,8 @@ func RunTestbed() ([]TestbedOutcome, error) {
 	return out, nil
 }
 
-func runTestbed(*Campaign) string {
-	outcomes, err := RunTestbed()
+func runTestbed(ctx context.Context, _ *Campaign) string {
+	outcomes, err := RunTestbed(ctx)
 	if err != nil {
 		return "testbed failed: " + err.Error() + "\n"
 	}

@@ -10,6 +10,7 @@
 package fingerprint
 
 import (
+	"context"
 	"net/netip"
 	"sort"
 
@@ -71,7 +72,7 @@ func (s Signature) Classify() mpls.Vendor {
 
 // Pinger issues echo requests; probe.Tracer implements it.
 type Pinger interface {
-	Ping(dst netip.Addr, id uint16) (replyTTL uint8, ok bool, err error)
+	Ping(ctx context.Context, dst netip.Addr, id uint16) (replyTTL uint8, ok bool, err error)
 }
 
 // pingID derives a deterministic echo identifier from the pinged address,
@@ -91,10 +92,12 @@ func pingID(a netip.Addr) uint16 {
 // do not (e.g. the whole of ESnet in the paper's ground truth) stay
 // unclassified. Pings fan out over at most workers goroutines (0 =
 // GOMAXPROCS, 1 = sequential); each ping is independent, so the result is
-// the same at any worker count. reg (may be nil) receives "fingerprint"
-// stage accounting; every recorded count is a pure function of the trace
-// set, so the counters sit inside the determinism contract.
-func CollectTTL(traces []*probe.Trace, pinger Pinger, workers int, reg *obs.Registry) map[netip.Addr]mpls.Vendor {
+// the same at any worker count. Cancelling ctx stops the fan-out at the
+// next ping boundary and returns the cause with a nil map. reg (may be
+// nil) receives "fingerprint" stage accounting; every recorded count is a
+// pure function of the trace set, so the counters sit inside the
+// determinism contract.
+func CollectTTL(ctx context.Context, traces []*probe.Trace, pinger Pinger, workers int, reg *obs.Registry) (map[netip.Addr]mpls.Vendor, error) {
 	teInit := make(map[netip.Addr]uint8)
 	for _, tr := range traces {
 		for i := range tr.Hops {
@@ -125,9 +128,9 @@ func CollectTTL(traces []*probe.Trace, pinger Pinger, workers int, reg *obs.Regi
 	}
 	met.candidates.Add(uint64(len(addrs)))
 	vendors := make([]mpls.Vendor, len(addrs))
-	par.ForEach(par.Workers(workers), len(addrs), func(i int) {
+	err := par.ForEach(ctx, par.Workers(workers), len(addrs), func(i int) {
 		vendors[i] = mpls.VendorUnknown
-		replyTTL, ok, err := pinger.Ping(addrs[i], pingID(addrs[i]))
+		replyTTL, ok, err := pinger.Ping(ctx, addrs[i], pingID(addrs[i]))
 		if err != nil || !ok {
 			met.pingNoReply.Inc()
 			return
@@ -138,6 +141,9 @@ func CollectTTL(traces []*probe.Trace, pinger Pinger, workers int, reg *obs.Regi
 			met.ambiguousSig.Inc()
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	out := make(map[netip.Addr]mpls.Vendor)
 	for i, addr := range addrs {
 		if vendors[i] != mpls.VendorUnknown {
@@ -145,7 +151,7 @@ func CollectTTL(traces []*probe.Trace, pinger Pinger, workers int, reg *obs.Regi
 		}
 	}
 	met.classified.Add(uint64(len(out)))
-	return out
+	return out, nil
 }
 
 // SNMPDataset simulates the public SNMPv3 fingerprint dataset: interfaces

@@ -1,6 +1,7 @@
 package fingerprint
 
 import (
+	"context"
 	"net/netip"
 	"testing"
 
@@ -66,11 +67,14 @@ func TestCollectTTLClassifiesVendors(t *testing.T) {
 	_, tc, rs := mixedNet(t,
 		func(mpls.Vendor) bool { return false },
 		func(mpls.Vendor) bool { return true })
-	tr, err := tc.Trace(a("100.1.0.77"), 0)
+	tr, err := tc.Trace(context.Background(), a("100.1.0.77"), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ttl := CollectTTL([]*probe.Trace{tr}, tc, 1, nil)
+	ttl, err := CollectTTL(context.Background(), []*probe.Trace{tr}, tc, 1, nil)
+	if err != nil {
+		t.Fatalf("CollectTTL: %v", err)
+	}
 
 	ifc := func(name, nb string) netip.Addr {
 		addr, ok := rs[name].InterfaceTo(rs[nb].ID)
@@ -101,11 +105,14 @@ func TestCollectTTLRequiresEcho(t *testing.T) {
 	_, tc, _ := mixedNet(t,
 		func(mpls.Vendor) bool { return false },
 		func(mpls.Vendor) bool { return false })
-	tr, err := tc.Trace(a("100.1.0.77"), 0)
+	tr, err := tc.Trace(context.Background(), a("100.1.0.77"), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ttl := CollectTTL([]*probe.Trace{tr}, tc, 1, nil)
+	ttl, err := CollectTTL(context.Background(), []*probe.Trace{tr}, tc, 1, nil)
+	if err != nil {
+		t.Fatalf("CollectTTL: %v", err)
+	}
 	if len(ttl) != 0 {
 		t.Errorf("fingerprints without echo replies: %v", ttl)
 	}

@@ -1,0 +1,109 @@
+// Package lifecycle is the CLIs' shutdown seam: it turns OS signals into
+// context cancellation with two-phase semantics — the first SIGINT/SIGTERM
+// cancels the campaign context so workers drain and complete shards flush,
+// the second aborts immediately — and defines the distinct exit status a
+// resumable interruption reports.
+//
+// The signal source is an injected channel, never a direct signal.Notify
+// inside the campaign path, so tests drive both phases deterministically by
+// sending values on a plain channel (no real signals, no races with the
+// test harness's own handlers).
+package lifecycle
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+)
+
+// Exit statuses of the campaign CLIs. ExitInterrupted is deliberately
+// distinct from generic failure: it promises that the run was cancelled
+// cleanly (only complete shards on disk) and that re-running the same
+// command resumes and completes it.
+const (
+	ExitOK          = 0
+	ExitFailure     = 1
+	ExitInterrupted = 3
+)
+
+// SignalError is the cancellation cause installed when a shutdown signal
+// arrives. It unwraps to context.Canceled, so the pipeline's interrupt
+// classification (exp.IsInterrupt, Interrupted here) treats a signal
+// exactly like any other cancellation.
+type SignalError struct {
+	Sig os.Signal
+}
+
+func (e *SignalError) Error() string {
+	return fmt.Sprintf("received %v: draining workers, flushing complete shards", e.Sig)
+}
+
+// Unwrap makes errors.Is(err, context.Canceled) hold for signal causes.
+func (e *SignalError) Unwrap() error { return context.Canceled }
+
+// Notify subscribes a fresh channel to the shutdown signal set (SIGINT and
+// SIGTERM). The channel is buffered for both phases so a second signal is
+// never dropped while the first is being handled. stop unsubscribes.
+func Notify() (sigs chan os.Signal, stop func()) {
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	return ch, func() { signal.Stop(ch) }
+}
+
+// Context derives the two-phase shutdown context from parent. The first
+// value on sigs cancels the returned context with a SignalError — the
+// graceful phase: campaign code drains in-flight work and keeps every
+// complete shard. A second value invokes hard (the immediate phase; the
+// CLIs pass an os.Exit wrapper, tests pass a probe). stop releases the
+// watcher goroutine; call it once the run loop returns.
+func Context(parent context.Context, sigs <-chan os.Signal, hard func()) (ctx context.Context, stop func()) {
+	cctx, cancel := context.WithCancelCause(parent)
+	quit := make(chan struct{})
+	// A signal that arrived before the run started (queued during setup)
+	// cancels synchronously, so even a campaign that finishes before the
+	// watcher goroutine is scheduled observes it.
+	pending := false
+	select {
+	case s := <-sigs:
+		cancel(&SignalError{Sig: s})
+		pending = true
+	default:
+	}
+	go func() {
+		if !pending {
+			select {
+			case <-quit:
+				return
+			case <-cctx.Done():
+				return
+			case s := <-sigs:
+				cancel(&SignalError{Sig: s})
+			}
+		}
+		select {
+		case <-quit:
+		case <-sigs:
+			if hard != nil {
+				hard()
+			}
+		}
+	}()
+	var once sync.Once
+	return cctx, func() {
+		once.Do(func() {
+			close(quit)
+			cancel(context.Canceled)
+		})
+	}
+}
+
+// Interrupted reports whether err is a cancellation (signal, deadline, or
+// explicit cancel) rather than a real failure — the condition under which
+// a CLI exits with ExitInterrupted and the run is resumable.
+func Interrupted(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

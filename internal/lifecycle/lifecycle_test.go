@@ -1,0 +1,110 @@
+package lifecycle
+
+import (
+	"context"
+	"errors"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestFirstSignalCancelsWithCause: phase one — the first signal cancels the
+// context with a SignalError cause that classifies as an interrupt.
+func TestFirstSignalCancelsWithCause(t *testing.T) {
+	sigs := make(chan os.Signal, 2)
+	ctx, stop := Context(context.Background(), sigs, func() {
+		t.Error("hard abort invoked on first signal")
+	})
+	defer stop()
+
+	sigs <- syscall.SIGINT
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("context not cancelled after first signal")
+	}
+	cause := context.Cause(ctx)
+	var se *SignalError
+	if !errors.As(cause, &se) {
+		t.Fatalf("cause = %v, want *SignalError", cause)
+	}
+	if se.Sig != syscall.SIGINT {
+		t.Errorf("SignalError.Sig = %v, want SIGINT", se.Sig)
+	}
+	if !Interrupted(cause) {
+		t.Errorf("Interrupted(%v) = false, want true", cause)
+	}
+}
+
+// TestSecondSignalHardAborts: phase two — a second signal invokes the hard
+// abort hook.
+func TestSecondSignalHardAborts(t *testing.T) {
+	sigs := make(chan os.Signal, 2)
+	hard := make(chan struct{})
+	ctx, stop := Context(context.Background(), sigs, func() { close(hard) })
+	defer stop()
+
+	sigs <- syscall.SIGINT
+	<-ctx.Done()
+	sigs <- syscall.SIGTERM
+	select {
+	case <-hard:
+	case <-time.After(5 * time.Second):
+		t.Fatal("hard abort not invoked after second signal")
+	}
+}
+
+// TestStopWithoutSignal: a clean run stops the watcher; the context is
+// released without a SignalError and later signals do nothing.
+func TestStopWithoutSignal(t *testing.T) {
+	sigs := make(chan os.Signal, 2)
+	ctx, stop := Context(context.Background(), sigs, func() {
+		t.Error("hard abort invoked after stop")
+	})
+	stop()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("stop did not release the context")
+	}
+	var se *SignalError
+	if errors.As(context.Cause(ctx), &se) {
+		t.Errorf("cause = %v, want no SignalError without a signal", context.Cause(ctx))
+	}
+}
+
+// TestParentDeadlinePropagates: a parent deadline cancels the derived
+// context and classifies as an interrupt (resumable), not a failure.
+func TestParentDeadlinePropagates(t *testing.T) {
+	parent, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	sigs := make(chan os.Signal, 2)
+	ctx, stop := Context(parent, sigs, nil)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("parent deadline did not propagate")
+	}
+	if !Interrupted(context.Cause(ctx)) {
+		t.Errorf("Interrupted(%v) = false after deadline", context.Cause(ctx))
+	}
+}
+
+func TestInterrupted(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want bool
+	}{
+		{context.Canceled, true},
+		{context.DeadlineExceeded, true},
+		{&SignalError{Sig: syscall.SIGTERM}, true},
+		{errors.New("boom"), false},
+		{nil, false},
+	} {
+		if got := Interrupted(tc.err); got != tc.want {
+			t.Errorf("Interrupted(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"arest/internal/lint"
+)
+
+// ctxEntryPrefixes are the pipeline entry-point name prefixes: a function
+// in an entry package carrying one of these names is a campaign lifecycle
+// boundary, and the cancellation story (DESIGN.md §14) only holds if every
+// boundary accepts the caller's context instead of minting its own.
+var ctxEntryPrefixes = []string{"Run", "Measure", "Detect"}
+
+// CtxPlumb builds the ctxplumb analyzer: the machine check for the §14
+// lifecycle contract, in two halves.
+//
+// Entry packages (internal/exp): every exported function or method named
+// Run*/Measure*/Detect* must take a context.Context as its first
+// parameter. A boundary without one either cannot be cancelled or
+// fabricates context.Background() internally — both make the CLI's
+// two-phase shutdown a dead letter for that path.
+//
+// Pool packages (internal/par): every `for` loop spawned at the top level
+// of a go-statement function literal (the worker claim-loop shape) must
+// observe cancellation — reference the function's context, or a channel
+// derived from its Done(). A claim loop that never checks is a worker
+// that keeps claiming indices after the campaign was told to stop.
+func CtxPlumb(entry, pools []string) *lint.Analyzer {
+	entrySet := make(map[string]bool, len(entry))
+	for _, p := range entry {
+		entrySet[p] = true
+	}
+	poolSet := make(map[string]bool, len(pools))
+	for _, p := range pools {
+		poolSet[p] = true
+	}
+	return &lint.Analyzer{
+		Name: "ctxplumb",
+		Doc:  "pipeline entry points take ctx first; worker claim loops observe cancellation (DESIGN.md §14)",
+		Run: func(pass *lint.Pass) error {
+			if entrySet[pass.Pkg.Path()] {
+				checkCtxEntries(pass)
+			}
+			if poolSet[pass.Pkg.Path()] {
+				checkCtxPools(pass)
+			}
+			return nil
+		},
+	}
+}
+
+// checkCtxEntries enforces the entry-point half over one package.
+func checkCtxEntries(pass *lint.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !fd.Name.IsExported() || !hasCtxEntryPrefix(fd.Name.Name) {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			params := fn.Type().(*types.Signature).Params()
+			if params.Len() == 0 || !isContextType(params.At(0).Type()) {
+				pass.Report(fd.Name.Pos(),
+					"exported entry point %s must take context.Context as its first parameter (DESIGN.md §14: cancellable pipeline boundaries)",
+					fd.Name.Name)
+			}
+		}
+	}
+}
+
+// hasCtxEntryPrefix reports whether name is an entry-point name.
+func hasCtxEntryPrefix(name string) bool {
+	for _, p := range ctxEntryPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkCtxPools enforces the worker-loop half over one package.
+func checkCtxPools(pass *lint.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			cancel := cancelObjects(pass, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				fl, ok := gs.Call.Fun.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				for _, stmt := range fl.Body.List {
+					if !isClaimLoop(pass, stmt) {
+						continue
+					}
+					if len(cancel) == 0 || !usesAnyObject(pass, stmt, cancel) {
+						pass.Report(stmt.Pos(),
+							"worker claim loop never observes ctx cancellation: check ctx.Err() or select on a Done channel each iteration (DESIGN.md §14)")
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isClaimLoop reports whether stmt has the worker claim-loop shape: a
+// plain for statement, or a range over a channel (ranging over a slice is
+// a bounded sweep, not a claim loop).
+func isClaimLoop(pass *lint.Pass, stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.ForStmt:
+		return true
+	case *ast.RangeStmt:
+		t := pass.Info.TypeOf(s.X)
+		if t == nil {
+			return false
+		}
+		_, isChan := t.Underlying().(*types.Chan)
+		return isChan
+	}
+	return false
+}
+
+// cancelObjects collects the cancellation signals visible in fd's body:
+// every context.Context-typed variable (parameters and locals), plus every
+// variable assigned from a Done() call on one — the captured done-channel
+// idiom `done := ctx.Done()`.
+func cancelObjects(pass *lint.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	cancel := map[types.Object]bool{}
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch m := n.(type) {
+		case *ast.Ident:
+			if obj := pass.ObjectOf(m); obj != nil {
+				if v, ok := obj.(*types.Var); ok && isContextType(v.Type()) {
+					cancel[obj] = true
+				}
+			}
+		case *ast.AssignStmt:
+			if len(m.Lhs) != 1 || len(m.Rhs) != 1 {
+				return true
+			}
+			call, ok := m.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Done" {
+				return true
+			}
+			if t := pass.Info.TypeOf(sel.X); t == nil || !isContextType(t) {
+				return true
+			}
+			if id, ok := m.Lhs[0].(*ast.Ident); ok {
+				if obj := pass.ObjectOf(id); obj != nil {
+					cancel[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return cancel
+}
+
+// usesAnyObject reports whether any identifier under n resolves to one of
+// the objects in set.
+func usesAnyObject(pass *lint.Pass, n ast.Node, set map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			if obj := pass.ObjectOf(id); obj != nil && set[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -30,6 +30,9 @@
 //	              or sync/atomic values.
 //	atomicmix     §7 — a variable touched through sync/atomic is never
 //	              also accessed plainly in the same package.
+//	ctxplumb      §14 — exported Run*/Measure*/Detect* entry points in
+//	              internal/exp take context.Context first, and worker
+//	              claim loops in internal/par observe cancellation.
 package rules
 
 import "arest/internal/lint"
@@ -55,7 +58,16 @@ const ObsPackage = "arest/internal/obs"
 // ObsInstrumentTypes are the obs types whose exported methods must be
 // nil-safe (DESIGN.md §8: "methods on a nil *Registry or nil instrument
 // are no-ops").
-var ObsInstrumentTypes = []string{"Registry", "Counter", "Gauge", "Histogram", "Span"}
+var ObsInstrumentTypes = []string{"Registry", "Counter", "Gauge", "Histogram", "Span", "Watchdog", "Heartbeat"}
+
+// CtxEntryPackages are the pipeline entry-point packages (DESIGN.md §14):
+// their exported Run*/Measure*/Detect* functions are campaign lifecycle
+// boundaries and must accept the caller's context.
+var CtxEntryPackages = []string{"arest/internal/exp"}
+
+// CtxPoolPackages are the worker-pool packages whose go-spawned claim
+// loops must observe cancellation.
+var CtxPoolPackages = []string{"arest/internal/par"}
 
 // All returns the production analyzer set, configured for this module —
 // what cmd/arestlint runs.
@@ -70,5 +82,6 @@ func All() []*lint.Analyzer {
 		HotPathAlloc(),
 		NoLockCopy(),
 		AtomicMix(),
+		CtxPlumb(CtxEntryPackages, CtxPoolPackages),
 	}
 }

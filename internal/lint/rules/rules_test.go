@@ -111,6 +111,25 @@ func TestAtomicMix(t *testing.T) {
 	lint.RunWantTest(t, newLoader(t), testdata(t, "atomicmix", "a"), "arestlint.test/atomicmix/a", AtomicMix())
 }
 
+func TestCtxPlumbEntry(t *testing.T) {
+	const path = "arestlint.test/ctxplumb/entry"
+	an := CtxPlumb(append([]string{path}, CtxEntryPackages...), CtxPoolPackages)
+	lint.RunWantTest(t, newLoader(t), testdata(t, "ctxplumb", "entry"), path, an)
+}
+
+func TestCtxPlumbPool(t *testing.T) {
+	const path = "arestlint.test/ctxplumb/pool"
+	an := CtxPlumb(CtxEntryPackages, append([]string{path}, CtxPoolPackages...))
+	lint.RunWantTest(t, newLoader(t), testdata(t, "ctxplumb", "pool"), path, an)
+}
+
+func TestCtxPlumbOutside(t *testing.T) {
+	// Same analyzer config, but the loaded package is in neither set: its
+	// ctx-free entry points and blind loops stay legal.
+	an := CtxPlumb(CtxEntryPackages, CtxPoolPackages)
+	lint.RunWantTest(t, newLoader(t), testdata(t, "ctxplumb", "outside"), "arestlint.test/ctxplumb/outside", an)
+}
+
 // TestRealTreeClean is the acceptance gate in test form: the production
 // analyzer set over every package of the module must report nothing, with
 // every //arest:allow directive both well-formed and actually used.
@@ -446,6 +465,61 @@ func TestFieldInjectionCaught(t *testing.T) {
 	diags := runAllOnMutation(t, dir, "arest/internal/exp")
 	requireFinding(t, diags, "foldcomplete", "Agg.ZzHist is not folded by Merge")
 	requireFinding(t, diags, "foldcomplete", "Agg.ZzHist is never initialized on the zero/reset path")
+}
+
+// TestCtxEntryInjectionCaught injects a ctx-free exported entry point into
+// the real internal/exp package: ctxplumb must reject the boundary.
+func TestCtxEntryInjectionCaught(t *testing.T) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	copyGoFiles(t, filepath.Join(root, "internal", "exp"), dir)
+	inject := `package exp
+
+// RunZz is the mutation: an exported lifecycle boundary without a context.
+func RunZz(n int) int { return n }
+`
+	if err := os.WriteFile(filepath.Join(dir, "zz_mutation.go"), []byte(inject), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags := runAllOnMutation(t, dir, "arest/internal/exp")
+	requireFinding(t, diags, "ctxplumb", "RunZz must take context.Context")
+}
+
+// TestCtxLoopInjectionCaught injects a cancellation-blind claim loop into
+// the real internal/par package: ctxplumb must reject the worker loop.
+func TestCtxLoopInjectionCaught(t *testing.T) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	copyGoFiles(t, filepath.Join(root, "internal", "par"), dir)
+	inject := `package par
+
+import "sync"
+
+// zzDrain is the mutation: a go-spawned claim loop that never observes
+// cancellation.
+func zzDrain(ready chan int, fn func(int)) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := range ready {
+			fn(i)
+		}
+	}()
+	wg.Wait()
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "zz_mutation.go"), []byte(inject), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags := runAllOnMutation(t, dir, "arest/internal/par")
+	requireFinding(t, diags, "ctxplumb", "never observes ctx cancellation")
 }
 
 // TestHotPathInjectionCaught injects a formatting helper into the real

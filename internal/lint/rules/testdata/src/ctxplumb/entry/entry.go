@@ -1,0 +1,56 @@
+// Package entry is ctxplumb testdata: loaded under an import path the test
+// registers as an entry-point package, so its exported Run*/Measure*/
+// Detect* functions must take context.Context first.
+package entry
+
+import "context"
+
+// Campaign stands in for the pipeline's result type.
+type Campaign struct{}
+
+// Run is compliant: ctx first.
+func Run(ctx context.Context, n int) (*Campaign, error) {
+	_ = ctx
+	return &Campaign{}, nil
+}
+
+// MeasureAS is compliant with extra params after ctx.
+func MeasureAS(ctx context.Context, id int, cfg string) error {
+	_ = ctx
+	return nil
+}
+
+func RunSharded(n int) error { // want "exported entry point RunSharded must take context.Context"
+	return nil
+}
+
+func DetectStream(data []byte) error { // want "exported entry point DetectStream must take context.Context"
+	return nil
+}
+
+func MeasureLatency(cfg string, ctx context.Context) error { // want "exported entry point MeasureLatency must take context.Context"
+	_ = ctx
+	return nil
+}
+
+// RunOn is a method boundary: the same rule applies to exported methods.
+func (c *Campaign) RunOn(id int) error { // want "exported entry point RunOn must take context.Context"
+	return nil
+}
+
+// DetectInto is a compliant method.
+func (c *Campaign) DetectInto(ctx context.Context, out []byte) error {
+	_ = ctx
+	return nil
+}
+
+// runLocal is unexported: internal helpers may be ctx-free (their callers
+// already checked).
+func runLocal(n int) error {
+	return nil
+}
+
+// Resolve carries none of the entry prefixes: not a boundary.
+func Resolve(n int) error {
+	return nil
+}

@@ -1,0 +1,21 @@
+// Package outside is ctxplumb testdata loaded under an import path in
+// neither the entry nor the pool set: the analyzer must stay silent.
+package outside
+
+import "sync"
+
+// RunBatch is ctx-free but outside the entry set: legal.
+func RunBatch(n int) int { return n }
+
+// drain spawns a blind claim loop but outside the pool set: legal.
+func drain(ready chan int, fn func(int)) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := range ready {
+			fn(i)
+		}
+	}()
+	wg.Wait()
+}

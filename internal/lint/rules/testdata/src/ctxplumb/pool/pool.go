@@ -1,0 +1,83 @@
+// Package pool is ctxplumb testdata: loaded under an import path the test
+// registers as a worker-pool package, so every claim loop spawned at the
+// top level of a go-statement must observe cancellation.
+package pool
+
+import (
+	"context"
+	"sync"
+)
+
+// goodErrCheck is the ForEach shape: the claim loop polls ctx.Err().
+func goodErrCheck(ctx context.Context, n int, fn func(int)) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
+			fn(i)
+		}
+	}()
+	wg.Wait()
+}
+
+// goodDoneChannel is the ConflictOrdered shape: the loop selects on a
+// channel captured from ctx.Done() before the spawn.
+func goodDoneChannel(ctx context.Context, ready chan int, fn func(int)) {
+	done := ctx.Done()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			case i, ok := <-ready:
+				if !ok {
+					return
+				}
+				fn(i)
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// badLoop claims forever: the goroutine's loop never looks at ctx.
+func badLoop(ctx context.Context, ready chan int, fn func(int)) {
+	_ = ctx
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := range ready { // want "worker claim loop never observes ctx cancellation"
+			fn(i)
+		}
+	}()
+	wg.Wait()
+}
+
+// badNoCtx spawns a claim loop in a function with no context at all: the
+// loop cannot observe what does not exist, which is the finding.
+func badNoCtx(ready chan int, fn func(int)) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := range ready { // want "worker claim loop never observes ctx cancellation"
+			fn(i)
+		}
+	}()
+	wg.Wait()
+}
+
+// sequential has loops but spawns nothing: not a claim loop.
+func sequential(n int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}

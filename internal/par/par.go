@@ -8,9 +8,18 @@
 // scheduling. ConflictOrdered additionally serializes tasks that touch the
 // same shared state (e.g. a simulated router's IP-ID counter) in submission
 // order, which keeps even order-dependent side effects reproducible.
+//
+// Both pools are cancellable: they stop claiming new tasks once ctx is
+// done and return the cancellation cause. Cancellation never interrupts a
+// task mid-flight — a task that started runs to completion — so the set of
+// executed indices is always a clean prefix of the claimed schedule and
+// every per-index result slot is either fully written or untouched. With a
+// background (never-cancelled) context the schedule is exactly the
+// pre-cancellation behavior, so the determinism contract is unaffected.
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -27,21 +36,28 @@ func Workers(n int) int {
 // With workers <= 1 it degenerates to a plain sequential loop (no goroutines
 // spawned), so a Workers=1 run is exactly the sequential code path.
 //
+// Cancellation is checked before each index is claimed: once ctx is done no
+// new fn call starts, in-flight calls finish, and ForEach returns the
+// cancellation cause. It returns nil iff fn ran for every index.
+//
 // fn must confine its writes to per-index state (slot i of a pre-sized
 // slice); ForEach establishes a happens-before edge between every fn call
 // and ForEach's return.
-func ForEach(workers, n int, fn func(i int)) {
+func ForEach(ctx context.Context, workers, n int, fn func(i int)) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return context.Cause(ctx)
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
 	var next struct {
 		sync.Mutex
@@ -53,6 +69,9 @@ func ForEach(workers, n int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				next.Lock()
 				i := next.i
 				next.i++
@@ -65,6 +84,16 @@ func ForEach(workers, n int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+	// Claimed indices always run, so the pool completed iff the claim
+	// counter passed n. The counter only stalls short of n when every
+	// worker observed cancellation.
+	next.Lock()
+	complete := next.i >= n
+	next.Unlock()
+	if !complete {
+		return context.Cause(ctx)
+	}
+	return nil
 }
 
 // ConflictOrdered runs n tasks on at most workers goroutines under two
@@ -78,9 +107,14 @@ func ForEach(workers, n int, fn func(i int)) {
 // sequential loop when every task shares a key. Because every per-key queue
 // is ordered by task index, the task with the smallest unfinished index is
 // always runnable and the schedule cannot deadlock.
-func ConflictOrdered(workers, n int, keysOf func(i int) []uint64, run func(i int)) {
+//
+// Like ForEach, cancellation stops workers from claiming further ready
+// tasks (each worker selects on ctx.Done against the ready queue);
+// in-flight tasks finish and ConflictOrdered returns the cancellation
+// cause, or nil iff every task ran.
+func ConflictOrdered(ctx context.Context, workers, n int, keysOf func(i int) []uint64, run func(i int)) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	keys := make([][]uint64, n)
 	queues := make(map[uint64][]int)
@@ -107,13 +141,18 @@ func ConflictOrdered(workers, n int, keysOf func(i int) []uint64, run func(i int
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return context.Cause(ctx)
+			}
 			run(i)
 		}
-		return
+		return nil
 	}
 
 	var mu sync.Mutex
 	head := make(map[uint64]int, len(queues))
+	// ready is sized for every task, so enqueueReady sends never block and
+	// a worker abandoning the queue on cancellation cannot wedge another.
 	ready := make(chan int, n)
 	pending := n
 
@@ -148,30 +187,46 @@ func ConflictOrdered(workers, n int, keysOf func(i int) []uint64, run func(i int
 	}
 	mu.Unlock()
 
+	done := ctx.Done()
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for i := range ready {
-				run(i)
-				mu.Lock()
-				for _, k := range keys[i] {
-					head[k]++
-				}
-				// Completing i can only unblock the new heads of i's queues.
-				for _, k := range keys[i] {
-					if head[k] < len(queues[k]) {
-						enqueueReady(queues[k][head[k]])
+			for {
+				select {
+				case <-done:
+					return
+				case i, ok := <-ready:
+					if !ok {
+						return
 					}
+					run(i)
+					mu.Lock()
+					for _, k := range keys[i] {
+						head[k]++
+					}
+					// Completing i can only unblock the new heads of i's queues.
+					for _, k := range keys[i] {
+						if head[k] < len(queues[k]) {
+							enqueueReady(queues[k][head[k]])
+						}
+					}
+					pending--
+					if pending == 0 {
+						close(ready)
+					}
+					mu.Unlock()
 				}
-				pending--
-				if pending == 0 {
-					close(ready)
-				}
-				mu.Unlock()
 			}
 		}()
 	}
 	wg.Wait()
+	mu.Lock()
+	complete := pending == 0
+	mu.Unlock()
+	if !complete {
+		return context.Cause(ctx)
+	}
+	return nil
 }

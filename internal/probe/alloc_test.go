@@ -1,6 +1,7 @@
 package probe
 
 import (
+	"context"
 	"testing"
 
 	"arest/internal/netsim"
@@ -22,7 +23,7 @@ func TestAllocBudgetTrace(t *testing.T) {
 	tn := build(t, netsim.ModeSR, true, true)
 	tr := tn.tracer()
 	got := testing.AllocsPerRun(100, func() {
-		res, err := tr.Trace(tn.target, 0)
+		res, err := tr.Trace(context.Background(), tn.target, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -45,7 +46,7 @@ func TestAllocBudgetPingAndIPID(t *testing.T) {
 	tn := build(t, netsim.ModeIP, true, true)
 	tr := tn.tracer()
 	got := testing.AllocsPerRun(200, func() {
-		if _, ok, err := tr.Ping(tn.target, 7); err != nil || !ok {
+		if _, ok, err := tr.Ping(context.Background(), tn.target, 7); err != nil || !ok {
 			t.Fatalf("ping: ok=%v err=%v", ok, err)
 		}
 	})
@@ -53,7 +54,7 @@ func TestAllocBudgetPingAndIPID(t *testing.T) {
 		t.Errorf("Ping: %.1f allocs/op, budget 8", got)
 	}
 	got = testing.AllocsPerRun(200, func() {
-		if _, ok, err := tr.SampleIPID(tn.target, 3); err != nil || !ok {
+		if _, ok, err := tr.SampleIPID(context.Background(), tn.target, 3); err != nil || !ok {
 			t.Fatalf("ipid: ok=%v err=%v", ok, err)
 		}
 	})

@@ -1,6 +1,7 @@
 package probe
 
 import (
+	"context"
 	"testing"
 
 	"arest/internal/netsim"
@@ -22,7 +23,7 @@ func BenchmarkTraceRoundTrip(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := tr.Trace(tn.target, uint16(i%4))
+				res, err := tr.Trace(context.Background(), tn.target, uint16(i%4))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -43,7 +44,7 @@ func BenchmarkProbeOnceRoundTrip(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		hop, err := tr.probeOnce(s, tn.target, 4, 33434, 0)
+		hop, err := tr.probeOnce(context.Background(), s, tn.target, 4, 33434, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,83 @@
+package probe
+
+import (
+	"context"
+	"errors"
+	"net/netip"
+	"testing"
+)
+
+// cancelConn cancels the trace's own context after n exchanges, then keeps
+// answering silence — the shape of a signal landing mid-sweep.
+type cancelConn struct {
+	cancel context.CancelCauseFunc
+	cause  error
+	left   int
+	calls  int
+}
+
+func (c *cancelConn) Exchange(ctx context.Context, src netip.Addr, wire []byte) ([]byte, float64, error) {
+	c.calls++
+	c.left--
+	if c.left == 0 {
+		c.cancel(c.cause)
+	}
+	return nil, 0, nil
+}
+
+// TestTraceCancelledMidSweep: a cancel landing between TTLs aborts the
+// trace with the cancellation cause — no *Trace is returned, so nothing
+// cancellation-shaped can become archive content (no HaltError halt).
+func TestTraceCancelledMidSweep(t *testing.T) {
+	ctx, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+	conn := &cancelConn{cancel: cancel, cause: context.Canceled, left: 3}
+	tr := NewTracer(conn, a("172.16.0.10"))
+	tr.Retries = 0
+
+	res, err := tr.Trace(ctx, a("100.1.0.20"), 0)
+	if res != nil {
+		t.Fatalf("cancelled trace returned content: halt=%v hops=%d", res.Halt, len(res.Hops))
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The sweep stopped at the next TTL boundary: MaxTTL probes were never
+	// sent.
+	if conn.calls >= tr.MaxTTL {
+		t.Errorf("sweep kept probing after cancel: %d exchanges", conn.calls)
+	}
+}
+
+// TestTraceCancelledBeforeStart: an already-cancelled context aborts before
+// the first probe, and the cause (not plain context.Canceled) is returned.
+func TestTraceCancelledBeforeStart(t *testing.T) {
+	cause := errors.New("deadline budget spent")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+	conn := &cancelConn{cancel: func(error) {}, left: -1}
+	tr := NewTracer(conn, a("172.16.0.10"))
+
+	res, err := tr.Trace(ctx, a("100.1.0.20"), 0)
+	if res != nil || !errors.Is(err, cause) {
+		t.Fatalf("Trace = (%v, %v), want (nil, %v)", res, err, cause)
+	}
+	if conn.calls != 0 {
+		t.Errorf("%d probes sent under a pre-cancelled context, want 0", conn.calls)
+	}
+}
+
+// TestPingCancelled: the fingerprint echo path honors cancellation the
+// same way.
+func TestPingCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(context.Canceled)
+	conn := &cancelConn{cancel: func(error) {}, left: -1}
+	tr := NewTracer(conn, a("172.16.0.10"))
+	if _, _, err := tr.Ping(ctx, a("100.1.0.20"), 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Ping err = %v, want context.Canceled", err)
+	}
+	if conn.calls != 0 {
+		t.Errorf("%d probes sent under a pre-cancelled context, want 0", conn.calls)
+	}
+}

@@ -1,6 +1,7 @@
 package probe
 
 import (
+	"context"
 	"errors"
 	"net/netip"
 	"strings"
@@ -25,7 +26,7 @@ func TestTracePersistentFaultHaltsWithError(t *testing.T) {
 	tc := NewTracer(FaultConn{Conn: NetsimConn{Net: tn.net}}, tn.vp)
 	count := metricsFor(tc)
 
-	tr, err := tc.Trace(tn.target, 0)
+	tr, err := tc.Trace(context.Background(), tn.target, 0)
 	if err != nil {
 		t.Fatalf("Trace returned an error despite fail-soft contract: %v", err)
 	}
@@ -65,7 +66,7 @@ func TestTraceFaultKeepsMeasuredHops(t *testing.T) {
 	tc := NewTracer(fc, tn.vp)
 	count := metricsFor(tc)
 
-	tr, err := tc.Trace(tn.target, 0)
+	tr, err := tc.Trace(context.Background(), tn.target, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,13 +93,13 @@ type flakyConn struct {
 	seen map[uint8]int
 }
 
-func (c *flakyConn) Exchange(src netip.Addr, wire []byte) ([]byte, float64, error) {
+func (c *flakyConn) Exchange(ctx context.Context, src netip.Addr, wire []byte) ([]byte, float64, error) {
 	ttl := wire[8]
 	c.seen[ttl]++
 	if c.seen[ttl] == 1 {
 		return nil, 0, ErrInjected
 	}
-	return c.conn.Exchange(src, wire)
+	return c.conn.Exchange(ctx, src, wire)
 }
 
 func TestTraceTransientFaultHealedByRetries(t *testing.T) {
@@ -106,7 +107,7 @@ func TestTraceTransientFaultHealedByRetries(t *testing.T) {
 	tc := NewTracer(&flakyConn{conn: NetsimConn{Net: tn.net}, seen: map[uint8]int{}}, tn.vp)
 	count := metricsFor(tc)
 
-	tr, err := tc.Trace(tn.target, 0)
+	tr, err := tc.Trace(context.Background(), tn.target, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestTraceRevealAuxFaultRecorded(t *testing.T) {
 	tc := NewTracer(fc, tn.vp)
 	count := metricsFor(tc)
 
-	tr, err := tc.Trace(tn.target, 0)
+	tr, err := tc.Trace(context.Background(), tn.target, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestRevealedTTLsContiguous(t *testing.T) {
 	} {
 		t.Run(tt.name, func(t *testing.T) {
 			tn := build(t, netsim.ModeSR, false, tt.rfc4950)
-			tr, err := tn.tracer().Trace(tn.target, 0)
+			tr, err := tn.tracer().Trace(context.Background(), tn.target, 0)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -213,10 +214,10 @@ func TestPingAndSampleIPIDPropagateErrors(t *testing.T) {
 	tc := NewTracer(FaultConn{Conn: NetsimConn{Net: tn.net}}, tn.vp)
 	count := metricsFor(tc)
 
-	if _, ok, err := tc.Ping(tn.pe1.Loopback, 7); !errors.Is(err, ErrInjected) || ok {
+	if _, ok, err := tc.Ping(context.Background(), tn.pe1.Loopback, 7); !errors.Is(err, ErrInjected) || ok {
 		t.Errorf("Ping: ok=%v err=%v, want the injected error surfaced", ok, err)
 	}
-	if _, ok, err := tc.SampleIPID(tn.pe1.Loopback, 0); !errors.Is(err, ErrInjected) || ok {
+	if _, ok, err := tc.SampleIPID(context.Background(), tn.pe1.Loopback, 0); !errors.Is(err, ErrInjected) || ok {
 		t.Errorf("SampleIPID: ok=%v err=%v, want the injected error surfaced", ok, err)
 	}
 	if got := count("exchange_errors"); got != 2 {
@@ -227,7 +228,7 @@ func TestPingAndSampleIPIDPropagateErrors(t *testing.T) {
 func TestFaultConnCustomError(t *testing.T) {
 	sentinel := errors.New("interface down")
 	fc := FaultConn{Conn: nil, Err: sentinel}
-	_, _, err := fc.Exchange(netip.MustParseAddr("172.16.0.1"), make([]byte, 20))
+	_, _, err := fc.Exchange(context.Background(), netip.MustParseAddr("172.16.0.1"), make([]byte, 20))
 	if !errors.Is(err, sentinel) {
 		t.Errorf("err = %v, want the configured sentinel", err)
 	}

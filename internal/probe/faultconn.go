@@ -1,6 +1,7 @@
 package probe
 
 import (
+	"context"
 	"errors"
 	"net/netip"
 )
@@ -33,7 +34,7 @@ type FaultConn struct {
 
 // Exchange implements Conn: matched probes fail with the injected error
 // (no reply, zero RTT); everything else passes through.
-func (f FaultConn) Exchange(src netip.Addr, wire []byte) ([]byte, float64, error) {
+func (f FaultConn) Exchange(ctx context.Context, src netip.Addr, wire []byte) ([]byte, float64, error) {
 	if f.Match == nil || f.Match(src, wire) {
 		err := f.Err
 		if err == nil {
@@ -41,5 +42,5 @@ func (f FaultConn) Exchange(src netip.Addr, wire []byte) ([]byte, float64, error
 		}
 		return nil, 0, err
 	}
-	return f.Conn.Exchange(src, wire)
+	return f.Conn.Exchange(ctx, src, wire)
 }

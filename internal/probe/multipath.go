@@ -1,6 +1,9 @@
 package probe
 
-import "net/netip"
+import (
+	"context"
+	"net/netip"
+)
 
 // Multipath is the result of MDA-style multipath discovery: per-TTL sets
 // of interfaces reached under varying Paris flow identifiers, exposing the
@@ -39,7 +42,7 @@ func (m *Multipath) MaxWidth() int {
 // Detection Algorithm: flows keep being added until several consecutive
 // flows discover nothing new (the confidence proxy), or maxFlows is
 // exhausted.
-func (t *Tracer) DiscoverMultipath(dst netip.Addr, maxFlows int) (*Multipath, error) {
+func (t *Tracer) DiscoverMultipath(ctx context.Context, dst netip.Addr, maxFlows int) (*Multipath, error) {
 	if maxFlows < 1 {
 		maxFlows = 1
 	}
@@ -47,7 +50,7 @@ func (t *Tracer) DiscoverMultipath(dst netip.Addr, maxFlows int) (*Multipath, er
 	seen := make(map[int]map[netip.Addr]bool)
 	quiet := 0
 	for flow := 0; flow < maxFlows; flow++ {
-		tr, err := t.Trace(dst, uint16(flow))
+		tr, err := t.Trace(ctx, dst, uint16(flow))
 		if err != nil {
 			return nil, err
 		}

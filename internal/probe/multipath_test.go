@@ -1,6 +1,7 @@
 package probe
 
 import (
+	"context"
 	"testing"
 
 	"arest/internal/mpls"
@@ -37,7 +38,7 @@ func diamondNet(t *testing.T, width int) (*netsim.Network, *Tracer, []netsim.Rou
 
 func TestDiscoverMultipathFindsDiamond(t *testing.T) {
 	n, tc, mids := diamondNet(t, 3)
-	m, err := tc.DiscoverMultipath(a("100.4.0.9"), 64)
+	m, err := tc.DiscoverMultipath(context.Background(), a("100.4.0.9"), 64)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestDiscoverMultipathFindsDiamond(t *testing.T) {
 
 func TestDiscoverMultipathStopsEarlyOnChain(t *testing.T) {
 	_, tc, _ := diamondNet(t, 1) // effectively a chain
-	m, err := tc.DiscoverMultipath(a("100.4.0.9"), 64)
+	m, err := tc.DiscoverMultipath(context.Background(), a("100.4.0.9"), 64)
 	if err != nil {
 		t.Fatal(err)
 	}

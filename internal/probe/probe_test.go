@@ -1,6 +1,7 @@
 package probe
 
 import (
+	"context"
 	"encoding/json"
 	"net/netip"
 	"testing"
@@ -68,7 +69,7 @@ func (tn *testNet) tracer() *Tracer {
 
 func TestTraceReachesDestination(t *testing.T) {
 	tn := build(t, netsim.ModeIP, true, true)
-	tr, err := tn.tracer().Trace(tn.target, 0)
+	tr, err := tn.tracer().Trace(context.Background(), tn.target, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestTraceReachesDestination(t *testing.T) {
 
 func TestTraceExplicitSRStacks(t *testing.T) {
 	tn := build(t, netsim.ModeSR, true, true)
-	tr, err := tn.tracer().Trace(tn.target, 0)
+	tr, err := tn.tracer().Trace(context.Background(), tn.target, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestTraceExplicitSRStacks(t *testing.T) {
 
 func TestTraceImplicitTunnelQTTL(t *testing.T) {
 	tn := build(t, netsim.ModeSR, true, false) // propagate, no RFC4950
-	tr, err := tn.tracer().Trace(tn.target, 0)
+	tr, err := tn.tracer().Trace(context.Background(), tn.target, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestTraceImplicitTunnelQTTL(t *testing.T) {
 
 func TestTraceOpaqueRevelation(t *testing.T) {
 	tn := build(t, netsim.ModeSR, false, true) // pipe + RFC4950 = opaque
-	tr, err := tn.tracer().Trace(tn.target, 0)
+	tr, err := tn.tracer().Trace(context.Background(), tn.target, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func TestTraceOpaqueWithoutRevelation(t *testing.T) {
 	tn := build(t, netsim.ModeSR, false, true)
 	tc := tn.tracer()
 	tc.Reveal = false
-	tr, err := tc.Trace(tn.target, 0)
+	tr, err := tc.Trace(context.Background(), tn.target, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +202,7 @@ func TestTraceOpaqueWithoutRevelation(t *testing.T) {
 
 func TestTraceInvisibleRevelation(t *testing.T) {
 	tn := build(t, netsim.ModeSR, false, false) // pipe + no RFC4950 = invisible
-	tr, err := tn.tracer().Trace(tn.target, 0)
+	tr, err := tn.tracer().Trace(context.Background(), tn.target, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +228,7 @@ func TestTraceInvisibleWithoutRevelationRTLA(t *testing.T) {
 	tn := build(t, netsim.ModeSR, false, false)
 	tc := tn.tracer()
 	tc.Reveal = false
-	tr, err := tc.Trace(tn.target, 0)
+	tr, err := tc.Trace(context.Background(), tn.target, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,11 +262,11 @@ func TestParisFlowStability(t *testing.T) {
 	n.Compute()
 	tc := NewTracer(NetsimConn{n}, vp)
 
-	tr1, err := tc.Trace(tgt, 0)
+	tr1, err := tc.Trace(context.Background(), tgt, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr2, err := tc.Trace(tgt, 0)
+	tr2, err := tc.Trace(context.Background(), tgt, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,7 +282,7 @@ func TestParisFlowStability(t *testing.T) {
 	// Different flows should be able to take the other branch.
 	diverged := false
 	for f := uint16(1); f < 32 && !diverged; f++ {
-		trf, err := tc.Trace(tgt, f)
+		trf, err := tc.Trace(context.Background(), tgt, f)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -302,14 +303,14 @@ func TestPing(t *testing.T) {
 	tc := tn.tracer()
 	p2 := tn.ps[1]
 	iface, _ := p2.InterfaceTo(tn.ps[0].ID)
-	ttl, ok, err := tc.Ping(iface, 42)
+	ttl, ok, err := tc.Ping(context.Background(), iface, 42)
 	if err != nil || !ok {
 		t.Fatalf("ping failed: ok=%v err=%v", ok, err)
 	}
 	if InferInitialTTL(ttl) != 255 {
 		t.Errorf("inferred initial TTL %d from %d, want 255", InferInitialTTL(ttl), ttl)
 	}
-	if _, ok, err := tc.Ping(a("203.0.113.1"), 43); ok {
+	if _, ok, err := tc.Ping(context.Background(), a("203.0.113.1"), 43); ok {
 		t.Errorf("ping to unrouted address succeeded (err=%v)", err)
 	}
 }
@@ -337,7 +338,7 @@ func TestTraceGapHalt(t *testing.T) {
 	// Target the last interior router's address so the destination itself
 	// never answers either.
 	dst := tn.ps[2].Loopback
-	tr, err := tc.Trace(dst, 0)
+	tr, err := tc.Trace(context.Background(), dst, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -348,7 +349,7 @@ func TestTraceGapHalt(t *testing.T) {
 
 func TestTraceJSONRoundTrip(t *testing.T) {
 	tn := build(t, netsim.ModeSR, true, true)
-	tr, err := tn.tracer().Trace(tn.target, 3)
+	tr, err := tn.tracer().Trace(context.Background(), tn.target, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -372,7 +373,7 @@ func TestTraceJSONRoundTrip(t *testing.T) {
 
 func TestTraceStringRendering(t *testing.T) {
 	tn := build(t, netsim.ModeSR, true, true)
-	tr, err := tn.tracer().Trace(tn.target, 0)
+	tr, err := tn.tracer().Trace(context.Background(), tn.target, 0)
 	if err != nil {
 		t.Fatalf("Trace: %v", err)
 	}
@@ -386,7 +387,7 @@ func TestICMPMethodTrace(t *testing.T) {
 	tn := build(t, netsim.ModeSR, true, true)
 	tc := tn.tracer()
 	tc.Method = MethodICMP
-	tr, err := tc.Trace(tn.target, 0)
+	tr, err := tc.Trace(context.Background(), tn.target, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -410,7 +411,7 @@ func TestICMPMethodTrace(t *testing.T) {
 	}
 	// Same hop addresses as UDP probing (same flow-stable path).
 	tcUDP := tn.tracer()
-	trUDP, err := tcUDP.Trace(tn.target, 0)
+	trUDP, err := tcUDP.Trace(context.Background(), tn.target, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -426,7 +427,7 @@ func TestICMPMethodSilentEchoTarget(t *testing.T) {
 	tn.pe2.Profile.RespondsEcho = false
 	tc := tn.tracer()
 	tc.Method = MethodICMP
-	tr, err := tc.Trace(tn.pe2.Loopback, 0)
+	tr, err := tc.Trace(context.Background(), tn.pe2.Loopback, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -448,7 +449,7 @@ func TestTracerRetriesRecoverLossyHops(t *testing.T) {
 	gaps := func(tc *Tracer) int {
 		n := 0
 		for f := uint16(0); f < 8; f++ {
-			tr, err := tc.Trace(tn.target, f)
+			tr, err := tc.Trace(context.Background(), tn.target, f)
 			if err != nil {
 				t.Fatal(err)
 			}

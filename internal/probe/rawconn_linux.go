@@ -7,6 +7,7 @@
 package probe
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/netip"
@@ -62,8 +63,17 @@ func (c *RawConn) Close() error {
 	return err2
 }
 
-// Exchange implements Conn.
-func (c *RawConn) Exchange(src netip.Addr, wire []byte) ([]byte, float64, error) {
+// recvSlice bounds a single blocking Recvfrom so the receive loop re-checks
+// ctx at least this often: a cancellation lands within one slice even while
+// unrelated ICMP traffic keeps the socket busy.
+const recvSlice = 100 * time.Millisecond
+
+// Exchange implements Conn. The receive wait is sliced: each Recvfrom
+// blocks at most recvSlice before the loop re-checks both the overall
+// Timeout deadline and ctx, so a cancelled context aborts a quiet (or
+// noisy-but-unmatched) wait promptly instead of riding out the full
+// timeout.
+func (c *RawConn) Exchange(ctx context.Context, src netip.Addr, wire []byte) ([]byte, float64, error) {
 	probe, err := pkt.UnmarshalIPv4(wire)
 	if err != nil {
 		return nil, 0, fmt.Errorf("probe: malformed probe: %w", err)
@@ -77,9 +87,15 @@ func (c *RawConn) Exchange(src netip.Addr, wire []byte) ([]byte, float64, error)
 	deadline := start.Add(c.Timeout)
 	buf := make([]byte, 65536)
 	for {
+		if ctx.Err() != nil {
+			return nil, 0, context.Cause(ctx)
+		}
 		remain := time.Until(deadline)
 		if remain <= 0 {
 			return nil, 0, nil // timeout: hop shows "*"
+		}
+		if remain > recvSlice {
+			remain = recvSlice
 		}
 		tv := syscall.NsecToTimeval(remain.Nanoseconds())
 		if err := syscall.SetsockoptTimeval(c.recvFD, syscall.SOL_SOCKET, syscall.SO_RCVTIMEO, &tv); err != nil {
@@ -89,7 +105,7 @@ func (c *RawConn) Exchange(src netip.Addr, wire []byte) ([]byte, float64, error)
 		if err != nil {
 			if errno, ok := err.(syscall.Errno); ok &&
 				(errno == syscall.EAGAIN || errno == syscall.EWOULDBLOCK || errno == syscall.EINTR) {
-				return nil, 0, nil // timed out waiting
+				continue // slice expired: loop re-checks ctx and the deadline
 			}
 			return nil, 0, fmt.Errorf("probe: recvfrom: %w", err)
 		}

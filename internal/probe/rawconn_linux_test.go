@@ -9,6 +9,7 @@
 package probe
 
 import (
+	"context"
 	"net/netip"
 	"testing"
 	"time"
@@ -86,7 +87,7 @@ func TestRawConnRequiresPrivileges(t *testing.T) {
 		Dst: netip.MustParseAddr("192.0.2.1"), Payload: ub}
 	wire, _ := ip.Marshal()
 	conn.Timeout = 200 * time.Millisecond
-	if _, _, err := conn.Exchange(src, wire); err != nil {
+	if _, _, err := conn.Exchange(context.Background(), src, wire); err != nil {
 		t.Logf("exchange returned error (environment-dependent): %v", err)
 	}
 }

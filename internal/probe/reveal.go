@@ -1,6 +1,7 @@
 package probe
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 )
@@ -26,8 +27,11 @@ const opaqueTTLFloor = 200
 // A failed auxiliary trace does not fail the main one: the failure is
 // recorded in tr.RevealErrs (and counted) and revelation moves on, so a
 // trace with a broken DPR path still carries its measured hops — merely
-// flagged that hidden content may remain unrevealed.
-func (t *Tracer) reveal(tr *Trace) {
+// flagged that hidden content may remain unrevealed. Cancellation is the
+// exception: once ctx is done, reveal stops and returns the cause, and the
+// caller discards the whole trace — a partially revealed trace must never
+// be recorded as if it were complete.
+func (t *Tracer) reveal(ctx context.Context, tr *Trace) error {
 	visible := make(map[netip.Addr]bool)
 	for i := range tr.Hops {
 		if tr.Hops[i].Responded() {
@@ -36,6 +40,9 @@ func (t *Tracer) reveal(tr *Trace) {
 	}
 	// Walk hop pairs; splice in revealed hops as we find them.
 	for i := 0; i < len(tr.Hops)-1; i++ {
+		if ctx.Err() != nil {
+			return context.Cause(ctx)
+		}
 		a, b := &tr.Hops[i], &tr.Hops[i+1]
 		if !a.Responded() || !b.Responded() || b.Revealed {
 			continue
@@ -52,7 +59,12 @@ func (t *Tracer) reveal(tr *Trace) {
 		if suspected == 0 {
 			continue
 		}
-		hidden, err := t.directPathRevelation(b.Addr, visible)
+		hidden, err := t.directPathRevelation(ctx, b.Addr, visible)
+		if err != nil && ctx.Err() != nil {
+			// The aux trace died because the campaign is shutting down, not
+			// because the DPR path is broken; abort rather than record it.
+			return context.Cause(ctx)
+		}
 		t.Metrics.countReveal(true, len(hidden))
 		if err != nil {
 			t.Metrics.countRevealError()
@@ -78,6 +90,7 @@ func (t *Tracer) reveal(tr *Trace) {
 		tr.Hops = spliced
 		i += len(hidden) // continue after the spliced region
 	}
+	return nil
 }
 
 // directPathRevelation traces toward the trigger address and returns the
@@ -86,7 +99,7 @@ func (t *Tracer) reveal(tr *Trace) {
 // trace is returned as an error — distinct from "the path holds no new
 // hops" (nil, nil) — so the caller can record that revelation was disabled
 // rather than silently classifying on an unrevealed trace.
-func (t *Tracer) directPathRevelation(trigger netip.Addr, visible map[netip.Addr]bool) ([]Hop, error) {
+func (t *Tracer) directPathRevelation(ctx context.Context, trigger netip.Addr, visible map[netip.Addr]bool) ([]Hop, error) {
 	// The auxiliary tracer deliberately keeps Retries at zero, as the
 	// original DPR implementation did: giving aux traces a retry budget
 	// would change fault-free probe sequences (each retry draws a fresh
@@ -94,7 +107,7 @@ func (t *Tracer) directPathRevelation(trigger netip.Addr, visible map[netip.Addr
 	// Transport errors in the aux sweep therefore surface immediately.
 	aux := &Tracer{Conn: t.Conn, VP: t.VP, MaxTTL: t.MaxTTL, MaxGaps: t.MaxGaps,
 		BasePort: t.BasePort, Reveal: false, Metrics: t.Metrics}
-	tr, err := aux.Trace(trigger, 0)
+	tr, err := aux.Trace(ctx, trigger, 0)
 	if err != nil {
 		return nil, err
 	}

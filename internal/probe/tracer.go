@@ -6,6 +6,7 @@
 package probe
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"sync"
@@ -18,13 +19,18 @@ import (
 // back, both as serialized IPv4 packets, plus the measured round-trip time
 // in milliseconds (zero when no reply arrived).
 //
+// ctx bounds the exchange: implementations that wait on a real wire must
+// return promptly once ctx is done (context.Cause as the error), so a
+// campaign cancellation lands within one probe exchange. The simulator
+// backend completes instantly and may ignore ctx.
+//
 // Ownership: wire is only valid for the duration of the call — the tracer
 // reuses the buffer for the next probe, so implementations must not retain
 // it. The returned reply, conversely, passes to the tracer, which may hold
 // references into it (quoted label stacks); implementations must hand back
 // a buffer they will not reuse or mutate.
 type Conn interface {
-	Exchange(src netip.Addr, wire []byte) (reply []byte, rttMs float64, err error)
+	Exchange(ctx context.Context, src netip.Addr, wire []byte) (reply []byte, rttMs float64, err error)
 }
 
 // hopMilliseconds is the synthetic per-hop one-way delay the simulator
@@ -37,8 +43,12 @@ type NetsimConn struct {
 	Net *netsim.Network
 }
 
-// Exchange implements Conn over the simulator.
-func (c NetsimConn) Exchange(src netip.Addr, wire []byte) ([]byte, float64, error) {
+// Exchange implements Conn over the simulator. The simulated exchange is
+// instantaneous, so ctx is deliberately unread: checking it here would let
+// a racy cancellation perturb which probes of an in-flight trace complete,
+// while the trace/TTL-boundary checks in Trace keep cancellation points
+// schedule-independent.
+func (c NetsimConn) Exchange(_ context.Context, src netip.Addr, wire []byte) ([]byte, float64, error) {
 	d, err := c.Net.Send(src, wire)
 	if err != nil {
 		return nil, 0, err
@@ -177,10 +187,14 @@ const loopRunLen = 3
 // Trace is fail-soft: a probe exchange error consumes the same retry
 // budget as a silent hop, and an error that survives the budget halts the
 // sweep with HaltError and the error text on the trace — every hop
-// measured before the failure is kept. The error return is reserved for
-// future non-probe failures and is always nil today; callers decide
-// whether a degraded trace is acceptable via Trace.Failed.
-func (t *Tracer) Trace(dst netip.Addr, flowID uint16) (*Trace, error) {
+// measured before the failure is kept. The error return reports
+// cancellation only: once ctx is done the sweep stops at the next TTL
+// boundary and Trace returns (nil, context.Cause(ctx)). Cancellation never
+// becomes trace content — an aborted trace is discarded, never recorded as
+// degraded — so archived bytes stay independent of when a cancel landed.
+// For probe-level failures callers decide whether a degraded trace is
+// acceptable via Trace.Failed.
+func (t *Tracer) Trace(ctx context.Context, dst netip.Addr, flowID uint16) (*Trace, error) {
 	s := probeScratchPool.Get().(*probeScratch)
 	defer probeScratchPool.Put(s)
 	tr := &Trace{VP: t.VP, Dst: dst, FlowID: flowID, Halt: HaltMaxTTL}
@@ -191,12 +205,24 @@ func (t *Tracer) Trace(dst netip.Addr, flowID uint16) (*Trace, error) {
 	run := 0
 sweep:
 	for ttl := 1; ttl <= t.MaxTTL; ttl++ {
-		hop, err := t.probeOnce(s, dst, uint8(ttl), dport, 0)
+		if ctx.Err() != nil {
+			return nil, context.Cause(ctx)
+		}
+		hop, err := t.probeOnce(ctx, s, dst, uint8(ttl), dport, 0)
 		for retry := 0; (err != nil || !hop.Responded()) && retry < t.Retries; retry++ {
+			if ctx.Err() != nil {
+				return nil, context.Cause(ctx)
+			}
 			t.Metrics.countRetry()
-			hop, err = t.probeOnce(s, dst, uint8(ttl), dport, retry+1)
+			hop, err = t.probeOnce(ctx, s, dst, uint8(ttl), dport, retry+1)
 		}
 		if err != nil {
+			if ctx.Err() != nil {
+				// A cancelled exchange is an abort, not a transport fault:
+				// mapping it to HaltError would archive timing-dependent
+				// bytes.
+				return nil, context.Cause(ctx)
+			}
 			tr.Halt = HaltError
 			tr.Err = err.Error()
 			break sweep
@@ -241,7 +267,9 @@ sweep:
 	// A trace halted by a transport error skips revelation: its Conn just
 	// failed repeatedly, so auxiliary traces would only burn more probes.
 	if t.Reveal && tr.Halt != HaltError {
-		t.reveal(tr)
+		if err := t.reveal(ctx, tr); err != nil {
+			return nil, err
+		}
 	}
 	return tr, nil
 }
@@ -251,7 +279,7 @@ sweep:
 // each retry carries a distinct IP-ID. All construction and decoding goes
 // through s; the returned Hop owns nothing that aliases s (Hop.Stack is
 // decoded fresh from the reply).
-func (t *Tracer) probeOnce(s *probeScratch, dst netip.Addr, ttl uint8, dport uint16, attempt int) (Hop, error) {
+func (t *Tracer) probeOnce(ctx context.Context, s *probeScratch, dst netip.Addr, ttl uint8, dport uint16, attempt int) (Hop, error) {
 	var err error
 	proto := uint8(pkt.ProtoUDP)
 	switch t.Method {
@@ -278,7 +306,7 @@ func (t *Tracer) probeOnce(s *probeScratch, dst netip.Addr, ttl uint8, dport uin
 		return Hop{}, fmt.Errorf("probe: %w", err)
 	}
 	t.Metrics.countSent(t.Method)
-	reply, rtt, err := t.Conn.Exchange(t.VP, s.wire)
+	reply, rtt, err := t.Conn.Exchange(ctx, t.VP, s.wire)
 	if err != nil {
 		t.Metrics.countExchangeError()
 		return Hop{}, fmt.Errorf("probe: %w", err)
@@ -321,7 +349,10 @@ func (t *Tracer) probeOnce(s *probeScratch, dst netip.Addr, ttl uint8, dport uin
 
 // Ping sends one ICMP echo request and reports the received reply TTL,
 // which TTL fingerprinting combines with the time-exceeded reply TTL.
-func (t *Tracer) Ping(dst netip.Addr, id uint16) (replyTTL uint8, ok bool, err error) {
+func (t *Tracer) Ping(ctx context.Context, dst netip.Addr, id uint16) (replyTTL uint8, ok bool, err error) {
+	if ctx.Err() != nil {
+		return 0, false, context.Cause(ctx)
+	}
 	s := probeScratchPool.Get().(*probeScratch)
 	defer probeScratchPool.Put(s)
 	s.echo = pkt.ICMP{Type: pkt.ICMPEchoRequest, ID: id, Seq: 1, Body: pingPayload}
@@ -335,7 +366,7 @@ func (t *Tracer) Ping(dst netip.Addr, id uint16) (replyTTL uint8, ok bool, err e
 		return 0, false, err
 	}
 	t.Metrics.countPing()
-	reply, _, err := t.Conn.Exchange(t.VP, s.wire)
+	reply, _, err := t.Conn.Exchange(ctx, t.VP, s.wire)
 	if err != nil {
 		t.Metrics.countExchangeError()
 		return 0, false, err
@@ -391,7 +422,7 @@ type IPIDSample struct {
 // returns the IP-ID of the reply, exposing the router's shared IP-ID
 // counter. seq distinguishes successive samples of the same address so
 // each carries a distinct probe IP-ID.
-func (t *Tracer) SampleIPID(dst netip.Addr, seq uint32) (IPIDSample, bool, error) {
+func (t *Tracer) SampleIPID(ctx context.Context, dst netip.Addr, seq uint32) (IPIDSample, bool, error) {
 	s := probeScratchPool.Get().(*probeScratch)
 	defer probeScratchPool.Put(s)
 	dport := t.flowPort(200)
@@ -408,7 +439,7 @@ func (t *Tracer) SampleIPID(dst netip.Addr, seq uint32) (IPIDSample, bool, error
 		return IPIDSample{}, false, err
 	}
 	t.Metrics.countIPIDSample()
-	reply, _, err := t.Conn.Exchange(t.VP, s.wire)
+	reply, _, err := t.Conn.Exchange(ctx, t.VP, s.wire)
 	if err != nil {
 		t.Metrics.countExchangeError()
 		return IPIDSample{}, false, err

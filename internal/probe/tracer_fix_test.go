@@ -1,6 +1,7 @@
 package probe
 
 import (
+	"context"
 	"encoding/binary"
 	"net/netip"
 	"testing"
@@ -17,7 +18,7 @@ type captureConn struct {
 	replyFn func(wire []byte) []byte
 }
 
-func (c *captureConn) Exchange(src netip.Addr, wire []byte) ([]byte, float64, error) {
+func (c *captureConn) Exchange(ctx context.Context, src netip.Addr, wire []byte) ([]byte, float64, error) {
 	c.sent = append(c.sent, append([]byte(nil), wire...))
 	if c.replyFn == nil {
 		return nil, 0, nil
@@ -49,7 +50,7 @@ func TestFlowPortStaysInTracerouteRange(t *testing.T) {
 	tr.Reveal = false
 
 	wrapFlow := uint16(0xFFFF - tr.BasePort + 1) // old code: dport wraps to 0
-	if _, err := tr.Trace(a("100.1.0.20"), wrapFlow); err != nil {
+	if _, err := tr.Trace(context.Background(), a("100.1.0.20"), wrapFlow); err != nil {
 		t.Fatal(err)
 	}
 	got := sentDport(t, conn.sent[0])
@@ -59,7 +60,7 @@ func TestFlowPortStaysInTracerouteRange(t *testing.T) {
 
 	// Unwrapped flow IDs keep their exact historical port.
 	conn.sent = nil
-	if _, err := tr.Trace(a("100.1.0.20"), 7); err != nil {
+	if _, err := tr.Trace(context.Background(), a("100.1.0.20"), 7); err != nil {
 		t.Fatal(err)
 	}
 	if got := sentDport(t, conn.sent[0]); got != tr.BasePort+7 {
@@ -90,7 +91,7 @@ func TestTraceHaltsOnPeriod1Loop(t *testing.T) {
 	reg := obs.New()
 	tr := tn.tracer()
 	tr.Metrics = NewMetrics(reg)
-	trace, err := tr.Trace(tn.target, 0)
+	trace, err := tr.Trace(context.Background(), tn.target, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestTraceStillDetectsLongerPeriodLoops(t *testing.T) {
 	}
 	tr := NewTracer(conn, a("172.16.0.10"))
 	tr.Reveal = false
-	trace, err := tr.Trace(a("100.1.0.20"), 0)
+	trace, err := tr.Trace(context.Background(), a("100.1.0.20"), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestDecodeErrorHopKeepsResponder(t *testing.T) {
 	tr.Reveal = false
 	tr.Metrics = NewMetrics(reg)
 
-	trace, err := tr.Trace(a("100.1.0.20"), 0)
+	trace, err := tr.Trace(context.Background(), a("100.1.0.20"), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +249,7 @@ func TestDecodeErrorNotReachedUnderICMPEcho(t *testing.T) {
 	tr.Method = MethodICMP
 	tr.MaxTTL = 3
 	tr.Reveal = false
-	trace, err := tr.Trace(a("100.1.0.20"), 0)
+	trace, err := tr.Trace(context.Background(), a("100.1.0.20"), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
